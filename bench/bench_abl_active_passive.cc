@@ -1,0 +1,28 @@
+// Ablation: active (KerA push) vs passive (Kafka pull) replication with
+// the SAME partitioning (one replication stream per partition, 128
+// streams) and the same chunk size, sweeping the replication factor.
+// Isolates the synchronization architecture from the partitioning model.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_AblActivePassive(benchmark::State& state) {
+  System system = SystemArg(state.range(0));
+  uint32_t replication = uint32_t(state.range(1));
+  SimExperimentConfig cfg = Fig9(system, /*producers=*/8, replication);
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_AblActivePassive)
+    ->ArgNames({"sys", "R"})
+    ->ArgsProduct({{0, 1}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

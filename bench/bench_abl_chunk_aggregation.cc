@@ -1,0 +1,35 @@
+// Ablation: chunk aggregation in the virtual log. Sweeps the replication
+// batch cap from "one chunk per replication RPC" (no aggregation — the
+// naive design §II.B warns against) up to 1 MB batches, holding the rest
+// of the latency-optimized configuration fixed (128 streams, R3, 8+8
+// clients, 1 KB chunks, 4 vlogs per broker).
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_AblChunkAggregation(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig14to16(/*streams=*/128, /*vlogs=*/4,
+                                      /*replication=*/3);
+  // Batch cap in KB; 1 KB == one chunk per replication RPC.
+  cfg.replication_max_batch_bytes = size_t(state.range(0)) << 10;
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_AblChunkAggregation)
+    ->ArgNames({"batchKB"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

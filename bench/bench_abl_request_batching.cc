@@ -1,0 +1,33 @@
+// Ablation: producer request batching (the request.size trade-off of
+// §V.A). Sweeps the number of chunks per produce request for the
+// latency-optimized KerA configuration: deeper requests amortize RPC and
+// replication latency at the cost of per-record latency.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_AblRequestBatching(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig14to16(/*streams=*/128, /*vlogs=*/4,
+                                      /*replication=*/3);
+  cfg.request_max_chunks = uint32_t(state.range(0));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_AblRequestBatching)
+    ->ArgNames({"chunks_per_request"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

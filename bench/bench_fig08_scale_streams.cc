@@ -1,0 +1,28 @@
+// Figure 8: scaling the number of streams. Kafka vs KerA, 4 concurrent
+// producers over 4 brokers, chunk size 1 KB, one partition per stream;
+// KerA replicates through 4 shared virtual logs per broker. Series:
+// {Kafka, KerA} x {R1, R2, R3} over 32..512 streams.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig08(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig8(SystemArg(state.range(0)),
+                                 uint32_t(state.range(1)),
+                                 uint32_t(state.range(2)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig08)
+    ->ArgNames({"sys", "streams", "R"})
+    ->ArgsProduct({{0, 1}, {32, 64, 128, 256, 512}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

@@ -1,0 +1,29 @@
+// Figure 9: scaling the number of clients. Kafka vs KerA with increasing
+// replication factor; concurrent producers with 16 KB chunks; 128 streams
+// (one partition each) on 4 brokers. KerA is configured like Kafka: one
+// replicated log per partition — the difference left is active push vs
+// passive pull replication.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig09(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig9(SystemArg(state.range(0)),
+                                 uint32_t(state.range(1)),
+                                 uint32_t(state.range(2)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig09)
+    ->ArgNames({"sys", "producers", "R"})
+    ->ArgsProduct({{0, 1}, {4, 8, 16}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

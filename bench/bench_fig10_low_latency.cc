@@ -1,0 +1,30 @@
+// Figure 10: low-latency configuration. Kafka vs KerA while varying the
+// number of streams; replication factor 3, chunk size 1 KB, 4 producers
+// running in parallel with 4 consumers on 4 brokers. KerA runs with 4 and
+// with 32 virtual logs per broker (series 1 and 2); Kafka is series 0.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig10(benchmark::State& state) {
+  int64_t series = state.range(0);  // 0 = Kafka, 1 = KerA-4vlog, 2 = KerA-32
+  uint32_t streams = uint32_t(state.range(1));
+  SimExperimentConfig cfg =
+      series == 0 ? Fig10(System::kKafka, streams, 4)
+                  : Fig10(System::kKerA, streams, series == 1 ? 4 : 32);
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig10)
+    ->ArgNames({"series", "streams"})
+    ->ArgsProduct({{0, 1, 2}, {64, 128, 256, 512}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

@@ -1,0 +1,29 @@
+// Figure 11: high-throughput configuration. Kafka vs KerA while varying
+// the number of producers and the chunk size; replication factor 3 over
+// 4 brokers. Kafka: one stream with 32 partitions; KerA: one stream with
+// 32 streamlets, 4 active sub-partitions each, one virtual log per
+// sub-partition.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig11(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig11(SystemArg(state.range(0)),
+                                  uint32_t(state.range(1)),
+                                  size_t(state.range(2)) << 10);
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig11)
+    ->ArgNames({"sys", "producers", "chunkKB"})
+    ->ArgsProduct({{0, 1}, {4, 8, 16, 32}, {4, 16, 64}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

@@ -1,0 +1,27 @@
+// Figure 12: scaling the number of streams in KerA with ONE shared
+// replicated virtual log per broker for up to 512 streams. Replication
+// factor 1/2/3; 8 concurrent producers and consumers, 4 brokers, chunk
+// size 1 KB.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig12(benchmark::State& state) {
+  SimExperimentConfig cfg =
+      Fig12(uint32_t(state.range(0)), uint32_t(state.range(1)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig12)
+    ->ArgNames({"streams", "R"})
+    ->ArgsProduct({{64, 128, 256, 512}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

@@ -1,0 +1,27 @@
+// Figure 13: increasing the replication capacity (1, 2 and 4 shared
+// replicated virtual logs per broker) while scaling the number of
+// streams. Replication factor 3, 8 concurrent producers and consumers,
+// 4 brokers, chunk size 1 KB.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig13(benchmark::State& state) {
+  SimExperimentConfig cfg =
+      Fig13(uint32_t(state.range(0)), uint32_t(state.range(1)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig13)
+    ->ArgNames({"streams", "vlogs"})
+    ->ArgsProduct({{128, 256, 512}, {1, 2, 4}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

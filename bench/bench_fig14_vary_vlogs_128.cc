@@ -1,0 +1,28 @@
+// Figure 14: ingestion of 128 streams varying the number of virtual logs
+// per broker. 8 concurrent producers and consumers, 4 brokers, chunk size
+// 1 KB, replication factor 1/2/3. Beyond the sweet spot, throughput drops
+// as replication RPCs flood the dispatch threads.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig14(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig14to16(/*streams=*/128,
+                                      uint32_t(state.range(0)),
+                                      uint32_t(state.range(1)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig14)
+    ->ArgNames({"vlogs", "R"})
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64, 128}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

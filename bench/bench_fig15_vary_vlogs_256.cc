@@ -1,0 +1,27 @@
+// Figure 15: ingestion of 256 streams varying the number of virtual logs
+// per broker. 8 concurrent producers and consumers, 4 brokers, chunk size
+// 1 KB, replication factor 1/2/3.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig15(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig14to16(/*streams=*/256,
+                                      uint32_t(state.range(0)),
+                                      uint32_t(state.range(1)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig15)
+    ->ArgNames({"vlogs", "R"})
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64, 128}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

@@ -1,0 +1,28 @@
+// Figure 17: throughput configuration with one virtual log per
+// sub-partition (32 shared virtual logs per broker). 4 producers running
+// in parallel with 4 consumers on 4 brokers; one stream with 32
+// streamlets, 4 active sub-partitions each; chunk size 4-64 KB, R 1/2/3.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig17(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig17to20(/*clients=*/4,
+                                      size_t(state.range(0)) << 10,
+                                      uint32_t(state.range(1)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig17)
+    ->ArgNames({"chunkKB", "R"})
+    ->ArgsProduct({{4, 8, 16, 32, 64}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

@@ -1,0 +1,26 @@
+// Figure 18: throughput configuration, 8 producers + 8 consumers, one
+// virtual log per sub-partition (32 per broker), chunk 4-64 KB, R 1/2/3.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig18(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig17to20(/*clients=*/8,
+                                      size_t(state.range(0)) << 10,
+                                      uint32_t(state.range(1)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig18)
+    ->ArgNames({"chunkKB", "R"})
+    ->ArgsProduct({{4, 8, 16, 32, 64}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

@@ -1,0 +1,26 @@
+// Figure 19: throughput configuration, 16 producers + 16 consumers, one
+// virtual log per sub-partition (32 per broker), chunk 4-64 KB, R 1/2/3.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig19(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig17to20(/*clients=*/16,
+                                      size_t(state.range(0)) << 10,
+                                      uint32_t(state.range(1)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig19)
+    ->ArgNames({"chunkKB", "R"})
+    ->ArgsProduct({{4, 8, 16, 32, 64}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

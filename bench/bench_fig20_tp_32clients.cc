@@ -1,0 +1,27 @@
+// Figure 20: throughput configuration, 32 producers + 32 consumers (64
+// clients total pressuring the 4-broker cluster), one virtual log per
+// sub-partition, chunk 4-64 KB, R 1/2/3.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig20(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig17to20(/*clients=*/32,
+                                      size_t(state.range(0)) << 10,
+                                      uint32_t(state.range(1)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig20)
+    ->ArgNames({"chunkKB", "R"})
+    ->ArgsProduct({{4, 8, 16, 32, 64}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

@@ -1,0 +1,27 @@
+// Figure 21: varying the number of virtual logs in the throughput
+// configuration; chunk size 32 KB and 64 KB; 8 producers + 8 consumers,
+// 4 brokers, one stream with 32 streamlets (4 sub-partitions each),
+// replication factor 3. The vlogs are a shared per-broker pool sized 1-32.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_Fig21(benchmark::State& state) {
+  SimExperimentConfig cfg =
+      Fig21(uint32_t(state.range(0)), size_t(state.range(1)) << 10);
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+
+BENCHMARK(BM_Fig21)
+    ->ArgNames({"vlogs", "chunkKB"})
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32}, {32, 64}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

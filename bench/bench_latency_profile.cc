@@ -1,0 +1,65 @@
+// Latency profile: produce-request latency (p50/p99) across the paper's
+// two configuration families and the chunk-size / replication knobs. The
+// paper's §V.C/V.D frame every setting as a latency-throughput trade-off;
+// this bench prints both sides for each point.
+#include "sim_bench_util.h"
+
+namespace kera::sim {
+namespace {
+
+void BM_LatencyVsChunkSize(benchmark::State& state) {
+  SimExperimentConfig cfg = Fig17to20(/*clients=*/8,
+                                      size_t(state.range(0)) << 10,
+                                      /*replication=*/3);
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+BENCHMARK(BM_LatencyVsChunkSize)
+    ->ArgNames({"chunkKB"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LatencyVsReplication(benchmark::State& state) {
+  SimExperimentConfig cfg =
+      LatencyBase(System::kKerA, 4, 4, 128, uint32_t(state.range(0)));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+BENCHMARK(BM_LatencyVsReplication)
+    ->ArgNames({"R"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LatencyVsRequestDepth(benchmark::State& state) {
+  SimExperimentConfig cfg = LatencyBase(System::kKerA, 4, 4, 128, 3);
+  cfg.request_max_chunks = uint32_t(state.range(0));
+  SimExperimentResult result;
+  for (auto _ : state) {
+    result = RunSimExperiment(cfg);
+  }
+  ReportResult(state, result);
+}
+BENCHMARK(BM_LatencyVsRequestDepth)
+    ->ArgNames({"chunks_per_request"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kera::sim

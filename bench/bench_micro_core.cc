@@ -1,0 +1,159 @@
+// Microbenchmarks of the core data structures on the hot paths: CRC32C,
+// record/chunk building and parsing, segment and group appends, virtual
+// log reference appends and batch polling. These are wall-clock
+// measurements of the real code (not the DES).
+#include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "storage/group.h"
+#include "storage/memory_manager.h"
+#include "storage/segment.h"
+#include "vlog/virtual_log.h"
+#include "wire/chunk.h"
+#include "wire/record.h"
+
+namespace kera {
+namespace {
+
+std::vector<std::byte> MakeChunkFrame(size_t chunk_size, size_t record_size) {
+  ChunkBuilder b(chunk_size);
+  b.Start(1, 0, 1);
+  std::vector<std::byte> value(record_size, std::byte{0x42});
+  while (b.AppendValue(value)) {
+  }
+  auto bytes = b.Seal(1);
+  return {bytes.begin(), bytes.end()};
+}
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<std::byte> data(size_t(state.range(0)), std::byte{0xA5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_RecordWrite(benchmark::State& state) {
+  std::vector<std::byte> buf(4096);
+  std::vector<std::byte> value(size_t(state.range(0)), std::byte{0x42});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WriteRecord(buf, value));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_RecordWrite)->Arg(100)->Arg(1024);
+
+void BM_RecordParseAndVerify(benchmark::State& state) {
+  std::vector<std::byte> buf(4096);
+  std::vector<std::byte> value(100, std::byte{0x42});
+  size_t n = WriteRecord(buf, value);
+  auto span = std::span(buf).first(n);
+  for (auto _ : state) {
+    auto view = RecordView::Parse(span);
+    benchmark::DoNotOptimize(view->VerifyChecksum());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_RecordParseAndVerify);
+
+void BM_ChunkBuildSeal(benchmark::State& state) {
+  size_t chunk_size = size_t(state.range(0));
+  ChunkBuilder builder(chunk_size);
+  std::vector<std::byte> value(100, std::byte{0x42});
+  uint64_t records = 0;
+  for (auto _ : state) {
+    builder.Start(1, 0, 1);
+    while (builder.AppendValue(value)) ++records;
+    benchmark::DoNotOptimize(builder.Seal(1));
+  }
+  state.SetItemsProcessed(int64_t(records));
+}
+BENCHMARK(BM_ChunkBuildSeal)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_ChunkIterateRecords(benchmark::State& state) {
+  auto frame = MakeChunkFrame(size_t(state.range(0)), 100);
+  auto view = ChunkView::Parse(frame);
+  uint64_t records = 0;
+  for (auto _ : state) {
+    for (auto it = view->records(); !it.Done(); it.Next()) {
+      benchmark::DoNotOptimize(it.record().value());
+      ++records;
+    }
+  }
+  state.SetItemsProcessed(int64_t(records));
+}
+BENCHMARK(BM_ChunkIterateRecords)->Arg(1024)->Arg(65536);
+
+void BM_SegmentAppend(benchmark::State& state) {
+  auto frame = MakeChunkFrame(size_t(state.range(0)), 100);
+  auto segment = std::make_unique<Segment>(Buffer(8u << 20), 1, 0, 0, 0);
+  for (auto _ : state) {
+    auto r = segment->AppendChunk(frame);
+    if (!r.ok()) {
+      state.PauseTiming();
+      segment = std::make_unique<Segment>(Buffer(8u << 20), 1, 0, 0, 0);
+      state.ResumeTiming();
+    }
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(frame.size()));
+}
+BENCHMARK(BM_SegmentAppend)->Arg(1024)->Arg(65536);
+
+void BM_GroupAppend(benchmark::State& state) {
+  auto frame = MakeChunkFrame(1024, 100);
+  MemoryManager mm(size_t(2) << 30, 1u << 20);
+  auto group = std::make_unique<Group>(mm, 1, 0, 0, 1024);
+  for (auto _ : state) {
+    auto r = group->AppendChunk(frame);
+    if (!r.ok()) {
+      state.PauseTiming();
+      group->Close();
+      for (uint64_t i = 0; i < group->chunk_count(); ++i) {
+        group->MarkChunkDurable(i);
+      }
+      (void)group->Trim();
+      group = std::make_unique<Group>(mm, 1, 0, 0, 1024);
+      state.ResumeTiming();
+    }
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(frame.size()));
+}
+BENCHMARK(BM_GroupAppend);
+
+void BM_VlogAppendPollComplete(benchmark::State& state) {
+  auto frame = MakeChunkFrame(1024, 100);
+  MemoryManager mm(size_t(2) << 30, 1u << 20);
+  Group group(mm, 1, 0, 0, 4096);
+  VirtualLogConfig vc;
+  vc.replication_factor = 3;
+  VirtualLog vlog(0, vc, [](VirtualSegmentId) {
+    return std::vector<NodeId>{2, 3};
+  });
+  auto chunk_view = ChunkView::Parse(frame);
+  for (auto _ : state) {
+    auto appended = group.AppendChunk(frame);
+    if (!appended.ok()) {
+      state.SkipWithError("group full");
+      break;
+    }
+    ChunkRef ref;
+    ref.loc = *appended;
+    ref.group = &group;
+    ref.stream = 1;
+    ref.payload_checksum = chunk_view->payload_checksum();
+    vlog.Append(ref);
+    auto batch = vlog.Poll();
+    vlog.Complete(*batch);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_VlogAppendPollComplete)->Iterations(300000);
+
+}  // namespace
+}  // namespace kera

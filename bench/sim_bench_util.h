@@ -1,0 +1,32 @@
+// Shared helpers for the figure benches: every benchmark runs one full
+// simulated experiment per iteration and reports the paper's metric
+// (cluster throughput in million records/s) plus replication statistics
+// as benchmark counters.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "sim/figure_harness.h"
+
+namespace kera::sim {
+
+inline void ReportResult(benchmark::State& state,
+                         const SimExperimentResult& r) {
+  state.counters["ingest_Mrec_s"] = r.ingest_mrecords_per_s;
+  state.counters["consume_Mrec_s"] = r.consume_mrecords_per_s;
+  state.counters["repl_rpcs"] = double(r.replication_rpcs);
+  state.counters["avg_repl_KB"] = r.avg_replication_kb;
+  state.counters["p50_us"] = r.produce_latency_p50_us;
+  state.counters["p99_us"] = r.produce_latency_p99_us;
+  if (r.e2e_latency_p50_us > 0) {
+    state.counters["e2e_p50_us"] = r.e2e_latency_p50_us;
+    state.counters["e2e_p99_us"] = r.e2e_latency_p99_us;
+  }
+  state.counters["dispatch_util"] = r.dispatch_utilization;
+}
+
+inline System SystemArg(int64_t v) {
+  return v == 0 ? System::kKerA : System::kKafka;
+}
+
+}  // namespace kera::sim

@@ -1,0 +1,50 @@
+// Latency/throughput trade-off explorer: runs the simulated 4-broker
+// cluster across chunk sizes and virtual-log counts (the paper's two main
+// tuning knobs) and prints the resulting cluster throughput, replication
+// RPC consolidation and produce latency.
+//
+//   $ ./example_latency_throughput_tradeoff
+#include <cstdio>
+
+#include "sim/figure_harness.h"
+
+using namespace kera::sim;
+
+int main() {
+  std::printf("Simulated 4-broker cluster, 8 producers + 8 consumers, "
+              "replication factor 3\n\n");
+
+  std::printf("--- chunk size sweep (throughput configuration, one vlog "
+              "per sub-partition) ---\n");
+  for (size_t chunk_kb : {1, 4, 16, 64}) {
+    SimExperimentConfig cfg = Fig17to20(/*clients=*/8, chunk_kb << 10, 3);
+    auto r = RunSimExperiment(cfg);
+    char label[64];
+    std::snprintf(label, sizeof(label), "chunk %3zu KB", chunk_kb);
+    std::printf("%s\n", FormatResult(label, r).c_str());
+  }
+
+  std::printf("\n--- virtual log sweep (128 latency-optimized streams, "
+              "1 KB chunks) ---\n");
+  for (uint32_t vlogs : {1u, 4u, 16u, 64u, 128u}) {
+    SimExperimentConfig cfg = Fig14to16(/*streams=*/128, vlogs, 3);
+    auto r = RunSimExperiment(cfg);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%3u vlogs/broker", vlogs);
+    std::printf("%s\n", FormatResult(label, r).c_str());
+  }
+
+  std::printf("\n--- KerA vs the Kafka model (128 streams, 1 KB chunks, "
+              "4+4 clients, R3) ---\n");
+  for (int series = 0; series < 3; ++series) {
+    SimExperimentConfig cfg =
+        series == 0 ? Fig10(System::kKafka, 128, 4)
+                    : Fig10(System::kKerA, 128, series == 1 ? 4 : 32);
+    auto r = RunSimExperiment(cfg);
+    const char* label = series == 0   ? "Kafka (per-partition logs)"
+                        : series == 1 ? "KerA (4 shared vlogs)"
+                                      : "KerA (32 shared vlogs)";
+    std::printf("%s\n", FormatResult(label, r).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Extracts per-figure series from a bench run into TSV files (and plots
+# them if gnuplot is available).
+#
+#   ./scripts/plot_figures.sh bench_output.txt out_dir/
+#
+# Each figure bench row looks like
+#   BM_Fig08/sys:0/streams:128/R:3/iterations:1 ... ingest_Mrec_s=5.46 ...
+# and becomes one TSV line: the arg values followed by the counters.
+set -euo pipefail
+
+input=${1:-bench_output.txt}
+outdir=${2:-figures}
+mkdir -p "$outdir"
+
+awk '
+/^BM_/ {
+  # name: BM_FigXX/arg:val/arg:val/iterations:1
+  n = split($1, parts, "/")
+  bench = parts[1]
+  sub(/^BM_/, "", bench)
+  args = ""
+  for (i = 2; i <= n; i++) {
+    split(parts[i], kv, ":")
+    if (kv[1] == "iterations") continue
+    args = args kv[2] "\t"
+  }
+  ingest = consume = rpcs = p50 = ""
+  for (i = 2; i <= NF; i++) {
+    if ($i ~ /^ingest_Mrec_s=/)  { sub(/.*=/, "", $i); ingest = $i }
+    if ($i ~ /^consume_Mrec_s=/) { sub(/.*=/, "", $i); consume = $i }
+    if ($i ~ /^repl_rpcs=/)      { sub(/.*=/, "", $i); rpcs = $i }
+    if ($i ~ /^p50_us=/)         { sub(/.*=/, "", $i); p50 = $i }
+  }
+  file = outdir "/" bench ".tsv"
+  print args ingest "\t" consume "\t" rpcs "\t" p50 >> file
+}
+' outdir="$outdir" "$input"
+
+echo "wrote TSVs to $outdir/ (columns: args..., ingest_Mrec_s,"
+echo "consume_Mrec_s, repl_rpcs, p50_us) — plot with gnuplot/matplotlib,"
+echo "e.g.: gnuplot -e \"plot '$outdir/Fig12.tsv' using 1:3 with lines\""

@@ -1,0 +1,298 @@
+#include "backup/backup.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+#include "wire/chunk.h"
+
+namespace kera {
+
+Backup::Backup(BackupConfig config) : config_(std::move(config)) {
+  if (!config_.storage_dir.empty()) {
+    std::filesystem::create_directories(config_.storage_dir);
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+Backup::~Backup() {
+  flush_queue_.Shutdown();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+std::string Backup::FilePath(const Key& key) const {
+  char name[96];
+  std::snprintf(name, sizeof(name), "p%u_v%u_s%llu.vseg",
+                unsigned(std::get<0>(key)), unsigned(std::get<1>(key)),
+                (unsigned long long)std::get<2>(key));
+  return config_.storage_dir + "/" + name;
+}
+
+rpc::ReplicateResponse Backup::HandleReplicate(
+    const rpc::ReplicateRequest& req) {
+  rpc::ReplicateResponse resp;
+
+  // Validate every chunk before mutating state: replication is atomic at
+  // chunk granularity and a torn batch must not be partially applied.
+  uint32_t parsed = 0;
+  std::span<const std::byte> rest = req.payload;
+  while (!rest.empty()) {
+    auto chunk = ChunkView::Parse(rest);
+    if (!chunk.ok() || !chunk->VerifyChecksum()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.checksum_failures;
+      resp.status = StatusCode::kCorruption;
+      return resp;
+    }
+    rest = rest.subspan(chunk->total_size());
+    ++parsed;
+  }
+  if (parsed != req.chunk_count) {
+    resp.status = StatusCode::kCorruption;
+    return resp;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key{req.primary, req.vlog, req.vseg};
+  ReplicatedSegment& seg = segments_[key];
+  seg.primary = req.primary;
+  seg.vlog = req.vlog;
+  seg.vseg = req.vseg;
+
+  auto apply_seal = [&] {
+    if (req.seals && !seg.sealed) {
+      seg.sealed = true;
+      ++stats_.segments_sealed;
+      if (!config_.storage_dir.empty()) {
+        flushes_enqueued_.fetch_add(1, std::memory_order_relaxed);
+        flush_queue_.Push(key);
+      }
+    }
+  };
+  if (req.start_offset > seg.data.size()) {
+    // Hole: the broker must replicate in order.
+    resp.status = StatusCode::kOutOfRange;
+    return resp;
+  }
+  if (req.start_offset < seg.data.size() ||
+      (req.payload.empty() && req.start_offset == seg.data.size())) {
+    // Already-applied batch (broker retry) or an empty seal-only batch:
+    // idempotent ack, but still honor the seal flag.
+    if (req.start_offset + req.payload.size() > seg.data.size()) {
+      resp.status = StatusCode::kOutOfRange;  // partially overlapping
+      return resp;
+    }
+    if (req.payload.empty() && req.checksum_after != seg.running_checksum) {
+      ++stats_.checksum_failures;
+      resp.status = StatusCode::kCorruption;
+      return resp;
+    }
+    apply_seal();
+    resp.status = StatusCode::kOk;
+    return resp;
+  }
+
+  // Extend the virtual segment header checksum over the new chunks'
+  // checksums and verify against the primary's value.
+  uint32_t crc = seg.running_checksum;
+  std::span<const std::byte> scan = req.payload;
+  while (!scan.empty()) {
+    auto chunk = ChunkView::Parse(scan);
+    uint32_t chunk_crc = chunk->payload_checksum();
+    crc = Crc32c(&chunk_crc, sizeof(chunk_crc), crc);
+    scan = scan.subspan(chunk->total_size());
+  }
+  if (crc != req.checksum_after) {
+    ++stats_.checksum_failures;
+    resp.status = StatusCode::kCorruption;
+    return resp;
+  }
+
+  seg.data.insert(seg.data.end(), req.payload.begin(), req.payload.end());
+  seg.chunk_count += req.chunk_count;
+  seg.running_checksum = crc;
+  ++stats_.replicate_rpcs;
+  stats_.bytes_received += req.payload.size();
+  stats_.chunks_received += req.chunk_count;
+  apply_seal();
+  resp.status = StatusCode::kOk;
+  return resp;
+}
+
+rpc::ListRecoverySegmentsResponse Backup::HandleList(
+    const rpc::ListRecoverySegmentsRequest& req) {
+  rpc::ListRecoverySegmentsResponse resp;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, seg] : segments_) {
+    if (seg.primary != req.crashed) continue;
+    rpc::RecoverySegmentDescriptor d;
+    d.primary = seg.primary;
+    d.vlog = seg.vlog;
+    d.vseg = seg.vseg;
+    d.chunk_count = seg.chunk_count;
+    d.sealed = seg.sealed;
+    resp.segments.push_back(d);
+  }
+  return resp;
+}
+
+Status Backup::LoadFromDisk(ReplicatedSegment& seg, const Key& key,
+                            std::vector<std::byte>& out) const {
+  std::string path = FilePath(key);
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(StatusCode::kNotFound, "flushed segment file missing");
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out.resize(size_t(size));
+  size_t read = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (read != out.size()) {
+    return Status(StatusCode::kCorruption, "short read of segment file");
+  }
+  (void)seg;
+  return OkStatus();
+}
+
+rpc::ReadRecoverySegmentResponse Backup::HandleRead(
+    const rpc::ReadRecoverySegmentRequest& req,
+    std::vector<std::byte>& payload_storage) {
+  rpc::ReadRecoverySegmentResponse resp;
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key{req.crashed, req.vlog, req.vseg};
+  auto it = segments_.find(key);
+  if (it == segments_.end()) {
+    resp.status = StatusCode::kNotFound;
+    return resp;
+  }
+  ReplicatedSegment& seg = it->second;
+  if (seg.evicted) {
+    Status s = LoadFromDisk(seg, key, payload_storage);
+    if (!s.ok()) {
+      resp.status = s.code();
+      return resp;
+    }
+  } else {
+    payload_storage = seg.data;
+  }
+  resp.chunk_count = seg.chunk_count;
+  resp.payload = payload_storage;
+  return resp;
+}
+
+std::vector<std::byte> Backup::HandleRpc(std::span<const std::byte> request) {
+  rpc::Opcode op;
+  std::span<const std::byte> body;
+  rpc::Writer out;
+  Status s = rpc::ParseFrame(request, op, body);
+  if (!s.ok()) {
+    out.U8(uint8_t(s.code()));
+    return std::move(out).Take();
+  }
+  rpc::Reader r(body);
+  switch (op) {
+    case rpc::Opcode::kReplicate: {
+      auto req = rpc::ReplicateRequest::Decode(r);
+      if (!req.ok()) {
+        rpc::ReplicateResponse resp;
+        resp.status = req.status().code();
+        resp.Encode(out);
+      } else {
+        HandleReplicate(*req).Encode(out);
+      }
+      break;
+    }
+    case rpc::Opcode::kListRecoverySegments: {
+      auto req = rpc::ListRecoverySegmentsRequest::Decode(r);
+      if (!req.ok()) {
+        rpc::ListRecoverySegmentsResponse resp;
+        resp.status = req.status().code();
+        resp.Encode(out);
+      } else {
+        HandleList(*req).Encode(out);
+      }
+      break;
+    }
+    case rpc::Opcode::kReadRecoverySegment: {
+      auto req = rpc::ReadRecoverySegmentRequest::Decode(r);
+      std::vector<std::byte> storage;
+      if (!req.ok()) {
+        rpc::ReadRecoverySegmentResponse resp;
+        resp.status = req.status().code();
+        resp.Encode(out);
+      } else {
+        HandleRead(*req, storage).Encode(out);
+      }
+      break;
+    }
+    default:
+      out.U8(uint8_t(StatusCode::kInvalidArgument));
+      break;
+  }
+  return std::move(out).Take();
+}
+
+void Backup::FlusherLoop() {
+  while (auto key = flush_queue_.Pop()) {
+    std::vector<std::byte> data;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = segments_.find(*key);
+      if (it == segments_.end()) {
+        flushes_done_.fetch_add(1, std::memory_order_release);
+        continue;
+      }
+      data = it->second.data;
+    }
+    std::string path = FilePath(*key);
+    FILE* f = std::fopen(path.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(data.data(), 1, data.size(), f);
+      std::fclose(f);
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = segments_.find(*key);
+      if (it != segments_.end()) it->second.flushed = true;
+      ++stats_.segments_flushed;
+    } else {
+      KERA_ERROR("backup %u: cannot open %s", unsigned(config_.node),
+                 path.c_str());
+    }
+    flushes_done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Backup::WaitForFlushes() {
+  uint64_t target = flushes_enqueued_.load(std::memory_order_acquire);
+  while (flushes_done_.load(std::memory_order_acquire) < target) {
+    std::this_thread::yield();
+  }
+}
+
+Backup::Stats Backup::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t Backup::SegmentCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+size_t Backup::EvictFlushed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto& [_, seg] : segments_) {
+    if (seg.flushed && !seg.evicted) {
+      seg.data.clear();
+      seg.data.shrink_to_fit();
+      seg.evicted = true;
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace kera

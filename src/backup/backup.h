@@ -1,0 +1,102 @@
+// Backup service: holds passive replicas of virtual segments, acknowledges
+// replication once data is buffered in memory (the producer path is never
+// gated on secondary storage), and asynchronously flushes sealed segments
+// to disk with the same format used in memory. At recovery time it lists
+// and serves the segments belonging to a crashed broker.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rpc/messages.h"
+#include "rpc/transport.h"
+
+namespace kera {
+
+struct BackupConfig {
+  NodeId node = 0;
+  /// When non-empty, sealed segments are flushed to files under this
+  /// directory by a background thread ("<dir>/p<primary>_v<vlog>_s<vseg>").
+  std::string storage_dir;
+};
+
+class Backup final : public rpc::RpcHandler {
+ public:
+  explicit Backup(BackupConfig config);
+  ~Backup() override;
+
+  Backup(const Backup&) = delete;
+  Backup& operator=(const Backup&) = delete;
+
+  std::vector<std::byte> HandleRpc(std::span<const std::byte> request) override;
+
+  // Direct handlers (the DES calls these without framing).
+  rpc::ReplicateResponse HandleReplicate(const rpc::ReplicateRequest& req);
+  rpc::ListRecoverySegmentsResponse HandleList(
+      const rpc::ListRecoverySegmentsRequest& req);
+  /// `payload_storage` receives the segment bytes the response span points
+  /// into (the caller owns lifetime across serialization).
+  rpc::ReadRecoverySegmentResponse HandleRead(
+      const rpc::ReadRecoverySegmentRequest& req,
+      std::vector<std::byte>& payload_storage);
+
+  struct Stats {
+    uint64_t replicate_rpcs = 0;
+    uint64_t bytes_received = 0;
+    uint64_t chunks_received = 0;
+    uint64_t checksum_failures = 0;
+    uint64_t segments_sealed = 0;
+    uint64_t segments_flushed = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  /// Blocks until every sealed segment enqueued so far has been flushed
+  /// (only meaningful with a storage_dir; tests use it).
+  void WaitForFlushes();
+
+  /// Number of replicated segments currently held (memory + disk).
+  [[nodiscard]] size_t SegmentCount() const;
+
+  /// Drops all in-memory payloads that were flushed to disk; recovery
+  /// reads reload them from the files (exercises the disk path).
+  size_t EvictFlushed();
+
+ private:
+  struct ReplicatedSegment {
+    NodeId primary = 0;
+    VlogId vlog = 0;
+    VirtualSegmentId vseg = 0;
+    std::vector<std::byte> data;  // concatenated chunk frames
+    uint32_t chunk_count = 0;
+    uint32_t running_checksum = 0;  // over chunk payload checksums, in order
+    bool sealed = false;
+    bool flushed = false;
+    bool evicted = false;
+  };
+  using Key = std::tuple<NodeId, VlogId, VirtualSegmentId>;
+
+  [[nodiscard]] std::string FilePath(const Key& key) const;
+  Status LoadFromDisk(ReplicatedSegment& seg, const Key& key,
+                      std::vector<std::byte>& out) const;
+  void FlusherLoop();
+
+  const BackupConfig config_;
+  mutable std::mutex mu_;
+  std::map<Key, ReplicatedSegment> segments_;
+  Stats stats_;
+
+  BlockingQueue<Key> flush_queue_;
+  std::thread flusher_;
+  std::atomic<uint64_t> flushes_enqueued_{0};
+  std::atomic<uint64_t> flushes_done_{0};
+};
+
+}  // namespace kera

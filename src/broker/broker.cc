@@ -1,0 +1,600 @@
+#include "broker/broker.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "wire/chunk.h"
+
+namespace kera {
+
+Broker::Broker(BrokerConfig config, rpc::Network& network)
+    : config_(std::move(config)),
+      network_(network),
+      memory_(config_.memory_bytes, config_.segment_size) {
+  live_backups_ = config_.backup_nodes;
+}
+
+void Broker::SetLiveBackups(std::vector<NodeId> live_backup_services) {
+  std::lock_guard<std::mutex> lock(live_backups_mu_);
+  live_backups_ = std::move(live_backup_services);
+}
+
+Status Broker::AddStream(const std::string& name,
+                         const rpc::StreamInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (streams_.count(info.stream) != 0) {
+    return OkStatus();  // idempotent (coordinator may re-announce)
+  }
+  StorageConfig sc;
+  sc.segment_size = config_.segment_size;
+  sc.segments_per_group = config_.segments_per_group;
+  sc.active_groups_per_streamlet = info.options.active_groups_per_streamlet;
+  auto entry = std::make_unique<StreamEntry>();
+  entry->storage = std::make_unique<Stream>(memory_, sc, info.stream, name);
+  entry->info = info;
+  entry->name = name;
+  streams_.emplace(info.stream, std::move(entry));
+  return OkStatus();
+}
+
+Status Broker::AddStreamlet(StreamId stream, StreamletId streamlet) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status(StatusCode::kNotFound, "unknown stream");
+  }
+  it->second->storage->AddStreamlet(streamlet);
+  it->second->led.insert(streamlet);
+  return OkStatus();
+}
+
+Status Broker::FinishRecovery(StreamId stream) {
+  StreamEntry* entry = FindStream(stream);
+  if (entry == nullptr) {
+    return Status(StatusCode::kNotFound, "unknown stream");
+  }
+  for (StreamletId sl : entry->storage->StreamletIds()) {
+    entry->storage->GetStreamlet(sl)->CloseRecoveryGroups();
+  }
+  return OkStatus();
+}
+
+Status Broker::DropStreamletLeadership(StreamId stream,
+                                       StreamletId streamlet) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return Status(StatusCode::kNotFound, "unknown stream");
+  }
+  it->second->led.erase(streamlet);
+  // Close the active groups so the remaining data can be trimmed once
+  // consumed; new leadership lives elsewhere.
+  Streamlet* sl = it->second->storage->GetStreamlet(streamlet);
+  if (sl != nullptr) sl->SealActiveGroups();
+  return OkStatus();
+}
+
+Status Broker::SealStream(StreamId stream) {
+  StreamEntry* entry = FindStream(stream);
+  if (entry == nullptr) {
+    return Status(StatusCode::kNotFound, "unknown stream");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->info.sealed = true;
+  }
+  entry->storage->Seal();
+  return OkStatus();
+}
+
+Broker::StreamEntry* Broker::FindStream(StreamId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(id);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+std::unique_ptr<VirtualLog> Broker::MakeVlog(VlogId id,
+                                             uint32_t replication_factor) {
+  VirtualLogConfig vc;
+  vc.virtual_segment_capacity = config_.virtual_segment_capacity;
+  vc.replication_factor = replication_factor;
+  vc.max_batch_bytes = config_.replication_max_batch_bytes;
+  // Rotate the backup set per virtual segment so replicas scatter across
+  // the cluster and recovery can read from many backups in parallel. A
+  // broker never backs up its own data (replicas must survive the node).
+  // The candidate set is re-read from the live membership on every
+  // selection so new segments avoid dead backups.
+  NodeId own_backup = BackupServiceId(config_.node);
+  auto selector = [this, own_backup, id,
+                   replication_factor](VirtualSegmentId vseg) {
+    std::vector<NodeId> candidates;
+    {
+      std::lock_guard<std::mutex> lock(live_backups_mu_);
+      for (NodeId n : live_backups_) {
+        if (n != own_backup) candidates.push_back(n);
+      }
+    }
+    std::vector<NodeId> picked;
+    size_t need = replication_factor - 1;
+    if (candidates.size() < need) {
+      // Not enough live backups: fall back to the full configured set;
+      // replication to the dead ones will fail and the produce request
+      // surfaces kUnavailable (no silent durability downgrade).
+      candidates.clear();
+      for (NodeId n : config_.backup_nodes) {
+        if (n != own_backup) candidates.push_back(n);
+      }
+    }
+    assert(candidates.size() >= need && "not enough configured backups");
+    size_t start = (size_t(id) * 7 + size_t(vseg)) % candidates.size();
+    for (size_t i = 0; i < need; ++i) {
+      picked.push_back(candidates[(start + i) % candidates.size()]);
+    }
+    return picked;
+  };
+  return std::make_unique<VirtualLog>(id, vc, selector);
+}
+
+VirtualLog* Broker::ResolveVlog(const StreamEntry& entry,
+                                StreamletId streamlet, uint32_t slot) {
+  const auto& opts = entry.info.options;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opts.vlog_policy == rpc::VlogPolicy::kPerSubPartition) {
+    auto key = std::make_tuple(entry.info.stream, streamlet, slot);
+    auto it = subpartition_vlogs_.find(key);
+    if (it != subpartition_vlogs_.end()) return it->second.get();
+    auto vlog = MakeVlog(next_vlog_id_++, opts.replication_factor);
+    VirtualLog* raw = vlog.get();
+    subpartition_vlogs_.emplace(key, std::move(vlog));
+    return raw;
+  }
+  // Shared pool: a streamlet hashes onto one of the broker's N vlogs.
+  auto& pool = shared_pools_[opts.replication_factor];
+  if (pool.size() < config_.vlogs_per_broker) {
+    pool.reserve(config_.vlogs_per_broker);
+    while (pool.size() < config_.vlogs_per_broker) {
+      pool.push_back(MakeVlog(next_vlog_id_++, opts.replication_factor));
+    }
+  }
+  // splitmix64-style mix: consecutive stream ids placed round-robin over
+  // brokers must still spread across the broker's vlog pool.
+  uint64_t h = entry.info.stream * 0x9E3779B97F4A7C15ull + streamlet;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return pool[size_t(h % pool.size())].get();
+}
+
+Status Broker::AppendOneChunk(
+    StreamEntry& entry, const rpc::ProduceRequest& req,
+    std::span<const std::byte> frame,
+    std::vector<std::pair<VirtualLog*, ChunkRef>>& appended_refs,
+    rpc::ProduceResponse& resp) {
+  auto chunk = ChunkView::Parse(frame);
+  if (!chunk.ok()) return chunk.status();
+  if (config_.verify_chunk_checksums && !chunk->VerifyChecksum()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.checksum_failures;
+    return Status(StatusCode::kCorruption, "chunk checksum mismatch");
+  }
+  if (chunk->stream_id() != req.stream) {
+    return Status(StatusCode::kInvalidArgument, "chunk/request stream mismatch");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry.info.sealed && !req.recovery) {
+      return Status(StatusCode::kSegmentClosed, "stream is sealed");
+    }
+  }
+  StreamletId streamlet_id = chunk->streamlet_id();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry.led.count(streamlet_id) == 0) {
+      return Status(StatusCode::kNotLeader, "streamlet not led here");
+    }
+  }
+  Streamlet* streamlet = entry.storage->GetStreamlet(streamlet_id);
+  if (streamlet == nullptr) {
+    return Status(StatusCode::kNotLeader, "streamlet not led here");
+  }
+
+  // Exactly-once: drop chunks at or below the last acknowledged sequence.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto key = std::make_tuple(req.stream, streamlet_id, chunk->producer_id());
+    auto [it, inserted] = dedup_.try_emplace(key, 0);
+    if (!inserted && chunk->chunk_seq() <= it->second) {
+      ++resp.duplicates;
+      ++stats_.chunks_duplicate;
+      return OkStatus();
+    }
+    it->second = chunk->chunk_seq();
+  }
+
+  Result<StreamletAppendResult> appended =
+      req.recovery
+          ? streamlet->AppendRecoveryChunk(chunk->group_id(), frame)
+          : streamlet->AppendChunk(chunk->producer_id(), frame);
+  if (!appended.ok()) return appended.status();
+
+  ChunkRef ref;
+  ref.loc = appended->locator;
+  ref.group = appended->group;
+  ref.stream = req.stream;
+  ref.streamlet = streamlet_id;
+  ref.payload_checksum = chunk->payload_checksum();
+
+  VirtualLog* vlog = ResolveVlog(entry, streamlet_id, appended->active_slot);
+  vlog->Append(ref);
+  appended_refs.emplace_back(vlog, ref);
+
+  ++resp.appended;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.chunks_appended;
+  stats_.bytes_appended += frame.size();
+  return OkStatus();
+}
+
+rpc::ProduceResponse Broker::HandleProduceNoSync(
+    const rpc::ProduceRequest& req,
+    std::vector<std::pair<VirtualLog*, ChunkRef>>* appended) {
+  rpc::ProduceResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.produce_rpcs;
+  }
+  StreamEntry* entry = FindStream(req.stream);
+  if (entry == nullptr) {
+    resp.status = StatusCode::kNotFound;
+    return resp;
+  }
+  std::vector<std::pair<VirtualLog*, ChunkRef>> positions;
+  positions.reserve(req.chunks.size());
+  for (const auto& frame : req.chunks) {
+    Status s = AppendOneChunk(*entry, req, frame, positions, resp);
+    if (!s.ok()) {
+      resp.status = s.code();
+      return resp;
+    }
+  }
+  if (appended != nullptr) {
+    appended->insert(appended->end(), positions.begin(), positions.end());
+  }
+  return resp;
+}
+
+rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
+  rpc::ProduceResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.produce_rpcs;
+  }
+  StreamEntry* entry = FindStream(req.stream);
+  if (entry == nullptr) {
+    resp.status = StatusCode::kNotFound;
+    return resp;
+  }
+
+  std::vector<std::pair<VirtualLog*, ChunkRef>> positions;
+  positions.reserve(req.chunks.size());
+  for (const auto& frame : req.chunks) {
+    Status s = AppendOneChunk(*entry, req, frame, positions, resp);
+    if (!s.ok()) {
+      resp.status = s.code();
+      return resp;
+    }
+  }
+
+  // Once all chunks of the request are appended, synchronize the touched
+  // virtual logs on the backups (paper §IV.B). Whichever worker finds a
+  // vlog idle ships the next batch; others sleep until woken. Durability
+  // is tracked through the chunk's group so it survives virtual segment
+  // evacuation after a backup failure.
+  for (auto& [vlog, ref] : positions) {
+    int evacuations = 0;
+    auto durable = [&ref] {
+      return ref.group->durable_chunk_count() > ref.loc.group_chunk_index;
+    };
+    while (!durable()) {
+      if (auto batch = vlog->Poll()) {
+        Status s = ShipBatch(*vlog, *batch);
+        if (!s.ok()) {
+          // kUnavailable after an evacuation is retryable: the refs moved
+          // to a fresh segment targeting live backups.
+          if (s.code() == StatusCode::kUnavailable && ++evacuations <= 4) {
+            continue;
+          }
+          resp.status = s.code();
+          return resp;
+        }
+      } else {
+        (void)vlog->WaitChunkDurableOrIdle(ref);
+      }
+    }
+  }
+
+  // Opportunistically drain remaining work on the touched vlogs — in
+  // particular empty seal batches for virtual segments that closed after
+  // their data was already replicated (backups flush only sealed
+  // segments). Failures here don't fail the request: the data is durable.
+  {
+    std::vector<VirtualLog*> touched;
+    for (auto& [vlog, _] : positions) {
+      if (std::find(touched.begin(), touched.end(), vlog) == touched.end()) {
+        touched.push_back(vlog);
+      }
+    }
+    for (VirtualLog* vlog : touched) {
+      while (vlog->HasWork()) {
+        auto batch = vlog->Poll();
+        if (!batch.has_value()) break;
+        if (!ShipBatch(*vlog, *batch).ok()) break;
+      }
+    }
+  }
+  return resp;
+}
+
+std::vector<std::byte> Broker::BuildReplicateFrame(
+    const ReplicationBatch& batch) const {
+  rpc::ReplicateRequest req;
+  req.primary = config_.node;
+  req.vlog = batch.vlog;
+  req.vseg = batch.vseg;
+  req.start_offset = batch.start_offset;
+  req.chunk_count = uint32_t(batch.refs.size());
+  req.checksum_after = batch.checksum_after;
+  req.seals = batch.seals_segment;
+
+  // Gather the chunk bytes from the physical segments into one payload.
+  std::vector<std::byte> payload;
+  payload.reserve(batch.bytes);
+  for (const ChunkRef& ref : batch.refs) {
+    auto bytes = ref.loc.segment->Bytes(ref.loc.offset, ref.loc.length);
+    payload.insert(payload.end(), bytes.begin(), bytes.end());
+  }
+  req.payload = payload;
+
+  rpc::Writer body(payload.size() + 64);
+  req.Encode(body);
+  return rpc::Frame(rpc::Opcode::kReplicate, body);
+}
+
+Status Broker::ShipBatch(VirtualLog& vlog, const ReplicationBatch& batch) {
+  std::vector<std::byte> frame = BuildReplicateFrame(batch);
+  Status failure = OkStatus();
+  for (int attempt = 0; attempt <= config_.replication_retries; ++attempt) {
+    std::vector<std::future<Result<std::vector<std::byte>>>> futures;
+    futures.reserve(batch.backups.size());
+    for (NodeId backup : batch.backups) {
+      futures.push_back(network_.CallAsync(backup, frame));
+    }
+    bool all_ok = true;
+    for (auto& f : futures) {
+      auto result = f.get();
+      if (!result.ok()) {
+        all_ok = false;
+        failure = result.status();
+        continue;
+      }
+      rpc::Reader r(*result);
+      auto resp = rpc::ReplicateResponse::Decode(r);
+      if (!resp.ok() || resp->status != StatusCode::kOk) {
+        all_ok = false;
+        failure = resp.ok() ? Status(resp->status, "backup rejected batch")
+                            : resp.status();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.replication_batches;
+      stats_.replication_rpcs += batch.backups.size();
+      stats_.replication_bytes += batch.bytes * batch.backups.size();
+    }
+    if (all_ok) {
+      vlog.Complete(batch);
+      return OkStatus();
+    }
+  }
+  vlog.Abort(batch);
+  if (failure.code() == StatusCode::kUnavailable) {
+    // A backup in this segment's set is gone: move the unreplicated refs
+    // to a fresh virtual segment with a newly selected (live) backup set.
+    vlog.EvacuateSegment(batch.vseg);
+  }
+  return failure;
+}
+
+rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
+  rpc::ConsumeResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.consume_rpcs;
+  }
+  StreamEntry* entry = FindStream(req.stream);
+  if (entry == nullptr) {
+    resp.status = StatusCode::kNotFound;
+    return resp;
+  }
+  size_t budget = req.max_bytes;
+  for (const auto& e : req.entries) {
+    rpc::ConsumeEntryResponse out;
+    out.streamlet = e.streamlet;
+    out.group = e.group;
+    out.next_chunk = e.start_chunk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out.stream_sealed = entry->info.sealed;
+    }
+
+    Streamlet* streamlet = entry->storage->GetStreamlet(e.streamlet);
+    if (streamlet == nullptr) {
+      resp.entries.push_back(std::move(out));
+      continue;
+    }
+    out.groups_created = streamlet->next_group_id();
+    Group* group = streamlet->GetGroup(e.group);
+    if (group == nullptr) {
+      // Not created yet: exists only if a later group already does.
+      out.group_exists = e.group < streamlet->next_group_id();
+      resp.entries.push_back(std::move(out));
+      continue;
+    }
+    out.group_exists = true;
+    auto locators = group->GetDurableChunks(e.start_chunk, e.max_chunks,
+                                            budget);
+    uint64_t served = 0;
+    for (const ChunkLocator& loc : locators) {
+      out.chunks.push_back(loc.segment->Bytes(loc.offset, loc.length));
+      budget = budget > loc.length ? budget - loc.length : 0;
+      ++served;
+    }
+    out.next_chunk = e.start_chunk + served;
+    // "No more data will ever appear at or beyond next_chunk."
+    out.group_closed =
+        group->closed() && out.next_chunk >= group->chunk_count();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.chunks_served += served;
+    }
+    resp.entries.push_back(std::move(out));
+  }
+  return resp;
+}
+
+std::vector<std::byte> Broker::HandleRpc(std::span<const std::byte> request) {
+  rpc::Opcode op;
+  std::span<const std::byte> body;
+  rpc::Writer out;
+  Status s = rpc::ParseFrame(request, op, body);
+  if (!s.ok()) {
+    out.U8(uint8_t(s.code()));
+    return std::move(out).Take();
+  }
+  rpc::Reader r(body);
+  switch (op) {
+    case rpc::Opcode::kProduce: {
+      auto req = rpc::ProduceRequest::Decode(r);
+      if (!req.ok()) {
+        rpc::ProduceResponse resp;
+        resp.status = req.status().code();
+        resp.Encode(out);
+      } else {
+        HandleProduce(*req).Encode(out);
+      }
+      break;
+    }
+    case rpc::Opcode::kConsume: {
+      auto req = rpc::ConsumeRequest::Decode(r);
+      if (!req.ok()) {
+        rpc::ConsumeResponse resp;
+        resp.status = req.status().code();
+        resp.Encode(out);
+      } else {
+        HandleConsume(*req).Encode(out);
+      }
+      break;
+    }
+    default:
+      out.U8(uint8_t(StatusCode::kInvalidArgument));
+      break;
+  }
+  return std::move(out).Take();
+}
+
+Broker::Stats Broker::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Stream* Broker::GetStream(StreamId id) const {
+  StreamEntry* entry = FindStream(id);
+  return entry == nullptr ? nullptr : entry->storage.get();
+}
+
+std::vector<VirtualLog*> Broker::VirtualLogs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<VirtualLog*> out;
+  for (const auto& [_, pool] : shared_pools_) {
+    for (const auto& v : pool) out.push_back(v.get());
+  }
+  for (const auto& [_, v] : subpartition_vlogs_) out.push_back(v.get());
+  return out;
+}
+
+std::string Broker::DebugString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "broker %u: memory %zu/%zu segments\n",
+                unsigned(config_.node), memory_.in_use(),
+                memory_.max_segments());
+  out += line;
+  std::vector<std::pair<std::string, StreamEntry*>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [_, entry] : streams_) {
+      entries.emplace_back(entry->name, entry.get());
+    }
+  }
+  for (const auto& [name, entry] : entries) {
+    bool sealed;
+    size_t led;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sealed = entry->info.sealed;
+      led = entry->led.size();
+    }
+    std::snprintf(line, sizeof(line),
+                  "  stream '%s' (id %llu)%s: leads %zu streamlet(s)\n",
+                  name.c_str(), (unsigned long long)entry->info.stream,
+                  sealed ? " [sealed]" : "", led);
+    out += line;
+    for (StreamletId sl : entry->storage->StreamletIds()) {
+      Streamlet* streamlet = entry->storage->GetStreamlet(sl);
+      std::snprintf(line, sizeof(line),
+                    "    streamlet %u: %u group(s), %llu chunk(s), "
+                    "%zu B in use\n",
+                    unsigned(sl), unsigned(streamlet->next_group_id()),
+                    (unsigned long long)streamlet->total_chunks(),
+                    streamlet->bytes_in_use());
+      out += line;
+    }
+  }
+  for (VirtualLog* vlog : VirtualLogs()) {
+    auto s = vlog->GetStats();
+    if (s.chunks_appended == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "  vlog %u (R%u): %llu chunk(s) in %llu batch(es), "
+                  "%llu virtual segment(s)\n",
+                  unsigned(vlog->id()), unsigned(vlog->replication_factor()),
+                  (unsigned long long)s.chunks_appended,
+                  (unsigned long long)s.batches_issued,
+                  (unsigned long long)s.segments_opened);
+    out += line;
+  }
+  return out;
+}
+
+size_t Broker::TrimDurable() {
+  std::vector<Stream*> streams;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [_, entry] : streams_) {
+      streams.push_back(entry->storage.get());
+    }
+  }
+  size_t trimmed = 0;
+  for (Stream* stream : streams) {
+    for (StreamletId id : stream->StreamletIds()) {
+      Streamlet* sl = stream->GetStreamlet(id);
+      trimmed += sl->TrimBefore(sl->next_group_id());
+    }
+  }
+  for (VirtualLog* vlog : VirtualLogs()) {
+    vlog->TrimReplicatedSegments();
+  }
+  return trimmed;
+}
+
+}  // namespace kera

@@ -1,0 +1,192 @@
+// Broker service: leads stream partitions (streamlets), ingests producer
+// chunks into group segments, associates partitions with shared replicated
+// virtual logs (transparently to clients), drives replication to backups,
+// and serves consumers with durably replicated chunks only.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rpc/messages.h"
+#include "rpc/transport.h"
+#include "storage/memory_manager.h"
+#include "storage/stream.h"
+#include "vlog/virtual_log.h"
+
+namespace kera {
+
+struct BrokerConfig {
+  NodeId node = 0;
+  /// Broker memory budget for segment buffers.
+  size_t memory_bytes = size_t(1) << 30;
+  /// Segment geometry (stream Q comes from StreamOptions at creation).
+  size_t segment_size = 8u << 20;
+  uint32_t segments_per_group = 4;
+  /// Virtual log geometry.
+  size_t virtual_segment_capacity = 8u << 20;
+  size_t replication_max_batch_bytes = 1u << 20;
+  /// Size of the shared vlog pool for VlogPolicy::kSharedPerBroker (the
+  /// paper's "replication capacity" knob: 1, 2, 4, ... vlogs per broker).
+  uint32_t vlogs_per_broker = 4;
+  /// Nodes hosting backup services (usually all cluster nodes; self is
+  /// excluded when picking a virtual segment's backup set).
+  std::vector<NodeId> backup_nodes;
+  /// Verify chunk payload checksums on ingest.
+  bool verify_chunk_checksums = true;
+  /// Replication RPC retries before failing the producer request.
+  int replication_retries = 3;
+};
+
+class Broker final : public rpc::RpcHandler {
+ public:
+  Broker(BrokerConfig config, rpc::Network& network);
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  // ----- control plane (invoked by the coordinator, in-process) -----
+
+  /// Registers a stream this broker participates in.
+  Status AddStream(const std::string& name, const rpc::StreamInfo& info);
+
+  /// Declares this broker the leader of `streamlet` (storage is created).
+  Status AddStreamlet(StreamId stream, StreamletId streamlet);
+
+  /// Seals a stream on this broker (bounded stream / object): closes the
+  /// active groups and rejects further non-recovery produces.
+  Status SealStream(StreamId stream);
+
+  /// Marks a recovery/migration replay complete on this broker: closes
+  /// every streamlet's recovery groups so consumers advance past them.
+  Status FinishRecovery(StreamId stream);
+
+  /// Relinquishes leadership of a streamlet after migration: produces are
+  /// rejected with kNotLeader, but the storage (and the virtual-log
+  /// references into it) stays until trimmed; stale consumers can still
+  /// read the durable prefix.
+  Status DropStreamletLeadership(StreamId stream, StreamletId streamlet);
+
+  /// Membership update from the coordinator: the set of backup services
+  /// currently alive. Newly opened virtual segments only target live
+  /// backups; open segments bound to a dead backup are evacuated lazily
+  /// when their replication fails.
+  void SetLiveBackups(std::vector<NodeId> live_backup_services);
+
+  // ----- data plane -----
+
+  std::vector<std::byte> HandleRpc(std::span<const std::byte> request) override;
+
+  /// Direct produce entry point (DES and tests). Appends every chunk to
+  /// its streamlet's active group and to the mapped virtual log, then
+  /// drives replication until all appended chunks are durable.
+  rpc::ProduceResponse HandleProduce(const rpc::ProduceRequest& req);
+
+  /// Like HandleProduce but stops after the physical + vlog appends,
+  /// returning each appended chunk's (vlog, ref) without driving
+  /// replication. The DES uses this to schedule replication RPCs on
+  /// simulated time and to track per-chunk durability for acks.
+  rpc::ProduceResponse HandleProduceNoSync(
+      const rpc::ProduceRequest& req,
+      std::vector<std::pair<VirtualLog*, ChunkRef>>* appended);
+
+  rpc::ConsumeResponse HandleConsume(const rpc::ConsumeRequest& req);
+
+  // ----- replication plumbing -----
+
+  /// Ships one batch to its backup set (parallel RPCs) and completes or
+  /// aborts it on the vlog. Returns the replication status.
+  Status ShipBatch(VirtualLog& vlog, const ReplicationBatch& batch);
+
+  /// Serializes a batch into a framed kReplicate request (shared by the
+  /// threaded path and the DES, which needs the byte size for costing).
+  [[nodiscard]] std::vector<std::byte> BuildReplicateFrame(
+      const ReplicationBatch& batch) const;
+
+  // ----- introspection / maintenance -----
+
+  struct Stats {
+    uint64_t produce_rpcs = 0;
+    uint64_t chunks_appended = 0;
+    uint64_t chunks_duplicate = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t consume_rpcs = 0;
+    uint64_t chunks_served = 0;
+    uint64_t replication_batches = 0;
+    uint64_t replication_rpcs = 0;
+    uint64_t replication_bytes = 0;  // bytes * (R-1), i.e. network cost
+    uint64_t checksum_failures = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  [[nodiscard]] Stream* GetStream(StreamId id) const;
+  [[nodiscard]] MemoryManager& memory() { return memory_; }
+  [[nodiscard]] NodeId node() const { return config_.node; }
+  [[nodiscard]] const BrokerConfig& config() const { return config_; }
+
+  /// All virtual logs currently instantiated on this broker.
+  [[nodiscard]] std::vector<VirtualLog*> VirtualLogs() const;
+
+  /// Human-readable snapshot of this broker's streams, groups and virtual
+  /// logs (operator introspection; not a stable format).
+  [[nodiscard]] std::string DebugString() const;
+
+  /// Trims fully durable closed groups older than each streamlet's newest
+  /// group and fully replicated virtual segments. Returns groups trimmed.
+  size_t TrimDurable();
+
+ private:
+  struct StreamEntry {
+    std::unique_ptr<Stream> storage;
+    rpc::StreamInfo info;
+    std::string name;
+    std::set<StreamletId> led;  // streamlets this broker currently leads
+  };
+
+  StreamEntry* FindStream(StreamId id) const;
+  VirtualLog* ResolveVlog(const StreamEntry& entry, StreamletId streamlet,
+                          uint32_t slot);
+  std::unique_ptr<VirtualLog> MakeVlog(VlogId id,
+                                       uint32_t replication_factor);
+
+  Status AppendOneChunk(StreamEntry& entry, const rpc::ProduceRequest& req,
+                        std::span<const std::byte> frame,
+                        std::vector<std::pair<VirtualLog*, ChunkRef>>&
+                            appended,
+                        rpc::ProduceResponse& resp);
+
+  const BrokerConfig config_;
+  rpc::Network& network_;
+  MemoryManager memory_;
+
+  mutable std::mutex mu_;  // guards streams_, vlogs_, dedup_, stats_
+  std::map<StreamId, std::unique_ptr<StreamEntry>> streams_;
+
+  // Shared pool (policy kSharedPerBroker), keyed by replication factor so
+  // streams with different R never share a log.
+  std::map<uint32_t, std::vector<std::unique_ptr<VirtualLog>>> shared_pools_;
+  // Dedicated logs (policy kPerSubPartition), keyed by sub-partition.
+  std::map<std::tuple<StreamId, StreamletId, uint32_t>,
+           std::unique_ptr<VirtualLog>>
+      subpartition_vlogs_;
+  VlogId next_vlog_id_ = 0;
+
+  // Exactly-once: last chunk sequence per (stream, streamlet, producer).
+  std::map<std::tuple<StreamId, StreamletId, ProducerId>, ChunkSeq> dedup_;
+
+  // Live backup services (defaults to config_.backup_nodes). Guarded by
+  // live_backups_mu_ (not mu_): the vlog backup selectors read it while
+  // holding the vlog lock, and must not take mu_.
+  mutable std::mutex live_backups_mu_;
+  std::vector<NodeId> live_backups_;
+
+  Stats stats_;
+};
+
+}  // namespace kera

@@ -1,0 +1,52 @@
+// Shared client-side configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kera {
+
+enum class Partitioner : uint8_t {
+  kRoundRobin = 0,  // non-keyed records cycle over streamlets
+  kKeyHash = 1,     // records hash by key to a streamlet
+};
+
+struct ProducerConfig {
+  ProducerId producer_id = 0;
+  std::string stream;
+  /// Fixed chunk size (paper: e.g. 1 KB - 64 KB).
+  size_t chunk_size = 16 << 10;
+  /// Max bytes of chunks batched into one request per broker.
+  size_t request_size = 1 << 20;
+  /// linger.ms analogue: max time a non-empty chunk waits before being
+  /// pushed (microseconds).
+  uint64_t linger_us = 1000;
+  Partitioner partitioner = Partitioner::kRoundRobin;
+  /// Pooled chunk builders (the client's chunk cache; paper: up to 1000).
+  size_t chunk_pool_size = 256;
+  /// Request retries on transport errors (dedup makes retries safe).
+  int request_retries = 3;
+};
+
+struct ConsumerConfig {
+  std::string stream;
+  /// Streamlets this consumer owns; empty = all.
+  std::vector<StreamletId> streamlets;
+  /// Group-level sharing (the paper's vertical scalability: "an unlimited
+  /// number of groups that can be processed in parallel by multiple
+  /// consumers"): this consumer processes only the groups with
+  /// group_id % share_count == share_index on its streamlets. Every
+  /// member must use the same share_count. 1/0 = own every group.
+  uint32_t share_count = 1;
+  uint32_t share_index = 0;
+  uint32_t max_chunks_per_entry = 4;
+  uint32_t max_bytes_per_request = 4u << 20;
+  /// Idle backoff when no data is available (microseconds).
+  uint64_t idle_backoff_us = 200;
+};
+
+}  // namespace kera

@@ -1,0 +1,268 @@
+#include "client/consumer.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace kera {
+namespace {
+/// How many groups of one streamlet a consumer reads in parallel. Bounds
+/// per-request entry counts; discovery opens more as groups drain.
+constexpr size_t kMaxActiveGroups = 8;
+}  // namespace
+
+Consumer::Consumer(ConsumerConfig config, rpc::Network& network)
+    : config_(std::move(config)), network_(network) {}
+
+Consumer::~Consumer() { Close(); }
+
+GroupId Consumer::FirstOwnedGroupAtOrAfter(GroupId g) const {
+  if (config_.share_count <= 1) return g;
+  while (g % config_.share_count != config_.share_index) ++g;
+  return g;
+}
+
+Status Consumer::Connect() {
+  if (config_.share_count == 0 ||
+      config_.share_index >= config_.share_count) {
+    return Status(StatusCode::kInvalidArgument, "bad group share config");
+  }
+  rpc::GetStreamInfoRequest req;
+  req.name = config_.stream;
+  rpc::Writer body;
+  req.Encode(body);
+  auto raw = network_.Call(
+      kCoordinatorNode, rpc::Frame(rpc::Opcode::kGetStreamInfo, body));
+  if (!raw.ok()) return raw.status();
+  rpc::Reader r(*raw);
+  auto resp = rpc::GetStreamInfoResponse::Decode(r);
+  if (!resp.ok()) return resp.status();
+  if (resp->status != StatusCode::kOk) {
+    return Status(resp->status, "GetStreamInfo failed");
+  }
+  info_ = resp->info;
+
+  assigned_ = config_.streamlets;
+  if (assigned_.empty()) {
+    for (StreamletId sl = 0; sl < info_.streamlet_brokers.size(); ++sl) {
+      assigned_.push_back(sl);
+    }
+  }
+  for (StreamletId sl : assigned_) {
+    StreamletState state;
+    state.next_unstarted = FirstOwnedGroupAtOrAfter(0);
+    states_[sl] = state;
+  }
+
+  running_.store(true, std::memory_order_release);
+  requests_thread_ = std::thread([this] { RequestsLoop(); });
+  return OkStatus();
+}
+
+void Consumer::OpenDiscoveredGroups(StreamletState& state) {
+  while (state.active.size() < kMaxActiveGroups &&
+         state.next_unstarted < state.groups_created) {
+    state.active.emplace(state.next_unstarted, 0);
+    state.next_unstarted =
+        FirstOwnedGroupAtOrAfter(state.next_unstarted + 1);
+  }
+}
+
+void Consumer::HandleEntry(StreamletState& state,
+                           const rpc::ConsumeEntryResponse& entry,
+                           bool* got_data) {
+  if (entry.groups_created > state.groups_created) {
+    state.groups_created = entry.groups_created;
+  }
+  auto it = state.active.find(entry.group);
+  if (it == state.active.end()) {
+    OpenDiscoveredGroups(state);
+    // A probe entry for a group that does not exist yet: end-of-stream if
+    // the stream is sealed and nothing more can appear.
+    if (entry.stream_sealed && state.active.empty() &&
+        state.next_unstarted >= state.groups_created) {
+      state.done = true;
+    }
+    return;
+  }
+  for (const auto& chunk_bytes : entry.chunks) {
+    FetchedChunk fc;
+    fc.streamlet = entry.streamlet;
+    fc.bytes.assign(chunk_bytes.begin(), chunk_bytes.end());
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.chunks_received;
+      stats_.bytes_received += fc.bytes.size();
+    }
+    fetched_.Push(std::move(fc));
+    *got_data = true;
+  }
+  it->second = entry.next_chunk;
+  if (entry.group_closed) {
+    // This group is fully consumed; discovery opens the next one.
+    state.active.erase(it);
+  }
+  OpenDiscoveredGroups(state);
+  // End-of-stream: the stream is sealed, every created group this member
+  // owns has been drained, and no further groups will ever appear.
+  if (entry.stream_sealed && state.active.empty() &&
+      state.next_unstarted >= state.groups_created) {
+    state.done = true;
+  }
+}
+
+void Consumer::RequestsLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    // One request per broker covering every (streamlet, active group) this
+    // consumer is reading; when nothing is open, a discovery entry probes
+    // the next unopened group so new groups and end-of-stream are noticed.
+    std::map<NodeId, rpc::ConsumeRequest> per_broker;
+    size_t done_count = 0;
+    for (StreamletId sl : assigned_) {
+      StreamletState& state = states_[sl];
+      if (state.done) {
+        ++done_count;
+        continue;
+      }
+      OpenDiscoveredGroups(state);
+      NodeId broker = info_.streamlet_brokers[sl];
+      auto& req = per_broker[broker];
+      req.stream = info_.stream;
+      req.max_bytes = config_.max_bytes_per_request;
+      if (state.active.empty()) {
+        rpc::ConsumeEntryRequest e;
+        e.streamlet = sl;
+        e.group = state.next_unstarted;
+        e.start_chunk = 0;
+        e.max_chunks = config_.max_chunks_per_entry;
+        req.entries.push_back(e);
+      } else {
+        for (const auto& [group, cursor] : state.active) {
+          rpc::ConsumeEntryRequest e;
+          e.streamlet = sl;
+          e.group = group;
+          e.start_chunk = cursor;
+          e.max_chunks = config_.max_chunks_per_entry;
+          req.entries.push_back(e);
+        }
+      }
+    }
+
+    if (done_count == assigned_.size()) {
+      // Bounded stream fully drained: stop fetching.
+      finished_.store(true, std::memory_order_release);
+      fetched_.Shutdown();
+      return;
+    }
+    bool got_data = false;
+    for (auto& [broker, req] : per_broker) {
+      rpc::Writer body;
+      req.Encode(body);
+      auto raw =
+          network_.Call(broker, rpc::Frame(rpc::Opcode::kConsume, body));
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.requests_sent;
+      }
+      if (!raw.ok()) continue;  // broker down; retry next round
+      rpc::Reader r(*raw);
+      auto resp = rpc::ConsumeResponse::Decode(r);
+      if (!resp.ok() || resp->status != StatusCode::kOk) continue;
+      for (auto& entry : resp->entries) {
+        auto sit = states_.find(entry.streamlet);
+        if (sit == states_.end()) continue;
+        StreamletState& state = sit->second;
+        // A probe that found its group: open it before handling.
+        if (state.active.count(entry.group) == 0 &&
+            entry.group == state.next_unstarted &&
+            (entry.group_exists || !entry.chunks.empty())) {
+          state.active.emplace(entry.group, 0);
+          state.next_unstarted = FirstOwnedGroupAtOrAfter(entry.group + 1);
+        }
+        HandleEntry(state, entry, &got_data);
+      }
+    }
+    if (!got_data) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.empty_responses;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.idle_backoff_us));
+    }
+  }
+}
+
+std::vector<ConsumedRecord> Consumer::Poll(size_t max_records) {
+  std::vector<ConsumedRecord> out;
+  while (out.size() < max_records) {
+    if (!buffered_.empty()) {
+      out.push_back(std::move(buffered_.front()));
+      buffered_.pop_front();
+      continue;
+    }
+    auto fetched = fetched_.TryPop();
+    if (!fetched) break;
+    auto chunk = ChunkView::Parse(fetched->bytes);
+    if (!chunk.ok() || !chunk->VerifyChecksum()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.checksum_failures;
+      continue;
+    }
+    for (auto it = chunk->records(); !it.Done(); it.Next()) {
+      const RecordView& rec = it.record();
+      ConsumedRecord cr;
+      cr.streamlet = fetched->streamlet;
+      cr.group = chunk->group_id();
+      cr.chunk_index = chunk->group_chunk_index();
+      cr.producer = chunk->producer_id();
+      cr.value.assign(rec.value().begin(), rec.value().end());
+      buffered_.push_back(std::move(cr));
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.records_consumed += chunk->record_count();
+  }
+  return out;
+}
+
+std::vector<ConsumedRecord> Consumer::PollBlocking(size_t max_records) {
+  while (running_.load(std::memory_order_acquire)) {
+    auto out = Poll(max_records);
+    if (!out.empty()) return out;
+    auto fetched = fetched_.Pop();  // blocks; returns nullopt on shutdown
+    if (!fetched) break;
+    auto chunk = ChunkView::Parse(fetched->bytes);
+    if (chunk.ok() && chunk->VerifyChecksum()) {
+      for (auto it = chunk->records(); !it.Done(); it.Next()) {
+        ConsumedRecord cr;
+        cr.streamlet = fetched->streamlet;
+        cr.group = chunk->group_id();
+        cr.chunk_index = chunk->group_chunk_index();
+        cr.producer = chunk->producer_id();
+        cr.value.assign(it.record().value().begin(),
+                        it.record().value().end());
+        buffered_.push_back(std::move(cr));
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.records_consumed += chunk->record_count();
+    }
+  }
+  return Poll(max_records);
+}
+
+bool Consumer::Finished() const {
+  return finished_.load(std::memory_order_acquire);
+}
+
+void Consumer::Close() {
+  if (!running_.exchange(false)) return;
+  fetched_.Shutdown();
+  if (requests_thread_.joinable()) requests_thread_.join();
+}
+
+Consumer::Stats Consumer::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace kera

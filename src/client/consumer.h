@@ -1,0 +1,116 @@
+// Consumer client (paper Fig. 7): a Requests thread pulls chunks — one
+// request per broker, with entries for every group this consumer is
+// currently reading — and hands them through a queue to the Source side,
+// where Poll() materializes records. Groups are independently consumable
+// units (paper §IV.A): within one streamlet, several groups are read in
+// parallel (Q > 1 appends create interleaved groups), and group-level
+// sharing splits a streamlet's groups across cooperating consumers.
+// Consumers only ever receive durably replicated data (the broker
+// enforces the durability gate).
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "client/client_config.h"
+#include "common/queue.h"
+#include "common/status.h"
+#include "rpc/messages.h"
+#include "rpc/transport.h"
+#include "wire/chunk.h"
+
+namespace kera {
+
+/// One record handed to the application. Owns its bytes.
+struct ConsumedRecord {
+  StreamletId streamlet = 0;
+  GroupId group = 0;
+  uint64_t chunk_index = 0;  // group_chunk_index of the containing chunk
+  ProducerId producer = 0;
+  std::vector<std::byte> value;
+};
+
+class Consumer {
+ public:
+  Consumer(ConsumerConfig config, rpc::Network& network);
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  /// Fetches stream metadata and starts the requests thread.
+  Status Connect();
+
+  /// Returns up to `max_records` records, in order per group.
+  /// Non-blocking: returns what is buffered (possibly nothing).
+  std::vector<ConsumedRecord> Poll(size_t max_records);
+
+  /// Blocking variant: waits until at least one record arrives or the
+  /// consumer is closed.
+  std::vector<ConsumedRecord> PollBlocking(size_t max_records);
+
+  void Close();
+
+  /// True once every assigned streamlet of a sealed (bounded) stream has
+  /// been fully fetched; Poll may still return buffered records.
+  [[nodiscard]] bool Finished() const;
+
+  struct Stats {
+    uint64_t records_consumed = 0;
+    uint64_t chunks_received = 0;
+    uint64_t bytes_received = 0;
+    uint64_t requests_sent = 0;
+    uint64_t empty_responses = 0;
+    uint64_t checksum_failures = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  [[nodiscard]] const rpc::StreamInfo& stream_info() const { return info_; }
+
+ private:
+  /// Per-streamlet fetch state: the groups currently being read (several
+  /// in parallel) plus the discovery cursor for groups not yet opened.
+  struct StreamletState {
+    std::map<GroupId, uint64_t> active;  // group -> next chunk index
+    GroupId next_unstarted = 0;          // next owned group to open
+    uint32_t groups_created = 0;         // broker-announced group count
+    bool done = false;                   // sealed stream fully drained
+  };
+  struct FetchedChunk {
+    StreamletId streamlet = 0;
+    std::vector<std::byte> bytes;  // full chunk frame
+  };
+
+  void RequestsLoop();
+  void HandleEntry(StreamletState& state,
+                   const rpc::ConsumeEntryResponse& entry, bool* got_data);
+  [[nodiscard]] GroupId FirstOwnedGroupAtOrAfter(GroupId g) const;
+  /// Opens owned groups below groups_created into the active set, up to
+  /// the parallelism cap.
+  void OpenDiscoveredGroups(StreamletState& state);
+
+  const ConsumerConfig config_;
+  rpc::Network& network_;
+  rpc::StreamInfo info_;
+  std::vector<StreamletId> assigned_;
+
+  // Requests-thread state.
+  std::map<StreamletId, StreamletState> states_;
+
+  BlockingQueue<FetchedChunk> fetched_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> finished_{false};
+  std::thread requests_thread_;
+
+  // Source-side state: partially consumed chunk queue.
+  std::deque<ConsumedRecord> buffered_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace kera

@@ -1,0 +1,110 @@
+// Producer client (paper Fig. 6): two threads communicating through
+// shared memory. The caller's thread acts as the Source — Send() appends
+// records into per-streamlet chunk builders (recycled through a pool) and
+// hands filled or lingered chunks over an internal queue. The Requests
+// thread batches one chunk per streamlet into a request per broker (up to
+// request_size) and pushes them over the network, retrying on errors
+// (exactly-once is guaranteed by broker-side dedup on chunk sequences).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "client/client_config.h"
+#include "common/histogram.h"
+#include "common/queue.h"
+#include "common/status.h"
+#include "rpc/messages.h"
+#include "rpc/transport.h"
+#include "wire/chunk.h"
+
+namespace kera {
+
+class Producer {
+ public:
+  Producer(ProducerConfig config, rpc::Network& network);
+  ~Producer();
+
+  Producer(const Producer&) = delete;
+  Producer& operator=(const Producer&) = delete;
+
+  /// Fetches stream metadata and starts the requests thread.
+  Status Connect();
+
+  /// Appends one non-keyed record (round-robin over streamlets).
+  /// Blocks when the chunk pool is exhausted (backpressure).
+  Status Send(std::span<const std::byte> value);
+
+  /// Appends one keyed record (streamlet = hash(key) % M).
+  Status SendKeyed(std::span<const std::byte> key,
+                   std::span<const std::byte> value);
+
+  /// Pushes all buffered chunks and waits until every chunk sent so far
+  /// has been acknowledged.
+  Status Flush();
+
+  /// Flush + stop the requests thread.
+  Status Close();
+
+  struct Stats {
+    uint64_t records_sent = 0;
+    uint64_t chunks_sent = 0;
+    uint64_t chunks_acked = 0;
+    uint64_t duplicates_reported = 0;
+    uint64_t requests_sent = 0;
+    uint64_t request_failures = 0;
+    uint64_t bytes_sent = 0;
+    Histogram request_latency_us;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  [[nodiscard]] const rpc::StreamInfo& stream_info() const { return info_; }
+
+ private:
+  struct SealedChunk {
+    std::unique_ptr<ChunkBuilder> builder;
+    StreamletId streamlet = 0;
+    NodeId broker = 0;
+    size_t bytes = 0;
+    uint32_t records = 0;
+  };
+  struct OpenChunk {
+    std::unique_ptr<ChunkBuilder> builder;
+    std::chrono::steady_clock::time_point first_record_at{};
+  };
+
+  Status SendRecord(std::span<const std::byte> key,
+                    std::span<const std::byte> value, StreamletId streamlet);
+  Status SealAndEnqueue(StreamletId streamlet, OpenChunk& open);
+  void MaybeLingerFlush();
+  std::unique_ptr<ChunkBuilder> AcquireBuilder();
+  void RequestsLoop();
+
+  const ProducerConfig config_;
+  rpc::Network& network_;
+  rpc::StreamInfo info_;
+
+  // Source-thread state (single caller thread by contract).
+  std::map<StreamletId, OpenChunk> open_chunks_;
+  std::map<StreamletId, ChunkSeq> next_seq_;
+  size_t round_robin_ = 0;
+
+  // Shared: sealed chunks flowing to the requests thread, empty builders
+  // flowing back (the paper's shared-memory chunk recycling).
+  BlockingQueue<SealedChunk> sealed_;
+  BlockingQueue<std::unique_ptr<ChunkBuilder>> pool_;
+  std::atomic<uint64_t> chunks_enqueued_{0};
+  std::atomic<uint64_t> chunks_acked_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> failed_{false};
+
+  std::thread requests_thread_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace kera

@@ -1,0 +1,101 @@
+#include "cluster/mini_cluster.h"
+
+#include <cstdio>
+
+namespace kera {
+
+MiniCluster::MiniCluster(MiniClusterConfig config)
+    : config_(std::move(config)) {
+  if (config_.workers_per_node > 0) {
+    threaded_ =
+        std::make_unique<rpc::ThreadedNetwork>(config_.workers_per_node);
+    network_ = threaded_.get();
+  } else {
+    direct_ = std::make_unique<rpc::DirectNetwork>();
+    network_ = direct_.get();
+  }
+  coordinator_ = std::make_unique<Coordinator>(*network_);
+
+  std::vector<NodeId> backup_services;
+  for (NodeId node = 1; node <= config_.nodes; ++node) {
+    backup_services.push_back(BackupServiceId(node));
+  }
+
+  for (NodeId node = 1; node <= config_.nodes; ++node) {
+    BrokerConfig bc;
+    bc.node = node;
+    bc.memory_bytes = config_.broker_memory_bytes;
+    bc.segment_size = config_.segment_size;
+    bc.segments_per_group = config_.segments_per_group;
+    bc.virtual_segment_capacity = config_.virtual_segment_capacity;
+    bc.replication_max_batch_bytes = config_.replication_max_batch_bytes;
+    bc.vlogs_per_broker = config_.vlogs_per_broker;
+    bc.backup_nodes = backup_services;
+    brokers_.push_back(std::make_unique<Broker>(bc, *network_));
+
+    BackupConfig bkc;
+    bkc.node = node;
+    if (!config_.backup_dir.empty()) {
+      char dir[256];
+      std::snprintf(dir, sizeof(dir), config_.backup_dir.c_str(),
+                    unsigned(node));
+      bkc.storage_dir = dir;
+    }
+    backups_.push_back(std::make_unique<Backup>(bkc));
+  }
+
+  auto register_node = [&](NodeId service, rpc::RpcHandler* handler) {
+    if (threaded_ != nullptr) {
+      threaded_->Register(service, handler);
+    } else {
+      direct_->Register(service, handler);
+    }
+  };
+  register_node(kCoordinatorNode, coordinator_.get());
+  for (NodeId node = 1; node <= config_.nodes; ++node) {
+    register_node(node, brokers_[node - 1].get());
+    register_node(BackupServiceId(node), backups_[node - 1].get());
+    coordinator_->RegisterNode(node, brokers_[node - 1].get(),
+                               backups_[node - 1].get());
+  }
+}
+
+MiniCluster::~MiniCluster() {
+  if (threaded_ != nullptr) threaded_->Shutdown();
+}
+
+std::vector<NodeId> MiniCluster::BrokerNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId node = 1; node <= config_.nodes; ++node) out.push_back(node);
+  return out;
+}
+
+void MiniCluster::CrashNode(NodeId node) {
+  if (threaded_ != nullptr) {
+    threaded_->Crash(node);
+    threaded_->Crash(BackupServiceId(node));
+  } else {
+    direct_->Crash(node);
+    direct_->Crash(BackupServiceId(node));
+  }
+}
+
+Broker::Stats MiniCluster::TotalBrokerStats() const {
+  Broker::Stats total;
+  for (const auto& b : brokers_) {
+    Broker::Stats s = b->GetStats();
+    total.produce_rpcs += s.produce_rpcs;
+    total.chunks_appended += s.chunks_appended;
+    total.chunks_duplicate += s.chunks_duplicate;
+    total.bytes_appended += s.bytes_appended;
+    total.consume_rpcs += s.consume_rpcs;
+    total.chunks_served += s.chunks_served;
+    total.replication_batches += s.replication_batches;
+    total.replication_rpcs += s.replication_rpcs;
+    total.replication_bytes += s.replication_bytes;
+    total.checksum_failures += s.checksum_failures;
+  }
+  return total;
+}
+
+}  // namespace kera

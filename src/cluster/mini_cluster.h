@@ -1,0 +1,67 @@
+// MiniCluster: an in-process KerA cluster — one coordinator plus N nodes,
+// each hosting a broker and a backup service — wired over a ThreadedNetwork
+// (dispatch/worker threads per node) or a DirectNetwork (deterministic,
+// single-threaded). Used by integration tests and the examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backup/backup.h"
+#include "broker/broker.h"
+#include "coordinator/coordinator.h"
+#include "rpc/transport.h"
+
+namespace kera {
+
+struct MiniClusterConfig {
+  uint32_t nodes = 4;
+  /// Worker threads per node (RPC dispatch); 0 selects DirectNetwork.
+  int workers_per_node = 4;
+  size_t broker_memory_bytes = size_t(512) << 20;
+  size_t segment_size = 1u << 20;
+  uint32_t segments_per_group = 4;
+  size_t virtual_segment_capacity = 1u << 20;
+  size_t replication_max_batch_bytes = 1u << 20;
+  uint32_t vlogs_per_broker = 4;
+  /// Backup flush directory template; empty disables disk flushing. A
+  /// "%u" is replaced by the node id.
+  std::string backup_dir;
+};
+
+class MiniCluster {
+ public:
+  explicit MiniCluster(MiniClusterConfig config);
+  ~MiniCluster();
+
+  MiniCluster(const MiniCluster&) = delete;
+  MiniCluster& operator=(const MiniCluster&) = delete;
+
+  [[nodiscard]] rpc::Network& network() { return *network_; }
+  [[nodiscard]] Coordinator& coordinator() { return *coordinator_; }
+  [[nodiscard]] Broker& broker(NodeId node) { return *brokers_[node - 1]; }
+  [[nodiscard]] Backup& backup(NodeId node) { return *backups_[node - 1]; }
+  [[nodiscard]] uint32_t node_count() const { return config_.nodes; }
+
+  /// Broker node ids: 1..nodes.
+  [[nodiscard]] std::vector<NodeId> BrokerNodes() const;
+
+  /// Kills a node (both broker and backup stop answering). Use
+  /// coordinator().RecoverNode(node) afterwards.
+  void CrashNode(NodeId node);
+
+  /// Aggregated broker stats across the cluster.
+  [[nodiscard]] Broker::Stats TotalBrokerStats() const;
+
+ private:
+  MiniClusterConfig config_;
+  std::unique_ptr<rpc::ThreadedNetwork> threaded_;
+  std::unique_ptr<rpc::DirectNetwork> direct_;
+  rpc::Network* network_ = nullptr;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::vector<std::unique_ptr<Backup>> backups_;
+};
+
+}  // namespace kera

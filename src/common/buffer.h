@@ -1,0 +1,99 @@
+// Owned, fixed-capacity byte buffer used for segments, chunks and RPC
+// payloads. Cache-line aligned so segment appends never straddle an
+// allocation header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+
+namespace kera {
+
+inline constexpr size_t kCacheLineSize = 64;
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(size_t capacity)
+      : data_(capacity == 0
+                  ? nullptr
+                  : static_cast<std::byte*>(::operator new(
+                        capacity, std::align_val_t{kCacheLineSize}))),
+        capacity_(capacity) {}
+
+  Buffer(Buffer&& other) noexcept
+      : data_(other.data_), capacity_(other.capacity_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+    other.size_ = 0;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.capacity_ = 0;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  ~Buffer() { Free(); }
+
+  [[nodiscard]] std::byte* data() { return data_; }
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] size_t remaining() const { return capacity_ - size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// View of the written prefix.
+  [[nodiscard]] std::span<const std::byte> view() const {
+    return {data_, size_};
+  }
+  [[nodiscard]] std::span<std::byte> mutable_view() { return {data_, size_}; }
+
+  /// Appends raw bytes; returns the offset of the appended region, or
+  /// SIZE_MAX if there is not enough space (caller rolls to a new buffer).
+  size_t Append(std::span<const std::byte> bytes) {
+    if (bytes.size() > remaining()) return SIZE_MAX;
+    size_t off = size_;
+    std::memcpy(data_ + off, bytes.data(), bytes.size());
+    size_ += bytes.size();
+    return off;
+  }
+
+  /// Reserves `n` bytes without writing them; returns offset or SIZE_MAX.
+  size_t Reserve(size_t n) {
+    if (n > remaining()) return SIZE_MAX;
+    size_t off = size_;
+    size_ += n;
+    return off;
+  }
+
+  void Clear() { size_ = 0; }
+
+  /// Truncates the written size (used to roll back a failed in-place write).
+  void Truncate(size_t new_size) {
+    if (new_size < size_) size_ = new_size;
+  }
+
+ private:
+  void Free() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kCacheLineSize});
+    }
+  }
+
+  std::byte* data_ = nullptr;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace kera

@@ -1,0 +1,56 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace kera {
+namespace {
+
+// Slice-by-8 tables, generated at startup (cheap, deterministic).
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (size_t k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const std::byte> data, uint32_t seed) {
+  const auto& t = tables().t;
+  uint32_t crc = ~seed;
+  const auto* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
+
+  while (n >= 8) {
+    // Process 8 bytes per iteration via the slice tables.
+    uint32_t lo = crc ^ (uint32_t(p[0]) | (uint32_t(p[1]) << 8) |
+                         (uint32_t(p[2]) << 16) | (uint32_t(p[3]) << 24));
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace kera

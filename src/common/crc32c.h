@@ -1,0 +1,22 @@
+// Software CRC32C (Castagnoli), slice-by-8. Used for record entry headers,
+// chunk payloads, and virtual segment headers, matching the paper's
+// checksum layering (RAMCloud-style).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace kera {
+
+/// Computes CRC32C over `data`, seeded with `seed` (pass a previous result
+/// to incrementally extend a checksum over discontiguous regions).
+[[nodiscard]] uint32_t Crc32c(std::span<const std::byte> data,
+                              uint32_t seed = 0);
+
+[[nodiscard]] inline uint32_t Crc32c(const void* data, size_t n,
+                                     uint32_t seed = 0) {
+  return Crc32c(std::span(static_cast<const std::byte*>(data), n), seed);
+}
+
+}  // namespace kera

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <mutex>
+
+namespace kera {
+namespace {
+std::atomic<int> g_level{int(LogLevel::kWarn)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return LogLevel(g_level.load(std::memory_order_relaxed)); }
+void SetLogLevel(LogLevel level) { g_level.store(int(level), std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               msg.c_str());
+}
+
+namespace detail {
+std::string FormatLog(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+}  // namespace detail
+
+}  // namespace kera

@@ -1,0 +1,37 @@
+// Minimal leveled logging to stderr. Disabled below the compile-time or
+// runtime threshold; hot paths must not log.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace kera {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global runtime threshold (default Warn so tests/benches stay quiet).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace detail {
+std::string FormatLog(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define KERA_LOG(level, ...)                                              \
+  do {                                                                    \
+    if (int(level) >= int(::kera::GetLogLevel())) {                       \
+      ::kera::LogMessage(level, __FILE__, __LINE__,                       \
+                         ::kera::detail::FormatLog(__VA_ARGS__));         \
+    }                                                                     \
+  } while (0)
+
+#define KERA_DEBUG(...) KERA_LOG(::kera::LogLevel::kDebug, __VA_ARGS__)
+#define KERA_INFO(...) KERA_LOG(::kera::LogLevel::kInfo, __VA_ARGS__)
+#define KERA_WARN(...) KERA_LOG(::kera::LogLevel::kWarn, __VA_ARGS__)
+#define KERA_ERROR(...) KERA_LOG(::kera::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace kera

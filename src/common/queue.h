@@ -1,0 +1,115 @@
+// Queues used between client/broker threads.
+//
+// - SpscRing: lock-free single-producer single-consumer ring; this is the
+//   shared-memory channel between a producer's source thread and its
+//   requests thread (filled chunks one way, recycled chunks back).
+// - BlockingQueue: mutex+condvar MPMC queue for RPC dispatch in the
+//   threaded deployment; supports shutdown.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace kera {
+
+/// Fixed-capacity lock-free SPSC ring. Capacity is rounded up to a power
+/// of two. Push/Pop are wait-free.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  [[nodiscard]] bool TryPush(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;  // empty
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  [[nodiscard]] size_t SizeApprox() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool EmptyApprox() const { return SizeApprox() == 0; }
+  [[nodiscard]] size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+/// Unbounded MPMC blocking queue with shutdown. Pop returns nullopt only
+/// after Shutdown() once the queue drains.
+template <typename T>
+class BlockingQueue {
+ public:
+  void Push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;  // dropped; receivers are going away
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  [[nodiscard]] std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || shutdown_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  [[nodiscard]] std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool shutdown_ = false;
+};
+
+}  // namespace kera

@@ -1,0 +1,62 @@
+// Deterministic PRNG (splitmix64 / xoshiro256**) for reproducible workload
+// generation and simulation. Never uses std::random_device: every
+// experiment is seeded explicitly so results are replayable.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace kera {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return double(Next() >> 11) * (1.0 / (1ull << 53)); }
+
+  /// Exponential with the given mean (for inter-arrival times).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace kera

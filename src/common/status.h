@@ -1,0 +1,126 @@
+// Status / Result: lightweight error propagation without exceptions on the
+// data path (exceptions remain enabled for constructor failures).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace kera {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kNoSpace,         // append target full; caller should roll to a new segment
+  kSegmentClosed,   // append to an immutable segment
+  kCorruption,      // checksum mismatch or malformed wire data
+  kDuplicate,       // exactly-once dedup hit (not an error for producers)
+  kNotLeader,       // RPC sent to a node that does not own the partition
+  kUnavailable,     // node down / transport closed
+  kTimeout,
+  kOutOfRange,      // consume offset beyond durable head
+  kInternal,
+};
+
+[[nodiscard]] constexpr std::string_view StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kNoSpace: return "NoSpace";
+    case StatusCode::kSegmentClosed: return "SegmentClosed";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kDuplicate: return "Duplicate";
+    case StatusCode::kNotLeader: return "NotLeader";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// Value-semantic status. Ok statuses carry no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  explicit Status(StatusCode code) : code_(code) {}
+
+  static Status Ok() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    std::string s{StatusCodeName(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+/// Result<T>: either a value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "Result from Ok status");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(rep_);
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+#define KERA_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::kera::Status kera_status_ = (expr);     \
+    if (!kera_status_.ok()) return kera_status_; \
+  } while (0)
+
+}  // namespace kera

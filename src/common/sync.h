@@ -1,0 +1,35 @@
+// Small synchronization helpers: spin lock for short critical sections and
+// a cache-line padded wrapper to avoid false sharing of hot counters.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace kera {
+
+/// Test-and-test-and-set spin lock. Use only around short, non-blocking
+/// critical sections (segment head bumps, vlog reference appends).
+class SpinLock {
+ public:
+  void lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        // spin; on a real deployment this would PAUSE
+      }
+    }
+  }
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Pads T to its own cache line; used for per-core/per-client counters.
+template <typename T>
+struct alignas(64) Padded {
+  T value{};
+};
+
+}  // namespace kera

@@ -1,0 +1,64 @@
+// Core identifier types shared across the KerA reproduction.
+//
+// All identifiers are plain integers on the wire; strong typedefs are not
+// used because these ids cross serialization boundaries constantly and the
+// call sites name them explicitly.
+#pragma once
+
+#include <cstdint>
+
+namespace kera {
+
+/// Globally unique stream identifier, assigned by the coordinator.
+using StreamId = uint64_t;
+
+/// Index of a streamlet (logical partition) within a stream: [0, M).
+using StreamletId = uint32_t;
+
+/// Monotonic group identifier within a streamlet. Groups are fixed-size
+/// sub-partitions created dynamically as data arrives.
+using GroupId = uint32_t;
+
+/// Monotonic segment identifier within a group.
+using SegmentId = uint32_t;
+
+/// Producer client identifier; used both for exactly-once dedup and to pick
+/// a streamlet's active group (producer_id mod Q).
+using ProducerId = uint32_t;
+
+/// Per-(producer, streamlet) chunk sequence number for exactly-once
+/// semantics: a retransmitted chunk carries the same sequence and is
+/// deduplicated by the broker.
+using ChunkSeq = uint64_t;
+
+/// Cluster node identifier (a node hosts one broker and one backup
+/// service, mirroring the paper's deployment).
+using NodeId = uint32_t;
+
+/// Identifier of a virtual log within one broker.
+using VlogId = uint32_t;
+
+/// Identifier of a virtual segment within one virtual log (monotonic).
+using VirtualSegmentId = uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Well-known service id of the coordinator on the RPC network.
+inline constexpr NodeId kCoordinatorNode = 0;
+
+/// Every cluster node hosts one broker and one backup service (paper
+/// Fig. 1). Both are addressable on the network: the broker under the
+/// node id itself, the backup under this fixed offset.
+inline constexpr NodeId kBackupServiceOffset = 10000;
+[[nodiscard]] constexpr NodeId BackupServiceId(NodeId node) {
+  return node + kBackupServiceOffset;
+}
+[[nodiscard]] constexpr NodeId NodeOfBackupService(NodeId backup_service) {
+  return backup_service - kBackupServiceOffset;
+}
+
+/// Sentinel stream id.
+inline constexpr StreamId kInvalidStream = ~StreamId{0};
+
+}  // namespace kera

@@ -1,0 +1,438 @@
+#include "coordinator/coordinator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "wire/chunk.h"
+
+namespace kera {
+
+Coordinator::Coordinator(rpc::Network& network) : network_(network) {}
+
+void Coordinator::RegisterNode(NodeId node, Broker* broker, Backup* backup) {
+  std::lock_guard<std::mutex> lock(mu_);
+  brokers_[node] = broker;
+  backups_[node] = backup;
+  alive_[node] = true;
+}
+
+std::vector<NodeId> Coordinator::LiveBrokers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeId> out;
+  for (const auto& [node, live] : alive_) {
+    if (live) out.push_back(node);
+  }
+  return out;
+}
+
+Status Coordinator::AnnounceLeadership(const StreamState& state) {
+  // Tell every broker that leads at least one streamlet about the stream,
+  // then about each of its streamlets.
+  std::map<NodeId, std::vector<StreamletId>> per_broker;
+  for (StreamletId sl = 0; sl < state.info.streamlet_brokers.size(); ++sl) {
+    NodeId leader = state.info.streamlet_brokers[sl];
+    if (leader != kInvalidNode) per_broker[leader].push_back(sl);
+  }
+  for (const auto& [node, streamlets] : per_broker) {
+    Broker* broker;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = brokers_.find(node);
+      if (it == brokers_.end()) {
+        return Status(StatusCode::kNotFound, "unknown broker node");
+      }
+      broker = it->second;
+    }
+    KERA_RETURN_IF_ERROR(broker->AddStream(state.name, state.info));
+    for (StreamletId sl : streamlets) {
+      KERA_RETURN_IF_ERROR(broker->AddStreamlet(state.info.stream, sl));
+    }
+  }
+  return OkStatus();
+}
+
+Result<rpc::StreamInfo> Coordinator::CreateStream(
+    const std::string& name, const rpc::StreamOptions& options) {
+  if (options.num_streamlets == 0 ||
+      options.active_groups_per_streamlet == 0 ||
+      options.replication_factor == 0) {
+    return Status(StatusCode::kInvalidArgument, "bad stream options");
+  }
+  StreamState* state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (streams_by_name_.count(name) != 0) {
+      return Status(StatusCode::kAlreadyExists, "stream exists: " + name);
+    }
+    std::vector<NodeId> live;
+    for (const auto& [node, alive] : alive_) {
+      if (alive) live.push_back(node);
+    }
+    if (live.empty()) {
+      return Status(StatusCode::kUnavailable, "no live brokers");
+    }
+    if (options.replication_factor > live.size()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "replication factor exceeds cluster size");
+    }
+    auto owned = std::make_unique<StreamState>();
+    owned->name = name;
+    owned->info.stream = next_stream_id_++;
+    owned->info.options = options;
+    owned->info.streamlet_brokers.resize(options.num_streamlets);
+    // Rotate the starting broker across stream creations so that many
+    // small streams (1 streamlet each) still spread over the cluster.
+    for (StreamletId sl = 0; sl < options.num_streamlets; ++sl) {
+      owned->info.streamlet_brokers[sl] =
+          live[(placement_cursor_ + sl) % live.size()];
+    }
+    placement_cursor_ =
+        (placement_cursor_ + options.num_streamlets) % live.size();
+    state = owned.get();
+    streams_by_id_[owned->info.stream] = state;
+    streams_by_name_.emplace(name, std::move(owned));
+  }
+  KERA_RETURN_IF_ERROR(AnnounceLeadership(*state));
+  return state->info;
+}
+
+Result<rpc::StreamInfo> Coordinator::GetStreamInfo(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_by_name_.find(name);
+  if (it == streams_by_name_.end()) {
+    return Status(StatusCode::kNotFound, "no such stream: " + name);
+  }
+  return it->second->info;
+}
+
+Status Coordinator::SealStream(const std::string& name) {
+  StreamState* state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_by_name_.find(name);
+    if (it == streams_by_name_.end()) {
+      return Status(StatusCode::kNotFound, "no such stream: " + name);
+    }
+    state = it->second.get();
+    state->info.sealed = true;
+  }
+  std::set<NodeId> leaders(state->info.streamlet_brokers.begin(),
+                           state->info.streamlet_brokers.end());
+  for (NodeId node : leaders) {
+    Broker* broker;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = brokers_.find(node);
+      if (it == brokers_.end()) continue;
+      broker = it->second;
+    }
+    KERA_RETURN_IF_ERROR(broker->SealStream(state->info.stream));
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> Coordinator::RecoverNode(NodeId crashed) {
+  // 1. Mark dead and reassign the crashed broker's streamlets round-robin
+  //    over the survivors.
+  std::vector<NodeId> survivors;
+  std::vector<StreamState*> affected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = alive_.find(crashed);
+    if (it == alive_.end()) {
+      return Status(StatusCode::kNotFound, "unknown node");
+    }
+    it->second = false;
+    for (const auto& [node, live] : alive_) {
+      if (live) survivors.push_back(node);
+    }
+    if (survivors.empty()) {
+      return Status(StatusCode::kUnavailable, "no survivors");
+    }
+    size_t rr = 0;
+    for (auto& [_, state] : streams_by_name_) {
+      bool touched = false;
+      for (auto& leader : state->info.streamlet_brokers) {
+        if (leader == crashed) {
+          leader = survivors[rr++ % survivors.size()];
+          touched = true;
+        }
+      }
+      if (touched) affected.push_back(state.get());
+    }
+  }
+  // Tell survivors which backup services remain so their virtual logs
+  // stop targeting the dead node for new virtual segments.
+  {
+    std::vector<NodeId> live_backup_services;
+    std::vector<Broker*> live_brokers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [node, live] : alive_) {
+        if (!live) continue;
+        live_backup_services.push_back(BackupServiceId(node));
+        live_brokers.push_back(brokers_[node]);
+      }
+    }
+    for (Broker* b : live_brokers) b->SetLiveBackups(live_backup_services);
+  }
+
+  for (StreamState* state : affected) {
+    KERA_RETURN_IF_ERROR(AnnounceLeadership(*state));
+  }
+
+  // 2-3. Replay everything the crashed broker led from the surviving
+  //       backups into the new leaders.
+  return ReplayFromBackups(crashed,
+                           [](StreamId, StreamletId) { return true; });
+}
+
+Result<uint64_t> Coordinator::ReplayFromBackups(
+    NodeId primary,
+    const std::function<bool(StreamId, StreamletId)>& filter) {
+  // Collect `primary`'s replicated virtual segments from every backup.
+  // Several backups can hold the same virtual segment (R > 2) — keep one
+  // source per segment; different segments spread over different backups
+  // get read independently (the paper's parallel recovery).
+  std::vector<NodeId> backup_services;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [node, live] : alive_) {
+      if (live) backup_services.push_back(BackupServiceId(node));
+    }
+  }
+  struct Source {
+    NodeId backup;
+    rpc::RecoverySegmentDescriptor desc;
+  };
+  std::map<std::pair<VlogId, VirtualSegmentId>, Source> sources;
+  for (NodeId backup : backup_services) {
+    rpc::ListRecoverySegmentsRequest req;
+    req.crashed = primary;
+    rpc::Writer body;
+    req.Encode(body);
+    auto raw = network_.Call(backup, rpc::Frame(
+        rpc::Opcode::kListRecoverySegments, body));
+    if (!raw.ok()) continue;  // that backup may be down too
+    rpc::Reader r(*raw);
+    auto resp = rpc::ListRecoverySegmentsResponse::Decode(r);
+    if (!resp.ok() || resp->status != StatusCode::kOk) continue;
+    for (const auto& desc : resp->segments) {
+      sources.try_emplace({desc.vlog, desc.vseg}, Source{backup, desc});
+    }
+  }
+
+  // Replay in (vlog, virtual segment) order — this preserves each group's
+  // intra-order, since all chunks of a group flow through one vlog in
+  // append order. Chunks are re-ingested into the current leaders as
+  // normal producer requests with the recovery flag set.
+  uint64_t replayed = 0;
+  for (const auto& [key, source] : sources) {
+    rpc::ReadRecoverySegmentRequest req;
+    req.crashed = primary;
+    req.vlog = key.first;
+    req.vseg = key.second;
+    rpc::Writer body;
+    req.Encode(body);
+    auto raw = network_.Call(source.backup, rpc::Frame(
+        rpc::Opcode::kReadRecoverySegment, body));
+    if (!raw.ok()) return raw.status();
+    rpc::Reader r(*raw);
+    auto resp = rpc::ReadRecoverySegmentResponse::Decode(r);
+    if (!resp.ok()) return resp.status();
+    if (resp->status != StatusCode::kOk) {
+      return Status(resp->status, "recovery segment read failed");
+    }
+
+    // Partition the segment's chunk frames per (target broker, stream).
+    struct Pending {
+      rpc::ProduceRequest req;
+    };
+    std::map<std::pair<NodeId, StreamId>, Pending> pending;
+    std::span<const std::byte> rest = resp->payload;
+    while (!rest.empty()) {
+      auto chunk = ChunkView::Parse(rest);
+      if (!chunk.ok()) return chunk.status();
+      StreamId stream = chunk->stream_id();
+      StreamletId streamlet = chunk->streamlet_id();
+      size_t advance = chunk->total_size();
+      if (!filter(stream, streamlet)) {
+        rest = rest.subspan(advance);
+        continue;
+      }
+      NodeId target;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = streams_by_id_.find(stream);
+        if (it == streams_by_id_.end()) {
+          return Status(StatusCode::kCorruption,
+                        "recovered chunk for unknown stream");
+        }
+        target = it->second->info.streamlet_brokers[streamlet];
+      }
+      auto& p = pending[{target, stream}];
+      p.req.stream = stream;
+      p.req.recovery = true;
+      p.req.producer = chunk->producer_id();
+      p.req.chunks.push_back(chunk->raw());
+      rest = rest.subspan(advance);
+      ++replayed;
+    }
+    for (auto& [target_stream, p] : pending) {
+      rpc::Writer pbody;
+      p.req.Encode(pbody);
+      auto presp_raw = network_.Call(
+          target_stream.first, rpc::Frame(rpc::Opcode::kProduce, pbody));
+      if (!presp_raw.ok()) return presp_raw.status();
+      rpc::Reader pr(*presp_raw);
+      auto presp = rpc::ProduceResponse::Decode(pr);
+      if (!presp.ok()) return presp.status();
+      if (presp->status != StatusCode::kOk) {
+        return Status(presp->status, "recovery replay rejected");
+      }
+    }
+  }
+
+  // Close the rebuilt recovery groups so consumers advance past them to
+  // any groups created by post-replay appends.
+  {
+    std::vector<Broker*> live_brokers;
+    std::vector<StreamId> stream_ids;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [node, live] : alive_) {
+        if (live) live_brokers.push_back(brokers_[node]);
+      }
+      for (const auto& [id, _] : streams_by_id_) stream_ids.push_back(id);
+    }
+    for (Broker* b : live_brokers) {
+      for (StreamId id : stream_ids) {
+        (void)b->FinishRecovery(id);  // kNotFound is fine: not hosted there
+      }
+    }
+  }
+  return replayed;
+}
+
+Result<uint64_t> Coordinator::MigrateStreamlet(const std::string& name,
+                                               StreamletId streamlet,
+                                               NodeId target) {
+  StreamState* state;
+  NodeId old_leader;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_by_name_.find(name);
+    if (it == streams_by_name_.end()) {
+      return Status(StatusCode::kNotFound, "no such stream: " + name);
+    }
+    state = it->second.get();
+    if (streamlet >= state->info.streamlet_brokers.size()) {
+      return Status(StatusCode::kInvalidArgument, "no such streamlet");
+    }
+    if (state->info.options.replication_factor < 2) {
+      // Migration replays from the backups; an unreplicated stream has no
+      // backup copies to replay from.
+      return Status(StatusCode::kInvalidArgument,
+                    "cannot migrate a stream with replication factor 1");
+    }
+    auto live = alive_.find(target);
+    if (live == alive_.end() || !live->second) {
+      return Status(StatusCode::kUnavailable, "target broker not alive");
+    }
+    old_leader = state->info.streamlet_brokers[streamlet];
+    if (old_leader == target) return uint64_t{0};
+    // Flip leadership first so the replay below targets the new broker.
+    state->info.streamlet_brokers[streamlet] = target;
+  }
+  KERA_RETURN_IF_ERROR(AnnounceLeadership(*state));
+
+  // The old leader stops accepting appends; acknowledged data is already
+  // on the backups (acks imply replication), so the replay below is
+  // complete even for the freshest chunks.
+  {
+    Broker* old_broker = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = brokers_.find(old_leader);
+      if (it != brokers_.end()) old_broker = it->second;
+    }
+    if (old_broker != nullptr) {
+      KERA_RETURN_IF_ERROR(
+          old_broker->DropStreamletLeadership(state->info.stream, streamlet));
+    }
+  }
+
+  StreamId stream_id = state->info.stream;
+  return ReplayFromBackups(
+      old_leader, [stream_id, streamlet](StreamId s, StreamletId sl) {
+        return s == stream_id && sl == streamlet;
+      });
+}
+
+
+std::vector<std::byte> Coordinator::HandleRpc(
+    std::span<const std::byte> request) {
+  rpc::Opcode op;
+  std::span<const std::byte> body;
+  rpc::Writer out;
+  Status s = rpc::ParseFrame(request, op, body);
+  if (!s.ok()) {
+    out.U8(uint8_t(s.code()));
+    return std::move(out).Take();
+  }
+  rpc::Reader r(body);
+  switch (op) {
+    case rpc::Opcode::kCreateStream: {
+      auto req = rpc::CreateStreamRequest::Decode(r);
+      rpc::CreateStreamResponse resp;
+      if (!req.ok()) {
+        resp.status = req.status().code();
+      } else {
+        auto info = CreateStream(req->name, req->options);
+        if (info.ok()) {
+          resp.info = *info;
+        } else {
+          resp.status = info.status().code();
+        }
+      }
+      resp.Encode(out);
+      break;
+    }
+    case rpc::Opcode::kSealStream: {
+      auto req = rpc::SealStreamRequest::Decode(r);
+      rpc::SealStreamResponse resp;
+      if (!req.ok()) {
+        resp.status = req.status().code();
+      } else {
+        Status s2 = SealStream(req->name);
+        resp.status = s2.code();
+      }
+      resp.Encode(out);
+      break;
+    }
+    case rpc::Opcode::kGetStreamInfo: {
+      auto req = rpc::GetStreamInfoRequest::Decode(r);
+      rpc::GetStreamInfoResponse resp;
+      if (!req.ok()) {
+        resp.status = req.status().code();
+      } else {
+        auto info = GetStreamInfo(req->name);
+        if (info.ok()) {
+          resp.info = *info;
+        } else {
+          resp.status = info.status().code();
+        }
+      }
+      resp.Encode(out);
+      break;
+    }
+    default:
+      out.U8(uint8_t(StatusCode::kInvalidArgument));
+      break;
+  }
+  return std::move(out).Take();
+}
+
+}  // namespace kera

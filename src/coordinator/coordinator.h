@@ -1,0 +1,97 @@
+// Coordinator: cluster metadata and control plane. Creates streams
+// (placing streamlets across brokers round-robin), serves stream lookups,
+// and orchestrates crash recovery: after a broker failure it reassigns the
+// crashed broker's streamlets and replays every virtual segment replicated
+// on the surviving backups into the new leaders, as normal (recovery)
+// producer requests.
+//
+// Membership changes and recovery use direct in-process calls to brokers
+// (control plane); stream metadata lookups and all data-path traffic go
+// through the RPC network.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backup/backup.h"
+#include "broker/broker.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rpc/messages.h"
+#include "rpc/transport.h"
+
+namespace kera {
+
+class Coordinator final : public rpc::RpcHandler {
+ public:
+  explicit Coordinator(rpc::Network& network);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Registers a cluster node hosting a broker and a backup service.
+  void RegisterNode(NodeId node, Broker* broker, Backup* backup);
+
+  /// Creates a stream: assigns a StreamId, places its streamlets over the
+  /// live brokers round-robin, and announces leadership to the brokers.
+  Result<rpc::StreamInfo> CreateStream(const std::string& name,
+                                       const rpc::StreamOptions& options);
+
+  Result<rpc::StreamInfo> GetStreamInfo(const std::string& name) const;
+
+  /// Seals a stream cluster-wide (bounded stream / object §IV.A): every
+  /// leader closes its active groups and rejects further appends.
+  Status SealStream(const std::string& name);
+
+  /// Marks `crashed` dead, reassigns its streamlets to the surviving
+  /// brokers, and replays all of its data from the backups into the new
+  /// leaders. Returns the number of chunks replayed.
+  Result<uint64_t> RecoverNode(NodeId crashed);
+
+  /// Migrates one streamlet to `target` (the paper's horizontal
+  /// scalability: streamlets move to new brokers). The acknowledged data
+  /// is replayed from the backups into the target — the same machinery as
+  /// crash recovery, without a crash — and the old leader relinquishes
+  /// leadership. Producers/consumers should re-resolve the stream
+  /// afterwards. Returns chunks replayed.
+  Result<uint64_t> MigrateStreamlet(const std::string& name,
+                                    StreamletId streamlet, NodeId target);
+
+  std::vector<std::byte> HandleRpc(std::span<const std::byte> request) override;
+
+  [[nodiscard]] std::vector<NodeId> LiveBrokers() const;
+
+ private:
+  struct StreamState {
+    std::string name;
+    rpc::StreamInfo info;
+  };
+
+  /// Announces (stream, streamlet) leadership to the broker, creating the
+  /// storage objects there.
+  Status AnnounceLeadership(const StreamState& state);
+
+  /// Replays every chunk of `primary`'s virtual segments (held by the
+  /// surviving backups) that matches `filter` into the current leaders,
+  /// as recovery produce requests. Shared by RecoverNode and
+  /// MigrateStreamlet.
+  Result<uint64_t> ReplayFromBackups(
+      NodeId primary,
+      const std::function<bool(StreamId, StreamletId)>& filter);
+
+  rpc::Network& network_;
+  mutable std::mutex mu_;
+  std::map<NodeId, Broker*> brokers_;
+  std::map<NodeId, Backup*> backups_;
+  std::map<NodeId, bool> alive_;
+  std::map<std::string, std::unique_ptr<StreamState>> streams_by_name_;
+  std::map<StreamId, StreamState*> streams_by_id_;
+  StreamId next_stream_id_ = 1;
+  size_t placement_cursor_ = 0;  // rotates streamlet placement
+};
+
+}  // namespace kera

@@ -1,0 +1,117 @@
+#include "kafka/partition_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kera::kafka {
+
+PartitionLog::PartitionLog(std::vector<NodeId> followers) {
+  for (NodeId f : followers) follower_offsets_[f] = 0;
+}
+
+uint64_t PartitionLog::Append(std::span<const std::byte> bytes,
+                              uint32_t records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Batch b;
+  b.offset = end_offset_;
+  b.bytes.assign(bytes.begin(), bytes.end());
+  b.records = records;
+  batches_.push_back(std::move(b));
+  uint64_t offset = end_offset_++;
+  ++stats_.appends;
+  stats_.bytes_appended += bytes.size();
+  if (follower_offsets_.empty()) {
+    // R = 1: exposed immediately.
+    high_watermark_ = end_offset_;
+    records_below_hw_ += records;
+  }
+  return offset;
+}
+
+std::vector<Batch> PartitionLog::Fetch(uint64_t from,
+                                       size_t max_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Batch> out;
+  if (from < base_offset_) from = base_offset_;
+  size_t bytes = 0;
+  for (uint64_t off = from; off < end_offset_; ++off) {
+    const Batch& b = batches_[size_t(off - base_offset_)];
+    if (!out.empty() && bytes + b.bytes.size() > max_bytes) break;
+    bytes += b.bytes.size();
+    out.push_back(b);
+  }
+  stats_.fetches_served += 1;
+  stats_.bytes_fetched += bytes;
+  return out;
+}
+
+PartitionLog::PeekResult PartitionLog::PeekFetch(uint64_t from,
+                                                 size_t max_bytes,
+                                                 uint64_t max_batches,
+                                                 bool below_hw_only) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PeekResult out;
+  if (from < base_offset_) from = base_offset_;
+  out.next_offset = from;
+  uint64_t limit = below_hw_only ? high_watermark_ : end_offset_;
+  for (uint64_t off = from; off < limit && out.batches < max_batches; ++off) {
+    const Batch& b = batches_[size_t(off - base_offset_)];
+    if (out.batches > 0 && out.bytes + b.bytes.size() > max_bytes) break;
+    out.bytes += b.bytes.size();
+    out.records += b.records;
+    ++out.batches;
+    out.next_offset = off + 1;
+  }
+  return out;
+}
+
+void PartitionLog::UpdateFollower(NodeId follower, uint64_t upto) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = follower_offsets_.find(follower);
+  if (it == follower_offsets_.end()) return;
+  if (upto > it->second) it->second = upto;
+  uint64_t hw = end_offset_;
+  for (const auto& [_, off] : follower_offsets_) hw = std::min(hw, off);
+  while (high_watermark_ < hw) {
+    // Count records as they cross the watermark (consumable prefix).
+    uint64_t idx = high_watermark_ - base_offset_;
+    if (idx < batches_.size()) {
+      records_below_hw_ += batches_[size_t(idx)].records;
+    }
+    ++high_watermark_;
+  }
+}
+
+uint64_t PartitionLog::end_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return end_offset_;
+}
+
+uint64_t PartitionLog::high_watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_watermark_;
+}
+
+uint64_t PartitionLog::records_below_hw() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_below_hw_;
+}
+
+size_t PartitionLog::Trim(uint64_t before) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t trimmed = 0;
+  uint64_t limit = std::min(before, high_watermark_);
+  while (base_offset_ < limit && !batches_.empty()) {
+    batches_.pop_front();
+    ++base_offset_;
+    ++trimmed;
+  }
+  return trimmed;
+}
+
+PartitionLog::Stats PartitionLog::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace kera::kafka

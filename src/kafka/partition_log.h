@@ -1,0 +1,89 @@
+// Kafka-model partition log: the baseline replication architecture the
+// paper compares against. Every partition is an independent replicated
+// log. The leader appends producer batches; follower replicas *pull*
+// (passive replication) with statically tuned fetch size/interval; the
+// high watermark (durable/consumable prefix) is the minimum offset fetched
+// by all in-sync followers. Producers with acks=all are acknowledged only
+// once the high watermark passes their batch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace kera::kafka {
+
+/// One record batch as stored in the log (opaque bytes; the KerA chunk
+/// format is reused so both systems move identical payloads).
+struct Batch {
+  uint64_t offset = 0;  // batch offset (batch granularity, like segments of
+                        // record batches in Kafka)
+  std::vector<std::byte> bytes;
+  uint32_t records = 0;
+};
+
+class PartitionLog {
+ public:
+  /// `followers`: replica nodes that must catch up before data is exposed.
+  /// Empty = replication factor 1 (high watermark follows the end).
+  explicit PartitionLog(std::vector<NodeId> followers);
+
+  /// Leader append; returns the batch offset.
+  uint64_t Append(std::span<const std::byte> bytes, uint32_t records);
+
+  /// Fetch batches with offset >= `from`, up to `max_bytes` total (always
+  /// at least one batch when available). Used by followers (any offset)
+  /// and consumers (capped at the high watermark by the caller).
+  [[nodiscard]] std::vector<Batch> Fetch(uint64_t from,
+                                         size_t max_bytes) const;
+
+  /// Follower acknowledgment: it has replicated batches below `upto`.
+  /// Recomputes the high watermark (min across followers).
+  void UpdateFollower(NodeId follower, uint64_t upto);
+
+  /// Sizes of what Fetch(from, max_bytes) would return, without copying
+  /// bytes. Used by the DES (only sizes are needed for the cost model).
+  struct PeekResult {
+    uint64_t batches = 0;
+    uint64_t records = 0;
+    size_t bytes = 0;
+    uint64_t next_offset = 0;  // offset after the returned batches
+  };
+  [[nodiscard]] PeekResult PeekFetch(uint64_t from, size_t max_bytes,
+                                     uint64_t max_batches = ~uint64_t{0},
+                                     bool below_hw_only = false) const;
+
+  [[nodiscard]] uint64_t end_offset() const;
+  [[nodiscard]] uint64_t high_watermark() const;
+  [[nodiscard]] uint64_t records_below_hw() const;
+
+  /// Drops batches below `before` (consumed and replicated) to bound
+  /// memory in long runs.
+  size_t Trim(uint64_t before);
+
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t fetches_served = 0;
+    uint64_t bytes_fetched = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Batch> batches_;
+  uint64_t base_offset_ = 0;  // offset of batches_.front()
+  uint64_t end_offset_ = 0;
+  uint64_t high_watermark_ = 0;
+  uint64_t records_below_hw_ = 0;
+  std::map<NodeId, uint64_t> follower_offsets_;
+  mutable Stats stats_;
+};
+
+}  // namespace kera::kafka

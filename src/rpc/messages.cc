@@ -1,0 +1,384 @@
+#include "rpc/messages.h"
+
+namespace kera::rpc {
+
+std::vector<std::byte> Frame(Opcode op, const Writer& body) {
+  Writer frame(body.size() + 2);
+  frame.U16(uint16_t(op));
+  frame.Raw(body.View().data(), body.View().size());
+  return std::move(frame).Take();
+}
+
+Status ParseFrame(std::span<const std::byte> frame, Opcode& op,
+                  std::span<const std::byte>& body) {
+  if (frame.size() < 2) {
+    return Status(StatusCode::kCorruption, "rpc: short frame");
+  }
+  uint16_t raw;
+  Reader r(frame);
+  KERA_RETURN_IF_ERROR(r.U16(raw));
+  op = Opcode(raw);
+  body = frame.subspan(2);
+  return OkStatus();
+}
+
+
+namespace {
+/// Guards vector reservations against hostile counts: a decoded element
+/// count is only plausible if at least `min_element_bytes` per element
+/// remain in the buffer.
+[[nodiscard]] Status CheckCount(const Reader& r, uint32_t n,
+                                size_t min_element_bytes) {
+  if (size_t(n) * min_element_bytes > r.remaining()) {
+    return Status(StatusCode::kCorruption, "rpc: implausible element count");
+  }
+  return OkStatus();
+}
+}  // namespace
+
+// ---------------------------------------------------------------- produce
+
+void ProduceRequest::Encode(Writer& w) const {
+  w.U32(producer);
+  w.U64(stream);
+  w.Bool(recovery);
+  w.U32(uint32_t(chunks.size()));
+  for (const auto& c : chunks) w.Bytes(c);
+}
+
+Result<ProduceRequest> ProduceRequest::Decode(Reader& r) {
+  ProduceRequest req;
+  uint32_t n = 0;
+  KERA_RETURN_IF_ERROR(r.U32(req.producer));
+  KERA_RETURN_IF_ERROR(r.U64(req.stream));
+  KERA_RETURN_IF_ERROR(r.Bool(req.recovery));
+  KERA_RETURN_IF_ERROR(r.U32(n));
+  KERA_RETURN_IF_ERROR(CheckCount(r, n, 4));  // length prefix per chunk
+  req.chunks.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::span<const std::byte> c;
+    KERA_RETURN_IF_ERROR(r.Bytes(c));
+    req.chunks.push_back(c);
+  }
+  return req;
+}
+
+void ProduceResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  w.U32(appended);
+  w.U32(duplicates);
+}
+
+Result<ProduceResponse> ProduceResponse::Decode(Reader& r) {
+  ProduceResponse resp;
+  uint8_t code = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(r.U32(resp.appended));
+  KERA_RETURN_IF_ERROR(r.U32(resp.duplicates));
+  return resp;
+}
+
+// ---------------------------------------------------------------- consume
+
+void ConsumeRequest::Encode(Writer& w) const {
+  w.U64(stream);
+  w.U32(max_bytes);
+  w.U32(uint32_t(entries.size()));
+  for (const auto& e : entries) {
+    w.U32(e.streamlet);
+    w.U32(e.group);
+    w.U64(e.start_chunk);
+    w.U32(e.max_chunks);
+  }
+}
+
+Result<ConsumeRequest> ConsumeRequest::Decode(Reader& r) {
+  ConsumeRequest req;
+  uint32_t n = 0;
+  KERA_RETURN_IF_ERROR(r.U64(req.stream));
+  KERA_RETURN_IF_ERROR(r.U32(req.max_bytes));
+  KERA_RETURN_IF_ERROR(r.U32(n));
+  KERA_RETURN_IF_ERROR(CheckCount(r, n, 20));  // fixed entry size
+  req.entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ConsumeEntryRequest e;
+    KERA_RETURN_IF_ERROR(r.U32(e.streamlet));
+    KERA_RETURN_IF_ERROR(r.U32(e.group));
+    KERA_RETURN_IF_ERROR(r.U64(e.start_chunk));
+    KERA_RETURN_IF_ERROR(r.U32(e.max_chunks));
+    req.entries.push_back(e);
+  }
+  return req;
+}
+
+void ConsumeResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  w.U32(uint32_t(entries.size()));
+  for (const auto& e : entries) {
+    w.U32(e.streamlet);
+    w.U32(e.group);
+    w.U64(e.next_chunk);
+    w.Bool(e.group_exists);
+    w.Bool(e.group_closed);
+    w.Bool(e.stream_sealed);
+    w.U32(e.groups_created);
+    w.U32(uint32_t(e.chunks.size()));
+    for (const auto& c : e.chunks) w.Bytes(c);
+  }
+}
+
+Result<ConsumeResponse> ConsumeResponse::Decode(Reader& r) {
+  ConsumeResponse resp;
+  uint8_t code = 0;
+  uint32_t n = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(r.U32(n));
+  KERA_RETURN_IF_ERROR(CheckCount(r, n, 22));
+  resp.entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ConsumeEntryResponse e;
+    uint32_t nchunks = 0;
+    KERA_RETURN_IF_ERROR(r.U32(e.streamlet));
+    KERA_RETURN_IF_ERROR(r.U32(e.group));
+    KERA_RETURN_IF_ERROR(r.U64(e.next_chunk));
+    KERA_RETURN_IF_ERROR(r.Bool(e.group_exists));
+    KERA_RETURN_IF_ERROR(r.Bool(e.group_closed));
+    KERA_RETURN_IF_ERROR(r.Bool(e.stream_sealed));
+    KERA_RETURN_IF_ERROR(r.U32(e.groups_created));
+    KERA_RETURN_IF_ERROR(r.U32(nchunks));
+    KERA_RETURN_IF_ERROR(CheckCount(r, nchunks, 4));
+    e.chunks.reserve(nchunks);
+    for (uint32_t j = 0; j < nchunks; ++j) {
+      std::span<const std::byte> c;
+      KERA_RETURN_IF_ERROR(r.Bytes(c));
+      e.chunks.push_back(c);
+    }
+    resp.entries.push_back(std::move(e));
+  }
+  return resp;
+}
+
+// ----------------------------------------------------------- coordinator
+
+namespace {
+void EncodeOptions(Writer& w, const StreamOptions& o) {
+  w.U32(o.num_streamlets);
+  w.U32(o.active_groups_per_streamlet);
+  w.U32(o.replication_factor);
+  w.U8(uint8_t(o.vlog_policy));
+}
+
+Status DecodeOptions(Reader& r, StreamOptions& o) {
+  uint8_t policy = 0;
+  KERA_RETURN_IF_ERROR(r.U32(o.num_streamlets));
+  KERA_RETURN_IF_ERROR(r.U32(o.active_groups_per_streamlet));
+  KERA_RETURN_IF_ERROR(r.U32(o.replication_factor));
+  KERA_RETURN_IF_ERROR(r.U8(policy));
+  o.vlog_policy = VlogPolicy(policy);
+  return OkStatus();
+}
+
+void EncodeInfo(Writer& w, const StreamInfo& info) {
+  w.U64(info.stream);
+  EncodeOptions(w, info.options);
+  w.Bool(info.sealed);
+  w.U32(uint32_t(info.streamlet_brokers.size()));
+  for (NodeId n : info.streamlet_brokers) w.U32(n);
+}
+
+Status DecodeInfo(Reader& r, StreamInfo& info) {
+  uint32_t n = 0;
+  KERA_RETURN_IF_ERROR(r.U64(info.stream));
+  KERA_RETURN_IF_ERROR(DecodeOptions(r, info.options));
+  KERA_RETURN_IF_ERROR(r.Bool(info.sealed));
+  KERA_RETURN_IF_ERROR(r.U32(n));
+  KERA_RETURN_IF_ERROR(CheckCount(r, n, 4));
+  info.streamlet_brokers.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KERA_RETURN_IF_ERROR(r.U32(info.streamlet_brokers[i]));
+  }
+  return OkStatus();
+}
+}  // namespace
+
+void CreateStreamRequest::Encode(Writer& w) const {
+  w.Str(name);
+  EncodeOptions(w, options);
+}
+
+Result<CreateStreamRequest> CreateStreamRequest::Decode(Reader& r) {
+  CreateStreamRequest req;
+  KERA_RETURN_IF_ERROR(r.Str(req.name));
+  KERA_RETURN_IF_ERROR(DecodeOptions(r, req.options));
+  return req;
+}
+
+void CreateStreamResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  EncodeInfo(w, info);
+}
+
+Result<CreateStreamResponse> CreateStreamResponse::Decode(Reader& r) {
+  CreateStreamResponse resp;
+  uint8_t code = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(DecodeInfo(r, resp.info));
+  return resp;
+}
+
+void GetStreamInfoRequest::Encode(Writer& w) const { w.Str(name); }
+
+Result<GetStreamInfoRequest> GetStreamInfoRequest::Decode(Reader& r) {
+  GetStreamInfoRequest req;
+  KERA_RETURN_IF_ERROR(r.Str(req.name));
+  return req;
+}
+
+void GetStreamInfoResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  EncodeInfo(w, info);
+}
+
+Result<GetStreamInfoResponse> GetStreamInfoResponse::Decode(Reader& r) {
+  GetStreamInfoResponse resp;
+  uint8_t code = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(DecodeInfo(r, resp.info));
+  return resp;
+}
+
+void SealStreamRequest::Encode(Writer& w) const { w.Str(name); }
+
+Result<SealStreamRequest> SealStreamRequest::Decode(Reader& r) {
+  SealStreamRequest req;
+  KERA_RETURN_IF_ERROR(r.Str(req.name));
+  return req;
+}
+
+void SealStreamResponse::Encode(Writer& w) const { w.U8(uint8_t(status)); }
+
+Result<SealStreamResponse> SealStreamResponse::Decode(Reader& r) {
+  SealStreamResponse resp;
+  uint8_t code = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  return resp;
+}
+
+// ------------------------------------------------------------- replicate
+
+void ReplicateRequest::Encode(Writer& w) const {
+  w.U32(primary);
+  w.U32(vlog);
+  w.U64(vseg);
+  w.U64(start_offset);
+  w.U32(chunk_count);
+  w.U32(checksum_after);
+  w.Bool(seals);
+  w.Bytes(payload);
+}
+
+Result<ReplicateRequest> ReplicateRequest::Decode(Reader& r) {
+  ReplicateRequest req;
+  KERA_RETURN_IF_ERROR(r.U32(req.primary));
+  KERA_RETURN_IF_ERROR(r.U32(req.vlog));
+  KERA_RETURN_IF_ERROR(r.U64(req.vseg));
+  KERA_RETURN_IF_ERROR(r.U64(req.start_offset));
+  KERA_RETURN_IF_ERROR(r.U32(req.chunk_count));
+  KERA_RETURN_IF_ERROR(r.U32(req.checksum_after));
+  KERA_RETURN_IF_ERROR(r.Bool(req.seals));
+  KERA_RETURN_IF_ERROR(r.Bytes(req.payload));
+  return req;
+}
+
+void ReplicateResponse::Encode(Writer& w) const { w.U8(uint8_t(status)); }
+
+Result<ReplicateResponse> ReplicateResponse::Decode(Reader& r) {
+  ReplicateResponse resp;
+  uint8_t code = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  return resp;
+}
+
+// --------------------------------------------------------------- recovery
+
+void ListRecoverySegmentsRequest::Encode(Writer& w) const { w.U32(crashed); }
+
+Result<ListRecoverySegmentsRequest> ListRecoverySegmentsRequest::Decode(
+    Reader& r) {
+  ListRecoverySegmentsRequest req;
+  KERA_RETURN_IF_ERROR(r.U32(req.crashed));
+  return req;
+}
+
+void ListRecoverySegmentsResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  w.U32(uint32_t(segments.size()));
+  for (const auto& s : segments) {
+    w.U32(s.primary);
+    w.U32(s.vlog);
+    w.U64(s.vseg);
+    w.U32(s.chunk_count);
+    w.Bool(s.sealed);
+  }
+}
+
+Result<ListRecoverySegmentsResponse> ListRecoverySegmentsResponse::Decode(
+    Reader& r) {
+  ListRecoverySegmentsResponse resp;
+  uint8_t code = 0;
+  uint32_t n = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(r.U32(n));
+  KERA_RETURN_IF_ERROR(CheckCount(r, n, 21));
+  resp.segments.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto& s = resp.segments[i];
+    KERA_RETURN_IF_ERROR(r.U32(s.primary));
+    KERA_RETURN_IF_ERROR(r.U32(s.vlog));
+    KERA_RETURN_IF_ERROR(r.U64(s.vseg));
+    KERA_RETURN_IF_ERROR(r.U32(s.chunk_count));
+    KERA_RETURN_IF_ERROR(r.Bool(s.sealed));
+  }
+  return resp;
+}
+
+void ReadRecoverySegmentRequest::Encode(Writer& w) const {
+  w.U32(crashed);
+  w.U32(vlog);
+  w.U64(vseg);
+}
+
+Result<ReadRecoverySegmentRequest> ReadRecoverySegmentRequest::Decode(
+    Reader& r) {
+  ReadRecoverySegmentRequest req;
+  KERA_RETURN_IF_ERROR(r.U32(req.crashed));
+  KERA_RETURN_IF_ERROR(r.U32(req.vlog));
+  KERA_RETURN_IF_ERROR(r.U64(req.vseg));
+  return req;
+}
+
+void ReadRecoverySegmentResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  w.U32(chunk_count);
+  w.Bytes(payload);
+}
+
+Result<ReadRecoverySegmentResponse> ReadRecoverySegmentResponse::Decode(
+    Reader& r) {
+  ReadRecoverySegmentResponse resp;
+  uint8_t code = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(r.U32(resp.chunk_count));
+  KERA_RETURN_IF_ERROR(r.Bytes(resp.payload));
+  return resp;
+}
+
+}  // namespace kera::rpc

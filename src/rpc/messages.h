@@ -1,0 +1,241 @@
+// RPC message definitions for client<->broker, broker<->backup and
+// coordinator traffic. Every message has Encode(Writer&) and a static
+// Decode(Reader&); chunk payloads are carried as zero-copy spans into the
+// request buffer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rpc/serialize.h"
+
+namespace kera::rpc {
+
+enum class Opcode : uint16_t {
+  kProduce = 1,
+  kConsume = 2,
+  kCreateStream = 3,
+  kGetStreamInfo = 4,
+  kReplicate = 5,
+  kListRecoverySegments = 6,
+  kReadRecoverySegment = 7,
+  kSealStream = 8,
+};
+
+/// Builds a full request frame: u16 opcode then the encoded body.
+[[nodiscard]] std::vector<std::byte> Frame(Opcode op, const Writer& body);
+
+/// Splits a request frame into opcode + body span.
+[[nodiscard]] Status ParseFrame(std::span<const std::byte> frame, Opcode& op,
+                                std::span<const std::byte>& body);
+
+// ---------------------------------------------------------------- produce
+
+struct ProduceRequest {
+  ProducerId producer = 0;
+  StreamId stream = 0;
+  /// Recovery replay: chunks carry their original [group, segment, index]
+  /// attributes and must be re-ingested into their respective groups so
+  /// the partition structure is reconstructed consistently (§IV.B).
+  bool recovery = false;
+  /// Full chunk frames (56-byte chunk header + payload) — the broker
+  /// appends these bytes to group segments without re-encoding.
+  std::vector<std::span<const std::byte>> chunks;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ProduceRequest> Decode(Reader& r);
+};
+
+struct ProduceResponse {
+  StatusCode status = StatusCode::kOk;
+  uint32_t appended = 0;    // chunks newly appended and durably replicated
+  uint32_t duplicates = 0;  // chunks dropped by exactly-once dedup
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ProduceResponse> Decode(Reader& r);
+};
+
+// ---------------------------------------------------------------- consume
+
+struct ConsumeEntryRequest {
+  StreamletId streamlet = 0;
+  GroupId group = 0;
+  uint64_t start_chunk = 0;  // first group_chunk_index wanted
+  uint32_t max_chunks = 1;
+};
+
+struct ConsumeRequest {
+  StreamId stream = 0;
+  uint32_t max_bytes = 1u << 20;
+  std::vector<ConsumeEntryRequest> entries;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ConsumeRequest> Decode(Reader& r);
+};
+
+struct ConsumeEntryResponse {
+  StreamletId streamlet = 0;
+  GroupId group = 0;
+  uint64_t next_chunk = 0;   // cursor after the returned chunks
+  bool group_exists = false; // group not created yet -> retry later
+  bool group_closed = false; // true + drained => advance to next group id
+  bool stream_sealed = false;  // bounded stream: no group will ever follow
+  uint32_t groups_created = 0;  // streamlet's group count so far (groups
+                                // are independently consumable units)
+  std::vector<std::span<const std::byte>> chunks;  // full chunk frames
+};
+
+struct ConsumeResponse {
+  StatusCode status = StatusCode::kOk;
+  std::vector<ConsumeEntryResponse> entries;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ConsumeResponse> Decode(Reader& r);
+};
+
+// ----------------------------------------------------------- coordinator
+
+/// How virtual logs are associated with a stream's partitions (§V):
+enum class VlogPolicy : uint8_t {
+  /// All streams on a broker share the broker's pool of N virtual logs
+  /// (streamlet hashes into the pool). Figures 8, 10, 12-16.
+  kSharedPerBroker = 0,
+  /// One virtual log per (streamlet, active-group slot): mimics Kafka's
+  /// one-log-per-partition when Q == 1; Figures 9, 11, 17-21.
+  kPerSubPartition = 1,
+};
+
+struct StreamOptions {
+  uint32_t num_streamlets = 1;
+  uint32_t active_groups_per_streamlet = 1;  // Q
+  uint32_t replication_factor = 1;
+  VlogPolicy vlog_policy = VlogPolicy::kSharedPerBroker;
+};
+
+struct CreateStreamRequest {
+  std::string name;
+  StreamOptions options;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<CreateStreamRequest> Decode(Reader& r);
+};
+
+struct StreamInfo {
+  StreamId stream = 0;
+  StreamOptions options;
+  /// Bounded stream ("object", §IV.A): sealed streams accept no appends.
+  bool sealed = false;
+  /// Broker (leader) for each streamlet, indexed by StreamletId.
+  std::vector<NodeId> streamlet_brokers;
+};
+
+struct CreateStreamResponse {
+  StatusCode status = StatusCode::kOk;
+  StreamInfo info;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<CreateStreamResponse> Decode(Reader& r);
+};
+
+struct GetStreamInfoRequest {
+  std::string name;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<GetStreamInfoRequest> Decode(Reader& r);
+};
+
+struct GetStreamInfoResponse {
+  StatusCode status = StatusCode::kOk;
+  StreamInfo info;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<GetStreamInfoResponse> Decode(Reader& r);
+};
+
+/// Seals a stream, turning it into a bounded object: producers are
+/// rejected afterwards and consumers observe end-of-stream once drained.
+struct SealStreamRequest {
+  std::string name;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<SealStreamRequest> Decode(Reader& r);
+};
+
+struct SealStreamResponse {
+  StatusCode status = StatusCode::kOk;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<SealStreamResponse> Decode(Reader& r);
+};
+
+// ------------------------------------------------------------- replicate
+
+struct ReplicateRequest {
+  NodeId primary = 0;  // broker that owns the virtual log
+  VlogId vlog = 0;
+  VirtualSegmentId vseg = 0;
+  uint64_t start_offset = 0;  // byte offset within the replicated segment
+  uint32_t chunk_count = 0;
+  uint32_t checksum_after = 0;  // virtual segment header checksum after batch
+  bool seals = false;           // virtual segment is complete after batch
+  std::span<const std::byte> payload;  // concatenated chunk frames
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ReplicateRequest> Decode(Reader& r);
+};
+
+struct ReplicateResponse {
+  StatusCode status = StatusCode::kOk;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ReplicateResponse> Decode(Reader& r);
+};
+
+// --------------------------------------------------------------- recovery
+
+struct RecoverySegmentDescriptor {
+  NodeId primary = 0;
+  VlogId vlog = 0;
+  VirtualSegmentId vseg = 0;
+  uint32_t chunk_count = 0;
+  bool sealed = false;
+};
+
+struct ListRecoverySegmentsRequest {
+  NodeId crashed = 0;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ListRecoverySegmentsRequest> Decode(Reader& r);
+};
+
+struct ListRecoverySegmentsResponse {
+  StatusCode status = StatusCode::kOk;
+  std::vector<RecoverySegmentDescriptor> segments;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ListRecoverySegmentsResponse> Decode(Reader& r);
+};
+
+struct ReadRecoverySegmentRequest {
+  NodeId crashed = 0;
+  VlogId vlog = 0;
+  VirtualSegmentId vseg = 0;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ReadRecoverySegmentRequest> Decode(Reader& r);
+};
+
+struct ReadRecoverySegmentResponse {
+  StatusCode status = StatusCode::kOk;
+  uint32_t chunk_count = 0;
+  std::span<const std::byte> payload;  // concatenated chunk frames
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ReadRecoverySegmentResponse> Decode(Reader& r);
+};
+
+}  // namespace kera::rpc

@@ -1,0 +1,73 @@
+// Bounds-checked flat binary serialization for RPC messages. The client
+// and broker share this format (paper: shared binary data format so data
+// is appended/traversed without extra copies — chunk payloads are carried
+// as opaque byte runs and never re-encoded).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kera::rpc {
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(size_t reserve) { buf_.reserve(reserve); }
+
+  void U8(uint8_t v) { buf_.push_back(std::byte(v)); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  /// Length-prefixed byte run.
+  void Bytes(std::span<const std::byte> data) {
+    U32(uint32_t(data.size()));
+    Raw(data.data(), data.size());
+  }
+  void Str(std::string_view s) {
+    Bytes({reinterpret_cast<const std::byte*>(s.data()), s.size()});
+  }
+
+  /// Raw bytes without a length prefix (caller encodes the length).
+  void Raw(const void* data, size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  [[nodiscard]] std::vector<std::byte> Take() && { return std::move(buf_); }
+  [[nodiscard]] std::span<const std::byte> View() const { return buf_; }
+  [[nodiscard]] size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] Status U8(uint8_t& v);
+  [[nodiscard]] Status U16(uint16_t& v);
+  [[nodiscard]] Status U32(uint32_t& v);
+  [[nodiscard]] Status U64(uint64_t& v);
+  [[nodiscard]] Status Bool(bool& v);
+  /// Zero-copy: the returned span aliases the request buffer.
+  [[nodiscard]] Status Bytes(std::span<const std::byte>& out);
+  [[nodiscard]] Status Str(std::string& out);
+
+  [[nodiscard]] size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool AtEnd() const { return remaining() == 0; }
+
+ private:
+  [[nodiscard]] Status Need(size_t n);
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace kera::rpc

@@ -1,0 +1,166 @@
+#include "rpc/transport.h"
+
+namespace kera::rpc {
+
+// ---------------------------------------------------------- DirectNetwork
+
+void DirectNetwork::Register(NodeId node, RpcHandler* handler) {
+  handlers_[node] = handler;
+}
+
+void DirectNetwork::Crash(NodeId node) { handlers_.erase(node); }
+
+void DirectNetwork::Restore(NodeId node, RpcHandler* handler) {
+  handlers_[node] = handler;
+}
+
+Result<std::vector<std::byte>> DirectNetwork::Call(
+    NodeId to, std::span<const std::byte> request) {
+  auto it = handlers_.find(to);
+  if (it == handlers_.end()) {
+    return Status(StatusCode::kUnavailable, "node down");
+  }
+  ++stats_.calls;
+  stats_.bytes_sent += request.size();
+  std::vector<std::byte> response = it->second->HandleRpc(request);
+  stats_.bytes_received += response.size();
+  return response;
+}
+
+std::future<Result<std::vector<std::byte>>> DirectNetwork::CallAsync(
+    NodeId to, std::span<const std::byte> request) {
+  std::promise<Result<std::vector<std::byte>>> promise;
+  promise.set_value(Call(to, request));
+  return promise.get_future();
+}
+
+// --------------------------------------------------------- FlakyNetwork
+
+FlakyNetwork::FlakyNetwork(Network& inner, Options options)
+    : inner_(inner), options_(options), rng_state_(options.seed) {}
+
+Result<std::vector<std::byte>> FlakyNetwork::Call(
+    NodeId to, std::span<const std::byte> request) {
+  auto next_double = [this] {
+    // splitmix64 -> [0,1)
+    uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return double(z >> 11) * (1.0 / (uint64_t(1) << 53));
+  };
+  bool drop_req;
+  bool drop_resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.calls;
+    drop_req = next_double() < options_.drop_request;
+    drop_resp = next_double() < options_.drop_response;
+    if (drop_req) ++stats_.dropped_requests;
+  }
+  if (drop_req) {
+    return Status(StatusCode::kUnavailable, "injected request drop");
+  }
+  auto result = inner_.Call(to, request);
+  if (result.ok() && drop_resp) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.dropped_responses;
+    return Status(StatusCode::kUnavailable, "injected response drop");
+  }
+  return result;
+}
+
+std::future<Result<std::vector<std::byte>>> FlakyNetwork::CallAsync(
+    NodeId to, std::span<const std::byte> request) {
+  std::promise<Result<std::vector<std::byte>>> promise;
+  promise.set_value(Call(to, request));
+  return promise.get_future();
+}
+
+FlakyNetwork::Stats FlakyNetwork::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// -------------------------------------------------------- ThreadedNetwork
+
+ThreadedNetwork::ThreadedNetwork(int workers_per_node)
+    : workers_per_node_(workers_per_node) {}
+
+ThreadedNetwork::~ThreadedNetwork() { Shutdown(); }
+
+void ThreadedNetwork::Register(NodeId node, RpcHandler* handler) {
+  auto state = std::make_unique<NodeState>();
+  state->handler = handler;
+  NodeState* raw = state.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_[node] = std::move(state);
+  }
+  for (int i = 0; i < workers_per_node_; ++i) {
+    raw->workers.emplace_back([raw] {
+      while (auto work = raw->queue.Pop()) {
+        if (raw->crashed.load(std::memory_order_acquire)) {
+          (*work)->promise.set_value(
+              Status(StatusCode::kUnavailable, "node crashed"));
+          continue;
+        }
+        (*work)->promise.set_value(raw->handler->HandleRpc((*work)->request));
+      }
+    });
+  }
+}
+
+void ThreadedNetwork::Crash(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  if (it != nodes_.end()) {
+    it->second->crashed.store(true, std::memory_order_release);
+  }
+}
+
+std::future<Result<std::vector<std::byte>>> ThreadedNetwork::CallAsync(
+    NodeId to, std::span<const std::byte> request) {
+  NodeState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(to);
+    if (it != nodes_.end() &&
+        !it->second->crashed.load(std::memory_order_acquire)) {
+      state = it->second.get();
+    }
+  }
+  if (state == nullptr) {
+    std::promise<Result<std::vector<std::byte>>> promise;
+    promise.set_value(Status(StatusCode::kUnavailable, "node down"));
+    return promise.get_future();
+  }
+  auto work = std::make_unique<Work>();
+  work->request.assign(request.begin(), request.end());
+  auto future = work->promise.get_future();
+  state->queue.Push(std::move(work));
+  return future;
+}
+
+Result<std::vector<std::byte>> ThreadedNetwork::Call(
+    NodeId to, std::span<const std::byte> request) {
+  return CallAsync(to, request).get();
+}
+
+void ThreadedNetwork::Shutdown() {
+  std::map<NodeId, std::unique_ptr<NodeState>> nodes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    nodes.swap(nodes_);
+  }
+  for (auto& [_, state] : nodes) {
+    state->queue.Shutdown();
+  }
+  for (auto& [_, state] : nodes) {
+    for (auto& t : state->workers) t.join();
+  }
+}
+
+}  // namespace kera::rpc

@@ -1,0 +1,152 @@
+// Transport layer: how RPC frames move between nodes.
+//
+// Deployments:
+//  - DirectNetwork: synchronous in-process dispatch; deterministic, used
+//    by unit tests and by the DES harness (which adds its own timing).
+//  - ThreadedNetwork: RAMCloud-style dispatch/worker threading — each node
+//    has a request queue and a pool of worker threads; callers get
+//    futures. Used by the MiniCluster and the examples.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace kera::rpc {
+
+/// A node-resident service that handles raw RPC frames.
+class RpcHandler {
+ public:
+  virtual ~RpcHandler() = default;
+  /// Handles one framed request (opcode + body) and returns the framed
+  /// response body. Must be thread-safe in threaded deployments.
+  [[nodiscard]] virtual std::vector<std::byte> HandleRpc(
+      std::span<const std::byte> request) = 0;
+};
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Synchronous call; kUnavailable if the node is not registered (or has
+  /// been "crashed" by a fault-injection test).
+  [[nodiscard]] virtual Result<std::vector<std::byte>> Call(
+      NodeId to, std::span<const std::byte> request) = 0;
+
+  /// Asynchronous call (parallel replication to multiple backups).
+  [[nodiscard]] virtual std::future<Result<std::vector<std::byte>>> CallAsync(
+      NodeId to, std::span<const std::byte> request) = 0;
+};
+
+/// Synchronous direct-dispatch network. Registration is not thread-safe;
+/// do it before issuing calls. Crash(node) makes subsequent calls fail
+/// with kUnavailable (fault injection).
+class DirectNetwork final : public Network {
+ public:
+  void Register(NodeId node, RpcHandler* handler);
+  void Crash(NodeId node);
+  void Restore(NodeId node, RpcHandler* handler);
+
+  Result<std::vector<std::byte>> Call(
+      NodeId to, std::span<const std::byte> request) override;
+  std::future<Result<std::vector<std::byte>>> CallAsync(
+      NodeId to, std::span<const std::byte> request) override;
+
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+  };
+  [[nodiscard]] Stats GetStats() const { return stats_; }
+
+ private:
+  std::map<NodeId, RpcHandler*> handlers_;
+  Stats stats_;
+};
+
+/// Fault-injection decorator: fails a configurable fraction of calls with
+/// kUnavailable (before delivery — the request is lost, as with a dropped
+/// TCP connection) or after delivery (the response is lost: the handler
+/// ran but the caller sees a failure, which is how duplicate
+/// retransmissions arise). Deterministic given the seed.
+class FlakyNetwork final : public Network {
+ public:
+  struct Options {
+    /// Probability a call is dropped before reaching the handler.
+    double drop_request = 0.0;
+    /// Probability the response is lost after the handler ran.
+    double drop_response = 0.0;
+    uint64_t seed = 1;
+  };
+  FlakyNetwork(Network& inner, Options options);
+
+  Result<std::vector<std::byte>> Call(
+      NodeId to, std::span<const std::byte> request) override;
+  std::future<Result<std::vector<std::byte>>> CallAsync(
+      NodeId to, std::span<const std::byte> request) override;
+
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t dropped_requests = 0;
+    uint64_t dropped_responses = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+ private:
+  Network& inner_;
+  const Options options_;
+  mutable std::mutex mu_;
+  uint64_t rng_state_;
+  Stats stats_;
+};
+
+/// Dispatch/worker threaded network: each registered node owns a request
+/// queue and `workers` threads draining it.
+class ThreadedNetwork final : public Network {
+ public:
+  explicit ThreadedNetwork(int workers_per_node = 4);
+  ~ThreadedNetwork() override;
+
+  ThreadedNetwork(const ThreadedNetwork&) = delete;
+  ThreadedNetwork& operator=(const ThreadedNetwork&) = delete;
+
+  void Register(NodeId node, RpcHandler* handler);
+
+  /// Fault injection: stop serving a node. In-flight requests complete;
+  /// new calls fail with kUnavailable.
+  void Crash(NodeId node);
+
+  Result<std::vector<std::byte>> Call(
+      NodeId to, std::span<const std::byte> request) override;
+  std::future<Result<std::vector<std::byte>>> CallAsync(
+      NodeId to, std::span<const std::byte> request) override;
+
+  void Shutdown();
+
+ private:
+  struct Work {
+    std::vector<std::byte> request;
+    std::promise<Result<std::vector<std::byte>>> promise;
+  };
+  struct NodeState {
+    RpcHandler* handler = nullptr;
+    BlockingQueue<std::unique_ptr<Work>> queue;
+    std::vector<std::thread> workers;
+    std::atomic<bool> crashed{false};
+  };
+
+  const int workers_per_node_;
+  mutable std::mutex mu_;
+  std::map<NodeId, std::unique_ptr<NodeState>> nodes_;
+  bool shutdown_ = false;
+};
+
+}  // namespace kera::rpc

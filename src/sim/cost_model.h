@@ -1,0 +1,146 @@
+// Cost model for the simulated cluster, standing in for the paper's
+// Grid5000 Paravance testbed (4 nodes x 16 cores, 10 GbE). Constants were
+// calibrated so the simulated KerA/Kafka anchor points land near the
+// paper's reported magnitudes (e.g. ~1.8 M rec/s for 512 streams, R3, one
+// virtual log; ~8 M rec/s for the throughput-optimized configuration);
+// the claims we make are about shapes — who wins, where crossovers fall —
+// not absolute records/s.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/event_sim.h"
+
+namespace kera::sim {
+
+struct CostModel {
+  // ----- topology -----
+  uint32_t cores_per_node = 16;  // broker + backup services share these
+  /// Effective NIC bandwidth, modeled as ONE serializing channel per node
+  /// (ingress + egress share it). With R3 + concurrent consumers a node
+  /// moves ~6x the ingest rate through its NIC, which is what produces
+  /// the ~8.3 M records/s cluster plateau the paper reports (Figs 18-19).
+  double network_bandwidth_gbps = 10.0;
+  double network_latency_us = 15.0;  // one-way propagation + kernel
+
+  // ----- dispatch thread (RAMCloud threading model) -----
+  // Every node runs ONE dispatch thread that polls the transports and
+  // hands requests to workers; every RPC event serializes through it
+  // (payload bytes move via scatter/gather, so the per-KB share is low).
+  // This single core is the structural bottleneck that makes the *number*
+  // of replication RPCs matter — exactly the knob the virtual log
+  // consolidates.
+  double dispatch_fixed_us = 2.5;   // per RPC event (in or out)
+  double dispatch_per_kb_us = 0.1;  // header/doorbell handling per KB
+
+  // ----- request processing on broker cores -----
+  double produce_rpc_fixed_us = 12.0;   // dispatch, parse, respond
+  double per_chunk_append_us = 1.5;     // streamlet/group lookup + index +
+                                        // vlog reference append
+  double per_kb_append_us = 0.30;       // copy-in + checksum per KB
+  double consume_rpc_fixed_us = 10.0;
+  double per_chunk_consume_us = 0.6;
+  double per_kb_consume_us = 0.15;
+
+  // ----- replication (KerA active push) -----
+  double replication_rpc_fixed_us = 14.0;  // primary: gather + send one RPC
+  double backup_rpc_fixed_us = 10.0;       // backup: dispatch + bookkeeping
+  double per_chunk_backup_us = 1.0;        // backup per-chunk verify/index
+  double per_kb_backup_us = 0.25;          // backup copy-in per KB
+
+  // ----- Kafka-model costs -----
+  // The paper's architectural contrast: each Kafka partition is an
+  // INDEPENDENT replicated log with its own segment files, offset index
+  // and replica bookkeeping, so the leader pays a per-partition-batch
+  // cost on every produce/fetch, where KerA appends a chunk with one
+  // memcpy plus a virtual-log reference ("reducing the extra indexing
+  // overhead", §III).
+  double kafka_batch_append_us = 15.0;   // leader per partition batch
+  double fetch_rpc_fixed_us = 14.0;      // leader-side fetch handling
+  double kafka_fetch_per_batch_us = 5.0; // leader per batch served
+  double follower_apply_fixed_us = 8.0;  // follower-side fetch response
+  double kafka_follower_per_batch_us = 10.0;  // follower log append/index
+  double per_kb_fetch_us = 0.25;
+  double fetch_backoff_us = 300.0;       // poll cadence when caught up
+                                         // (static tuning, paper's point)
+  /// Partitions one replica-fetcher RPC covers (each partition is still
+  /// an independent log with its own bookkeeping; the fetcher batches the
+  /// network round-trips, as Kafka's fetcher threads do).
+  uint32_t kafka_partitions_per_fetch = 8;
+
+  // ----- clients -----
+  double client_request_overhead_us = 6.0;  // build/send/parse per request
+  double client_per_chunk_us = 3.0;  // chunk alloc/seal/recycle on the
+                                     // source+requests threads
+  /// Records/s one producer source thread can generate (bounds a single
+  /// client; the paper's producers are one source + one requests thread).
+  double source_records_per_sec = 3.0e6;
+
+  [[nodiscard]] SimTime NetworkDelay(size_t bytes) const {
+    double us = network_latency_us +
+                double(bytes) * 8.0 / (network_bandwidth_gbps * 1e3);
+    return FromUs(us);
+  }
+
+  [[nodiscard]] SimTime ProduceServiceTime(size_t chunks,
+                                           size_t bytes) const {
+    return FromUs(produce_rpc_fixed_us + per_chunk_append_us * double(chunks) +
+                  per_kb_append_us * double(bytes) / 1024.0);
+  }
+
+  /// Kafka leader produce: per-partition-batch bookkeeping on independent
+  /// replicated logs (vs ProduceServiceTime's per-chunk KerA path).
+  [[nodiscard]] SimTime KafkaProduceServiceTime(size_t batches,
+                                                size_t bytes) const {
+    return FromUs(produce_rpc_fixed_us +
+                  kafka_batch_append_us * double(batches) +
+                  per_kb_append_us * double(bytes) / 1024.0);
+  }
+
+  [[nodiscard]] SimTime ReplicationSendTime(size_t bytes) const {
+    (void)bytes;  // gather cost folded into the fixed term
+    return FromUs(replication_rpc_fixed_us);
+  }
+
+  [[nodiscard]] SimTime BackupServiceTime(size_t chunks, size_t bytes) const {
+    return FromUs(backup_rpc_fixed_us + per_chunk_backup_us * double(chunks) +
+                  per_kb_backup_us * double(bytes) / 1024.0);
+  }
+
+  [[nodiscard]] SimTime ConsumeServiceTime(size_t chunks,
+                                           size_t bytes) const {
+    return FromUs(consume_rpc_fixed_us +
+                  per_chunk_consume_us * double(chunks) +
+                  per_kb_consume_us * double(bytes) / 1024.0);
+  }
+
+  [[nodiscard]] SimTime FetchServiceTime(size_t batches, size_t bytes) const {
+    return FromUs(fetch_rpc_fixed_us +
+                  kafka_fetch_per_batch_us * double(batches) +
+                  per_kb_fetch_us * double(bytes) / 1024.0);
+  }
+
+  [[nodiscard]] SimTime FollowerApplyTime(size_t batches,
+                                          size_t bytes) const {
+    return FromUs(follower_apply_fixed_us +
+                  kafka_follower_per_batch_us * double(batches) +
+                  per_kb_fetch_us * double(bytes) / 1024.0);
+  }
+
+  [[nodiscard]] SimTime SourceGenerationTime(uint64_t records) const {
+    return SimTime(double(records) / source_records_per_sec *
+                   double(kSecond));
+  }
+
+  [[nodiscard]] SimTime ClientChunkTime(uint64_t chunks) const {
+    return FromUs(client_per_chunk_us * double(chunks));
+  }
+
+  [[nodiscard]] SimTime DispatchTime(size_t bytes) const {
+    return FromUs(dispatch_fixed_us +
+                  dispatch_per_kb_us * double(bytes) / 1024.0);
+  }
+};
+
+}  // namespace kera::sim

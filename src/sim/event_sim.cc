@@ -1,0 +1,69 @@
+#include "sim/event_sim.h"
+
+#include <cassert>
+
+namespace kera::sim {
+
+void EventSimulator::Schedule(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "scheduling into the past");
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventSimulator::RunUntil(SimTime until) {
+  while (!heap_.empty() && heap_.top().at <= until) {
+    // Move the event out before popping (priority_queue top is const).
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventSimulator::RunAll() {
+  while (!heap_.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+  }
+}
+
+void SimResource::Execute(SimTime service_time, std::function<void()> done) {
+  Pending p{service_time, std::move(done)};
+  if (busy_ < servers_) {
+    StartOne(std::move(p));
+  } else {
+    waiting_.push_back(std::move(p));
+  }
+}
+
+void SimResource::StartOne(Pending p) {
+  ++busy_;
+  busy_time_ += p.service_time;
+  sim_.ScheduleAfter(p.service_time,
+                     [this, done = std::move(p.done)]() mutable {
+                       done();
+                       OnServerFree();
+                     });
+}
+
+void SimResource::OnServerFree() {
+  --busy_;
+  ++completed_;
+  if (!waiting_.empty()) {
+    Pending next = std::move(waiting_.front());
+    waiting_.pop_front();
+    StartOne(std::move(next));
+  }
+}
+
+double SimResource::Utilization() const {
+  SimTime elapsed = sim_.now();
+  if (elapsed == 0) return 0.0;
+  return double(busy_time_) / (double(elapsed) * servers_);
+}
+
+}  // namespace kera::sim

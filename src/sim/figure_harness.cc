@@ -1,0 +1,136 @@
+#include "sim/figure_harness.h"
+
+#include <cstdio>
+
+namespace kera::sim {
+
+SimExperimentConfig LatencyBase(System system, uint32_t producers,
+                                uint32_t consumers, uint32_t streams,
+                                uint32_t replication) {
+  SimExperimentConfig cfg;
+  cfg.system = system;
+  cfg.producers = producers;
+  cfg.consumers = consumers;
+  cfg.streams = streams;
+  cfg.streamlets_per_stream = 1;
+  cfg.q = 1;
+  cfg.replication_factor = replication;
+  cfg.vlog_policy = rpc::VlogPolicy::kSharedPerBroker;
+  cfg.vlogs_per_broker = 4;
+  cfg.chunk_size = 1024;
+  cfg.request_max_chunks = 16;  // request.size = 16 KB (latency-optimized)
+  cfg.consumer_chunks_per_partition = 1;  // paper: one chunk per partition
+  // Replication batches approximate per-request syncs (§IV.B: vlogs are
+  // synchronized once all chunks of a request are appended).
+  cfg.replication_max_batch_bytes = 32u << 10;
+  cfg.warmup_seconds = 0.2;
+  cfg.measure_seconds = 0.5;
+  return cfg;
+}
+
+SimExperimentConfig ThroughputBase(System system, uint32_t clients,
+                                   size_t chunk_size, uint32_t replication) {
+  SimExperimentConfig cfg;
+  cfg.system = system;
+  cfg.producers = clients;
+  cfg.consumers = clients;
+  cfg.streams = 1;
+  cfg.streamlets_per_stream = 32;
+  cfg.q = system == System::kKerA ? 4 : 1;  // KerA: 4 active sub-partitions
+  cfg.replication_factor = replication;
+  cfg.vlog_policy = rpc::VlogPolicy::kPerSubPartition;
+  cfg.chunk_size = chunk_size;
+  cfg.request_max_chunks = 4;  // request.size = 4 chunks
+  cfg.consumer_chunks_per_partition = 8;
+  cfg.replication_max_batch_bytes = 1u << 20;
+  cfg.warmup_seconds = 0.2;
+  cfg.measure_seconds = 0.5;
+  return cfg;
+}
+
+SimExperimentConfig Fig8(System system, uint32_t streams,
+                         uint32_t replication) {
+  SimExperimentConfig cfg =
+      LatencyBase(system, /*producers=*/4, /*consumers=*/0, streams,
+                  replication);
+  // Fig 8 batches a chunk for every partition of the broker into one
+  // request (caption); requests grow with the stream count up to 32 KB.
+  cfg.request_max_chunks = 32;
+  return cfg;
+}
+
+SimExperimentConfig Fig9(System system, uint32_t producers,
+                         uint32_t replication) {
+  SimExperimentConfig cfg = LatencyBase(system, producers, /*consumers=*/0,
+                                        /*streams=*/128, replication);
+  cfg.chunk_size = 16u << 10;
+  cfg.request_max_chunks = 4;  // request.size = 64 KB
+  // "KerA is configured similarly to Kafka, one replicated log per
+  // partition."
+  cfg.vlog_policy = rpc::VlogPolicy::kPerSubPartition;
+  return cfg;
+}
+
+SimExperimentConfig Fig10(System system, uint32_t streams, uint32_t vlogs) {
+  SimExperimentConfig cfg = LatencyBase(system, 4, 4, streams,
+                                        /*replication=*/3);
+  cfg.vlogs_per_broker = vlogs;
+  return cfg;
+}
+
+SimExperimentConfig Fig11(System system, uint32_t producers,
+                          size_t chunk_size) {
+  return ThroughputBase(system, producers, chunk_size, /*replication=*/3);
+}
+
+SimExperimentConfig Fig12(uint32_t streams, uint32_t replication) {
+  SimExperimentConfig cfg =
+      LatencyBase(System::kKerA, 8, 8, streams, replication);
+  cfg.vlogs_per_broker = 1;
+  return cfg;
+}
+
+SimExperimentConfig Fig13(uint32_t streams, uint32_t vlogs) {
+  SimExperimentConfig cfg = LatencyBase(System::kKerA, 8, 8, streams,
+                                        /*replication=*/3);
+  cfg.vlogs_per_broker = vlogs;
+  return cfg;
+}
+
+SimExperimentConfig Fig14to16(uint32_t streams, uint32_t vlogs,
+                              uint32_t replication) {
+  SimExperimentConfig cfg =
+      LatencyBase(System::kKerA, 8, 8, streams, replication);
+  cfg.vlogs_per_broker = vlogs;
+  return cfg;
+}
+
+SimExperimentConfig Fig17to20(uint32_t clients, size_t chunk_size,
+                              uint32_t replication) {
+  return ThroughputBase(System::kKerA, clients, chunk_size, replication);
+}
+
+SimExperimentConfig Fig21(uint32_t vlogs, size_t chunk_size) {
+  SimExperimentConfig cfg =
+      ThroughputBase(System::kKerA, /*clients=*/8, chunk_size,
+                     /*replication=*/3);
+  // Shared pool of `vlogs` per broker instead of one per sub-partition.
+  cfg.vlog_policy = rpc::VlogPolicy::kSharedPerBroker;
+  cfg.vlogs_per_broker = vlogs;
+  return cfg;
+}
+
+std::string FormatResult(const std::string& label,
+                         const SimExperimentResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-36s ingest=%6.2f Mrec/s  consume=%6.2f Mrec/s  "
+                "repl_rpcs=%8llu  avg_repl=%7.1f KB  p50=%6.0f us",
+                label.c_str(), r.ingest_mrecords_per_s,
+                r.consume_mrecords_per_s,
+                (unsigned long long)r.replication_rpcs, r.avg_replication_kb,
+                r.produce_latency_p50_us);
+  return buf;
+}
+
+}  // namespace kera::sim

@@ -1,0 +1,90 @@
+// Per-figure experiment configurations (§V of the paper) shared by the
+// bench binaries, the sim tests and EXPERIMENTS.md. Each FigN function
+// returns the SimExperimentConfig that regenerates one data point of that
+// figure; benches sweep the paper's parameter ranges.
+//
+// Two configuration families, as in the paper:
+//  - latency-optimized (chunk 1 KB, small requests, consumers pull one
+//    chunk per partition): Figs 8, 10, 12-16
+//  - throughput-optimized (chunks 4-64 KB, one stream of 32 streamlets
+//    with 4 active sub-partitions, one vlog per sub-partition):
+//    Figs 11, 17-21
+#pragma once
+
+#include <string>
+
+#include "sim/sim_cluster.h"
+
+namespace kera::sim {
+
+using System = SimExperimentConfig::System;
+
+/// Baseline for the latency-optimized experiments: N streams of one
+/// streamlet each, chunk 1 KB, 16-chunk requests (request.size = 16 KB).
+[[nodiscard]] SimExperimentConfig LatencyBase(System system,
+                                              uint32_t producers,
+                                              uint32_t consumers,
+                                              uint32_t streams,
+                                              uint32_t replication);
+
+/// Baseline for the throughput-optimized experiments: one stream with 32
+/// streamlets, Q = 4 sub-partitions, one vlog per sub-partition,
+/// 4-chunk requests, deep consumer pulls.
+[[nodiscard]] SimExperimentConfig ThroughputBase(System system,
+                                                 uint32_t clients,
+                                                 size_t chunk_size,
+                                                 uint32_t replication);
+
+// ----- one function per figure -----
+
+/// Fig 8: scale the number of streams; 4 producers, no consumers, chunk
+/// 1 KB; KerA uses 4 shared vlogs per broker.
+[[nodiscard]] SimExperimentConfig Fig8(System system, uint32_t streams,
+                                       uint32_t replication);
+
+/// Fig 9: scale the number of clients; 128 streams, chunk 16 KB, KerA
+/// configured like Kafka (one replicated log per partition).
+[[nodiscard]] SimExperimentConfig Fig9(System system, uint32_t producers,
+                                       uint32_t replication);
+
+/// Fig 10: low-latency configuration; R3, 4 producers + 4 consumers,
+/// chunk 1 KB; KerA with `vlogs` per broker (4 or 32), Kafka ignores it.
+[[nodiscard]] SimExperimentConfig Fig10(System system, uint32_t streams,
+                                        uint32_t vlogs);
+
+/// Fig 11: high-throughput configuration; R3; stream with 32 partitions
+/// (Kafka) / 32 streamlets x 4 sub-partitions (KerA, one vlog per
+/// sub-partition); vary producers and chunk size.
+[[nodiscard]] SimExperimentConfig Fig11(System system, uint32_t producers,
+                                        size_t chunk_size);
+
+/// Fig 12: one shared vlog per broker replicating up to 512 streams;
+/// 8 producers + 8 consumers, chunk 1 KB, R in {1,2,3}.
+[[nodiscard]] SimExperimentConfig Fig12(uint32_t streams,
+                                        uint32_t replication);
+
+/// Fig 13: replication capacity 1/2/4 shared vlogs per broker; R3,
+/// 8 + 8 clients, chunk 1 KB.
+[[nodiscard]] SimExperimentConfig Fig13(uint32_t streams, uint32_t vlogs);
+
+/// Figs 14-16: fixed stream count (128/256/512), varying the number of
+/// vlogs per broker; R in {1,2,3}, 8 + 8 clients, chunk 1 KB.
+[[nodiscard]] SimExperimentConfig Fig14to16(uint32_t streams, uint32_t vlogs,
+                                            uint32_t replication);
+
+/// Figs 17-20: one vlog per sub-partition; 4/8/16/32 producers (equal
+/// consumers); chunk 4-64 KB; R in {1,2,3}.
+[[nodiscard]] SimExperimentConfig Fig17to20(uint32_t clients,
+                                            size_t chunk_size,
+                                            uint32_t replication);
+
+/// Fig 21: 8 + 8 clients, chunk 32/64 KB, vary the number of vlogs per
+/// broker from 1 to 32 (shared pool over the 32 sub-partitions).
+[[nodiscard]] SimExperimentConfig Fig21(uint32_t vlogs, size_t chunk_size);
+
+/// Human-readable one-line summary of a result (used by the benches to
+/// print the same series the paper plots).
+[[nodiscard]] std::string FormatResult(const std::string& label,
+                                       const SimExperimentResult& r);
+
+}  // namespace kera::sim

@@ -1,0 +1,896 @@
+#include "sim/sim_cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "coordinator/coordinator.h"
+#include "kafka/partition_log.h"
+#include "rpc/transport.h"
+#include "sim/event_sim.h"
+#include "storage/group.h"
+#include "wire/chunk.h"
+#include "wire/layout.h"
+
+namespace kera::sim {
+namespace {
+
+constexpr SimTime kTrimInterval = 20 * kMillisecond;
+constexpr size_t kAckBytes = 64;  // produce/replication ack frames
+constexpr size_t kRequestHeaderBytes = 64;
+
+/// One simulated cluster node: its dispatch thread (single core polling
+/// the transports — the RAMCloud threading model KerA inherits), its
+/// worker cores (shared by broker and backup services, as in the paper's
+/// co-located deployment), and its NIC in both directions.
+struct SimNode {
+  SimNode(EventSimulator& sim, const CostModel& cost)
+      : dispatch(sim, 1), cores(sim, cost.cores_per_node), nic(sim, 1) {}
+  SimResource dispatch;
+  SimResource cores;
+  SimResource nic;  // one serializing channel shared by ingress and egress
+};
+
+[[nodiscard]] SimTime TransferTime(const CostModel& cost, size_t bytes) {
+  return FromUs(double(bytes) * 8.0 / (cost.network_bandwidth_gbps * 1e3));
+}
+
+/// Common experiment scaffolding: node resources, the measure window,
+/// client bookkeeping, the chunk frame template, RPC plumbing.
+class SimBase {
+ public:
+  explicit SimBase(const SimExperimentConfig& cfg)
+      : cfg_(cfg),
+        rng_(cfg.seed),
+        warmup_end_(SimTime(cfg.warmup_seconds * double(kSecond))),
+        measure_end_(warmup_end_ +
+                     SimTime(cfg.measure_seconds * double(kSecond))) {
+    for (uint32_t b = 0; b < cfg_.brokers; ++b) {
+      nodes_.push_back(std::make_unique<SimNode>(sim_, cfg_.cost));
+    }
+    // Chunk frame template: records_per_chunk identical records of
+    // record_size bytes (the OpenMessaging-style synthetic workload).
+    size_t record_wire = kRecordFixedHeader + cfg_.record_size;
+    records_per_chunk_ = (cfg_.chunk_size - kChunkHeaderSize) / record_wire;
+    assert(records_per_chunk_ > 0);
+    ChunkBuilder builder(cfg_.chunk_size);
+    builder.Start(0, 0, 0);
+    std::vector<std::byte> value(cfg_.record_size, std::byte{0x42});
+    for (uint64_t r = 0; r < records_per_chunk_; ++r) {
+      bool ok = builder.AppendValue(value);
+      assert(ok);
+      (void)ok;
+    }
+    auto sealed = builder.Seal(1);
+    template_frame_.assign(sealed.begin(), sealed.end());
+  }
+
+  /// Patches per-chunk identity fields into the template and returns a
+  /// view (payload and payload checksum never change).
+  std::span<const std::byte> PatchChunk(StreamId stream,
+                                        StreamletId streamlet,
+                                        ProducerId producer, ChunkSeq seq) {
+    std::byte* p = template_frame_.data();
+    wire::StoreU64(p + chunk_offsets::kStreamId, stream);
+    wire::StoreU32(p + chunk_offsets::kStreamletId, streamlet);
+    wire::StoreU32(p + chunk_offsets::kProducerId, producer);
+    wire::StoreU64(p + chunk_offsets::kChunkSeq, seq);
+    return template_frame_;
+  }
+
+  // ----- RPC plumbing: propagation -> NIC -> dispatch -> handler -----
+
+  /// Delivers an inbound RPC of `bytes` to node `n`: propagation delay,
+  /// NIC-in serialization, then the dispatch thread; `then` runs when the
+  /// dispatch thread hands the request to a worker.
+  void RpcIn(uint32_t n, size_t bytes, std::function<void()> then) {
+    sim_.ScheduleAfter(
+        cfg_.cost.NetworkDelay(0), [this, n, bytes, then = std::move(then)] {
+          nodes_[n]->nic.Execute(
+              TransferTime(cfg_.cost, bytes),
+              [this, n, bytes, then = std::move(then)] {
+                nodes_[n]->dispatch.Execute(cfg_.cost.DispatchTime(bytes),
+                                            std::move(then));
+              });
+        });
+  }
+
+  /// Sends an outbound RPC of `bytes` from node `n`: dispatch thread, then
+  /// NIC-out; `then` runs when the bytes are on the wire (chain RpcIn on
+  /// the receiving side, or a propagation delay for clients).
+  void RpcOut(uint32_t n, size_t bytes, std::function<void()> then) {
+    nodes_[n]->dispatch.Execute(
+        cfg_.cost.DispatchTime(bytes),
+        [this, n, bytes, then = std::move(then)] {
+          nodes_[n]->nic.Execute(TransferTime(cfg_.cost, bytes),
+                                     std::move(then));
+        });
+  }
+
+  // ----- measurement -----
+
+  [[nodiscard]] bool InWindow(SimTime t) const {
+    return t >= warmup_end_ && t < measure_end_;
+  }
+
+  void RecordProduceAck(SimTime sent, SimTime acked, uint64_t records) {
+    if (InWindow(acked)) {
+      acked_records_ += records;
+      ++produce_requests_;
+      latency_us_.Record((acked - sent) / kMicrosecond);
+    }
+  }
+
+  void RecordConsumed(SimTime t, uint64_t records) {
+    if (InWindow(t)) consumed_records_ += records;
+  }
+
+  void RecordEndToEnd(SimTime appended_at, SimTime consumed_at) {
+    if (InWindow(consumed_at)) {
+      e2e_latency_us_.Record((consumed_at - appended_at) / kMicrosecond);
+    }
+  }
+
+  void RecordReplicationRpc(SimTime t, size_t bytes) {
+    if (InWindow(t)) {
+      ++replication_rpcs_;
+      replication_bytes_ += bytes;
+    }
+  }
+
+  SimExperimentResult Finish() {
+    SimExperimentResult result;
+    double secs = cfg_.measure_seconds;
+    result.ingest_mrecords_per_s = double(acked_records_) / secs / 1e6;
+    result.consume_mrecords_per_s = double(consumed_records_) / secs / 1e6;
+    result.produce_requests = produce_requests_;
+    result.replication_rpcs = replication_rpcs_;
+    result.avg_replication_kb =
+        replication_rpcs_ == 0
+            ? 0
+            : double(replication_bytes_) / double(replication_rpcs_) / 1024.0;
+    double util = 0;
+    double dutil = 0;
+    for (const auto& node : nodes_) {
+      util += node->cores.Utilization();
+      dutil += node->dispatch.Utilization();
+    }
+    result.broker_core_utilization = util / double(nodes_.size());
+    result.dispatch_utilization = dutil / double(nodes_.size());
+    result.produce_latency_p50_us = double(latency_us_.Quantile(0.5));
+    result.produce_latency_p99_us = double(latency_us_.Quantile(0.99));
+    result.e2e_latency_p50_us = double(e2e_latency_us_.Quantile(0.5));
+    result.e2e_latency_p99_us = double(e2e_latency_us_.Quantile(0.99));
+    result.records_per_chunk = records_per_chunk_;
+    return result;
+  }
+
+ protected:
+  const SimExperimentConfig cfg_;
+  EventSimulator sim_;
+  Xoshiro256 rng_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  std::vector<std::byte> template_frame_;
+  uint64_t records_per_chunk_ = 0;
+  const SimTime warmup_end_;
+  const SimTime measure_end_;
+
+  uint64_t acked_records_ = 0;
+  uint64_t consumed_records_ = 0;
+  uint64_t produce_requests_ = 0;
+  uint64_t replication_rpcs_ = 0;
+  uint64_t replication_bytes_ = 0;
+  Histogram latency_us_;
+  Histogram e2e_latency_us_;
+};
+
+// ===================================================================== KerA
+
+class KeraSim : public SimBase {
+ public:
+  explicit KeraSim(const SimExperimentConfig& cfg)
+      : SimBase(cfg), coordinator_(net_) {
+    // Real brokers, placed by the real coordinator. The RPC network is
+    // never used for data: the DES moves all bytes itself.
+    std::vector<NodeId> backup_services;
+    for (NodeId n = 1; n <= cfg_.brokers; ++n) {
+      backup_services.push_back(BackupServiceId(n));
+    }
+    for (NodeId n = 1; n <= cfg_.brokers; ++n) {
+      BrokerConfig bc;
+      bc.node = n;
+      bc.memory_bytes = size_t(3) << 30;
+      bc.segment_size = cfg_.segment_size;
+      bc.segments_per_group = cfg_.segments_per_group;
+      bc.virtual_segment_capacity = cfg_.virtual_segment_capacity;
+      bc.replication_max_batch_bytes = cfg_.replication_max_batch_bytes;
+      bc.vlogs_per_broker = cfg_.vlogs_per_broker;
+      bc.backup_nodes = backup_services;
+      bc.verify_chunk_checksums = false;  // CPU cost is in the cost model
+      brokers_.push_back(std::make_unique<Broker>(bc, net_));
+      coordinator_.RegisterNode(n, brokers_.back().get(), nullptr);
+    }
+
+    rpc::StreamOptions opts;
+    opts.num_streamlets = cfg_.streamlets_per_stream;
+    opts.active_groups_per_streamlet = cfg_.q;
+    opts.replication_factor = cfg_.replication_factor;
+    opts.vlog_policy = cfg_.vlog_policy;
+    for (uint32_t s = 0; s < cfg_.streams; ++s) {
+      auto info =
+          coordinator_.CreateStream("stream-" + std::to_string(s), opts);
+      assert(info.ok());
+      for (StreamletId sl = 0; sl < cfg_.streamlets_per_stream; ++sl) {
+        Partition part;
+        part.stream = info->stream;
+        part.streamlet = sl;
+        part.leader = info->streamlet_brokers[sl];
+        part.index = uint32_t(partitions_.size());
+        per_broker_[part.leader - 1].push_back(part.index);
+        partitions_.push_back(part);
+      }
+    }
+
+    producers_.resize(cfg_.producers);
+    for (uint32_t p = 0; p < cfg_.producers; ++p) {
+      producers_[p].seqs.assign(partitions_.size(), 0);
+    }
+    if (cfg_.consumers > 0) {
+      consumers_.resize(cfg_.consumers);
+      for (uint32_t i = 0; i < partitions_.size(); ++i) {
+        uint32_t owner = i % cfg_.consumers;
+        consumers_[owner].cursors[i] = Cursor{};
+        partitions_[i].consumer = owner;
+      }
+    }
+  }
+
+  SimExperimentResult Run() {
+    for (uint32_t p = 0; p < cfg_.producers; ++p) {
+      for (uint32_t b = 0; b < cfg_.brokers; ++b) {
+        if (per_broker_[b].empty()) continue;
+        SimTime stagger = FromUs(double(rng_.NextBounded(20)));
+        sim_.Schedule(stagger, [this, p, b] { StartProduceRound(p, b); });
+      }
+    }
+    for (uint32_t c = 0; c < cfg_.consumers; ++c) {
+      for (uint32_t b = 0; b < cfg_.brokers; ++b) {
+        SimTime stagger = FromUs(double(rng_.NextBounded(20)));
+        sim_.Schedule(stagger, [this, c, b] { StartConsumeRound(c, b); });
+      }
+    }
+    sim_.ScheduleAfter(kTrimInterval, [this] { PeriodicTrim(); });
+    sim_.RunUntil(measure_end_ + 10 * kMillisecond);
+    return Finish();
+  }
+
+ private:
+  struct Partition {
+    StreamId stream = 0;
+    StreamletId streamlet = 0;
+    NodeId leader = 0;
+    uint32_t index = 0;
+    uint32_t consumer = 0;
+    /// Broker-append times of not-yet-consumed chunks, in consume order
+    /// (single-threaded DES appends chunks of a partition in order).
+    std::deque<SimTime> append_times;
+  };
+  struct ProducerState {
+    std::vector<ChunkSeq> seqs;  // per partition
+    std::map<uint32_t, size_t> request_cursor;  // broker -> rotating start
+    SimTime source_free_at = 0;
+  };
+  struct Cursor {
+    GroupId group = 0;
+    uint64_t next_chunk = 0;
+  };
+  struct ConsumerState {
+    std::map<uint32_t, Cursor> cursors;  // partition index -> cursor
+  };
+  struct PendingProduce {
+    uint32_t producer = 0;
+    SimTime sent_at = 0;
+    uint64_t records = 0;
+    std::vector<ChunkRef> refs;
+  };
+
+  static bool ChunkDurable(const ChunkRef& ref) {
+    return ref.group->durable_chunk_count() > ref.loc.group_chunk_index;
+  }
+
+  /// Picks the partitions for the next request to broker `b`: one chunk
+  /// per partition, capped at request_max_chunks, rotating so all
+  /// partitions are served fairly.
+  std::vector<uint32_t> NextRequestPartitions(ProducerState& prod,
+                                              uint32_t b) {
+    const auto& parts = per_broker_[b];
+    size_t k = parts.size();
+    if (cfg_.request_max_chunks > 0 && cfg_.request_max_chunks < k) {
+      k = cfg_.request_max_chunks;
+    }
+    size_t& cursor = prod.request_cursor[b];
+    std::vector<uint32_t> picked;
+    picked.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      picked.push_back(parts[(cursor + i) % parts.size()]);
+    }
+    cursor = (cursor + k) % parts.size();
+    return picked;
+  }
+
+  void StartProduceRound(uint32_t p, uint32_t b) {
+    ProducerState& prod = producers_[p];
+    auto picked = NextRequestPartitions(prod, b);
+    uint64_t records = records_per_chunk_ * picked.size();
+    // The producer's source + requests threads prepare the chunks; both
+    // are shared across the producer's per-broker request slots.
+    SimTime prep = cfg_.cost.SourceGenerationTime(records) +
+                   cfg_.cost.ClientChunkTime(picked.size()) +
+                   FromUs(cfg_.cost.client_request_overhead_us);
+    SimTime send_at = std::max(sim_.now(), prod.source_free_at) + prep;
+    prod.source_free_at = send_at;
+    size_t request_bytes =
+        kRequestHeaderBytes + picked.size() * template_frame_.size();
+    sim_.Schedule(send_at, [this, p, b, request_bytes,
+                            picked = std::move(picked)] {
+      SimTime sent_at = sim_.now();
+      RpcIn(b, request_bytes, [this, p, b, sent_at, picked] {
+        size_t bytes = picked.size() * template_frame_.size();
+        nodes_[b]->cores.Execute(
+            cfg_.cost.ProduceServiceTime(picked.size(), bytes),
+            [this, p, b, sent_at, picked] {
+              ExecuteProduce(p, b, sent_at, picked);
+            });
+      });
+    });
+  }
+
+  void ExecuteProduce(uint32_t p, uint32_t b, SimTime sent_at,
+                      const std::vector<uint32_t>& request_parts) {
+    ProducerState& prod = producers_[p];
+    auto pending = std::make_unique<PendingProduce>();
+    pending->producer = p;
+    pending->sent_at = sent_at;
+    std::vector<VirtualLog*> touched;
+    for (uint32_t part_idx : request_parts) {
+      const Partition& part = partitions_[part_idx];
+      ChunkSeq seq = ++prod.seqs[part_idx];
+      auto frame =
+          PatchChunk(part.stream, part.streamlet, ProducerId(p + 1), seq);
+      rpc::ProduceRequest req;
+      req.producer = ProducerId(p + 1);
+      req.stream = part.stream;
+      req.chunks = {frame};
+      std::vector<std::pair<VirtualLog*, ChunkRef>> appended;
+      auto resp = brokers_[b]->HandleProduceNoSync(req, &appended);
+      assert(resp.status == StatusCode::kOk);
+      (void)resp;
+      if (cfg_.consumers > 0) {
+        partitions_[part_idx].append_times.push_back(sim_.now());
+      }
+      for (auto& [vlog, ref] : appended) {
+        pending->refs.push_back(ref);
+        pending->records += records_per_chunk_;
+        if (std::find(touched.begin(), touched.end(), vlog) ==
+            touched.end()) {
+          touched.push_back(vlog);
+        }
+      }
+    }
+    pending_[b].push_back(std::move(pending));
+    for (VirtualLog* vlog : touched) PumpVlog(vlog, b);
+    CheckProduceAcks(b);
+  }
+
+  /// Drives one vlog's replication pipeline: at most one batch in flight;
+  /// completion immediately polls the next batch.
+  void PumpVlog(VirtualLog* vlog, uint32_t b) {
+    auto polled = vlog->Poll();
+    if (!polled.has_value()) return;
+    auto batch = std::make_shared<ReplicationBatch>(std::move(*polled));
+    // Primary-side gather + RPC build on a worker core, then one RPC per
+    // backup through the dispatch thread and NIC.
+    nodes_[b]->cores.Execute(
+        cfg_.cost.ReplicationSendTime(batch->bytes), [this, vlog, b, batch] {
+          auto remaining = std::make_shared<size_t>(batch->backups.size());
+          for (NodeId backup_service : batch->backups) {
+            uint32_t target = NodeOfBackupService(backup_service) - 1;
+            RpcOut(b, batch->bytes, [this, vlog, b, batch, target,
+                                     remaining] {
+              RpcIn(target, batch->bytes, [this, vlog, b, batch, target,
+                                           remaining] {
+                nodes_[target]->cores.Execute(
+                    cfg_.cost.BackupServiceTime(batch->refs.size(), batch->bytes),
+                    [this, vlog, b, batch, target, remaining] {
+                      RecordReplicationRpc(sim_.now(), batch->bytes);
+                      // Ack: backup dispatch out, propagation, primary
+                      // dispatch in.
+                      RpcOut(target, kAckBytes, [this, vlog, b, batch,
+                                                 remaining] {
+                        RpcIn(b, kAckBytes, [this, vlog, b, batch,
+                                             remaining] {
+                          if (--*remaining == 0) {
+                            vlog->Complete(*batch);
+                            CheckProduceAcks(b);
+                            PumpVlog(vlog, b);
+                          }
+                        });
+                      });
+                    });
+              });
+            });
+          }
+        });
+  }
+
+  void CheckProduceAcks(uint32_t b) {
+    auto& queue = pending_[b];
+    for (auto it = queue.begin(); it != queue.end();) {
+      PendingProduce& req = **it;
+      bool done = std::all_of(req.refs.begin(), req.refs.end(), ChunkDurable);
+      if (!done) {
+        ++it;
+        continue;
+      }
+      uint32_t p = req.producer;
+      SimTime sent_at = req.sent_at;
+      uint64_t records = req.records;
+      it = queue.erase(it);
+      // Ack through the broker's dispatch, then back to the producer,
+      // which immediately builds the next request (closed loop).
+      RpcOut(b, kAckBytes, [this, p, b, sent_at, records] {
+        sim_.ScheduleAfter(cfg_.cost.NetworkDelay(0),
+                           [this, p, b, sent_at, records] {
+                             RecordProduceAck(sent_at, sim_.now(), records);
+                             StartProduceRound(p, b);
+                           });
+      });
+    }
+  }
+
+  // ----- consumers -----
+
+  void StartConsumeRound(uint32_t c, uint32_t b) {
+    SimTime send_at =
+        sim_.now() + FromUs(cfg_.cost.client_request_overhead_us);
+    sim_.Schedule(send_at, [this, c, b] {
+      RpcIn(b, kRequestHeaderBytes, [this, c, b] { ExecuteConsume(c, b); });
+    });
+  }
+
+  void ExecuteConsume(uint32_t c, uint32_t b) {
+    ConsumerState& cons = consumers_[c];
+    // Pull up to one chunk per owned partition led by this broker.
+    uint64_t records = 0;
+    size_t bytes = 0;
+    size_t chunks = 0;
+    for (auto& [part_idx, cursor] : cons.cursors) {
+      Partition& part = partitions_[part_idx];
+      if (part.leader != NodeId(b + 1)) continue;
+      Stream* stream = brokers_[b]->GetStream(part.stream);
+      Streamlet* sl = stream->GetStreamlet(part.streamlet);
+      Group* group = sl->GetGroup(cursor.group);
+      if (group == nullptr) continue;
+      auto locators = group->GetDurableChunks(
+          cursor.next_chunk, cfg_.consumer_chunks_per_partition,
+          cfg_.chunk_size * size_t(cfg_.consumer_chunks_per_partition) * 2);
+      for (const auto& loc : locators) {
+        bytes += loc.length;
+        ++chunks;
+        records += records_per_chunk_;
+        cursor.next_chunk = loc.group_chunk_index + 1;
+        if (!part.append_times.empty()) {
+          RecordEndToEnd(part.append_times.front(), sim_.now());
+          part.append_times.pop_front();
+        }
+      }
+      if (group->closed() && cursor.next_chunk >= group->chunk_count()) {
+        ++cursor.group;
+        cursor.next_chunk = 0;
+      }
+    }
+    nodes_[b]->cores.Execute(
+        cfg_.cost.ConsumeServiceTime(chunks, bytes),
+        [this, c, b, records, bytes] {
+          RpcOut(b, bytes + kAckBytes, [this, c, b, records] {
+            sim_.ScheduleAfter(
+                cfg_.cost.NetworkDelay(0), [this, c, b, records] {
+                  RecordConsumed(sim_.now(), records);
+                  // Continuous pull; back off briefly only when empty.
+                  if (records == 0) {
+                    sim_.ScheduleAfter(FromUs(100), [this, c, b] {
+                      StartConsumeRound(c, b);
+                    });
+                  } else {
+                    StartConsumeRound(c, b);
+                  }
+                });
+          });
+        });
+  }
+
+  // ----- maintenance -----
+
+  void PeriodicTrim() {
+    for (uint32_t i = 0; i < uint32_t(partitions_.size()); ++i) {
+      const Partition& part = partitions_[i];
+      Stream* stream = brokers_[part.leader - 1]->GetStream(part.stream);
+      Streamlet* sl = stream->GetStreamlet(part.streamlet);
+      GroupId before = sl->next_group_id();
+      if (cfg_.consumers > 0) {
+        before = consumers_[part.consumer].cursors[i].group;
+      }
+      sl->TrimBefore(before);
+    }
+    for (auto& broker : brokers_) {
+      for (VirtualLog* vlog : broker->VirtualLogs()) {
+        vlog->TrimReplicatedSegments();
+      }
+    }
+    if (sim_.now() < measure_end_) {
+      sim_.ScheduleAfter(kTrimInterval, [this] { PeriodicTrim(); });
+    }
+  }
+
+  rpc::DirectNetwork net_;
+  Coordinator coordinator_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::vector<Partition> partitions_;
+  std::map<uint32_t, std::vector<uint32_t>> per_broker_;  // node-1 -> parts
+  std::vector<ProducerState> producers_;
+  std::vector<ConsumerState> consumers_;
+  std::map<uint32_t, std::deque<std::unique_ptr<PendingProduce>>> pending_;
+};
+
+// ==================================================================== Kafka
+
+class KafkaSim : public SimBase {
+ public:
+  explicit KafkaSim(const SimExperimentConfig& cfg) : SimBase(cfg) {
+    uint32_t total = cfg_.streams * cfg_.streamlets_per_stream;
+    for (uint32_t i = 0; i < total; ++i) {
+      Partition part;
+      part.index = i;
+      part.leader = NodeId(i % cfg_.brokers) + 1;
+      for (uint32_t r = 1; r < cfg_.replication_factor; ++r) {
+        part.followers.push_back(
+            NodeId((part.leader - 1 + r) % cfg_.brokers) + 1);
+      }
+      part.log = std::make_unique<kafka::PartitionLog>(part.followers);
+      per_broker_[part.leader - 1].push_back(i);
+      partitions_.push_back(std::move(part));
+    }
+    producers_.resize(cfg_.producers);
+    if (cfg_.consumers > 0) {
+      consumers_.resize(cfg_.consumers);
+      for (uint32_t i = 0; i < total; ++i) {
+        uint32_t owner = i % cfg_.consumers;
+        consumers_[owner].offsets[i] = 0;
+        partitions_[i].consumer = owner;
+      }
+    }
+  }
+
+  SimExperimentResult Run() {
+    for (uint32_t p = 0; p < cfg_.producers; ++p) {
+      for (uint32_t b = 0; b < cfg_.brokers; ++b) {
+        if (per_broker_[b].empty()) continue;
+        SimTime stagger = FromUs(double(rng_.NextBounded(20)));
+        sim_.Schedule(stagger, [this, p, b] { StartProduceRound(p, b); });
+      }
+    }
+    // Replica fetcher lanes: ONE fetcher per (leader, follower) pair
+    // (num.replica.fetchers = 1, Kafka's default static tuning). Each lane
+    // serializes the per-partition fetch RPCs of every partition it
+    // replicates — with many partitions, a partition waits a full lane
+    // cycle between fetches, which is the sync lag the paper attributes
+    // to passive replication.
+    {
+      std::map<std::pair<NodeId, NodeId>, FetchLane*> lanes;
+      for (auto& part : partitions_) {
+        for (NodeId follower : part.followers) {
+          auto key = std::make_pair(part.leader, follower);
+          auto it = lanes.find(key);
+          if (it == lanes.end()) {
+            fetchers_.push_back(std::make_unique<FetchLane>());
+            fetchers_.back()->leader = part.leader;
+            fetchers_.back()->follower = follower;
+            it = lanes.emplace(key, fetchers_.back().get()).first;
+          }
+          it->second->partitions.push_back(part.index);
+          it->second->offsets[part.index] = 0;
+        }
+      }
+      for (auto& lane : fetchers_) {
+        FetchLane* fl = lane.get();
+        SimTime stagger = FromUs(double(rng_.NextBounded(50)));
+        sim_.Schedule(stagger, [this, fl] { FetchLaneRound(fl); });
+      }
+    }
+    for (uint32_t c = 0; c < cfg_.consumers; ++c) {
+      for (uint32_t b = 0; b < cfg_.brokers; ++b) {
+        SimTime stagger = FromUs(double(rng_.NextBounded(20)));
+        sim_.Schedule(stagger, [this, c, b] { StartConsumeRound(c, b); });
+      }
+    }
+    sim_.ScheduleAfter(kTrimInterval, [this] { PeriodicTrim(); });
+    sim_.RunUntil(measure_end_ + 10 * kMillisecond);
+    return Finish();
+  }
+
+ private:
+  struct Partition {
+    uint32_t index = 0;
+    NodeId leader = 0;
+    std::vector<NodeId> followers;
+    std::unique_ptr<kafka::PartitionLog> log;
+    uint32_t consumer = 0;
+    std::deque<SimTime> append_times;  // not-yet-consumed, offset order
+  };
+  struct ProducerState {
+    std::map<uint32_t, size_t> request_cursor;  // broker -> rotating start
+    SimTime source_free_at = 0;
+  };
+  struct ConsumerState {
+    std::map<uint32_t, uint64_t> offsets;  // partition -> next offset
+  };
+  struct PendingProduce {
+    uint32_t producer = 0;
+    SimTime sent_at = 0;
+    uint64_t records = 0;
+    std::vector<std::pair<uint32_t, uint64_t>> appends;  // (part, offset)
+  };
+  struct FetchLane {
+    NodeId leader = 0;
+    NodeId follower = 0;
+    std::vector<uint32_t> partitions;       // partitions this lane syncs
+    std::map<uint32_t, uint64_t> offsets;   // partition -> next offset
+    size_t cursor = 0;                      // round-robin position
+  };
+
+  std::vector<uint32_t> NextRequestPartitions(ProducerState& prod,
+                                              uint32_t b) {
+    const auto& parts = per_broker_[b];
+    size_t k = parts.size();
+    if (cfg_.request_max_chunks > 0 && cfg_.request_max_chunks < k) {
+      k = cfg_.request_max_chunks;
+    }
+    size_t& cursor = prod.request_cursor[b];
+    std::vector<uint32_t> picked;
+    picked.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      picked.push_back(parts[(cursor + i) % parts.size()]);
+    }
+    cursor = (cursor + k) % parts.size();
+    return picked;
+  }
+
+  void StartProduceRound(uint32_t p, uint32_t b) {
+    ProducerState& prod = producers_[p];
+    auto picked = NextRequestPartitions(prod, b);
+    uint64_t records = records_per_chunk_ * picked.size();
+    SimTime prep = cfg_.cost.SourceGenerationTime(records) +
+                   cfg_.cost.ClientChunkTime(picked.size()) +
+                   FromUs(cfg_.cost.client_request_overhead_us);
+    SimTime send_at = std::max(sim_.now(), prod.source_free_at) + prep;
+    prod.source_free_at = send_at;
+    size_t request_bytes =
+        kRequestHeaderBytes + picked.size() * template_frame_.size();
+    sim_.Schedule(send_at, [this, p, b, request_bytes,
+                            picked = std::move(picked)] {
+      SimTime sent_at = sim_.now();
+      RpcIn(b, request_bytes, [this, p, b, sent_at, picked] {
+        size_t bytes = picked.size() * template_frame_.size();
+        nodes_[b]->cores.Execute(
+            cfg_.cost.KafkaProduceServiceTime(picked.size(), bytes),
+            [this, p, b, sent_at, picked] {
+              ExecuteProduce(p, b, sent_at, picked);
+            });
+      });
+    });
+  }
+
+  void ExecuteProduce(uint32_t p, uint32_t b, SimTime sent_at,
+                      const std::vector<uint32_t>& request_parts) {
+    auto pending = std::make_unique<PendingProduce>();
+    pending->producer = p;
+    pending->sent_at = sent_at;
+    for (uint32_t part_idx : request_parts) {
+      Partition& part = partitions_[part_idx];
+      uint64_t offset =
+          part.log->Append(template_frame_, uint32_t(records_per_chunk_));
+      pending->appends.emplace_back(part_idx, offset);
+      pending->records += records_per_chunk_;
+    }
+    pending_[b].push_back(std::move(pending));
+    CheckProduceAcks(b);  // R=1 exposes immediately
+  }
+
+  void CheckProduceAcks(uint32_t b) {
+    auto& queue = pending_[b];
+    for (auto it = queue.begin(); it != queue.end();) {
+      PendingProduce& req = **it;
+      bool done = std::all_of(
+          req.appends.begin(), req.appends.end(), [this](const auto& a) {
+            return partitions_[a.first].log->high_watermark() > a.second;
+          });
+      if (!done) {
+        ++it;
+        continue;
+      }
+      uint32_t p = req.producer;
+      SimTime sent_at = req.sent_at;
+      uint64_t records = req.records;
+      it = queue.erase(it);
+      RpcOut(b, kAckBytes, [this, p, b, sent_at, records] {
+        sim_.ScheduleAfter(cfg_.cost.NetworkDelay(0),
+                           [this, p, b, sent_at, records] {
+                             RecordProduceAck(sent_at, sim_.now(), records);
+                             StartProduceRound(p, b);
+                           });
+      });
+    }
+  }
+
+  /// Passive replication: the lane's fetcher thread polls its partitions
+  /// round-robin, one per-partition fetch RPC at a time (each partition
+  /// is an independent replicated log). When a full cycle finds no data
+  /// the fetcher backs off (static tuning, the paper's point).
+  void FetchLaneRound(FetchLane* fl) {
+    // Select the next window of partitions with pending data (one fetch
+    // RPC covers up to kafka_partitions_per_fetch independent logs).
+    std::vector<uint32_t> chosen;
+    for (size_t i = 0; i < fl->partitions.size() &&
+                       chosen.size() < cfg_.cost.kafka_partitions_per_fetch;
+         ++i) {
+      uint32_t part_idx =
+          fl->partitions[(fl->cursor + i) % fl->partitions.size()];
+      if (partitions_[part_idx].log->end_offset() > fl->offsets[part_idx]) {
+        chosen.push_back(part_idx);
+      }
+    }
+    if (chosen.empty()) {
+      sim_.ScheduleAfter(FromUs(cfg_.cost.fetch_backoff_us),
+                         [this, fl] { FetchLaneRound(fl); });
+      return;
+    }
+    fl->cursor = (fl->cursor + cfg_.cost.kafka_partitions_per_fetch) %
+                 fl->partitions.size();
+    uint32_t leader_idx = fl->leader - 1;
+    uint32_t follower_idx = fl->follower - 1;
+    // Fetch request: follower dispatch out -> leader dispatch in.
+    RpcOut(follower_idx, kRequestHeaderBytes, [this, fl, chosen, leader_idx,
+                                               follower_idx] {
+      RpcIn(leader_idx, kRequestHeaderBytes, [this, fl, chosen, leader_idx,
+                                              follower_idx] {
+        // Serve each partition's log, bounded by the per-fetch byte cap.
+        size_t per_part_budget =
+            cfg_.kafka_fetch_max_bytes / chosen.size();
+        uint64_t batches = 0;
+        size_t bytes = 0;
+        std::vector<std::pair<uint32_t, uint64_t>> advances;
+        for (uint32_t part_idx : chosen) {
+          auto peek = partitions_[part_idx].log->PeekFetch(
+              fl->offsets[part_idx], per_part_budget);
+          if (peek.batches == 0) continue;
+          batches += peek.batches;
+          bytes += peek.bytes;
+          advances.emplace_back(part_idx, peek.next_offset);
+        }
+        nodes_[leader_idx]->cores.Execute(
+            cfg_.cost.FetchServiceTime(batches, bytes),
+            [this, fl, leader_idx, follower_idx, batches, bytes,
+             advances = std::move(advances)] {
+              RpcOut(leader_idx, bytes, [this, fl, follower_idx, batches,
+                                         bytes, advances] {
+                RpcIn(follower_idx, bytes, [this, fl, follower_idx, batches,
+                                            bytes, advances] {
+                  nodes_[follower_idx]->cores.Execute(
+                      cfg_.cost.FollowerApplyTime(batches, bytes),
+                      [this, fl, bytes, advances] {
+                        for (const auto& [part_idx, next] : advances) {
+                          fl->offsets[part_idx] = next;
+                          partitions_[part_idx].log->UpdateFollower(
+                              fl->follower, next);
+                          CheckProduceAcks(partitions_[part_idx].leader - 1);
+                        }
+                        RecordReplicationRpc(sim_.now(), bytes);
+                        FetchLaneRound(fl);  // keep pulling, no pause
+                      });
+                });
+              });
+            });
+      });
+    });
+  }
+
+  void StartConsumeRound(uint32_t c, uint32_t b) {
+    SimTime send_at =
+        sim_.now() + FromUs(cfg_.cost.client_request_overhead_us);
+    sim_.Schedule(send_at, [this, c, b] {
+      RpcIn(b, kRequestHeaderBytes, [this, c, b] { ExecuteConsume(c, b); });
+    });
+  }
+
+  void ExecuteConsume(uint32_t c, uint32_t b) {
+    ConsumerState& cons = consumers_[c];
+    uint64_t records = 0;
+    size_t bytes = 0;
+    size_t chunks = 0;
+    for (auto& [part_idx, offset] : cons.offsets) {
+      Partition& part = partitions_[part_idx];
+      if (part.leader != NodeId(b + 1)) continue;
+      auto peek = part.log->PeekFetch(
+          offset, cfg_.chunk_size * size_t(cfg_.consumer_chunks_per_partition) * 2,
+          /*max_batches=*/cfg_.consumer_chunks_per_partition,
+          /*below_hw_only=*/true);
+      if (peek.batches == 0) continue;
+      bytes += peek.bytes;
+      records += peek.records;
+      chunks += peek.batches;
+      offset = peek.next_offset;
+      for (uint64_t i = 0; i < peek.batches && !part.append_times.empty();
+           ++i) {
+        RecordEndToEnd(part.append_times.front(), sim_.now());
+        part.append_times.pop_front();
+      }
+    }
+    nodes_[b]->cores.Execute(
+        cfg_.cost.ConsumeServiceTime(chunks, bytes),
+        [this, c, b, records, bytes] {
+          RpcOut(b, bytes + kAckBytes, [this, c, b, records] {
+            sim_.ScheduleAfter(
+                cfg_.cost.NetworkDelay(0), [this, c, b, records] {
+                  RecordConsumed(sim_.now(), records);
+                  if (records == 0) {
+                    sim_.ScheduleAfter(FromUs(100), [this, c, b] {
+                      StartConsumeRound(c, b);
+                    });
+                  } else {
+                    StartConsumeRound(c, b);
+                  }
+                });
+          });
+        });
+  }
+
+  void PeriodicTrim() {
+    for (auto& part : partitions_) {
+      uint64_t before = part.log->high_watermark();
+      if (cfg_.consumers > 0) {
+        before = std::min(before,
+                          consumers_[part.consumer].offsets[part.index]);
+      }
+      part.log->Trim(before);
+    }
+    if (sim_.now() < measure_end_) {
+      sim_.ScheduleAfter(kTrimInterval, [this] { PeriodicTrim(); });
+    }
+  }
+
+  std::vector<Partition> partitions_;
+  std::map<uint32_t, std::vector<uint32_t>> per_broker_;
+  std::vector<ProducerState> producers_;
+  std::vector<ConsumerState> consumers_;
+  std::map<uint32_t, std::deque<std::unique_ptr<PendingProduce>>> pending_;
+  std::vector<std::unique_ptr<FetchLane>> fetchers_;
+};
+
+}  // namespace
+
+SimExperimentResult RunSimExperiment(const SimExperimentConfig& config) {
+  if (config.system == SimExperimentConfig::System::kKafka) {
+    KafkaSim sim(config);
+    return sim.Run();
+  }
+  KeraSim sim(config);
+  return sim.Run();
+}
+
+}  // namespace kera::sim

@@ -1,0 +1,100 @@
+// Simulated cluster experiments: runs the real KerA broker / virtual log /
+// storage code (and the real Kafka-model partition logs) under the
+// discrete-event cost model, reproducing the paper's 4-broker Grid5000
+// evaluation on a single machine.
+//
+// The client model follows §V.A:
+//  - proxy producers share all streams: each producer keeps one request in
+//    flight per broker, and every request carries one chunk per partition
+//    that broker leads; a producer's source thread generates records at a
+//    bounded rate and requests wait for their records to exist;
+//  - consumers split the streams among themselves and keep one pull
+//    request in flight per broker, pulling up to one chunk per partition;
+//    consumers only ever receive durably replicated data.
+#pragma once
+
+#include <cstdint>
+
+#include "rpc/messages.h"
+#include "sim/cost_model.h"
+
+namespace kera::sim {
+
+struct SimExperimentConfig {
+  enum class System { kKerA, kKafka };
+  System system = System::kKerA;
+
+  uint32_t brokers = 4;
+  uint32_t producers = 4;
+  uint32_t consumers = 4;  // 0 = ingestion-only experiment
+
+  /// Streams, each partitioned into streamlets_per_stream partitions.
+  uint32_t streams = 32;
+  uint32_t streamlets_per_stream = 1;
+  /// Q: active groups (sub-partitions) per streamlet (KerA only).
+  uint32_t q = 1;
+
+  uint32_t replication_factor = 3;
+
+  /// KerA replication configuration (the paper's knob under study).
+  rpc::VlogPolicy vlog_policy = rpc::VlogPolicy::kSharedPerBroker;
+  uint32_t vlogs_per_broker = 4;
+  size_t virtual_segment_capacity = 1u << 20;
+  size_t replication_max_batch_bytes = 1u << 20;
+
+  /// Kafka follower tuning (static, as the paper emphasizes).
+  size_t kafka_fetch_max_bytes = 1u << 20;
+
+  size_t chunk_size = 1024;
+  size_t record_size = 100;
+
+  /// request.size analogue (§V.A): max chunks batched into one produce
+  /// request per broker; 0 = one chunk for every partition of the broker.
+  /// Latency-optimized configurations use small requests, which makes the
+  /// replication round-trip directly visible in throughput.
+  uint32_t request_max_chunks = 0;
+
+  /// Chunks a consumer pulls per partition per request (1 in the paper's
+  /// latency configuration; higher for throughput configurations).
+  uint32_t consumer_chunks_per_partition = 1;
+
+  /// Storage geometry for the simulated brokers (kept small so groups
+  /// close and trim during the run, bounding memory).
+  size_t segment_size = 128u << 10;
+  uint32_t segments_per_group = 2;
+
+  double warmup_seconds = 0.3;
+  double measure_seconds = 1.0;
+
+  CostModel cost;
+  uint64_t seed = 1;
+};
+
+struct SimExperimentResult {
+  /// Cluster ingestion throughput: producer-acked records in the measure
+  /// window, in million records per second (the paper's main metric).
+  double ingest_mrecords_per_s = 0;
+  /// Records delivered to consumers per second (million).
+  double consume_mrecords_per_s = 0;
+
+  uint64_t produce_requests = 0;
+  uint64_t replication_rpcs = 0;       // backup-bound RPCs (KerA) or
+                                       // follower fetches (Kafka)
+  double avg_replication_kb = 0;       // payload per replication RPC
+  double broker_core_utilization = 0;  // mean across broker nodes
+  double dispatch_utilization = 0;     // mean across nodes; the dispatch
+                                       // thread is the structural bottleneck
+  double produce_latency_p50_us = 0;
+  double produce_latency_p99_us = 0;
+  /// End-to-end lag from a chunk's broker append to its delivery at a
+  /// consumer (0 when the experiment runs without consumers).
+  double e2e_latency_p50_us = 0;
+  double e2e_latency_p99_us = 0;
+  uint64_t records_per_chunk = 0;
+};
+
+/// Runs one experiment; dispatches on config.system.
+[[nodiscard]] SimExperimentResult RunSimExperiment(
+    const SimExperimentConfig& config);
+
+}  // namespace kera::sim

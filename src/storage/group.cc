@@ -1,0 +1,203 @@
+#include "storage/group.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "wire/chunk.h"
+
+namespace kera {
+
+Group::Group(MemoryManager& memory, StreamId stream, StreamletId streamlet,
+             GroupId id, uint32_t max_segments)
+    : memory_(memory),
+      stream_(stream),
+      streamlet_(streamlet),
+      id_(id),
+      max_segments_(max_segments) {
+  assert(max_segments_ > 0);
+}
+
+Result<ChunkLocator> Group::AppendChunk(
+    std::span<const std::byte> chunk_bytes) {
+  if (closed()) {
+    return Status(StatusCode::kSegmentClosed, "append to closed group");
+  }
+  Segment* seg = nullptr;
+  {
+    std::lock_guard<SpinLock> lock(mu_);
+    if (!segments_.empty()) seg = segments_.back().get();
+  }
+
+  uint32_t offset = 0;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (seg != nullptr) {
+      auto r = seg->AppendChunk(chunk_bytes);
+      if (r.ok()) {
+        offset = *r;
+        break;
+      }
+      if (r.status().code() != StatusCode::kNoSpace) return r.status();
+      // Segment full: close it and roll over.
+      seg->Close();
+      seg = nullptr;
+    }
+    if (attempt == 1) {
+      return Status(StatusCode::kInternal, "chunk larger than a segment");
+    }
+    // Open a new segment if the quota allows.
+    size_t count;
+    {
+      std::lock_guard<SpinLock> lock(mu_);
+      count = segments_.size();
+    }
+    if (count >= max_segments_) {
+      return Status(StatusCode::kNoSpace, "group segment quota exhausted");
+    }
+    auto buf = memory_.Acquire();
+    if (!buf.ok()) return buf.status();
+    auto fresh = std::make_unique<Segment>(std::move(buf).value(), stream_,
+                                           streamlet_, id_,
+                                           SegmentId(count));
+    seg = fresh.get();
+    std::lock_guard<SpinLock> lock(mu_);
+    segments_.push_back(std::move(fresh));
+  }
+
+  ChunkLocator loc;
+  loc.segment = seg;
+  loc.group = id_;
+  loc.segment_id = seg->id();
+  loc.offset = offset;
+  loc.length = uint32_t(chunk_bytes.size());
+  if (auto view = ChunkView::Parse(chunk_bytes); view.ok()) {
+    loc.record_count = view->record_count();
+  }  // callers validate frames; an unparsable chunk indexes 0 records
+
+  uint64_t index;
+  {
+    std::lock_guard<SpinLock> lock(mu_);
+    index = index_.size();
+    loc.group_chunk_index = index;
+    loc.first_record_offset = record_count_.load(std::memory_order_relaxed);
+    index_.push_back(loc);
+    durable_flags_.push_back(0);
+    record_count_.store(loc.first_record_offset + loc.record_count,
+                        std::memory_order_release);
+  }
+  // Stamp the broker-assigned attributes into the stored copy (used at
+  // recovery to reconstruct the group consistently).
+  AssignChunkAttrs(seg->MutableChunkAt(loc.offset, loc.length), id_,
+                   loc.segment_id, index);
+  chunk_count_.store(index + 1, std::memory_order_release);
+  return loc;
+}
+
+void Group::Close() {
+  std::lock_guard<SpinLock> lock(mu_);
+  closed_.store(true, std::memory_order_release);
+  if (!segments_.empty()) segments_.back()->Close();
+}
+
+void Group::MarkChunkDurable(uint64_t index) {
+  std::lock_guard<SpinLock> lock(mu_);
+  if (index >= durable_flags_.size()) return;
+  durable_flags_[index] = 1;
+  // Advance the contiguous durable prefix.
+  uint64_t durable = durable_chunks_.load(std::memory_order_relaxed);
+  while (durable < durable_flags_.size() && durable_flags_[durable]) {
+    ++durable;
+  }
+  durable_chunks_.store(durable, std::memory_order_release);
+}
+
+std::vector<ChunkLocator> Group::GetDurableChunks(uint64_t start,
+                                                  uint64_t limit,
+                                                  size_t max_bytes) const {
+  std::vector<ChunkLocator> out;
+  size_t bytes = 0;
+  std::lock_guard<SpinLock> lock(mu_);
+  uint64_t durable = durable_chunks_.load(std::memory_order_acquire);
+  // A trimmed group has released its segments; nothing is readable.
+  if (durable > index_.size()) durable = index_.size();
+  if (start >= durable) return out;
+  for (uint64_t i = start; i < durable && out.size() < limit; ++i) {
+    const ChunkLocator& loc = index_[size_t(i)];
+    if (!out.empty() && bytes + loc.length > max_bytes) break;
+    bytes += loc.length;
+    out.push_back(loc);
+  }
+  return out;
+}
+
+ChunkLocator Group::GetChunk(uint64_t index) const {
+  std::lock_guard<SpinLock> lock(mu_);
+  assert(index < index_.size());
+  return index_[size_t(index)];
+}
+
+size_t Group::segment_count() const {
+  std::lock_guard<SpinLock> lock(mu_);
+  return segments_.size();
+}
+
+uint64_t Group::durable_record_count() const {
+  std::lock_guard<SpinLock> lock(mu_);
+  uint64_t durable = durable_chunks_.load(std::memory_order_acquire);
+  if (durable > index_.size()) durable = index_.size();
+  if (durable == 0) return 0;
+  const ChunkLocator& last = index_[size_t(durable - 1)];
+  return last.first_record_offset + last.record_count;
+}
+
+Result<RecordLocation> Group::LocateRecord(uint64_t record_offset) const {
+  std::lock_guard<SpinLock> lock(mu_);
+  uint64_t durable = durable_chunks_.load(std::memory_order_acquire);
+  if (durable > index_.size()) durable = index_.size();
+  if (durable == 0) {
+    return Status(StatusCode::kOutOfRange, "no durable records");
+  }
+  const ChunkLocator& last = index_[size_t(durable - 1)];
+  if (record_offset >= last.first_record_offset + last.record_count) {
+    return Status(StatusCode::kOutOfRange, "beyond the durable head");
+  }
+  // Binary search over cumulative record counts: the last chunk with
+  // first_record_offset <= record_offset.
+  auto it = std::upper_bound(
+      index_.begin(), index_.begin() + long(durable), record_offset,
+      [](uint64_t off, const ChunkLocator& loc) {
+        return off < loc.first_record_offset;
+      });
+  assert(it != index_.begin());
+  --it;
+  RecordLocation out;
+  out.chunk = *it;
+  out.record_within_chunk = uint32_t(record_offset - it->first_record_offset);
+  return out;
+}
+
+Status Group::Trim() {
+  std::lock_guard<SpinLock> lock(mu_);
+  if (!closed_.load(std::memory_order_acquire)) {
+    return Status(StatusCode::kInvalidArgument, "trim of open group");
+  }
+  if (durable_chunks_.load(std::memory_order_acquire) != index_.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "trim of group with unreplicated chunks");
+  }
+  for (auto& seg : segments_) {
+    memory_.Release(std::move(*seg).TakeBuffer());
+  }
+  segments_.clear();
+  index_.clear();
+  trimmed_.store(true, std::memory_order_release);
+  return OkStatus();
+}
+
+size_t Group::bytes_in_use() const {
+  std::lock_guard<SpinLock> lock(mu_);
+  size_t total = 0;
+  for (const auto& seg : segments_) total += seg->head();
+  return total;
+}
+
+}  // namespace kera

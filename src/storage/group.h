@@ -1,0 +1,109 @@
+// Group: a fixed-size sub-partition — a bounded sequence of segments plus
+// a lightweight offset index (one locator per chunk). Groups are created
+// dynamically as data arrives; a full group is closed (immutable) and a
+// new one opens. Each group is the unit of consumer assignment and of
+// trimming.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/types.h"
+#include "storage/locator.h"
+#include "storage/memory_manager.h"
+#include "storage/segment.h"
+
+namespace kera {
+
+class Group {
+ public:
+  Group(MemoryManager& memory, StreamId stream, StreamletId streamlet,
+        GroupId id, uint32_t max_segments);
+
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  /// Appends a chunk, rolling to a new segment when the open one is full.
+  /// Returns kNoSpace when the group has exhausted its segment quota (the
+  /// caller closes this group and opens a new one); kNoSpace from the
+  /// MemoryManager propagates as backpressure. Assigns the chunk's
+  /// [group, segment, index] attributes in place after the copy.
+  /// Not thread-safe: callers serialize per active-group slot.
+  Result<ChunkLocator> AppendChunk(std::span<const std::byte> chunk_bytes);
+
+  /// Marks the group immutable.
+  void Close();
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] GroupId id() const { return id_; }
+  [[nodiscard]] uint64_t chunk_count() const {
+    return chunk_count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] uint64_t durable_chunk_count() const {
+    return durable_chunks_.load(std::memory_order_acquire);
+  }
+
+  /// Marks chunk `index` durably replicated and advances the durable
+  /// prefix. Thread-safe with respect to appends and reads.
+  void MarkChunkDurable(uint64_t index);
+
+  /// Copies locators for chunks [start, start+limit) that are below the
+  /// durable prefix (consumers must not see unreplicated data). Returns
+  /// the locators actually available.
+  [[nodiscard]] std::vector<ChunkLocator> GetDurableChunks(
+      uint64_t start, uint64_t limit, size_t max_bytes) const;
+
+  /// Locator for a single chunk (must be < chunk_count()).
+  [[nodiscard]] ChunkLocator GetChunk(uint64_t index) const;
+
+  /// Total records appended / durably replicated in this group.
+  [[nodiscard]] uint64_t record_count() const {
+    return record_count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] uint64_t durable_record_count() const;
+
+  /// Resolves a group-relative record offset to its chunk and position
+  /// within the chunk (the lightweight offset index: binary search over
+  /// per-chunk cumulative record counts; no per-record metadata).
+  /// kOutOfRange beyond the durable record count.
+  [[nodiscard]] Result<RecordLocation> LocateRecord(
+      uint64_t record_offset) const;
+
+  /// Number of live segments.
+  [[nodiscard]] size_t segment_count() const;
+
+  /// Releases all segment buffers back to the memory manager. Only valid
+  /// on a closed group whose chunks are all durable; afterwards locators
+  /// into this group are invalid.
+  Status Trim();
+  [[nodiscard]] bool trimmed() const {
+    return trimmed_.load(std::memory_order_acquire);
+  }
+
+  /// Bytes currently buffered in this group's segments.
+  [[nodiscard]] size_t bytes_in_use() const;
+
+ private:
+  MemoryManager& memory_;
+  const StreamId stream_;
+  const StreamletId streamlet_;
+  const GroupId id_;
+  const uint32_t max_segments_;
+
+  mutable SpinLock mu_;  // guards segments_ growth and index_ growth
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<ChunkLocator> index_;   // the lightweight offset index
+  std::vector<uint8_t> durable_flags_;
+
+  std::atomic<uint64_t> chunk_count_{0};
+  std::atomic<uint64_t> durable_chunks_{0};
+  std::atomic<uint64_t> record_count_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> trimmed_{false};
+};
+
+}  // namespace kera

@@ -1,0 +1,32 @@
+// ChunkLocator: where a chunk physically lives. Produced by group appends,
+// stored in the group's lightweight offset index, and referenced by
+// virtual segments for replication.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace kera {
+
+class Segment;
+
+struct ChunkLocator {
+  Segment* segment = nullptr;  // non-owning; valid until the group is trimmed
+  GroupId group = 0;
+  SegmentId segment_id = 0;
+  uint32_t offset = 0;  // byte offset of the chunk header within the segment
+  uint32_t length = 0;  // total chunk bytes (header + payload)
+  uint64_t group_chunk_index = 0;  // position of the chunk within its group
+  uint32_t record_count = 0;       // records in this chunk
+  uint64_t first_record_offset = 0;  // group-relative offset of record 0
+};
+
+/// Resolution of a group-relative record offset (the paper's lightweight
+/// offset indexing: one locator per chunk, record position derived).
+struct RecordLocation {
+  ChunkLocator chunk;
+  uint32_t record_within_chunk = 0;
+};
+
+}  // namespace kera

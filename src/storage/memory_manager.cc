@@ -1,0 +1,43 @@
+#include "storage/memory_manager.h"
+
+namespace kera {
+
+MemoryManager::MemoryManager(size_t total_bytes, size_t segment_size)
+    : segment_size_(segment_size),
+      max_segments_(segment_size == 0 ? 0 : total_bytes / segment_size) {}
+
+Result<Buffer> MemoryManager::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_list_.empty()) {
+    Buffer buf = std::move(free_list_.back());
+    free_list_.pop_back();
+    buf.Clear();
+    ++outstanding_;
+    return buf;
+  }
+  if (created_ >= max_segments_) {
+    return Status(StatusCode::kNoSpace, "segment memory budget exhausted");
+  }
+  ++created_;
+  ++outstanding_;
+  return Buffer(segment_size_);
+}
+
+void MemoryManager::Release(Buffer buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outstanding_ > 0) --outstanding_;
+  buf.Clear();
+  free_list_.push_back(std::move(buf));
+}
+
+size_t MemoryManager::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+size_t MemoryManager::pooled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_list_.size();
+}
+
+}  // namespace kera

@@ -1,0 +1,44 @@
+// Segment memory manager: a bounded pool of fixed-size segment buffers.
+// Brokers and backups acquire buffers for active segments and release them
+// when a group is trimmed (durably replicated and consumed) or flushed.
+// Bounding the pool is what lets long simulations and soak tests run in
+// constant memory, mirroring a real broker's configured memory budget.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace kera {
+
+class MemoryManager {
+ public:
+  /// `total_bytes` is the memory budget; `segment_size` the fixed buffer
+  /// size. At most total_bytes/segment_size segments exist at once.
+  MemoryManager(size_t total_bytes, size_t segment_size);
+
+  /// Acquires a cleared segment buffer; kNoSpace when the budget is
+  /// exhausted (callers surface backpressure to producers).
+  Result<Buffer> Acquire();
+
+  /// Returns a buffer to the pool.
+  void Release(Buffer buf);
+
+  [[nodiscard]] size_t segment_size() const { return segment_size_; }
+  [[nodiscard]] size_t max_segments() const { return max_segments_; }
+  [[nodiscard]] size_t in_use() const;
+  [[nodiscard]] size_t pooled() const;
+
+ private:
+  const size_t segment_size_;
+  const size_t max_segments_;
+  mutable std::mutex mu_;
+  std::vector<Buffer> free_list_;
+  size_t outstanding_ = 0;  // buffers handed out and not yet released
+  size_t created_ = 0;      // total buffers ever created (lazily, on demand)
+};
+
+}  // namespace kera

@@ -1,0 +1,62 @@
+#include "storage/segment.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "wire/layout.h"
+
+namespace kera {
+
+Segment::Segment(Buffer buf, StreamId stream, StreamletId streamlet,
+                 GroupId group, SegmentId id)
+    : buf_(std::move(buf)),
+      stream_(stream),
+      streamlet_(streamlet),
+      group_(group),
+      id_(id) {
+  assert(buf_.capacity() > kSegmentHeaderSize);
+  assert(buf_.empty());
+  size_t off = buf_.Reserve(kSegmentHeaderSize);
+  (void)off;
+  assert(off == 0);
+  std::byte* p = buf_.data();
+  wire::StoreU64(p + 0, stream_);
+  wire::StoreU32(p + 8, streamlet_);
+  wire::StoreU32(p + 12, group_);
+  wire::StoreU32(p + 16, id_);
+  wire::StoreU32(p + 20, 0);
+}
+
+Result<uint32_t> Segment::AppendChunk(std::span<const std::byte> chunk_bytes) {
+  if (closed()) {
+    return Status(StatusCode::kSegmentClosed, "append to closed segment");
+  }
+  // Appends are serialized by the owning group's lock; the atomic head is
+  // the publication point for concurrent readers.
+  size_t off = buf_.Append(chunk_bytes);
+  if (off == SIZE_MAX) {
+    return Status(StatusCode::kNoSpace, "segment full");
+  }
+  head_.store(uint32_t(off + chunk_bytes.size()), std::memory_order_release);
+  return uint32_t(off);
+}
+
+Result<ChunkView> Segment::ChunkAt(uint32_t offset) const {
+  uint32_t h = head();
+  if (offset < kSegmentHeaderSize || offset >= h) {
+    return Status(StatusCode::kOutOfRange, "chunk offset out of range");
+  }
+  return ChunkView::Parse({buf_.data() + offset, h - offset});
+}
+
+void Segment::AdvanceDurableHead(uint32_t offset) {
+  // Monotonic max; replication acks can arrive out of order across vlogs
+  // but each chunk's completion advances its own segment's durable head.
+  uint32_t cur = durable_head_.load(std::memory_order_relaxed);
+  while (offset > cur && !durable_head_.compare_exchange_weak(
+                             cur, offset, std::memory_order_release,
+                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace kera

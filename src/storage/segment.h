@@ -1,0 +1,102 @@
+// Physical segment: fixed-size append-only buffer holding chunks
+// back-to-back after a small self-describing header. The layout is the
+// same in memory and on disk (paper §IV.A), so backups flush segments with
+// a single write and recovery re-parses them directly.
+//
+// On-buffer layout:
+//   u64 stream_id | u32 streamlet_id | u32 group_id | u32 segment_id |
+//   u32 reserved  (24-byte header)
+//   chunk*        (each: 56-byte chunk header + payload)
+//
+// Two heads are tracked per segment (paper §IV.B): `head` is the next free
+// offset; `durable_head` points past the last byte whose chunk has been
+// durably replicated — consumers may only read below durable_head.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "wire/chunk.h"
+
+namespace kera {
+
+inline constexpr size_t kSegmentHeaderSize = 24;
+
+class Segment {
+ public:
+  /// Takes ownership of `buf` (from the MemoryManager) and writes the
+  /// segment header. The buffer must be empty and larger than the header.
+  Segment(Buffer buf, StreamId stream, StreamletId streamlet, GroupId group,
+          SegmentId id);
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  /// Appends a full chunk (header + payload). Returns the byte offset of
+  /// the chunk within the segment, or kNoSpace when it does not fit (the
+  /// caller rolls over to a new segment and closes this one).
+  Result<uint32_t> AppendChunk(std::span<const std::byte> chunk_bytes);
+
+  /// Mutable bytes of the chunk at `offset` (for broker-side attribute
+  /// assignment after the copy-in).
+  [[nodiscard]] std::span<std::byte> MutableChunkAt(uint32_t offset,
+                                                    uint32_t length) {
+    return {buf_.data() + offset, length};
+  }
+
+  /// Parses the chunk at byte offset `offset`.
+  [[nodiscard]] Result<ChunkView> ChunkAt(uint32_t offset) const;
+
+  /// Raw bytes [offset, offset+length) for zero-copy replication gather.
+  [[nodiscard]] std::span<const std::byte> Bytes(uint32_t offset,
+                                                 uint32_t length) const {
+    return {buf_.data() + offset, length};
+  }
+
+  void Close() { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] uint32_t head() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] uint32_t durable_head() const {
+    return durable_head_.load(std::memory_order_acquire);
+  }
+
+  /// Advances the durable head monotonically (called by the virtual log
+  /// when the chunk ending at `offset` has been replicated everywhere).
+  void AdvanceDurableHead(uint32_t offset);
+
+  [[nodiscard]] StreamId stream_id() const { return stream_; }
+  [[nodiscard]] StreamletId streamlet_id() const { return streamlet_; }
+  [[nodiscard]] GroupId group_id() const { return group_; }
+  [[nodiscard]] SegmentId id() const { return id_; }
+  [[nodiscard]] size_t capacity() const { return buf_.capacity(); }
+  [[nodiscard]] size_t remaining() const { return buf_.capacity() - head(); }
+
+  /// Whole written prefix (header + chunks), e.g. for flushing to disk.
+  [[nodiscard]] std::span<const std::byte> View() const {
+    return {buf_.data(), head()};
+  }
+
+  /// Releases the underlying buffer back to the caller (for trimming).
+  Buffer TakeBuffer() && { return std::move(buf_); }
+
+ private:
+  Buffer buf_;
+  const StreamId stream_;
+  const StreamletId streamlet_;
+  const GroupId group_;
+  const SegmentId id_;
+  std::atomic<uint32_t> head_{kSegmentHeaderSize};
+  std::atomic<uint32_t> durable_head_{kSegmentHeaderSize};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace kera

@@ -1,0 +1,53 @@
+#include "storage/stream.h"
+
+namespace kera {
+
+Stream::Stream(MemoryManager& memory, StorageConfig config, StreamId id,
+               std::string name)
+    : memory_(memory), config_(config), id_(id), name_(std::move(name)) {}
+
+Streamlet* Stream::AddStreamlet(StreamletId id) {
+  std::lock_guard<SpinLock> lock(mu_);
+  auto it = streamlets_.find(id);
+  if (it != streamlets_.end()) return it->second.get();
+  auto sl = std::make_unique<Streamlet>(memory_, config_, id_, id);
+  Streamlet* raw = sl.get();
+  streamlets_.emplace(id, std::move(sl));
+  return raw;
+}
+
+Streamlet* Stream::GetStreamlet(StreamletId id) const {
+  std::lock_guard<SpinLock> lock(mu_);
+  auto it = streamlets_.find(id);
+  return it == streamlets_.end() ? nullptr : it->second.get();
+}
+
+std::vector<StreamletId> Stream::StreamletIds() const {
+  std::lock_guard<SpinLock> lock(mu_);
+  std::vector<StreamletId> ids;
+  ids.reserve(streamlets_.size());
+  for (const auto& [id, _] : streamlets_) ids.push_back(id);
+  return ids;
+}
+
+void Stream::Seal() {
+  std::vector<Streamlet*> all;
+  {
+    std::lock_guard<SpinLock> lock(mu_);
+    for (const auto& [_, sl] : streamlets_) all.push_back(sl.get());
+  }
+  for (Streamlet* sl : all) sl->SealActiveGroups();
+}
+
+size_t Stream::bytes_in_use() const {
+  std::vector<Streamlet*> all;
+  {
+    std::lock_guard<SpinLock> lock(mu_);
+    for (const auto& [_, sl] : streamlets_) all.push_back(sl.get());
+  }
+  size_t total = 0;
+  for (Streamlet* sl : all) total += sl->bytes_in_use();
+  return total;
+}
+
+}  // namespace kera

@@ -1,0 +1,49 @@
+// Broker-side stream object: the subset of a stream's streamlets hosted on
+// one broker, plus the stream's storage configuration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/types.h"
+#include "storage/streamlet.h"
+
+namespace kera {
+
+class Stream {
+ public:
+  Stream(MemoryManager& memory, StorageConfig config, StreamId id,
+         std::string name);
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Instantiates storage for a streamlet this broker leads.
+  Streamlet* AddStreamlet(StreamletId id);
+
+  [[nodiscard]] Streamlet* GetStreamlet(StreamletId id) const;
+  [[nodiscard]] std::vector<StreamletId> StreamletIds() const;
+
+  [[nodiscard]] StreamId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const StorageConfig& config() const { return config_; }
+
+  /// Seals every streamlet (bounded stream / object).
+  void Seal();
+
+  [[nodiscard]] size_t bytes_in_use() const;
+
+ private:
+  MemoryManager& memory_;
+  const StorageConfig config_;
+  const StreamId id_;
+  const std::string name_;
+
+  mutable SpinLock mu_;
+  std::map<StreamletId, std::unique_ptr<Streamlet>> streamlets_;
+};
+
+}  // namespace kera

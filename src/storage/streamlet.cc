@@ -1,0 +1,160 @@
+#include "storage/streamlet.h"
+
+#include <cassert>
+
+namespace kera {
+
+Streamlet::Streamlet(MemoryManager& memory, const StorageConfig& config,
+                     StreamId stream, StreamletId id)
+    : memory_(memory),
+      config_(config),
+      stream_(stream),
+      id_(id),
+      q_(config.active_groups_per_streamlet) {
+  assert(q_ > 0);
+  slots_.reserve(q_);
+  for (uint32_t i = 0; i < q_; ++i) slots_.push_back(std::make_unique<Slot>());
+}
+
+Group* Streamlet::NewGroup() {
+  std::lock_guard<SpinLock> lock(groups_mu_);
+  GroupId gid = next_group_id_++;
+  auto group = std::make_unique<Group>(memory_, stream_, id_, gid,
+                                       config_.segments_per_group);
+  Group* raw = group.get();
+  groups_.emplace(gid, std::move(group));
+  return raw;
+}
+
+Group* Streamlet::CreateGroupLocked(uint32_t slot) {
+  Group* raw = NewGroup();
+  slots_[slot]->active = raw;
+  return raw;
+}
+
+Result<StreamletAppendResult> Streamlet::AppendChunk(
+    ProducerId producer, std::span<const std::byte> chunk_bytes) {
+  return AppendChunkToSlot(producer % q_, chunk_bytes);
+}
+
+Result<StreamletAppendResult> Streamlet::AppendChunkToSlot(
+    uint32_t slot_idx, std::span<const std::byte> chunk_bytes) {
+  if (slot_idx >= q_) {
+    return Status(StatusCode::kInvalidArgument, "bad active-group slot");
+  }
+  Slot& slot = *slots_[slot_idx];
+  std::lock_guard<SpinLock> lock(slot.lock);
+
+  StreamletAppendResult result;
+  result.active_slot = slot_idx;
+
+  Group* group = slot.active;
+  if (group == nullptr) {
+    group = CreateGroupLocked(slot_idx);
+    result.opened_new_group = true;
+  }
+  auto r = group->AppendChunk(chunk_bytes);
+  if (!r.ok() && (r.status().code() == StatusCode::kNoSpace ||
+                  r.status().code() == StatusCode::kSegmentClosed)) {
+    // Group exhausted its segment quota (or was closed/trimmed behind our
+    // back, e.g. by an aggressive retention policy): roll to a fresh one.
+    group->Close();
+    group = CreateGroupLocked(slot_idx);
+    result.opened_new_group = true;
+    r = group->AppendChunk(chunk_bytes);
+  }
+  if (!r.ok()) return r.status();
+  result.locator = *r;
+  result.group = group;
+  return result;
+}
+
+Result<StreamletAppendResult> Streamlet::AppendRecoveryChunk(
+    GroupId original_group, std::span<const std::byte> chunk_bytes) {
+  std::lock_guard<SpinLock> lock(recovery_mu_);
+  Group* group;
+  auto it = recovery_groups_.find(original_group);
+  if (it != recovery_groups_.end()) {
+    group = it->second;
+  } else {
+    group = NewGroup();
+    recovery_groups_.emplace(original_group, group);
+  }
+  auto r = group->AppendChunk(chunk_bytes);
+  if (!r.ok()) return r.status();
+  StreamletAppendResult result;
+  result.locator = *r;
+  result.group = group;
+  result.active_slot = 0;
+  return result;
+}
+
+Group* Streamlet::GetGroup(GroupId id) const {
+  std::lock_guard<SpinLock> lock(groups_mu_);
+  auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+std::vector<GroupId> Streamlet::GroupIds() const {
+  std::lock_guard<SpinLock> lock(groups_mu_);
+  std::vector<GroupId> ids;
+  ids.reserve(groups_.size());
+  for (const auto& [id, _] : groups_) ids.push_back(id);
+  return ids;
+}
+
+GroupId Streamlet::next_group_id() const {
+  std::lock_guard<SpinLock> lock(groups_mu_);
+  return next_group_id_;
+}
+
+void Streamlet::CloseRecoveryGroups() {
+  std::lock_guard<SpinLock> lock(recovery_mu_);
+  for (auto& [_, group] : recovery_groups_) group->Close();
+  recovery_groups_.clear();
+}
+
+void Streamlet::SealActiveGroups() {
+  for (auto& slot : slots_) {
+    std::lock_guard<SpinLock> lock(slot->lock);
+    if (slot->active != nullptr) {
+      slot->active->Close();
+      slot->active = nullptr;
+    }
+  }
+}
+
+size_t Streamlet::TrimBefore(GroupId before_group) {
+  std::vector<Group*> candidates;
+  {
+    std::lock_guard<SpinLock> lock(groups_mu_);
+    for (auto& [id, group] : groups_) {
+      if (id >= before_group) break;
+      if (group->closed() && !group->trimmed() &&
+          group->durable_chunk_count() == group->chunk_count()) {
+        candidates.push_back(group.get());
+      }
+    }
+  }
+  size_t trimmed = 0;
+  for (Group* g : candidates) {
+    if (g->Trim().ok()) ++trimmed;
+  }
+  return trimmed;
+}
+
+size_t Streamlet::bytes_in_use() const {
+  std::lock_guard<SpinLock> lock(groups_mu_);
+  size_t total = 0;
+  for (const auto& [_, group] : groups_) total += group->bytes_in_use();
+  return total;
+}
+
+uint64_t Streamlet::total_chunks() const {
+  std::lock_guard<SpinLock> lock(groups_mu_);
+  uint64_t total = 0;
+  for (const auto& [_, group] : groups_) total += group->chunk_count();
+  return total;
+}
+
+}  // namespace kera

@@ -1,0 +1,108 @@
+// Streamlet: a stream's logical partition. Holds Q active-group slots for
+// parallel appends (slot = producer_id mod Q) and the full map of groups
+// (active + closed) for consumers. Groups are created dynamically as data
+// arrives; group ids are monotonic per streamlet.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/types.h"
+#include "storage/group.h"
+#include "storage/storage_config.h"
+
+namespace kera {
+
+/// Result of a streamlet append: where the chunk landed plus which active
+/// slot handled it (the broker maps slots to virtual logs when configured
+/// with one vlog per sub-partition).
+struct StreamletAppendResult {
+  ChunkLocator locator;
+  Group* group = nullptr;
+  uint32_t active_slot = 0;
+  bool opened_new_group = false;
+};
+
+class Streamlet {
+ public:
+  Streamlet(MemoryManager& memory, const StorageConfig& config,
+            StreamId stream, StreamletId id);
+
+  Streamlet(const Streamlet&) = delete;
+  Streamlet& operator=(const Streamlet&) = delete;
+
+  /// Appends a chunk on the producer's active-group slot. Rolls the slot's
+  /// group when full. Safe for concurrent calls on different slots; calls
+  /// on the same slot are serialized internally.
+  Result<StreamletAppendResult> AppendChunk(
+      ProducerId producer, std::span<const std::byte> chunk_bytes);
+
+  /// Appends into an explicit slot (tests and tools).
+  Result<StreamletAppendResult> AppendChunkToSlot(
+      uint32_t slot, std::span<const std::byte> chunk_bytes);
+
+  /// Recovery replay: re-ingests a chunk that belonged to group
+  /// `original_group` on the crashed broker. Chunks of one original group
+  /// map onto one fresh group here (created on first sight), preserving
+  /// group membership and intra-group order.
+  Result<StreamletAppendResult> AppendRecoveryChunk(
+      GroupId original_group, std::span<const std::byte> chunk_bytes);
+
+  [[nodiscard]] Group* GetGroup(GroupId id) const;
+
+  /// Ids of all groups created so far, ascending.
+  [[nodiscard]] std::vector<GroupId> GroupIds() const;
+
+  /// Highest group id created so far +1 (0 when empty).
+  [[nodiscard]] GroupId next_group_id() const;
+
+  [[nodiscard]] StreamId stream_id() const { return stream_; }
+  [[nodiscard]] StreamletId id() const { return id_; }
+  [[nodiscard]] uint32_t active_slots() const { return q_; }
+
+  /// Marks the recovery replay complete: closes the groups rebuilt by
+  /// AppendRecoveryChunk so consumers advance past them, and resets the
+  /// mapping for any future replay.
+  void CloseRecoveryGroups();
+
+  /// Seals the streamlet (bounded stream): closes every active group so
+  /// consumers can drain to a definite end. Producer-path appends roll to
+  /// new groups only through the broker, which rejects them once sealed.
+  void SealActiveGroups();
+
+  /// Trims every closed, fully durable group with id < `before_group`,
+  /// releasing memory. Returns how many groups were trimmed.
+  size_t TrimBefore(GroupId before_group);
+
+  [[nodiscard]] size_t bytes_in_use() const;
+  [[nodiscard]] uint64_t total_chunks() const;
+
+ private:
+  struct Slot {
+    SpinLock lock;
+    Group* active = nullptr;  // owned by groups_
+  };
+
+  Group* NewGroup();
+  Group* CreateGroupLocked(uint32_t slot);
+
+  MemoryManager& memory_;
+  const StorageConfig config_;
+  const StreamId stream_;
+  const StreamletId id_;
+  const uint32_t q_;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  mutable SpinLock groups_mu_;  // guards groups_ map and next_group_id_
+  std::map<GroupId, std::unique_ptr<Group>> groups_;
+  GroupId next_group_id_ = 0;
+
+  SpinLock recovery_mu_;  // guards recovery_groups_ and serializes replay
+  std::map<GroupId, Group*> recovery_groups_;  // original group -> new group
+};
+
+}  // namespace kera

@@ -1,0 +1,253 @@
+#include "vlog/virtual_log.h"
+
+#include <cassert>
+
+#include "storage/group.h"
+
+namespace kera {
+
+VirtualLog::VirtualLog(VlogId id, VirtualLogConfig config,
+                       BackupSelector selector)
+    : id_(id), config_(config), selector_(std::move(selector)) {
+  assert(config_.replication_factor >= 1);
+}
+
+VirtualSegment* VirtualLog::OpenSegmentLocked() {
+  VirtualSegmentId vseg_id = next_segment_id_++;
+  std::vector<NodeId> backups;
+  if (config_.replication_factor > 1) {
+    backups = selector_(vseg_id);
+    assert(backups.size() == config_.replication_factor - 1 &&
+           "selector must return R-1 backups");
+  }
+  segments_.push_back(std::make_unique<VirtualSegment>(
+      vseg_id, config_.virtual_segment_capacity, std::move(backups)));
+  ++stats_.segments_opened;
+  return segments_.back().get();
+}
+
+VirtualLog::AppendPosition VirtualLog::Append(const ChunkRef& ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VirtualSegment* seg =
+      segments_.empty() ? OpenSegmentLocked() : segments_.back().get();
+  if (!seg->TryAppend(ref)) {
+    seg->Close();
+    if (config_.replication_factor == 1) seg->set_seal_replicated();
+    seg = OpenSegmentLocked();
+    bool ok = seg->TryAppend(ref);
+    assert(ok && "chunk larger than virtual segment capacity");
+    (void)ok;
+  }
+  ++stats_.chunks_appended;
+  stats_.bytes_appended += ref.loc.length;
+  AppendPosition pos{seg->id(), seg->ref_count() - 1};
+  if (config_.replication_factor == 1) {
+    // No backups: the broker's copy is the only copy; expose immediately.
+    seg->MarkReplicatedUpTo(seg->ref_count());
+  }
+  return pos;
+}
+
+std::optional<ReplicationBatch> VirtualLog::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (batch_in_flight_ || config_.replication_factor == 1) {
+    return std::nullopt;
+  }
+  // Replication is ordered: always the oldest incompletely replicated
+  // virtual segment first.
+  for (auto& seg_ptr : segments_) {
+    VirtualSegment& seg = *seg_ptr;
+    size_t start = seg.durable_ref_count();
+    if (start >= seg.ref_count()) continue;
+
+    ReplicationBatch batch;
+    batch.vlog = id_;
+    batch.vseg = seg.id();
+    batch.backups = seg.backups();
+    batch.start_ref = start;
+    // Batches always start at the replicated prefix, whose virtual byte
+    // offset is the segment's durable header.
+    batch.start_offset = seg.durable_header();
+    size_t end = start;
+    while (end < seg.ref_count() &&
+           (end == start ||
+            batch.bytes + seg.ref(end).loc.length <= config_.max_batch_bytes)) {
+      batch.bytes += seg.ref(end).loc.length;
+      batch.refs.push_back(seg.ref(end));
+      ++end;
+    }
+    batch.seals_segment = seg.closed() && end == seg.ref_count();
+    batch.checksum_after = seg.ChecksumFromDurable(end);
+    batch_in_flight_ = true;
+    ++stats_.batches_issued;
+    stats_.bytes_replicated += batch.bytes;
+    return batch;
+  }
+  // No data pending: a segment that closed after its last data batch
+  // completed still owes the backups an (empty) seal notification, so
+  // they can flush and the segment can be trimmed.
+  for (auto& seg_ptr : segments_) {
+    VirtualSegment& seg = *seg_ptr;
+    if (!seg.closed() || seg.seal_replicated() ||
+        seg.durable_ref_count() < seg.ref_count()) {
+      continue;
+    }
+    ReplicationBatch batch;
+    batch.vlog = id_;
+    batch.vseg = seg.id();
+    batch.backups = seg.backups();
+    batch.start_ref = seg.durable_ref_count();
+    batch.start_offset = seg.durable_header();
+    batch.seals_segment = true;
+    batch.checksum_after = seg.running_checksum();
+    batch_in_flight_ = true;
+    ++stats_.batches_issued;
+    return batch;
+  }
+  return std::nullopt;
+}
+
+void VirtualLog::Complete(const ReplicationBatch& batch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(batch_in_flight_);
+    for (auto& seg_ptr : segments_) {
+      if (seg_ptr->id() == batch.vseg) {
+        seg_ptr->MarkReplicatedUpTo(size_t(batch.start_ref) +
+                                    batch.refs.size());
+        if (batch.seals_segment) seg_ptr->set_seal_replicated();
+        break;
+      }
+    }
+    batch_in_flight_ = false;
+  }
+  durable_cv_.notify_all();
+}
+
+void VirtualLog::Abort(const ReplicationBatch& batch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(batch_in_flight_);
+    (void)batch;
+    batch_in_flight_ = false;
+    // Stats: the batch counted as issued but its bytes were not durably
+    // replicated; the retry will count again, reflecting the extra I/O.
+  }
+  durable_cv_.notify_all();
+}
+
+bool VirtualLog::IsDurable(AppendPosition pos) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& seg : segments_) {
+    if (seg->id() == pos.vseg) {
+      return seg->durable_ref_count() > pos.ref_index;
+    }
+  }
+  // Segment already trimmed => it was fully replicated.
+  return true;
+}
+
+void VirtualLog::WaitDurable(AppendPosition pos) {
+  std::unique_lock<std::mutex> lock(mu_);
+  durable_cv_.wait(lock, [&] {
+    for (const auto& seg : segments_) {
+      if (seg->id() == pos.vseg) {
+        return seg->durable_ref_count() > pos.ref_index;
+      }
+    }
+    return true;  // trimmed == durable
+  });
+}
+
+bool VirtualLog::WaitDurableOrIdle(AppendPosition pos) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto durable = [&] {
+    for (const auto& seg : segments_) {
+      if (seg->id() == pos.vseg) {
+        return seg->durable_ref_count() > pos.ref_index;
+      }
+    }
+    return true;  // trimmed == durable
+  };
+  durable_cv_.wait(lock, [&] { return durable() || !batch_in_flight_; });
+  return durable();
+}
+
+bool VirtualLog::WaitChunkDurableOrIdle(const ChunkRef& ref) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto durable = [&] {
+    return ref.group == nullptr ||
+           ref.group->durable_chunk_count() > ref.loc.group_chunk_index;
+  };
+  durable_cv_.wait(lock, [&] { return durable() || !batch_in_flight_; });
+  return durable();
+}
+
+size_t VirtualLog::EvacuateSegment(VirtualSegmentId vseg) {
+  std::vector<ChunkRef> moved;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Collect unreplicated refs from the victim AND every later segment,
+    // in order, so the vlog's global append order is preserved in the
+    // rebuilt tail (per-group replay order at recovery depends on it).
+    bool found = false;
+    for (auto& seg : segments_) {
+      if (seg->id() == vseg) found = true;
+      if (!found) continue;
+      seg->Close();
+      auto refs = seg->TruncateUnreplicated();
+      moved.insert(moved.end(), refs.begin(), refs.end());
+    }
+    if (!found) return 0;
+    if (!moved.empty()) {
+      VirtualSegment* fresh = OpenSegmentLocked();
+      for (const ChunkRef& ref : moved) {
+        bool ok = fresh->TryAppend(ref);
+        if (!ok) {
+          fresh->Close();
+          fresh = OpenSegmentLocked();
+          ok = fresh->TryAppend(ref);
+        }
+        assert(ok && "evacuated chunk larger than virtual segment");
+        (void)ok;
+      }
+    }
+  }
+  durable_cv_.notify_all();
+  return moved.size();
+}
+
+bool VirtualLog::HasWork() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (batch_in_flight_ || config_.replication_factor == 1) return false;
+  for (const auto& seg : segments_) {
+    if (seg->durable_ref_count() < seg->ref_count()) return true;
+    if (seg->closed() && !seg->seal_replicated()) return true;
+  }
+  return false;
+}
+
+VirtualLog::Stats VirtualLog::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<const VirtualSegment*> VirtualLog::Segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const VirtualSegment*> out;
+  out.reserve(segments_.size());
+  for (const auto& seg : segments_) out.push_back(seg.get());
+  return out;
+}
+
+size_t VirtualLog::TrimReplicatedSegments() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t trimmed = 0;
+  while (segments_.size() > 1 && segments_.front()->fully_replicated()) {
+    segments_.pop_front();
+    ++trimmed;
+  }
+  return trimmed;
+}
+
+}  // namespace kera

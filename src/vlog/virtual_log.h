@@ -1,0 +1,154 @@
+// Virtual log: a shared replicated log of chunk *references*, decoupling
+// replication (durability) from stream partitioning (ordering). Multiple
+// streams'/streamlets' partitions are associated with one virtual log; the
+// log replicates their chunks to backups in larger aggregated I/Os,
+// replacing one-replicated-log-per-partition (Kafka) with a consolidated
+// shared log (the paper's core contribution, §III-IV).
+//
+// Threading: appends and replication-state transitions are internally
+// synchronized; producers block in WaitDurable until the replication
+// pipeline (driven by whichever thread polls batches) confirms their
+// chunks. The DES harness drives Poll/Complete with simulated time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "vlog/virtual_segment.h"
+
+namespace kera {
+
+/// Picks the backup set for a newly opened virtual segment. Called with
+/// the virtual segment id; returns R-1 distinct backup nodes. Rotating the
+/// set per segment scatters replicas for parallel crash recovery.
+using BackupSelector =
+    std::function<std::vector<NodeId>(VirtualSegmentId)>;
+
+struct VirtualLogConfig {
+  /// Virtual capacity of one virtual segment (sum of referenced chunk
+  /// lengths before rolling over).
+  size_t virtual_segment_capacity = 8u << 20;
+  /// Total copies of the data (1 = broker only, no backups).
+  uint32_t replication_factor = 3;
+  /// Max bytes of chunk data replicated by one RPC batch.
+  size_t max_batch_bytes = 1u << 20;
+};
+
+/// A unit of replication work: a contiguous run of unreplicated chunk refs
+/// of one virtual segment, to be pushed to that segment's backup set.
+struct ReplicationBatch {
+  VlogId vlog = 0;
+  VirtualSegmentId vseg = 0;
+  std::vector<NodeId> backups;
+  uint64_t start_ref = 0;           // index of the first ref in the batch
+  std::vector<ChunkRef> refs;       // the refs to ship
+  size_t bytes = 0;                 // sum of chunk lengths
+  uint64_t start_offset = 0;        // virtual byte offset of the batch start
+  bool seals_segment = false;       // segment is closed and batch reaches end
+  uint32_t checksum_after = 0;      // vseg header checksum after this batch
+};
+
+class VirtualLog {
+ public:
+  VirtualLog(VlogId id, VirtualLogConfig config, BackupSelector selector);
+
+  VirtualLog(const VirtualLog&) = delete;
+  VirtualLog& operator=(const VirtualLog&) = delete;
+
+  /// Appends a chunk reference to the open virtual segment, rolling to a
+  /// new virtual segment (with a fresh backup set) when full. With
+  /// replication_factor == 1 the chunk is immediately durable.
+  /// Returns the (virtual segment id, ref index) position.
+  struct AppendPosition {
+    VirtualSegmentId vseg;
+    uint64_t ref_index;
+  };
+  AppendPosition Append(const ChunkRef& ref);
+
+  /// Returns the next replication batch if data is pending and no batch is
+  /// in flight (replication is ordered: one outstanding batch per vlog).
+  /// The caller ships the chunks to every backup in batch.backups and then
+  /// calls Complete (or Abort on failure).
+  [[nodiscard]] std::optional<ReplicationBatch> Poll();
+
+  /// Acknowledges the in-flight batch: advances durable headers, pushes
+  /// durability into groups/segments, wakes WaitDurable callers.
+  void Complete(const ReplicationBatch& batch);
+
+  /// Returns the in-flight batch to the pending state (backup failure; the
+  /// caller re-polls, possibly after the selector re-targets backups).
+  void Abort(const ReplicationBatch& batch);
+
+  /// Blocks until the chunk at `pos` is durably replicated. Threaded
+  /// deployments call this from produce handlers; the DES never blocks.
+  void WaitDurable(AppendPosition pos);
+
+  /// Blocks until `pos` is durable OR no replication batch is in flight
+  /// (in which case the caller should Poll and drive replication itself).
+  /// Returns IsDurable(pos). This is the building block of the produce
+  /// handler's replicate-or-wait loop: whichever worker thread finds the
+  /// vlog idle ships the next batch, and the others sleep.
+  [[nodiscard]] bool WaitDurableOrIdle(AppendPosition pos);
+
+  /// Like WaitDurableOrIdle but tracks durability through the chunk's
+  /// group (robust to segment evacuation, which renumbers positions).
+  /// Returns whether the chunk is durable.
+  [[nodiscard]] bool WaitChunkDurableOrIdle(const ChunkRef& ref);
+
+  /// Backup-failure handling: closes the segment, moves its unreplicated
+  /// refs (in order) to a fresh segment with a newly selected backup set,
+  /// and wakes waiters. The already-durable prefix stays where it is.
+  /// Returns the number of refs moved. Call with no batch in flight.
+  size_t EvacuateSegment(VirtualSegmentId vseg);
+  [[nodiscard]] bool IsDurable(AppendPosition pos) const;
+
+  [[nodiscard]] VlogId id() const { return id_; }
+  [[nodiscard]] uint32_t replication_factor() const {
+    return config_.replication_factor;
+  }
+
+  /// True if unreplicated refs are pending and no batch is in flight.
+  [[nodiscard]] bool HasWork() const;
+
+  struct Stats {
+    uint64_t chunks_appended = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t batches_issued = 0;     // replication batches (per-vlog, not
+                                     // per-backup; multiply by R-1 for RPCs)
+    uint64_t bytes_replicated = 0;   // per-vlog (one copy)
+    uint64_t segments_opened = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  /// Virtual segments, oldest first (recovery and tests).
+  [[nodiscard]] std::vector<const VirtualSegment*> Segments() const;
+
+  /// Drops fully replicated virtual segments older than the open one whose
+  /// references are no longer needed (their chunk data durability has been
+  /// propagated). Keeps memory bounded in long runs.
+  size_t TrimReplicatedSegments();
+
+ private:
+  VirtualSegment* OpenSegmentLocked();
+
+  const VlogId id_;
+  const VirtualLogConfig config_;
+  const BackupSelector selector_;
+
+  mutable std::mutex mu_;
+  std::condition_variable durable_cv_;
+  std::deque<std::unique_ptr<VirtualSegment>> segments_;
+  VirtualSegmentId next_segment_id_ = 0;
+  bool batch_in_flight_ = false;
+  Stats stats_;
+};
+
+}  // namespace kera

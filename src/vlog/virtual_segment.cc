@@ -1,0 +1,74 @@
+#include "vlog/virtual_segment.h"
+
+#include <cassert>
+
+#include "common/crc32c.h"
+#include "storage/group.h"
+#include "storage/segment.h"
+
+namespace kera {
+
+VirtualSegment::VirtualSegment(VirtualSegmentId id, size_t virtual_capacity,
+                               std::vector<NodeId> backups)
+    : id_(id), capacity_(virtual_capacity), backups_(std::move(backups)) {}
+
+bool VirtualSegment::TryAppend(const ChunkRef& ref) {
+  if (closed_) return false;
+  if (header_ + ref.loc.length > capacity_ && !refs_.empty()) return false;
+  refs_.push_back(ref);
+  header_ += ref.loc.length;
+  checksum_ = Crc32c(&ref.payload_checksum, sizeof(ref.payload_checksum),
+                     checksum_);
+  return true;
+}
+
+uint32_t VirtualSegment::ChecksumUpTo(size_t count) const {
+  assert(count <= refs_.size());
+  uint32_t crc = 0;
+  for (size_t i = 0; i < count; ++i) {
+    crc = Crc32c(&refs_[i].payload_checksum,
+                 sizeof(refs_[i].payload_checksum), crc);
+  }
+  return crc;
+}
+
+uint32_t VirtualSegment::ChecksumFromDurable(size_t count) const {
+  assert(count >= durable_refs_ && count <= refs_.size());
+  uint32_t crc = durable_checksum_;
+  for (size_t i = durable_refs_; i < count; ++i) {
+    crc = Crc32c(&refs_[i].payload_checksum,
+                 sizeof(refs_[i].payload_checksum), crc);
+  }
+  return crc;
+}
+
+void VirtualSegment::MarkReplicatedUpTo(size_t upto) {
+  assert(upto <= refs_.size());
+  for (size_t i = durable_refs_; i < upto; ++i) {
+    const ChunkRef& ref = refs_[i];
+    durable_header_ += ref.loc.length;
+    durable_checksum_ = Crc32c(&ref.payload_checksum,
+                               sizeof(ref.payload_checksum),
+                               durable_checksum_);
+    // Propagate durability: consumers pull records only below the physical
+    // segment's durable head / the group's durable chunk prefix.
+    if (ref.loc.segment != nullptr) {
+      ref.loc.segment->AdvanceDurableHead(ref.loc.offset + ref.loc.length);
+    }
+    if (ref.group != nullptr) {
+      ref.group->MarkChunkDurable(ref.loc.group_chunk_index);
+    }
+  }
+  if (upto > durable_refs_) durable_refs_ = upto;
+}
+
+std::vector<ChunkRef> VirtualSegment::TruncateUnreplicated() {
+  std::vector<ChunkRef> moved(refs_.begin() + long(durable_refs_),
+                              refs_.end());
+  refs_.resize(durable_refs_);
+  header_ = durable_header_;
+  checksum_ = ChecksumUpTo(durable_refs_);
+  return moved;
+}
+
+}  // namespace kera

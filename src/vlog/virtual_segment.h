@@ -1,0 +1,111 @@
+// Virtual segment: one unit of the shared replicated virtual log.
+//
+// A virtual segment does NOT hold record data. It keeps an ordered list of
+// *references* to chunks that physically live in the segments of (possibly
+// many) streams' groups, plus bookkeeping that mirrors a physical segment:
+//   - header: next free virtual offset (sum of referenced chunk lengths)
+//   - durable header: virtual offset of what is already replicated; always
+//     on a chunk boundary (chunks replicate atomically)
+//   - a header checksum that covers the chunks' checksums (backups verify
+//     it for recovery and data integrity)
+// Only one virtual segment of a virtual log is open; closed ones are
+// immutable. Each virtual segment is bound to a backup set chosen when it
+// opens, scattering replicas across the cluster for parallel recovery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/locator.h"
+
+namespace kera {
+
+class Group;
+
+/// Reference to a chunk stored in a physical segment, as kept by a virtual
+/// segment. Carries enough to gather the bytes (locator), to notify
+/// durability (group), and to extend the virtual segment checksum
+/// (payload_checksum).
+struct ChunkRef {
+  ChunkLocator loc;
+  Group* group = nullptr;
+  StreamId stream = 0;
+  StreamletId streamlet = 0;
+  uint32_t payload_checksum = 0;
+};
+
+class VirtualSegment {
+ public:
+  VirtualSegment(VirtualSegmentId id, size_t virtual_capacity,
+                 std::vector<NodeId> backups);
+
+  /// Appends a chunk reference if the remaining *virtual* space (capacity
+  /// minus accumulated chunk lengths) fits it. Returns false when full.
+  [[nodiscard]] bool TryAppend(const ChunkRef& ref);
+
+  void Close() { closed_ = true; }
+  [[nodiscard]] bool closed() const { return closed_; }
+
+  [[nodiscard]] VirtualSegmentId id() const { return id_; }
+  [[nodiscard]] const std::vector<NodeId>& backups() const { return backups_; }
+
+  /// Next free virtual offset (paper: the "header" attribute).
+  [[nodiscard]] uint64_t header() const { return header_; }
+  /// Virtual offset of the replicated prefix (paper: "durable header").
+  [[nodiscard]] uint64_t durable_header() const { return durable_header_; }
+
+  [[nodiscard]] size_t ref_count() const { return refs_.size(); }
+  [[nodiscard]] size_t durable_ref_count() const { return durable_refs_; }
+
+  /// Whether the backups have been told this segment is sealed (either by
+  /// the final data batch or by an explicit empty seal batch). Only a
+  /// sealed replica may be flushed to secondary storage and trimmed.
+  [[nodiscard]] bool seal_replicated() const { return seal_replicated_; }
+  void set_seal_replicated() { seal_replicated_ = true; }
+
+  [[nodiscard]] bool fully_replicated() const {
+    return closed_ && durable_refs_ == refs_.size() && seal_replicated_;
+  }
+
+  [[nodiscard]] const ChunkRef& ref(size_t i) const { return refs_[i]; }
+  [[nodiscard]] std::span<const ChunkRef> refs() const { return refs_; }
+
+  /// Running CRC32C over the referenced chunks' checksums, in order; this
+  /// is the virtual segment header checksum backups verify.
+  [[nodiscard]] uint32_t running_checksum() const { return checksum_; }
+  /// Checksum value after the first `count` refs (recomputed; recovery and
+  /// tests use it to validate partial replication states).
+  [[nodiscard]] uint32_t ChecksumUpTo(size_t count) const;
+  /// Checksum after the first `count` refs, where count >= the durable
+  /// prefix: O(count - durable) using the cached durable checksum (the
+  /// replication hot path — batches always start at the durable prefix).
+  [[nodiscard]] uint32_t ChecksumFromDurable(size_t count) const;
+
+  /// Marks refs [durable_ref_count, upto) replicated: advances the durable
+  /// header and pushes durability into the physical segments and groups.
+  void MarkReplicatedUpTo(size_t upto);
+
+  /// Removes and returns all unreplicated refs (beyond the durable
+  /// prefix), rolling back the header and checksum. Used when a backup in
+  /// this segment's set dies: the survivors keep the durable prefix and
+  /// the rest moves to a fresh segment with a new backup set.
+  [[nodiscard]] std::vector<ChunkRef> TruncateUnreplicated();
+
+ private:
+  const VirtualSegmentId id_;
+  const size_t capacity_;
+  const std::vector<NodeId> backups_;
+
+  std::vector<ChunkRef> refs_;
+  uint64_t header_ = 0;
+  uint64_t durable_header_ = 0;
+  size_t durable_refs_ = 0;
+  uint32_t checksum_ = 0;
+  uint32_t durable_checksum_ = 0;  // checksum chain at the durable prefix
+  bool closed_ = false;
+  bool seal_replicated_ = false;
+};
+
+}  // namespace kera

@@ -1,0 +1,165 @@
+#include "wire/chunk.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "wire/layout.h"
+
+namespace kera {
+
+namespace co = chunk_offsets;
+
+ChunkBuilder::ChunkBuilder(size_t chunk_size) : buf_(chunk_size) {
+  assert(chunk_size > kChunkHeaderSize && "chunk too small for header");
+}
+
+void ChunkBuilder::Start(StreamId stream, StreamletId streamlet,
+                         ProducerId producer) {
+  buf_.Clear();
+  size_t off = buf_.Reserve(kChunkHeaderSize);
+  (void)off;
+  assert(off == 0);
+  stream_ = stream;
+  streamlet_ = streamlet;
+  producer_ = producer;
+  record_count_ = 0;
+}
+
+bool ChunkBuilder::AppendValue(std::span<const std::byte> value,
+                               const RecordOptions& opts) {
+  return AppendRecord({}, value, opts);
+}
+
+bool ChunkBuilder::AppendRecord(
+    std::span<const std::span<const std::byte>> keys,
+    std::span<const std::byte> value, const RecordOptions& opts) {
+  // Compute size without materializing a key-size array for the common
+  // non-keyed case.
+  size_t need = kRecordFixedHeader + value.size();
+  if (opts.version) need += 8;
+  if (opts.timestamp) need += 8;
+  for (const auto& k : keys) need += 2 + k.size();
+  if (need > buf_.remaining()) return false;
+  size_t off = buf_.Reserve(need);
+  size_t written = WriteRecord({buf_.data() + off, need}, keys, value, opts);
+  assert(written == need);
+  (void)written;
+  ++record_count_;
+  return true;
+}
+
+bool ChunkBuilder::AppendSerialized(std::span<const std::byte> entry) {
+  if (buf_.Append(entry) == SIZE_MAX) return false;
+  ++record_count_;
+  return true;
+}
+
+std::span<const std::byte> ChunkBuilder::Seal(ChunkSeq seq) {
+  std::byte* p = buf_.data();
+  const size_t payload_len = buf_.size() - kChunkHeaderSize;
+  wire::StoreU32(p + co::kPayloadLength, uint32_t(payload_len));
+  wire::StoreU64(p + co::kStreamId, stream_);
+  wire::StoreU32(p + co::kStreamletId, streamlet_);
+  wire::StoreU32(p + co::kProducerId, producer_);
+  wire::StoreU64(p + co::kChunkSeq, seq);
+  wire::StoreU32(p + co::kRecordCount, record_count_);
+  wire::StoreU32(p + co::kGroupId, 0);
+  wire::StoreU32(p + co::kSegmentId, 0);
+  wire::StoreU32(p + co::kFlags, 0);
+  wire::StoreU64(p + co::kGroupChunkIndex, 0);
+  uint32_t crc = Crc32c(p + kChunkHeaderSize, payload_len);
+  wire::StoreU32(p + co::kChecksum, crc);
+  return buf_.view();
+}
+
+Result<ChunkView> ChunkView::Parse(std::span<const std::byte> data) {
+  if (data.size() < kChunkHeaderSize) {
+    return Status(StatusCode::kCorruption, "chunk: short header");
+  }
+  uint32_t payload_len = wire::LoadU32(data.data() + co::kPayloadLength);
+  size_t total = kChunkHeaderSize + size_t(payload_len);
+  if (total > data.size()) {
+    return Status(StatusCode::kCorruption, "chunk: truncated payload");
+  }
+  ChunkView v;
+  v.raw_ = data.first(total);
+  return v;
+}
+
+uint32_t ChunkView::payload_checksum() const {
+  return wire::LoadU32(raw_.data() + co::kChecksum);
+}
+uint32_t ChunkView::payload_length() const {
+  return wire::LoadU32(raw_.data() + co::kPayloadLength);
+}
+StreamId ChunkView::stream_id() const {
+  return wire::LoadU64(raw_.data() + co::kStreamId);
+}
+StreamletId ChunkView::streamlet_id() const {
+  return wire::LoadU32(raw_.data() + co::kStreamletId);
+}
+ProducerId ChunkView::producer_id() const {
+  return wire::LoadU32(raw_.data() + co::kProducerId);
+}
+ChunkSeq ChunkView::chunk_seq() const {
+  return wire::LoadU64(raw_.data() + co::kChunkSeq);
+}
+uint32_t ChunkView::record_count() const {
+  return wire::LoadU32(raw_.data() + co::kRecordCount);
+}
+GroupId ChunkView::group_id() const {
+  return wire::LoadU32(raw_.data() + co::kGroupId);
+}
+SegmentId ChunkView::segment_id() const {
+  return wire::LoadU32(raw_.data() + co::kSegmentId);
+}
+uint32_t ChunkView::flags() const {
+  return wire::LoadU32(raw_.data() + co::kFlags);
+}
+uint64_t ChunkView::group_chunk_index() const {
+  return wire::LoadU64(raw_.data() + co::kGroupChunkIndex);
+}
+
+bool ChunkView::VerifyChecksum() const {
+  uint32_t crc = Crc32c(payload().data(), payload().size());
+  return crc == payload_checksum();
+}
+
+ChunkView::RecordIterator::RecordIterator(std::span<const std::byte> payload)
+    : rest_(payload) {
+  ParseCurrent();
+}
+
+void ChunkView::RecordIterator::ParseCurrent() {
+  if (rest_.empty()) {
+    done_ = true;
+    return;
+  }
+  auto r = RecordView::Parse(rest_);
+  if (!r.ok()) {
+    status_ = r.status();
+    done_ = true;
+    return;
+  }
+  current_ = std::move(r).value();
+}
+
+void ChunkView::RecordIterator::Next() {
+  if (done_) return;
+  rest_ = rest_.subspan(current_.total_length());
+  ParseCurrent();
+}
+
+void AssignChunkAttrs(std::span<std::byte> chunk_bytes, GroupId group,
+                      SegmentId segment, uint64_t group_chunk_index) {
+  assert(chunk_bytes.size() >= kChunkHeaderSize);
+  std::byte* p = chunk_bytes.data();
+  wire::StoreU32(p + co::kGroupId, group);
+  wire::StoreU32(p + co::kSegmentId, segment);
+  wire::StoreU64(p + co::kGroupChunkIndex, group_chunk_index);
+  wire::StoreU32(p + co::kFlags,
+                 wire::LoadU32(p + co::kFlags) | kChunkFlagAttrsAssigned);
+}
+
+}  // namespace kera

@@ -1,0 +1,162 @@
+// Chunk wire format: the unit of producer batching and of virtual-log
+// replication. A chunk aggregates records for one streamlet of one stream
+// and is tagged with the producer id and a per-(producer,streamlet)
+// sequence number (exactly-once dedup), plus [group, segment] attributes
+// assigned by the broker at append time and used to reconstruct groups
+// consistently during crash recovery.
+//
+// Layout (little-endian, 56-byte fixed header followed by payload):
+//   u32 payload_checksum   -- CRC32C over payload (records) only; header
+//                              fields mutate (broker assigns attributes) so
+//                              they are covered by the virtual segment
+//                              header checksum instead
+//   u32 payload_length
+//   u64 stream_id
+//   u32 streamlet_id
+//   u32 producer_id
+//   u64 chunk_seq
+//   u32 record_count
+//   u32 group_id           -+
+//   u32 segment_id           } broker-assigned attributes (recovery)
+//   u32 flags              -+
+//   u64 group_chunk_index  -- order of this chunk within its group
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "wire/record.h"
+
+namespace kera {
+
+inline constexpr size_t kChunkHeaderSize = 56;
+
+inline constexpr uint32_t kChunkFlagAttrsAssigned = 1u << 0;
+
+/// Offsets of header fields (shared by builder/view/in-place updates).
+namespace chunk_offsets {
+inline constexpr size_t kChecksum = 0;
+inline constexpr size_t kPayloadLength = 4;
+inline constexpr size_t kStreamId = 8;
+inline constexpr size_t kStreamletId = 16;
+inline constexpr size_t kProducerId = 20;
+inline constexpr size_t kChunkSeq = 24;
+inline constexpr size_t kRecordCount = 32;
+inline constexpr size_t kGroupId = 36;
+inline constexpr size_t kSegmentId = 40;
+inline constexpr size_t kFlags = 44;
+inline constexpr size_t kGroupChunkIndex = 48;
+}  // namespace chunk_offsets
+
+/// Builds a chunk in a fixed-size buffer. Reusable: producers keep a pool
+/// of builders and recycle them after acknowledgment (the paper's
+/// shared-memory chunk pool between the source and requests threads).
+class ChunkBuilder {
+ public:
+  explicit ChunkBuilder(size_t chunk_size);
+
+  /// Begins a new chunk; discards any previous content.
+  void Start(StreamId stream, StreamletId streamlet, ProducerId producer);
+
+  /// Appends a non-keyed record with the given value. Returns false if the
+  /// record does not fit (the chunk is then ready to seal).
+  [[nodiscard]] bool AppendValue(std::span<const std::byte> value,
+                                 const RecordOptions& opts = {});
+
+  /// Appends a multi-key record. Returns false if it does not fit.
+  [[nodiscard]] bool AppendRecord(
+      std::span<const std::span<const std::byte>> keys,
+      std::span<const std::byte> value, const RecordOptions& opts = {});
+
+  /// Appends an already-serialized record entry. Returns false if full.
+  [[nodiscard]] bool AppendSerialized(std::span<const std::byte> entry);
+
+  /// Finalizes the chunk: stamps the sequence number, record count,
+  /// payload length and payload checksum. Returns the full chunk bytes
+  /// (header + payload). The builder stays sealed until Start().
+  std::span<const std::byte> Seal(ChunkSeq seq);
+
+  /// Bytes of the chunk as last sealed (valid until Start()).
+  [[nodiscard]] std::span<const std::byte> SealedView() const {
+    return buf_.view();
+  }
+
+  [[nodiscard]] uint32_t record_count() const { return record_count_; }
+  [[nodiscard]] size_t payload_size() const {
+    return buf_.size() - kChunkHeaderSize;
+  }
+  [[nodiscard]] bool empty() const { return record_count_ == 0; }
+  [[nodiscard]] size_t capacity() const { return buf_.capacity(); }
+  [[nodiscard]] StreamId stream() const { return stream_; }
+  [[nodiscard]] StreamletId streamlet() const { return streamlet_; }
+
+ private:
+  Buffer buf_;
+  StreamId stream_ = 0;
+  StreamletId streamlet_ = 0;
+  ProducerId producer_ = 0;
+  uint32_t record_count_ = 0;
+};
+
+/// Zero-copy view over a serialized chunk (header + payload).
+class ChunkView {
+ public:
+  /// Parses a chunk starting at data[0]; the view covers exactly
+  /// kChunkHeaderSize + payload_length bytes. Bounds-validated.
+  static Result<ChunkView> Parse(std::span<const std::byte> data);
+
+  [[nodiscard]] uint32_t payload_checksum() const;
+  [[nodiscard]] uint32_t payload_length() const;
+  [[nodiscard]] StreamId stream_id() const;
+  [[nodiscard]] StreamletId streamlet_id() const;
+  [[nodiscard]] ProducerId producer_id() const;
+  [[nodiscard]] ChunkSeq chunk_seq() const;
+  [[nodiscard]] uint32_t record_count() const;
+  [[nodiscard]] GroupId group_id() const;
+  [[nodiscard]] SegmentId segment_id() const;
+  [[nodiscard]] uint32_t flags() const;
+  [[nodiscard]] uint64_t group_chunk_index() const;
+
+  [[nodiscard]] size_t total_size() const { return raw_.size(); }
+  [[nodiscard]] std::span<const std::byte> raw() const { return raw_; }
+  [[nodiscard]] std::span<const std::byte> payload() const {
+    return raw_.subspan(kChunkHeaderSize);
+  }
+
+  /// Recomputes the payload checksum and compares with the stored one.
+  [[nodiscard]] bool VerifyChecksum() const;
+
+  /// Iterates the records of this chunk. Usage:
+  ///   for (auto it = view.records(); !it.Done(); it.Next()) use(it.record());
+  class RecordIterator {
+   public:
+    explicit RecordIterator(std::span<const std::byte> payload);
+    [[nodiscard]] bool Done() const { return done_; }
+    [[nodiscard]] const RecordView& record() const { return current_; }
+    [[nodiscard]] Status status() const { return status_; }
+    void Next();
+
+   private:
+    void ParseCurrent();
+    std::span<const std::byte> rest_;
+    RecordView current_;
+    Status status_;
+    bool done_ = false;
+  };
+  [[nodiscard]] RecordIterator records() const {
+    return RecordIterator(payload());
+  }
+
+ private:
+  std::span<const std::byte> raw_;
+};
+
+/// In-place broker-side assignment of the [group, segment] attributes on a
+/// chunk that has already been copied into a physical segment.
+void AssignChunkAttrs(std::span<std::byte> chunk_bytes, GroupId group,
+                      SegmentId segment, uint64_t group_chunk_index);
+
+}  // namespace kera

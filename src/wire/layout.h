@@ -1,0 +1,32 @@
+// Unaligned little-endian load/store helpers for the shared client/broker
+// binary format. All wire structures are serialized field-by-field through
+// these helpers (no struct casts), so the format is identical across
+// platforms and never hits alignment UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace kera::wire {
+
+inline void StoreU16(std::byte* p, uint16_t v) { std::memcpy(p, &v, 2); }
+inline void StoreU32(std::byte* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void StoreU64(std::byte* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+[[nodiscard]] inline uint16_t LoadU16(const std::byte* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+[[nodiscard]] inline uint32_t LoadU32(const std::byte* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+[[nodiscard]] inline uint64_t LoadU64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace kera::wire

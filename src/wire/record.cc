@@ -1,0 +1,128 @@
+#include "wire/record.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "wire/layout.h"
+
+namespace kera {
+
+size_t RecordWireSize(std::span<const size_t> key_sizes, size_t value_size,
+                      const RecordOptions& opts) {
+  size_t n = kRecordFixedHeader;
+  if (opts.version) n += 8;
+  if (opts.timestamp) n += 8;
+  n += 2 * key_sizes.size();
+  for (size_t k : key_sizes) n += k;
+  n += value_size;
+  return n;
+}
+
+size_t WriteRecord(std::span<std::byte> dst,
+                   std::span<const std::span<const std::byte>> keys,
+                   std::span<const std::byte> value,
+                   const RecordOptions& opts) {
+  uint16_t flags = 0;
+  if (opts.version) flags |= kRecordFlagVersion;
+  if (opts.timestamp) flags |= kRecordFlagTimestamp;
+
+  std::byte* p = dst.data();
+  size_t off = kRecordFixedHeader;
+  // checksum written last
+  wire::StoreU16(p + 8, uint16_t(keys.size()));
+  wire::StoreU16(p + 10, flags);
+  if (opts.version) {
+    wire::StoreU64(p + off, *opts.version);
+    off += 8;
+  }
+  if (opts.timestamp) {
+    wire::StoreU64(p + off, *opts.timestamp);
+    off += 8;
+  }
+  for (const auto& k : keys) {
+    wire::StoreU16(p + off, uint16_t(k.size()));
+    off += 2;
+  }
+  for (const auto& k : keys) {
+    std::memcpy(p + off, k.data(), k.size());
+    off += k.size();
+  }
+  std::memcpy(p + off, value.data(), value.size());
+  off += value.size();
+
+  assert(off <= dst.size());
+  wire::StoreU32(p + 4, uint32_t(off));
+  // Checksum covers everything but the checksum field itself.
+  uint32_t crc = Crc32c(p + 4, off - 4);
+  wire::StoreU32(p, crc);
+  return off;
+}
+
+size_t WriteRecord(std::span<std::byte> dst, std::span<const std::byte> value,
+                   const RecordOptions& opts) {
+  return WriteRecord(dst, {}, value, opts);
+}
+
+Result<RecordView> RecordView::Parse(std::span<const std::byte> data) {
+  if (data.size() < kRecordFixedHeader) {
+    return Status(StatusCode::kCorruption, "record: short header");
+  }
+  const std::byte* p = data.data();
+  RecordView v;
+  v.checksum_ = wire::LoadU32(p);
+  v.total_length_ = wire::LoadU32(p + 4);
+  v.key_count_ = wire::LoadU16(p + 8);
+  uint16_t flags = wire::LoadU16(p + 10);
+
+  if (v.total_length_ < kRecordFixedHeader || v.total_length_ > data.size()) {
+    return Status(StatusCode::kCorruption, "record: bad total_length");
+  }
+  size_t off = kRecordFixedHeader;
+  if (flags & kRecordFlagVersion) {
+    if (off + 8 > v.total_length_) {
+      return Status(StatusCode::kCorruption, "record: truncated version");
+    }
+    v.version_ = wire::LoadU64(p + off);
+    off += 8;
+  }
+  if (flags & kRecordFlagTimestamp) {
+    if (off + 8 > v.total_length_) {
+      return Status(StatusCode::kCorruption, "record: truncated timestamp");
+    }
+    v.timestamp_ = wire::LoadU64(p + off);
+    off += 8;
+  }
+  if (off + 2 * size_t(v.key_count_) > v.total_length_) {
+    return Status(StatusCode::kCorruption, "record: truncated key lengths");
+  }
+  v.key_lengths_ = p + off;
+  off += 2 * size_t(v.key_count_);
+  v.key_bytes_ = p + off;
+  size_t keys_total = 0;
+  for (uint16_t i = 0; i < v.key_count_; ++i) {
+    keys_total += wire::LoadU16(v.key_lengths_ + 2 * i);
+  }
+  if (off + keys_total > v.total_length_) {
+    return Status(StatusCode::kCorruption, "record: truncated keys");
+  }
+  off += keys_total;
+  v.value_ = data.subspan(off, v.total_length_ - off);
+  v.raw_ = data.first(v.total_length_);
+  return v;
+}
+
+std::span<const std::byte> RecordView::key(size_t i) const {
+  assert(i < key_count_);
+  size_t off = 0;
+  for (size_t j = 0; j < i; ++j) off += wire::LoadU16(key_lengths_ + 2 * j);
+  size_t len = wire::LoadU16(key_lengths_ + 2 * i);
+  return {key_bytes_ + off, len};
+}
+
+bool RecordView::VerifyChecksum() const {
+  uint32_t crc = Crc32c(raw_.data() + 4, total_length_ - 4);
+  return crc == checksum_;
+}
+
+}  // namespace kera

@@ -1,0 +1,90 @@
+// Stream record wire format (RAMCloud-style multi-key-value entry).
+//
+// Layout (little-endian):
+//   u32 checksum       -- CRC32C over every byte of the entry EXCEPT this
+//                         field (paper: "a checksum covering everything but
+//                         this field")
+//   u32 total_length   -- whole entry, header included
+//   u16 key_count
+//   u16 flags          -- bit0: version present, bit1: timestamp present
+//   [u64 version]      -- only if flag set
+//   [u64 timestamp]    -- only if flag set
+//   u16 key_length[key_count]
+//   key bytes (concatenated)
+//   value bytes (to total_length)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kera {
+
+struct RecordOptions {
+  std::optional<uint64_t> version;
+  std::optional<uint64_t> timestamp;
+};
+
+/// Fixed prefix before the optional fields.
+inline constexpr size_t kRecordFixedHeader = 4 + 4 + 2 + 2;
+
+inline constexpr uint16_t kRecordFlagVersion = 1u << 0;
+inline constexpr uint16_t kRecordFlagTimestamp = 1u << 1;
+
+/// Serialized size of a record with the given keys/value sizes.
+[[nodiscard]] size_t RecordWireSize(std::span<const size_t> key_sizes,
+                                    size_t value_size,
+                                    const RecordOptions& opts = {});
+
+/// Serializes a record into `dst` (which must be at least RecordWireSize
+/// bytes). Returns the number of bytes written.
+size_t WriteRecord(std::span<std::byte> dst,
+                   std::span<const std::span<const std::byte>> keys,
+                   std::span<const std::byte> value,
+                   const RecordOptions& opts = {});
+
+/// Convenience for non-keyed records (the paper's benchmark workload).
+size_t WriteRecord(std::span<std::byte> dst, std::span<const std::byte> value,
+                   const RecordOptions& opts = {});
+
+/// Zero-copy view over a serialized record.
+class RecordView {
+ public:
+  /// Parses the record starting at `data[0]`. Validates structural bounds
+  /// but not the checksum (call VerifyChecksum for that). `data` may extend
+  /// past the record; the view covers exactly total_length bytes.
+  static Result<RecordView> Parse(std::span<const std::byte> data);
+
+  [[nodiscard]] size_t total_length() const { return total_length_; }
+  [[nodiscard]] uint16_t key_count() const { return key_count_; }
+  [[nodiscard]] std::optional<uint64_t> version() const { return version_; }
+  [[nodiscard]] std::optional<uint64_t> timestamp() const {
+    return timestamp_;
+  }
+  [[nodiscard]] std::span<const std::byte> key(size_t i) const;
+  [[nodiscard]] std::span<const std::byte> value() const { return value_; }
+  [[nodiscard]] uint32_t stored_checksum() const { return checksum_; }
+
+  /// Recomputes the checksum over the entry (minus the checksum field) and
+  /// compares with the stored one.
+  [[nodiscard]] bool VerifyChecksum() const;
+
+  /// Raw bytes of the whole entry.
+  [[nodiscard]] std::span<const std::byte> raw() const { return raw_; }
+
+ private:
+  std::span<const std::byte> raw_;
+  std::span<const std::byte> value_;
+  const std::byte* key_lengths_ = nullptr;  // u16 array
+  const std::byte* key_bytes_ = nullptr;
+  uint32_t checksum_ = 0;
+  uint32_t total_length_ = 0;
+  uint16_t key_count_ = 0;
+  std::optional<uint64_t> version_;
+  std::optional<uint64_t> timestamp_;
+};
+
+}  // namespace kera

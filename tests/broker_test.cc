@@ -1,0 +1,306 @@
+// Unit tests for the broker: produce path (append + vlog + replication),
+// exactly-once dedup, durability gate on consume, vlog policies.
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "backup/backup.h"
+#include "broker/broker.h"
+#include "rpc/transport.h"
+#include "wire/chunk.h"
+
+namespace kera {
+namespace {
+
+std::span<const std::byte> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::vector<std::byte> MakeChunk(StreamId stream, StreamletId streamlet,
+                                 ProducerId producer, ChunkSeq seq,
+                                 int records = 2) {
+  ChunkBuilder b(1024);
+  b.Start(stream, streamlet, producer);
+  for (int i = 0; i < records; ++i) {
+    EXPECT_TRUE(b.AppendValue(AsBytes("record-value")));
+  }
+  auto bytes = b.Seal(seq);
+  return {bytes.begin(), bytes.end()};
+}
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() {
+    // One broker (node 1) with two backup services (nodes 2, 3).
+    BrokerConfig bc;
+    bc.node = 1;
+    bc.memory_bytes = 16 << 20;
+    bc.segment_size = 64 << 10;
+    bc.segments_per_group = 2;
+    bc.virtual_segment_capacity = 64 << 10;
+    bc.vlogs_per_broker = 2;
+    bc.backup_nodes = {BackupServiceId(1), BackupServiceId(2),
+                       BackupServiceId(3)};
+    broker_ = std::make_unique<Broker>(bc, net_);
+    backup2_ = std::make_unique<Backup>(BackupConfig{.node = 2, .storage_dir = ""});
+    backup3_ = std::make_unique<Backup>(BackupConfig{.node = 3, .storage_dir = ""});
+    net_.Register(BackupServiceId(2), backup2_.get());
+    net_.Register(BackupServiceId(3), backup3_.get());
+  }
+
+  rpc::StreamInfo MakeStream(const std::string& name, uint32_t streamlets,
+                             uint32_t q, uint32_t r,
+                             rpc::VlogPolicy policy) {
+    rpc::StreamInfo info;
+    info.stream = next_stream_++;
+    info.options.num_streamlets = streamlets;
+    info.options.active_groups_per_streamlet = q;
+    info.options.replication_factor = r;
+    info.options.vlog_policy = policy;
+    info.streamlet_brokers.assign(streamlets, 1);
+    EXPECT_TRUE(broker_->AddStream(name, info).ok());
+    for (StreamletId sl = 0; sl < streamlets; ++sl) {
+      EXPECT_TRUE(broker_->AddStreamlet(info.stream, sl).ok());
+    }
+    return info;
+  }
+
+  rpc::DirectNetwork net_;
+  std::unique_ptr<Broker> broker_;
+  std::unique_ptr<Backup> backup2_;
+  std::unique_ptr<Backup> backup3_;
+  StreamId next_stream_ = 1;
+};
+
+TEST_F(BrokerTest, ProduceReplicatesAndExposes) {
+  auto info = MakeStream("s", 1, 1, 3, rpc::VlogPolicy::kSharedPerBroker);
+  rpc::ProduceRequest req;
+  req.producer = 1;
+  req.stream = info.stream;
+  auto chunk = MakeChunk(info.stream, 0, 1, 1);
+  req.chunks = {chunk};
+
+  auto resp = broker_->HandleProduce(req);
+  EXPECT_EQ(resp.status, StatusCode::kOk);
+  EXPECT_EQ(resp.appended, 1u);
+  EXPECT_EQ(resp.duplicates, 0u);
+
+  // Both backups hold one copy.
+  EXPECT_EQ(backup2_->GetStats().chunks_received, 1u);
+  EXPECT_EQ(backup3_->GetStats().chunks_received, 1u);
+
+  // The chunk is durably consumable.
+  rpc::ConsumeRequest creq;
+  creq.stream = info.stream;
+  creq.entries = {{.streamlet = 0, .group = 0, .start_chunk = 0,
+                   .max_chunks = 10}};
+  auto cresp = broker_->HandleConsume(creq);
+  ASSERT_EQ(cresp.status, StatusCode::kOk);
+  ASSERT_EQ(cresp.entries.size(), 1u);
+  EXPECT_TRUE(cresp.entries[0].group_exists);
+  ASSERT_EQ(cresp.entries[0].chunks.size(), 1u);
+  auto view = ChunkView::Parse(cresp.entries[0].chunks[0]);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->VerifyChecksum());
+  EXPECT_EQ(view->record_count(), 2u);
+}
+
+TEST_F(BrokerTest, ReplicationFactorOneSkipsBackups) {
+  auto info = MakeStream("s", 1, 1, 1, rpc::VlogPolicy::kSharedPerBroker);
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  auto chunk = MakeChunk(info.stream, 0, 1, 1);
+  req.chunks = {chunk};
+  EXPECT_EQ(broker_->HandleProduce(req).status, StatusCode::kOk);
+  EXPECT_EQ(backup2_->GetStats().chunks_received, 0u);
+  EXPECT_EQ(broker_->GetStats().replication_rpcs, 0u);
+
+  rpc::ConsumeRequest creq;
+  creq.stream = info.stream;
+  creq.entries = {{.streamlet = 0, .group = 0, .start_chunk = 0,
+                   .max_chunks = 10}};
+  EXPECT_EQ(broker_->HandleConsume(creq).entries[0].chunks.size(), 1u);
+}
+
+TEST_F(BrokerTest, DuplicateChunksDropped) {
+  auto info = MakeStream("s", 1, 1, 2, rpc::VlogPolicy::kSharedPerBroker);
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  auto chunk = MakeChunk(info.stream, 0, 1, 1);
+  req.chunks = {chunk};
+  EXPECT_EQ(broker_->HandleProduce(req).appended, 1u);
+  // Retransmission of the same chunk sequence.
+  auto resp = broker_->HandleProduce(req);
+  EXPECT_EQ(resp.status, StatusCode::kOk);
+  EXPECT_EQ(resp.appended, 0u);
+  EXPECT_EQ(resp.duplicates, 1u);
+  EXPECT_EQ(broker_->GetStats().chunks_appended, 1u);
+
+  // A new sequence is accepted.
+  auto chunk2 = MakeChunk(info.stream, 0, 1, 2);
+  req.chunks = {chunk2};
+  EXPECT_EQ(broker_->HandleProduce(req).appended, 1u);
+}
+
+TEST_F(BrokerTest, DedupIsPerProducerAndStreamlet) {
+  auto info = MakeStream("s", 2, 1, 1, rpc::VlogPolicy::kSharedPerBroker);
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  // Same seq 1 from two producers and on two streamlets: all distinct.
+  auto c_a = MakeChunk(info.stream, 0, 1, 1);
+  auto c_b = MakeChunk(info.stream, 0, 2, 1);
+  auto c_c = MakeChunk(info.stream, 1, 1, 1);
+  req.chunks = {c_a, c_b, c_c};
+  auto resp = broker_->HandleProduce(req);
+  EXPECT_EQ(resp.appended, 3u);
+  EXPECT_EQ(resp.duplicates, 0u);
+}
+
+TEST_F(BrokerTest, CorruptChunkRejected) {
+  auto info = MakeStream("s", 1, 1, 1, rpc::VlogPolicy::kSharedPerBroker);
+  auto chunk = MakeChunk(info.stream, 0, 1, 1);
+  chunk[kChunkHeaderSize] ^= std::byte{0xFF};
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  req.chunks = {chunk};
+  EXPECT_EQ(broker_->HandleProduce(req).status, StatusCode::kCorruption);
+  EXPECT_EQ(broker_->GetStats().checksum_failures, 1u);
+}
+
+TEST_F(BrokerTest, UnknownStreamRejected) {
+  rpc::ProduceRequest req;
+  req.stream = 999;
+  EXPECT_EQ(broker_->HandleProduce(req).status, StatusCode::kNotFound);
+}
+
+TEST_F(BrokerTest, NotLeaderForForeignStreamlet) {
+  auto info = MakeStream("s", 1, 1, 1, rpc::VlogPolicy::kSharedPerBroker);
+  // Chunk targets streamlet 5 which was never added to this broker.
+  auto chunk = MakeChunk(info.stream, 5, 1, 1);
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  req.chunks = {chunk};
+  EXPECT_EQ(broker_->HandleProduce(req).status, StatusCode::kNotLeader);
+}
+
+TEST_F(BrokerTest, SharedPolicyUsesConfiguredPoolSize) {
+  auto info = MakeStream("s", 8, 1, 3, rpc::VlogPolicy::kSharedPerBroker);
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  std::vector<std::vector<std::byte>> chunks;
+  for (StreamletId sl = 0; sl < 8; ++sl) {
+    chunks.push_back(MakeChunk(info.stream, sl, 1, 1));
+  }
+  for (auto& c : chunks) req.chunks.push_back(c);
+  EXPECT_EQ(broker_->HandleProduce(req).status, StatusCode::kOk);
+  // 8 streamlets share the broker's pool of 2 vlogs.
+  EXPECT_EQ(broker_->VirtualLogs().size(), 2u);
+}
+
+TEST_F(BrokerTest, PerSubPartitionPolicyCreatesOneVlogPerSlot) {
+  auto info = MakeStream("s", 2, 2, 3, rpc::VlogPolicy::kPerSubPartition);
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  // Producers 1 and 2 hit different slots (Q=2) on both streamlets.
+  std::vector<std::vector<std::byte>> chunks;
+  for (StreamletId sl = 0; sl < 2; ++sl) {
+    chunks.push_back(MakeChunk(info.stream, sl, 1, 1));
+    chunks.push_back(MakeChunk(info.stream, sl, 2, 1));
+  }
+  for (auto& c : chunks) req.chunks.push_back(c);
+  EXPECT_EQ(broker_->HandleProduce(req).status, StatusCode::kOk);
+  EXPECT_EQ(broker_->VirtualLogs().size(), 4u);  // 2 streamlets x 2 slots
+}
+
+TEST_F(BrokerTest, ConsumeRespectsDurabilityGate) {
+  auto info = MakeStream("s", 1, 1, 3, rpc::VlogPolicy::kSharedPerBroker);
+  // Use the NoSync path so chunks are appended but NOT replicated.
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  auto chunk = MakeChunk(info.stream, 0, 1, 1);
+  req.chunks = {chunk};
+  std::vector<std::pair<VirtualLog*, ChunkRef>> appended;
+  auto resp = broker_->HandleProduceNoSync(req, &appended);
+  EXPECT_EQ(resp.status, StatusCode::kOk);
+  ASSERT_EQ(appended.size(), 1u);
+  std::vector<VirtualLog*> touched{appended[0].first};
+
+  rpc::ConsumeRequest creq;
+  creq.stream = info.stream;
+  creq.entries = {{.streamlet = 0, .group = 0, .start_chunk = 0,
+                   .max_chunks = 10}};
+  // Unreplicated: consumers see nothing.
+  EXPECT_TRUE(broker_->HandleConsume(creq).entries[0].chunks.empty());
+
+  // Drive replication to completion; now it is visible.
+  while (auto batch = touched[0]->Poll()) {
+    ASSERT_TRUE(broker_->ShipBatch(*touched[0], *batch).ok());
+  }
+  EXPECT_EQ(broker_->HandleConsume(creq).entries[0].chunks.size(), 1u);
+}
+
+TEST_F(BrokerTest, ConsumeFromBackupFailureReturnsError) {
+  auto info = MakeStream("s", 1, 1, 3, rpc::VlogPolicy::kSharedPerBroker);
+  net_.Crash(BackupServiceId(2));
+  net_.Crash(BackupServiceId(3));
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  auto chunk = MakeChunk(info.stream, 0, 1, 1);
+  req.chunks = {chunk};
+  auto resp = broker_->HandleProduce(req);
+  EXPECT_EQ(resp.status, StatusCode::kUnavailable);
+}
+
+TEST_F(BrokerTest, TrimDurableFreesClosedGroups) {
+  BrokerConfig bc = broker_->config();
+  auto info = MakeStream("s", 1, 1, 2, rpc::VlogPolicy::kSharedPerBroker);
+  // Fill enough chunks to roll groups (segment 64 KB, 2 per group).
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  ChunkSeq seq = 1;
+  for (int round = 0; round < 500; ++round) {
+    auto chunk = MakeChunk(info.stream, 0, 1, seq++, /*records=*/20);
+    req.chunks = {chunk};
+    ASSERT_EQ(broker_->HandleProduce(req).status, StatusCode::kOk);
+  }
+  Stream* stream = broker_->GetStream(info.stream);
+  Streamlet* sl = stream->GetStreamlet(0);
+  ASSERT_GT(sl->GroupIds().size(), 1u);
+  size_t trimmed = broker_->TrimDurable();
+  EXPECT_GT(trimmed, 0u);
+}
+
+TEST_F(BrokerTest, DebugStringSummarizesState) {
+  auto info = MakeStream("inspect", 2, 1, 3, rpc::VlogPolicy::kSharedPerBroker);
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  auto chunk = MakeChunk(info.stream, 0, 1, 1);
+  req.chunks = {chunk};
+  ASSERT_EQ(broker_->HandleProduce(req).status, StatusCode::kOk);
+  std::string s = broker_->DebugString();
+  EXPECT_NE(s.find("stream 'inspect'"), std::string::npos);
+  EXPECT_NE(s.find("streamlet 0"), std::string::npos);
+  EXPECT_NE(s.find("vlog"), std::string::npos);
+  EXPECT_EQ(s.find("[sealed]"), std::string::npos);
+  ASSERT_TRUE(broker_->SealStream(info.stream).ok());
+  EXPECT_NE(broker_->DebugString().find("[sealed]"), std::string::npos);
+}
+
+TEST_F(BrokerTest, FramedProduceConsumeDispatch) {
+  auto info = MakeStream("s", 1, 1, 2, rpc::VlogPolicy::kSharedPerBroker);
+  rpc::ProduceRequest req;
+  req.stream = info.stream;
+  auto chunk = MakeChunk(info.stream, 0, 1, 1);
+  req.chunks = {chunk};
+  rpc::Writer body;
+  req.Encode(body);
+  auto raw = broker_->HandleRpc(rpc::Frame(rpc::Opcode::kProduce, body));
+  rpc::Reader r(raw);
+  auto resp = rpc::ProduceResponse::Decode(r);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+  EXPECT_EQ(resp->appended, 1u);
+}
+
+}  // namespace
+}  // namespace kera

@@ -1,0 +1,273 @@
+// Unit tests for src/common: status/result, CRC32C, buffer, queues,
+// histogram, RNG.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/buffer.h"
+#include "common/crc32c.h"
+#include "common/histogram.h"
+#include "common/queue.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace kera {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s(StatusCode::kNoSpace, "segment full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNoSpace);
+  EXPECT_EQ(s.ToString(), "NoSpace: segment full");
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_NE(StatusCodeName(StatusCode::kCorruption),
+            StatusCodeName(StatusCode::kDuplicate));
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotLeader), "NotLeader");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status(StatusCode::kNotFound, "nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+// CRC32C known-answer tests (RFC 3720 vectors).
+TEST(Crc32cTest, KnownVectors) {
+  // 32 bytes of zeros -> 0x8A9136AA
+  std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  // 32 bytes of 0xFF -> 0x62A8AB43
+  std::vector<std::byte> ones(32, std::byte{0xFF});
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+  // ascending 0..31 -> 0x46DD794E
+  std::vector<std::byte> asc(32);
+  for (int i = 0; i < 32; ++i) asc[i] = std::byte(i);
+  EXPECT_EQ(Crc32c(asc), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  std::vector<std::byte> data(1000);
+  SplitMix64 rng(7);
+  for (auto& b : data) b = std::byte(rng.Next());
+  uint32_t whole = Crc32c(data);
+  for (size_t split : {1ul, 7ul, 64ul, 999ul}) {
+    uint32_t part = Crc32c(std::span(data).first(split));
+    part = Crc32c(std::span(data).subspan(split), part);
+    EXPECT_EQ(part, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32cTest, EmptyInputWithSeedIsIdentity) {
+  EXPECT_EQ(Crc32c(std::span<const std::byte>{}, 12345u), 12345u);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::vector<std::byte> data(256, std::byte{0x5A});
+  uint32_t base = Crc32c(data);
+  data[100] ^= std::byte{0x01};
+  EXPECT_NE(Crc32c(data), base);
+}
+
+TEST(BufferTest, AppendAndView) {
+  Buffer buf(64);
+  EXPECT_EQ(buf.capacity(), 64u);
+  EXPECT_TRUE(buf.empty());
+  std::byte data[10];
+  std::memset(data, 0xAB, sizeof(data));
+  EXPECT_EQ(buf.Append(data), 0u);
+  EXPECT_EQ(buf.Append(data), 10u);
+  EXPECT_EQ(buf.size(), 20u);
+  EXPECT_EQ(buf.remaining(), 44u);
+  EXPECT_EQ(buf.view()[15], std::byte{0xAB});
+}
+
+TEST(BufferTest, AppendBeyondCapacityFails) {
+  Buffer buf(16);
+  std::byte data[17];
+  EXPECT_EQ(buf.Append(data), SIZE_MAX);
+  EXPECT_EQ(buf.size(), 0u);  // unchanged
+}
+
+TEST(BufferTest, ReserveAndTruncate) {
+  Buffer buf(32);
+  EXPECT_EQ(buf.Reserve(8), 0u);
+  EXPECT_EQ(buf.Reserve(8), 8u);
+  buf.Truncate(8);
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.Reserve(100), SIZE_MAX);
+}
+
+TEST(BufferTest, MoveTransfersOwnership) {
+  Buffer a(32);
+  std::byte data[4] = {};
+  (void)a.Append(data);
+  Buffer b = std::move(a);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(a.capacity(), 0u);  // NOLINT: moved-from inspection intended
+}
+
+TEST(SpscRingTest, FifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, CapacityRoundsToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRingTest, TwoThreadStress) {
+  SpscRing<uint64_t> ring(1024);
+  constexpr uint64_t kItems = 200000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kItems;) {
+      if (ring.TryPush(i)) ++i;
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kItems) {
+    auto v = ring.TryPop();
+    if (v) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+TEST(BlockingQueueTest, PushPop) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, ShutdownDrainsThenEnds) {
+  BlockingQueue<int> q;
+  q.Push(7);
+  q.Shutdown();
+  EXPECT_EQ(q.Pop().value(), 7);
+  EXPECT_FALSE(q.Pop().has_value());
+  q.Push(8);  // dropped after shutdown
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, BlockingPopWakesOnPush) {
+  BlockingQueue<int> q;
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.Push(5);
+  });
+  EXPECT_EQ(q.Pop().value(), 5);
+  t.join();
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard<SpinLock> g(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  // Bucketed quantiles have ~25% resolution.
+  EXPECT_GE(h.Quantile(0.5), 40u);
+  EXPECT_LE(h.Quantile(0.5), 80u);
+  EXPECT_GE(h.Quantile(1.0), 95u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(uint64_t(1) << 45);  // beyond kMaxPow: clamps to last bucket
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.Quantile(0.5), 0u);
+}
+
+TEST(RngTest, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextExponential(5.0);
+  double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 5.0, 0.15);
+}
+
+}  // namespace
+}  // namespace kera

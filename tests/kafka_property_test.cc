@@ -1,0 +1,127 @@
+// Property-based tests of the Kafka-model partition log under randomized
+// append/fetch/consume interleavings: the high watermark never regresses
+// or passes the log end, consumers only see below it, follower offsets
+// are monotone, and trim never removes unconsumed or unreplicated data.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "kafka/kafka_broker.h"
+
+namespace kera::kafka {
+namespace {
+
+struct LogSweep {
+  uint32_t followers;
+  int operations;
+  size_t fetch_max_bytes;
+  uint64_t seed;
+};
+
+class KafkaLogProperty : public ::testing::TestWithParam<LogSweep> {};
+
+TEST_P(KafkaLogProperty, RandomInterleavingKeepsInvariants) {
+  const LogSweep sweep = GetParam();
+  Xoshiro256 rng(sweep.seed);
+
+  std::vector<NodeId> followers;
+  for (uint32_t f = 0; f < sweep.followers; ++f) {
+    followers.push_back(NodeId(10 + f));
+  }
+  PartitionLog log(followers);
+  std::map<NodeId, uint64_t> fetched;  // follower -> next offset
+  for (NodeId f : followers) fetched[f] = 0;
+
+  uint64_t consumer_offset = 0;
+  uint64_t last_hw = 0;
+  uint64_t appended_records = 0;
+  uint64_t consumed_records = 0;
+
+  for (int op = 0; op < sweep.operations; ++op) {
+    switch (rng.NextBounded(4)) {
+      case 0: {  // append
+        uint32_t records = uint32_t(rng.NextBounded(20)) + 1;
+        std::vector<std::byte> bytes(rng.NextBounded(900) + 100);
+        log.Append(bytes, records);
+        appended_records += records;
+        break;
+      }
+      case 1: {  // one follower fetches
+        if (followers.empty()) break;
+        NodeId f = followers[rng.NextBounded(followers.size())];
+        auto peek = log.PeekFetch(fetched[f], sweep.fetch_max_bytes);
+        auto batches = log.Fetch(fetched[f], sweep.fetch_max_bytes);
+        ASSERT_EQ(peek.batches, batches.size());
+        if (!batches.empty()) {
+          uint64_t next = batches.back().offset + 1;
+          ASSERT_GE(next, fetched[f]);  // follower offsets are monotone
+          fetched[f] = next;
+          log.UpdateFollower(f, next);
+        }
+        break;
+      }
+      case 2: {  // consumer reads below the high watermark
+        auto peek = log.PeekFetch(consumer_offset, 1 << 20,
+                                  /*max_batches=*/4,
+                                  /*below_hw_only=*/true);
+        ASSERT_LE(peek.next_offset, log.high_watermark());
+        consumer_offset = peek.next_offset;
+        consumed_records += peek.records;
+        break;
+      }
+      case 3: {  // trim what is consumed and replicated
+        log.Trim(consumer_offset);
+        break;
+      }
+    }
+    // Global invariants after every operation.
+    uint64_t hw = log.high_watermark();
+    ASSERT_GE(hw, last_hw);          // watermark never regresses
+    ASSERT_LE(hw, log.end_offset()); // never passes the end
+    last_hw = hw;
+    if (!followers.empty()) {
+      uint64_t min_fetched = ~uint64_t{0};
+      for (const auto& [_, off] : fetched) {
+        min_fetched = std::min(min_fetched, off);
+      }
+      ASSERT_EQ(hw, std::min(min_fetched, log.end_offset()));
+    }
+  }
+
+  // Drain: fetch all followers to the end, then consume everything.
+  for (NodeId f : followers) {
+    while (true) {
+      auto batches = log.Fetch(fetched[f], sweep.fetch_max_bytes);
+      if (batches.empty()) break;
+      fetched[f] = batches.back().offset + 1;
+      log.UpdateFollower(f, fetched[f]);
+    }
+  }
+  EXPECT_EQ(log.high_watermark(), log.end_offset());
+  // Conservation: everything appended is either already consumed or still
+  // readable below the (now complete) high watermark.
+  auto rest = log.PeekFetch(consumer_offset, ~size_t{0}, ~uint64_t{0},
+                            /*below_hw_only=*/true);
+  EXPECT_EQ(consumed_records + rest.records, appended_records);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, KafkaLogProperty,
+    ::testing::Values(LogSweep{0, 400, 4 << 10, 1},
+                      LogSweep{1, 400, 1 << 10, 2},
+                      LogSweep{2, 600, 4 << 10, 3},
+                      LogSweep{3, 600, 64 << 10, 4},
+                      LogSweep{2, 800, 512, 5}),
+    [](const ::testing::TestParamInfo<LogSweep>& info) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "f%u_ops%d_fetch%zu_seed%llu",
+                    info.param.followers, info.param.operations,
+                    info.param.fetch_max_bytes,
+                    (unsigned long long)info.param.seed);
+      return std::string(name);
+    });
+
+}  // namespace
+}  // namespace kera::kafka

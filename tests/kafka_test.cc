@@ -1,0 +1,202 @@
+// Unit tests for the Kafka-model baseline: per-partition replicated logs,
+// pull-based follower replication, high-watermark semantics.
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "kafka/kafka_cluster.h"
+
+namespace kera::kafka {
+namespace {
+
+std::vector<std::byte> Payload(size_t n, uint8_t fill = 0x5A) {
+  return std::vector<std::byte>(n, std::byte(fill));
+}
+
+TEST(PartitionLogTest, AppendAndFetch) {
+  PartitionLog log({/*no followers*/});
+  auto p = Payload(100);
+  EXPECT_EQ(log.Append(p, 10), 0u);
+  EXPECT_EQ(log.Append(p, 10), 1u);
+  EXPECT_EQ(log.end_offset(), 2u);
+  // R=1: immediately exposed.
+  EXPECT_EQ(log.high_watermark(), 2u);
+  EXPECT_EQ(log.records_below_hw(), 20u);
+
+  auto batches = log.Fetch(0, 1 << 20);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].offset, 0u);
+  EXPECT_EQ(batches[1].offset, 1u);
+}
+
+TEST(PartitionLogTest, HighWatermarkIsMinOfFollowers) {
+  PartitionLog log({2, 3});
+  auto p = Payload(50);
+  log.Append(p, 5);
+  log.Append(p, 5);
+  EXPECT_EQ(log.high_watermark(), 0u);  // nothing fetched yet
+
+  log.UpdateFollower(2, 2);
+  EXPECT_EQ(log.high_watermark(), 0u);  // follower 3 lags
+  log.UpdateFollower(3, 1);
+  EXPECT_EQ(log.high_watermark(), 1u);
+  EXPECT_EQ(log.records_below_hw(), 5u);
+  log.UpdateFollower(3, 2);
+  EXPECT_EQ(log.high_watermark(), 2u);
+  EXPECT_EQ(log.records_below_hw(), 10u);
+}
+
+TEST(PartitionLogTest, UnknownFollowerIgnored) {
+  PartitionLog log({2});
+  log.Append(Payload(10), 1);
+  log.UpdateFollower(99, 5);
+  EXPECT_EQ(log.high_watermark(), 0u);
+}
+
+TEST(PartitionLogTest, FetchRespectsMaxBytes) {
+  PartitionLog log({});
+  for (int i = 0; i < 10; ++i) log.Append(Payload(100), 1);
+  auto batches = log.Fetch(0, 250);
+  EXPECT_EQ(batches.size(), 2u);
+  // At least one batch returned even under a tiny cap.
+  batches = log.Fetch(0, 1);
+  EXPECT_EQ(batches.size(), 1u);
+}
+
+TEST(PartitionLogTest, PeekFetchMatchesFetchWithoutCopying) {
+  PartitionLog log({2});
+  for (int i = 0; i < 6; ++i) log.Append(Payload(100), 7);
+  log.UpdateFollower(2, 3);  // hw = 3
+
+  auto peek = log.PeekFetch(0, 250);
+  auto fetched = log.Fetch(0, 250);
+  EXPECT_EQ(peek.batches, fetched.size());
+  EXPECT_EQ(peek.records, 7u * fetched.size());
+  size_t bytes = 0;
+  for (const auto& b : fetched) bytes += b.bytes.size();
+  EXPECT_EQ(peek.bytes, bytes);
+  EXPECT_EQ(peek.next_offset, fetched.back().offset + 1);
+
+  // max_batches cap.
+  auto one = log.PeekFetch(0, 1 << 20, /*max_batches=*/1);
+  EXPECT_EQ(one.batches, 1u);
+  EXPECT_EQ(one.next_offset, 1u);
+
+  // below_hw_only: consumers stop at the high watermark.
+  auto hw = log.PeekFetch(0, 1 << 20, ~uint64_t{0}, /*below_hw_only=*/true);
+  EXPECT_EQ(hw.batches, 3u);
+  // Followers see past the watermark.
+  auto all = log.PeekFetch(0, 1 << 20);
+  EXPECT_EQ(all.batches, 6u);
+
+  // Peek from an empty position.
+  auto none = log.PeekFetch(6, 1 << 20);
+  EXPECT_EQ(none.batches, 0u);
+  EXPECT_EQ(none.next_offset, 6u);
+}
+
+TEST(PartitionLogTest, TrimKeepsUnreplicatedTail) {
+  PartitionLog log({2});
+  for (int i = 0; i < 4; ++i) log.Append(Payload(10), 1);
+  log.UpdateFollower(2, 2);  // hw = 2
+  EXPECT_EQ(log.Trim(10), 2u);  // only below hw
+  auto batches = log.Fetch(0, 1 << 20);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].offset, 2u);
+}
+
+TEST(KafkaBrokerTest, FetchOnceAdvancesReplica) {
+  KafkaBroker leader(1), follower(2);
+  PartitionKey key{1, 0};
+  PartitionLog* log = leader.AddLeaderPartition(key, {2});
+  follower.AddFollowerPartition(key, 1);
+
+  log->Append(Payload(100), 10);
+  log->Append(Payload(100), 10);
+
+  KafkaTuning tuning;
+  size_t bytes = follower.FetchOnce(key, *log, tuning);
+  EXPECT_EQ(bytes, 200u);
+  EXPECT_EQ(log->high_watermark(), 2u);
+  EXPECT_EQ(follower.follower_state(key)->fetched_offset, 2u);
+
+  // Caught up: next fetch returns nothing.
+  EXPECT_EQ(follower.FetchOnce(key, *log, tuning), 0u);
+  auto stats = follower.GetStats();
+  EXPECT_EQ(stats.fetch_rpcs, 2u);
+  EXPECT_EQ(stats.empty_fetches, 1u);
+}
+
+TEST(KafkaBrokerTest, FetchMaxBytesForcesMultipleRounds) {
+  KafkaBroker leader(1), follower(2);
+  PartitionKey key{1, 0};
+  PartitionLog* log = leader.AddLeaderPartition(key, {2});
+  follower.AddFollowerPartition(key, 1);
+  for (int i = 0; i < 8; ++i) log->Append(Payload(100), 1);
+
+  KafkaTuning tuning;
+  tuning.fetch_max_bytes = 250;  // 2 batches per fetch
+  int rounds = 0;
+  while (follower.FetchOnce(key, *log, tuning) > 0) ++rounds;
+  EXPECT_EQ(rounds, 4);
+  EXPECT_EQ(log->high_watermark(), 8u);
+}
+
+TEST(KafkaClusterTest, CreateTopicPlacement) {
+  KafkaCluster cluster(KafkaClusterConfig{.nodes = 4, .tuning = {}});
+  auto topic = cluster.CreateTopic("t", 8, 3);
+  ASSERT_TRUE(topic.ok());
+  EXPECT_EQ(topic->leaders.size(), 8u);
+  std::map<NodeId, int> counts;
+  for (NodeId n : topic->leaders) ++counts[n];
+  for (const auto& [_, c] : counts) EXPECT_EQ(c, 2);
+  // Every partition has a leader log and R-1 follower replicas.
+  for (uint32_t p = 0; p < 8; ++p) {
+    EXPECT_NE(cluster.leader_log(topic->id, p), nullptr);
+  }
+  EXPECT_FALSE(cluster.CreateTopic("t", 1, 1).ok());   // duplicate
+  EXPECT_FALSE(cluster.CreateTopic("u", 1, 9).ok());   // R > nodes
+}
+
+TEST(KafkaClusterTest, ProduceAcksAllWaitsForFollowers) {
+  KafkaCluster cluster(KafkaClusterConfig{.nodes = 3, .tuning = {}});
+  auto topic = cluster.CreateTopic("t", 1, 3);
+  ASSERT_TRUE(topic.ok());
+  cluster.StartReplication();
+  auto p = Payload(64);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.Produce(topic->id, 0, p, 4).ok());
+  }
+  cluster.StopReplication();
+  EXPECT_EQ(cluster.HighWatermark(topic->id, 0), 20u);
+  auto batches = cluster.Consume(topic->id, 0, 0, 1 << 20);
+  EXPECT_EQ(batches.size(), 20u);
+  auto stats = cluster.GetStats();
+  EXPECT_EQ(stats.produce_batches, 20u);
+  EXPECT_GT(stats.fetch_rpcs, 0u);
+}
+
+TEST(KafkaClusterTest, ConsumerNeverSeesAboveHighWatermark) {
+  KafkaCluster cluster(KafkaClusterConfig{.nodes = 2, .tuning = {}});
+  auto topic = cluster.CreateTopic("t", 1, 2);
+  ASSERT_TRUE(topic.ok());
+  // No replication running: appended batches stay above the watermark.
+  ASSERT_TRUE(cluster.ProduceAsync(topic->id, 0, Payload(10), 1).ok());
+  EXPECT_TRUE(cluster.Consume(topic->id, 0, 0, 1 << 20).empty());
+  // Drive one fetch manually.
+  PartitionKey key{topic->id, 0};
+  auto* log = cluster.leader_log(topic->id, 0);
+  cluster.broker(2).FetchOnce(key, *log, KafkaTuning{});
+  EXPECT_EQ(cluster.Consume(topic->id, 0, 0, 1 << 20).size(), 1u);
+}
+
+TEST(KafkaClusterTest, ReplicationFactorOneExposesImmediately) {
+  KafkaCluster cluster(KafkaClusterConfig{.nodes = 2, .tuning = {}});
+  auto topic = cluster.CreateTopic("t", 2, 1);
+  ASSERT_TRUE(topic.ok());
+  ASSERT_TRUE(cluster.Produce(topic->id, 1, Payload(10), 1).ok());
+  EXPECT_EQ(cluster.Consume(topic->id, 1, 0, 1 << 20).size(), 1u);
+}
+
+}  // namespace
+}  // namespace kera::kafka

@@ -1,0 +1,286 @@
+// Unit tests for RPC serialization, framing and transports.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string_view>
+#include <thread>
+
+#include "rpc/messages.h"
+#include "rpc/serialize.h"
+#include "rpc/transport.h"
+
+namespace kera::rpc {
+namespace {
+
+std::span<const std::byte> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+TEST(SerializeTest, PrimitivesRoundTrip) {
+  Writer w;
+  w.U8(7);
+  w.U16(65535);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.Bool(true);
+  w.Str("hello");
+  w.Bytes(AsBytes(std::string_view("\x00\x01\x02", 3)));
+
+  Reader r(w.View());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  bool b;
+  std::string s;
+  std::span<const std::byte> bytes;
+  ASSERT_TRUE(r.U8(u8).ok());
+  ASSERT_TRUE(r.U16(u16).ok());
+  ASSERT_TRUE(r.U32(u32).ok());
+  ASSERT_TRUE(r.U64(u64).ok());
+  ASSERT_TRUE(r.Bool(b).ok());
+  ASSERT_TRUE(r.Str(s).ok());
+  ASSERT_TRUE(r.Bytes(bytes).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u16, 65535);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(bytes.size(), 3u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, TruncatedReadFails) {
+  Writer w;
+  w.U32(1);
+  Reader r(w.View());
+  uint64_t v;
+  EXPECT_EQ(r.U64(v).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, TruncatedBytesLengthFails) {
+  Writer w;
+  w.U32(100);  // claims 100 bytes follow; none do
+  Reader r(w.View());
+  std::span<const std::byte> out;
+  EXPECT_EQ(r.Bytes(out).code(), StatusCode::kCorruption);
+}
+
+TEST(FrameTest, RoundTrip) {
+  Writer body;
+  body.U32(42);
+  auto frame = Frame(Opcode::kProduce, body);
+  Opcode op;
+  std::span<const std::byte> parsed_body;
+  ASSERT_TRUE(ParseFrame(frame, op, parsed_body).ok());
+  EXPECT_EQ(op, Opcode::kProduce);
+  Reader r(parsed_body);
+  uint32_t v;
+  ASSERT_TRUE(r.U32(v).ok());
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(FrameTest, ShortFrameRejected) {
+  std::vector<std::byte> tiny(1);
+  Opcode op;
+  std::span<const std::byte> body;
+  EXPECT_FALSE(ParseFrame(tiny, op, body).ok());
+}
+
+TEST(MessagesTest, ProduceRoundTrip) {
+  ProduceRequest req;
+  req.producer = 9;
+  req.stream = 1234;
+  req.recovery = true;
+  std::vector<std::byte> c1(100, std::byte{0xAA});
+  std::vector<std::byte> c2(50, std::byte{0xBB});
+  req.chunks = {c1, c2};
+
+  Writer w;
+  req.Encode(w);
+  Reader r(w.View());
+  auto got = ProduceRequest::Decode(r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->producer, 9u);
+  EXPECT_EQ(got->stream, 1234u);
+  EXPECT_TRUE(got->recovery);
+  ASSERT_EQ(got->chunks.size(), 2u);
+  EXPECT_EQ(got->chunks[0].size(), 100u);
+  EXPECT_EQ(got->chunks[1][0], std::byte{0xBB});
+}
+
+TEST(MessagesTest, ConsumeRoundTrip) {
+  ConsumeRequest req;
+  req.stream = 5;
+  req.max_bytes = 4096;
+  req.entries = {{.streamlet = 1, .group = 2, .start_chunk = 3,
+                  .max_chunks = 4}};
+  Writer w;
+  req.Encode(w);
+  Reader r(w.View());
+  auto got = ConsumeRequest::Decode(r);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->entries.size(), 1u);
+  EXPECT_EQ(got->entries[0].start_chunk, 3u);
+
+  ConsumeResponse resp;
+  resp.status = StatusCode::kOk;
+  ConsumeEntryResponse e;
+  e.streamlet = 1;
+  e.group = 2;
+  e.next_chunk = 7;
+  e.group_exists = true;
+  e.group_closed = true;
+  std::vector<std::byte> chunk(64, std::byte{0xCC});
+  e.chunks = {chunk};
+  resp.entries.push_back(std::move(e));
+  Writer w2;
+  resp.Encode(w2);
+  Reader r2(w2.View());
+  auto got2 = ConsumeResponse::Decode(r2);
+  ASSERT_TRUE(got2.ok());
+  EXPECT_TRUE(got2->entries[0].group_closed);
+  EXPECT_EQ(got2->entries[0].next_chunk, 7u);
+  EXPECT_EQ(got2->entries[0].chunks[0].size(), 64u);
+}
+
+TEST(MessagesTest, StreamInfoRoundTrip) {
+  CreateStreamResponse resp;
+  resp.status = StatusCode::kOk;
+  resp.info.stream = 17;
+  resp.info.options.num_streamlets = 8;
+  resp.info.options.active_groups_per_streamlet = 4;
+  resp.info.options.replication_factor = 3;
+  resp.info.options.vlog_policy = VlogPolicy::kPerSubPartition;
+  resp.info.streamlet_brokers = {1, 2, 3, 4, 1, 2, 3, 4};
+  Writer w;
+  resp.Encode(w);
+  Reader r(w.View());
+  auto got = CreateStreamResponse::Decode(r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->info.stream, 17u);
+  EXPECT_EQ(got->info.options.vlog_policy, VlogPolicy::kPerSubPartition);
+  EXPECT_EQ(got->info.streamlet_brokers.size(), 8u);
+}
+
+TEST(MessagesTest, ReplicateRoundTrip) {
+  ReplicateRequest req;
+  req.primary = 2;
+  req.vlog = 3;
+  req.vseg = 4;
+  req.start_offset = 1000;
+  req.chunk_count = 2;
+  req.checksum_after = 0xFEEDFACE;
+  req.seals = true;
+  std::vector<std::byte> payload(128, std::byte{0x11});
+  req.payload = payload;
+  Writer w;
+  req.Encode(w);
+  Reader r(w.View());
+  auto got = ReplicateRequest::Decode(r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->start_offset, 1000u);
+  EXPECT_EQ(got->checksum_after, 0xFEEDFACEu);
+  EXPECT_TRUE(got->seals);
+  EXPECT_EQ(got->payload.size(), 128u);
+}
+
+TEST(MessagesTest, RecoveryMessagesRoundTrip) {
+  ListRecoverySegmentsResponse resp;
+  resp.segments = {{.primary = 1, .vlog = 2, .vseg = 3, .chunk_count = 4,
+                    .sealed = true}};
+  Writer w;
+  resp.Encode(w);
+  Reader r(w.View());
+  auto got = ListRecoverySegmentsResponse::Decode(r);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->segments.size(), 1u);
+  EXPECT_EQ(got->segments[0].vseg, 3u);
+  EXPECT_TRUE(got->segments[0].sealed);
+}
+
+// ------------------------------------------------------------- transports
+
+class EchoHandler final : public RpcHandler {
+ public:
+  std::vector<std::byte> HandleRpc(std::span<const std::byte> req) override {
+    ++calls;
+    return {req.begin(), req.end()};
+  }
+  std::atomic<int> calls{0};
+};
+
+TEST(DirectNetworkTest, CallDispatchesToHandler) {
+  DirectNetwork net;
+  EchoHandler echo;
+  net.Register(5, &echo);
+  auto resp = net.Call(5, AsBytes("ping"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->size(), 4u);
+  EXPECT_EQ(echo.calls, 1);
+  EXPECT_EQ(net.GetStats().calls, 1u);
+}
+
+TEST(DirectNetworkTest, UnknownNodeUnavailable) {
+  DirectNetwork net;
+  auto resp = net.Call(99, AsBytes("x"));
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(DirectNetworkTest, CrashAndRestore) {
+  DirectNetwork net;
+  EchoHandler echo;
+  net.Register(1, &echo);
+  net.Crash(1);
+  EXPECT_FALSE(net.Call(1, AsBytes("x")).ok());
+  net.Restore(1, &echo);
+  EXPECT_TRUE(net.Call(1, AsBytes("x")).ok());
+}
+
+TEST(ThreadedNetworkTest, ParallelCalls) {
+  ThreadedNetwork net(2);
+  EchoHandler echo;
+  net.Register(1, &echo);
+  constexpr int kCalls = 200;
+  std::vector<std::future<Result<std::vector<std::byte>>>> futures;
+  futures.reserve(kCalls);
+  for (int i = 0; i < kCalls; ++i) {
+    futures.push_back(net.CallAsync(1, AsBytes("hello")));
+  }
+  for (auto& f : futures) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 5u);
+  }
+  EXPECT_EQ(echo.calls, kCalls);
+  net.Shutdown();
+}
+
+TEST(ThreadedNetworkTest, CrashedNodeFailsFast) {
+  ThreadedNetwork net(1);
+  EchoHandler echo;
+  net.Register(1, &echo);
+  net.Crash(1);
+  auto r = net.Call(1, AsBytes("x"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  net.Shutdown();
+}
+
+TEST(ThreadedNetworkTest, MultiNodeIsolation) {
+  ThreadedNetwork net(1);
+  EchoHandler a, b;
+  net.Register(1, &a);
+  net.Register(2, &b);
+  ASSERT_TRUE(net.Call(1, AsBytes("x")).ok());
+  ASSERT_TRUE(net.Call(2, AsBytes("y")).ok());
+  ASSERT_TRUE(net.Call(2, AsBytes("z")).ok());
+  EXPECT_EQ(a.calls, 1);
+  EXPECT_EQ(b.calls, 2);
+  net.Shutdown();
+}
+
+}  // namespace
+}  // namespace kera::rpc

@@ -1,0 +1,356 @@
+// Tests for the discrete-event simulation: engine semantics, resource
+// queueing, experiment determinism, and the structural properties the
+// paper's figures rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_sim.h"
+#include "sim/figure_harness.h"
+#include "sim/sim_cluster.h"
+
+namespace kera::sim {
+namespace {
+
+TEST(EventSimulatorTest, EventsFireInTimeOrder) {
+  EventSimulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(EventSimulatorTest, TiesFireInScheduleOrder) {
+  EventSimulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventSimulatorTest, RunUntilStopsAtBoundary) {
+  EventSimulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(20, [&] { ++fired; });
+  sim.Schedule(30, [&] { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(EventSimulatorTest, EventsCanScheduleEvents) {
+  EventSimulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.ScheduleAfter(5, chain);
+  };
+  sim.Schedule(0, chain);
+  sim.RunAll();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 45u);
+}
+
+TEST(SimResourceTest, SingleServerSerializes) {
+  EventSimulator sim;
+  SimResource res(sim, 1);
+  std::vector<SimTime> done_at;
+  for (int i = 0; i < 3; ++i) {
+    res.Execute(10, [&] { done_at.push_back(sim.now()); });
+  }
+  sim.RunAll();
+  EXPECT_EQ(done_at, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(res.completed(), 3u);
+  EXPECT_EQ(res.busy_time(), 30u);
+}
+
+TEST(SimResourceTest, MultiServerRunsInParallel) {
+  EventSimulator sim;
+  SimResource res(sim, 2);
+  std::vector<SimTime> done_at;
+  for (int i = 0; i < 4; ++i) {
+    res.Execute(10, [&] { done_at.push_back(sim.now()); });
+  }
+  sim.RunAll();
+  EXPECT_EQ(done_at, (std::vector<SimTime>{10, 10, 20, 20}));
+}
+
+TEST(SimResourceTest, UtilizationTracksBusyTime) {
+  EventSimulator sim;
+  SimResource res(sim, 2);
+  res.Execute(50, [] {});
+  sim.RunUntil(100);
+  EXPECT_NEAR(res.Utilization(), 0.25, 1e-9);  // 50 of 2x100 server-ns
+}
+
+// ----- experiment-level properties -----
+
+SimExperimentConfig QuickConfig(System system) {
+  SimExperimentConfig cfg = LatencyBase(system, 2, 2, 16, 3);
+  cfg.warmup_seconds = 0.05;
+  cfg.measure_seconds = 0.1;
+  return cfg;
+}
+
+TEST(SimExperimentTest, Deterministic) {
+  auto a = RunSimExperiment(QuickConfig(System::kKerA));
+  auto b = RunSimExperiment(QuickConfig(System::kKerA));
+  EXPECT_EQ(a.ingest_mrecords_per_s, b.ingest_mrecords_per_s);
+  EXPECT_EQ(a.replication_rpcs, b.replication_rpcs);
+  EXPECT_EQ(a.produce_requests, b.produce_requests);
+  auto k1 = RunSimExperiment(QuickConfig(System::kKafka));
+  auto k2 = RunSimExperiment(QuickConfig(System::kKafka));
+  EXPECT_EQ(k1.ingest_mrecords_per_s, k2.ingest_mrecords_per_s);
+  EXPECT_EQ(k1.replication_rpcs, k2.replication_rpcs);
+}
+
+TEST(SimExperimentTest, BothSystemsMakeProgress) {
+  for (System system : {System::kKerA, System::kKafka}) {
+    auto r = RunSimExperiment(QuickConfig(system));
+    EXPECT_GT(r.ingest_mrecords_per_s, 0.05) << "system " << int(system);
+    EXPECT_GT(r.consume_mrecords_per_s, 0.05) << "system " << int(system);
+    EXPECT_GT(r.replication_rpcs, 0u);
+    EXPECT_GT(r.produce_latency_p50_us, 0.0);
+  }
+}
+
+TEST(SimExperimentTest, ReplicationFactorOneSkipsReplication) {
+  SimExperimentConfig cfg = QuickConfig(System::kKerA);
+  cfg.replication_factor = 1;
+  auto r = RunSimExperiment(cfg);
+  EXPECT_EQ(r.replication_rpcs, 0u);
+  EXPECT_GT(r.ingest_mrecords_per_s, 0.05);
+}
+
+TEST(SimExperimentTest, HigherReplicationCostsThroughput) {
+  SimExperimentConfig r1 = QuickConfig(System::kKerA);
+  r1.replication_factor = 1;
+  SimExperimentConfig r3 = QuickConfig(System::kKerA);
+  r3.replication_factor = 3;
+  auto a = RunSimExperiment(r1);
+  auto b = RunSimExperiment(r3);
+  EXPECT_GT(a.ingest_mrecords_per_s, b.ingest_mrecords_per_s);
+}
+
+TEST(SimExperimentTest, VlogAggregationReducesReplicationRpcs) {
+  // The paper's core claim: shared vlogs replace many small replication
+  // RPCs with fewer, larger ones.
+  SimExperimentConfig few = LatencyBase(System::kKerA, 4, 0, 64, 3);
+  few.vlogs_per_broker = 1;
+  few.warmup_seconds = 0.05;
+  few.measure_seconds = 0.2;
+  SimExperimentConfig many = few;
+  many.vlogs_per_broker = 16;  // 16 streams per broker -> one vlog each
+  auto a = RunSimExperiment(few);
+  auto b = RunSimExperiment(many);
+  EXPECT_LT(a.replication_rpcs, b.replication_rpcs);
+  EXPECT_GT(a.avg_replication_kb, b.avg_replication_kb);
+}
+
+TEST(SimExperimentTest, KerAOutperformsKafkaWithManyStreamsR3) {
+  // Fig 8's qualitative claim at hundreds of streams, replication 3.
+  SimExperimentConfig kera = Fig8(System::kKerA, 128, 3);
+  kera.warmup_seconds = 0.05;
+  kera.measure_seconds = 0.2;
+  SimExperimentConfig kafka = Fig8(System::kKafka, 128, 3);
+  kafka.warmup_seconds = 0.05;
+  kafka.measure_seconds = 0.2;
+  auto a = RunSimExperiment(kera);
+  auto b = RunSimExperiment(kafka);
+  EXPECT_GT(a.ingest_mrecords_per_s, 1.5 * b.ingest_mrecords_per_s);
+}
+
+TEST(SimExperimentTest, TooManyVlogsDegradeThroughput) {
+  // Figs 14-16: one vlog per stream floods the dispatch threads.
+  SimExperimentConfig good = Fig14to16(256, 4, 3);
+  good.warmup_seconds = 0.05;
+  good.measure_seconds = 0.2;
+  SimExperimentConfig bad = Fig14to16(256, 64, 3);
+  bad.warmup_seconds = 0.05;
+  bad.measure_seconds = 0.2;
+  auto a = RunSimExperiment(good);
+  auto b = RunSimExperiment(bad);
+  EXPECT_GT(a.ingest_mrecords_per_s, b.ingest_mrecords_per_s);
+}
+
+TEST(SimExperimentTest, ConsumersKeepPaceInThroughputConfig) {
+  SimExperimentConfig cfg = Fig17to20(4, 64 << 10, 3);
+  cfg.warmup_seconds = 0.1;
+  cfg.measure_seconds = 0.3;
+  auto r = RunSimExperiment(cfg);
+  EXPECT_GT(r.consume_mrecords_per_s, 0.7 * r.ingest_mrecords_per_s);
+}
+
+TEST(SimExperimentTest, RequestCapTradesThroughputForLatency) {
+  // Deeper requests amortize round-trips: throughput rises, latency rises.
+  SimExperimentConfig shallow = LatencyBase(System::kKerA, 4, 0, 64, 3);
+  shallow.request_max_chunks = 1;
+  shallow.warmup_seconds = 0.05;
+  shallow.measure_seconds = 0.2;
+  SimExperimentConfig deep = shallow;
+  deep.request_max_chunks = 16;
+  auto a = RunSimExperiment(shallow);
+  auto b = RunSimExperiment(deep);
+  EXPECT_GT(b.ingest_mrecords_per_s, a.ingest_mrecords_per_s);
+  EXPECT_GE(b.produce_latency_p50_us, a.produce_latency_p50_us);
+}
+
+TEST(SimExperimentTest, ConsumerDepthLetsConsumersKeepUp) {
+  SimExperimentConfig shallow = ThroughputBase(System::kKerA, 16, 64 << 10, 3);
+  shallow.consumer_chunks_per_partition = 1;
+  shallow.warmup_seconds = 0.1;
+  shallow.measure_seconds = 0.2;
+  SimExperimentConfig deep = shallow;
+  deep.consumer_chunks_per_partition = 8;
+  auto a = RunSimExperiment(shallow);
+  auto b = RunSimExperiment(deep);
+  EXPECT_GT(b.consume_mrecords_per_s, a.consume_mrecords_per_s);
+}
+
+TEST(SimExperimentTest, KafkaReplicationRpcsScaleWithPartitions) {
+  // Passive pull replication fetches per partition; more partitions mean
+  // more fetch RPCs at the same data rate. KerA's shared vlogs do not.
+  SimExperimentConfig few = Fig8(System::kKafka, 32, 3);
+  few.warmup_seconds = 0.05;
+  few.measure_seconds = 0.2;
+  SimExperimentConfig many = Fig8(System::kKafka, 256, 3);
+  many.warmup_seconds = 0.05;
+  many.measure_seconds = 0.2;
+  auto a = RunSimExperiment(few);
+  auto b = RunSimExperiment(many);
+  // Normalize by throughput: RPCs per million ingested records.
+  double rate_a = double(a.replication_rpcs) / a.ingest_mrecords_per_s;
+  double rate_b = double(b.replication_rpcs) / b.ingest_mrecords_per_s;
+  EXPECT_GT(rate_b, rate_a);
+}
+
+TEST(SimExperimentTest, ReplicationBatchCapBoundsRpcSize) {
+  SimExperimentConfig cfg = LatencyBase(System::kKerA, 4, 0, 64, 3);
+  cfg.replication_max_batch_bytes = 4 << 10;
+  cfg.warmup_seconds = 0.05;
+  cfg.measure_seconds = 0.2;
+  auto r = RunSimExperiment(cfg);
+  EXPECT_GT(r.replication_rpcs, 0u);
+  // Average batch stays within the cap plus one chunk of slack.
+  EXPECT_LE(r.avg_replication_kb, 4.0 + 1.1);
+}
+
+TEST(SimAnalyticTest, SingleProducerR1MatchesClosedForm) {
+  // One producer, one stream, one broker pair slot, R1: no replication,
+  // no contention. The closed-loop rate is analytically
+  //   records_per_request / round_time
+  // where round_time = source + per-chunk client + request overhead
+  //                  + 2x network latency + transfer + dispatch in/out
+  //                  + produce service + ack transfer.
+  SimExperimentConfig cfg;
+  cfg.system = SimExperimentConfig::System::kKerA;
+  cfg.brokers = 4;
+  cfg.producers = 1;
+  cfg.consumers = 0;
+  cfg.streams = 1;
+  cfg.replication_factor = 1;
+  cfg.chunk_size = 1024;
+  cfg.request_max_chunks = 1;
+  cfg.warmup_seconds = 0.1;
+  cfg.measure_seconds = 0.5;
+  auto r = RunSimExperiment(cfg);
+
+  const CostModel& c = cfg.cost;
+  double records = double(r.records_per_chunk);
+  size_t frame = 56 + size_t(records) * 112;  // chunk header + records
+  size_t request = 64 + frame;
+  double transfer_us = double(request) * 8.0 / (c.network_bandwidth_gbps * 1e3);
+  double round_us =
+      records / c.source_records_per_sec * 1e6 + c.client_per_chunk_us +
+      c.client_request_overhead_us +
+      2 * c.network_latency_us +  // request out + ack back
+      transfer_us + (c.dispatch_fixed_us +
+                     c.dispatch_per_kb_us * double(request) / 1024.0) +
+      (c.produce_rpc_fixed_us + c.per_chunk_append_us +
+       c.per_kb_append_us * double(frame) / 1024.0) +
+      (c.dispatch_fixed_us + c.dispatch_per_kb_us * 64.0 / 1024.0) +
+      64.0 * 8.0 / (c.network_bandwidth_gbps * 1e3);
+  double expected_mrec_s = records / round_us;  // M records/s
+  EXPECT_NEAR(r.ingest_mrecords_per_s, expected_mrec_s,
+              0.1 * expected_mrec_s)
+      << "expected ~" << expected_mrec_s << " Mrec/s, round " << round_us
+      << " us";
+}
+
+TEST(SimAnalyticTest, ReplicationRpcCountMatchesBatchArithmetic) {
+  // Producer-only, one stream, R3: every chunk is replicated exactly
+  // twice; with the batch cap at one chunk, replication RPCs in the
+  // window ~= 2x the chunks acked in the window.
+  SimExperimentConfig cfg;
+  cfg.system = SimExperimentConfig::System::kKerA;
+  cfg.producers = 1;
+  cfg.consumers = 0;
+  cfg.streams = 1;
+  cfg.replication_factor = 3;
+  cfg.chunk_size = 1024;
+  cfg.request_max_chunks = 1;
+  cfg.replication_max_batch_bytes = 1;  // one chunk per batch
+  cfg.warmup_seconds = 0.1;
+  cfg.measure_seconds = 0.5;
+  auto r = RunSimExperiment(cfg);
+  double chunks_acked =
+      r.ingest_mrecords_per_s * 1e6 * cfg.measure_seconds /
+      double(r.records_per_chunk);
+  EXPECT_NEAR(double(r.replication_rpcs), 2 * chunks_acked,
+              0.15 * 2 * chunks_acked);
+  // One chunk per RPC: the average replication payload is one chunk.
+  EXPECT_NEAR(r.avg_replication_kb, (56 + 8 * 112) / 1024.0, 0.05);
+}
+
+TEST(FigureHarnessTest, ConfigsMatchPaperSetups) {
+  auto f8 = Fig8(System::kKerA, 256, 2);
+  EXPECT_EQ(f8.producers, 4u);
+  EXPECT_EQ(f8.consumers, 0u);
+  EXPECT_EQ(f8.chunk_size, 1024u);
+  EXPECT_EQ(f8.replication_factor, 2u);
+  EXPECT_EQ(f8.vlogs_per_broker, 4u);
+
+  auto f9 = Fig9(System::kKerA, 16, 3);
+  EXPECT_EQ(f9.chunk_size, 16u << 10);
+  EXPECT_EQ(f9.vlog_policy, rpc::VlogPolicy::kPerSubPartition);
+
+  auto f12 = Fig12(512, 3);
+  EXPECT_EQ(f12.vlogs_per_broker, 1u);
+  EXPECT_EQ(f12.producers, 8u);
+  EXPECT_EQ(f12.consumers, 8u);
+
+  auto f17 = Fig17to20(8, 64 << 10, 3);
+  EXPECT_EQ(f17.streams, 1u);
+  EXPECT_EQ(f17.streamlets_per_stream, 32u);
+  EXPECT_EQ(f17.q, 4u);
+  EXPECT_EQ(f17.vlog_policy, rpc::VlogPolicy::kPerSubPartition);
+
+  auto f21 = Fig21(16, 32 << 10);
+  EXPECT_EQ(f21.vlog_policy, rpc::VlogPolicy::kSharedPerBroker);
+  EXPECT_EQ(f21.vlogs_per_broker, 16u);
+
+  // Kafka never uses KerA's sub-partitioning.
+  auto f11k = Fig11(System::kKafka, 16, 32 << 10);
+  EXPECT_EQ(f11k.q, 1u);
+}
+
+TEST(FigureHarnessTest, FormatResultContainsMetrics) {
+  SimExperimentResult r;
+  r.ingest_mrecords_per_s = 1.25;
+  r.replication_rpcs = 42;
+  std::string s = FormatResult("test", r);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kera::sim

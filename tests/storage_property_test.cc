@@ -1,0 +1,230 @@
+// Property-based tests of the storage substrate: for swept geometries
+// (segment size, segments per group, Q, chunk size) and randomized
+// workloads, the structural invariants of DESIGN.md §6 must hold:
+//   1. per-group chunk indices are dense and ordered;
+//   2. every appended chunk is retrievable and checksum-clean until trim;
+//   3. the durable prefix never exceeds the appended count and is
+//      monotone;
+//   4. memory accounting: acquire/release is balanced after trimming.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/memory_manager.h"
+#include "storage/streamlet.h"
+#include "wire/chunk.h"
+
+namespace kera {
+namespace {
+
+struct Geometry {
+  size_t segment_size;
+  uint32_t segments_per_group;
+  uint32_t q;
+  size_t chunk_size;
+};
+
+class StorageGeometry : public ::testing::TestWithParam<Geometry> {};
+
+std::vector<std::byte> MakeChunk(StreamId stream, StreamletId streamlet,
+                                 ProducerId producer, ChunkSeq seq,
+                                 size_t chunk_size, Xoshiro256& rng) {
+  ChunkBuilder b(chunk_size);
+  b.Start(stream, streamlet, producer);
+  // Random record mix, at least one record.
+  size_t max_value = chunk_size / 4;
+  do {
+    std::vector<std::byte> value(rng.NextBounded(max_value) + 1);
+    for (auto& byte : value) byte = std::byte(rng.Next());
+    if (!b.AppendValue(value)) break;
+  } while (rng.NextBounded(4) != 0);
+  auto bytes = b.Seal(seq);
+  return {bytes.begin(), bytes.end()};
+}
+
+TEST_P(StorageGeometry, RandomAppendsKeepInvariants) {
+  const Geometry geo = GetParam();
+  MemoryManager mm(size_t(64) << 20, geo.segment_size);
+  StorageConfig cfg;
+  cfg.segment_size = geo.segment_size;
+  cfg.segments_per_group = geo.segments_per_group;
+  cfg.active_groups_per_streamlet = geo.q;
+  Streamlet streamlet(mm, cfg, /*stream=*/1, /*id=*/0);
+
+  Xoshiro256 rng(geo.segment_size * 31 + geo.q);
+  constexpr int kChunks = 400;
+  std::map<ProducerId, ChunkSeq> seqs;
+  // Track every appended chunk's location for later verification.
+  struct Appended {
+    GroupId group;
+    uint64_t index;
+    uint32_t payload_checksum;
+  };
+  std::vector<Appended> all;
+
+  for (int i = 0; i < kChunks; ++i) {
+    ProducerId producer = ProducerId(rng.NextBounded(geo.q * 2));
+    auto chunk = MakeChunk(1, 0, producer, ++seqs[producer], geo.chunk_size,
+                           rng);
+    auto view = ChunkView::Parse(chunk);
+    ASSERT_TRUE(view.ok());
+    auto r = streamlet.AppendChunk(producer, chunk);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Slot selection invariant: producer mod Q.
+    EXPECT_EQ(r->active_slot, producer % geo.q);
+    all.push_back({r->group->id(), r->locator.group_chunk_index,
+                   view->payload_checksum()});
+  }
+
+  // Invariant 1+2: per group, indices dense; chunks retrievable and clean.
+  std::map<GroupId, uint64_t> group_counts;
+  for (const auto& a : all) group_counts[a.group] = 0;
+  for (const auto& a : all) {
+    Group* group = streamlet.GetGroup(a.group);
+    ASSERT_NE(group, nullptr);
+    ChunkLocator loc = group->GetChunk(a.index);
+    EXPECT_EQ(loc.group_chunk_index, a.index);
+    auto view = loc.segment->ChunkAt(loc.offset);
+    ASSERT_TRUE(view.ok());
+    EXPECT_TRUE(view->VerifyChecksum());
+    EXPECT_EQ(view->payload_checksum(), a.payload_checksum);
+    EXPECT_EQ(view->group_id(), a.group);
+    ++group_counts[a.group];
+  }
+  uint64_t total = 0;
+  for (GroupId g : streamlet.GroupIds()) {
+    Group* group = streamlet.GetGroup(g);
+    for (uint64_t i = 0; i < group->chunk_count(); ++i) {
+      EXPECT_EQ(group->GetChunk(i).group_chunk_index, i);
+    }
+    total += group->chunk_count();
+  }
+  EXPECT_EQ(total, uint64_t(kChunks));
+
+  // Invariant 3: durable prefix monotone, bounded by the appended count.
+  for (GroupId g : streamlet.GroupIds()) {
+    Group* group = streamlet.GetGroup(g);
+    uint64_t count = group->chunk_count();
+    // Mark durable in random order; prefix must only grow.
+    std::vector<uint64_t> order;
+    for (uint64_t i = 0; i < count; ++i) order.push_back(i);
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    uint64_t last = 0;
+    for (uint64_t idx : order) {
+      group->MarkChunkDurable(idx);
+      uint64_t durable = group->durable_chunk_count();
+      EXPECT_GE(durable, last);
+      EXPECT_LE(durable, count);
+      last = durable;
+    }
+    EXPECT_EQ(group->durable_chunk_count(), count);
+  }
+
+  // Invariant 4: closing + trimming everything returns all memory.
+  for (GroupId g : streamlet.GroupIds()) {
+    streamlet.GetGroup(g)->Close();
+  }
+  size_t in_use_before = mm.in_use();
+  EXPECT_GT(in_use_before, 0u);
+  streamlet.TrimBefore(streamlet.next_group_id());
+  EXPECT_EQ(mm.in_use(), 0u);
+  EXPECT_EQ(streamlet.bytes_in_use(), 0u);
+}
+
+TEST_P(StorageGeometry, GroupCapacityIsRespected) {
+  const Geometry geo = GetParam();
+  MemoryManager mm(size_t(64) << 20, geo.segment_size);
+  StorageConfig cfg;
+  cfg.segment_size = geo.segment_size;
+  cfg.segments_per_group = geo.segments_per_group;
+  cfg.active_groups_per_streamlet = geo.q;
+  Streamlet streamlet(mm, cfg, 1, 0);
+
+  // Fill with fixed-size chunks until several groups have been created;
+  // no group may exceed its segment quota.
+  Xoshiro256 rng(7);
+  ChunkBuilder b(geo.chunk_size);
+  b.Start(1, 0, 0);
+  std::vector<std::byte> value(geo.chunk_size / 2, std::byte{0x11});
+  ASSERT_TRUE(b.AppendValue(value));
+  auto bytes = b.Seal(1);
+  std::vector<std::byte> chunk(bytes.begin(), bytes.end());
+
+  while (streamlet.next_group_id() < 3 * geo.q) {
+    ASSERT_TRUE(streamlet.AppendChunk(0, chunk).ok());
+  }
+  for (GroupId g : streamlet.GroupIds()) {
+    Group* group = streamlet.GetGroup(g);
+    EXPECT_LE(group->segment_count(), geo.segments_per_group);
+    EXPECT_LE(group->bytes_in_use(),
+              size_t(geo.segments_per_group) * geo.segment_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, StorageGeometry,
+    ::testing::Values(Geometry{16 << 10, 1, 1, 1 << 10},
+                      Geometry{16 << 10, 2, 1, 4 << 10},
+                      Geometry{64 << 10, 2, 2, 1 << 10},
+                      Geometry{64 << 10, 4, 4, 2 << 10},
+                      Geometry{256 << 10, 2, 1, 16 << 10},
+                      Geometry{256 << 10, 4, 8, 1 << 10},
+                      Geometry{1 << 20, 4, 2, 64 << 10}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      char name[80];
+      std::snprintf(name, sizeof(name), "seg%zuk_spg%u_q%u_chunk%zu",
+                    info.param.segment_size >> 10,
+                    info.param.segments_per_group, info.param.q,
+                    info.param.chunk_size);
+      return std::string(name);
+    });
+
+// Memory-manager exhaustion under a streamlet: backpressure surfaces as
+// kNoSpace and recovery is possible after trimming.
+TEST(StorageBackpressureTest, NoSpacePropagatesAndTrimRecovers) {
+  MemoryManager mm(4 * (16 << 10), 16 << 10);  // exactly 4 segments
+  StorageConfig cfg;
+  cfg.segment_size = 16 << 10;
+  cfg.segments_per_group = 2;
+  cfg.active_groups_per_streamlet = 1;
+  Streamlet streamlet(mm, cfg, 1, 0);
+
+  ChunkBuilder b(8 << 10);
+  b.Start(1, 0, 0);
+  std::vector<std::byte> value(7 << 10, std::byte{0x22});
+  ASSERT_TRUE(b.AppendValue(value));
+  auto bytes = b.Seal(1);
+  std::vector<std::byte> chunk(bytes.begin(), bytes.end());
+
+  Status last = OkStatus();
+  int appended = 0;
+  while (true) {
+    auto r = streamlet.AppendChunk(0, chunk);
+    if (!r.ok()) {
+      last = r.status();
+      break;
+    }
+    ++appended;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kNoSpace);
+  EXPECT_GT(appended, 0);
+
+  // Mark everything durable, trim closed groups, and append again.
+  for (GroupId g : streamlet.GroupIds()) {
+    Group* group = streamlet.GetGroup(g);
+    for (uint64_t i = 0; i < group->chunk_count(); ++i) {
+      group->MarkChunkDurable(i);
+    }
+    group->Close();
+  }
+  EXPECT_GT(streamlet.TrimBefore(streamlet.next_group_id()), 0u);
+  EXPECT_TRUE(streamlet.AppendChunk(0, chunk).ok());
+}
+
+}  // namespace
+}  // namespace kera

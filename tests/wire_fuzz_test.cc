@@ -1,0 +1,175 @@
+// Randomized robustness tests of the wire formats: single-byte
+// corruptions and truncations of records and chunks must never be
+// silently accepted — they either fail to parse or fail checksum
+// verification. Exercises the broker's and backup's first line of
+// defence.
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "rpc/messages.h"
+#include "wire/chunk.h"
+#include "wire/record.h"
+
+namespace kera {
+namespace {
+
+std::vector<std::byte> BuildChunk(uint64_t seed, size_t chunk_size) {
+  Xoshiro256 rng(seed);
+  ChunkBuilder b(chunk_size);
+  b.Start(/*stream=*/rng.Next() % 100 + 1, /*streamlet=*/3, /*producer=*/7);
+  do {
+    std::vector<std::byte> value(rng.NextBounded(200) + 1);
+    for (auto& byte : value) byte = std::byte(rng.Next());
+    RecordOptions opts;
+    if (rng.NextBounded(2)) opts.version = rng.Next();
+    if (rng.NextBounded(2)) opts.timestamp = rng.Next();
+    if (!b.AppendRecord({}, value, opts)) break;
+  } while (rng.NextBounded(3) != 0);
+  auto bytes = b.Seal(rng.Next());
+  return {bytes.begin(), bytes.end()};
+}
+
+/// A chunk is "accepted" if it parses, its payload checksum matches, and
+/// every record parses with a valid checksum.
+bool ChunkFullyAccepted(std::span<const std::byte> bytes) {
+  auto view = ChunkView::Parse(bytes);
+  if (!view.ok()) return false;
+  if (view->total_size() != bytes.size()) return false;
+  if (!view->VerifyChecksum()) return false;
+  uint32_t records = 0;
+  for (auto it = view->records(); !it.Done(); it.Next()) {
+    if (!it.record().VerifyChecksum()) return false;
+    ++records;
+  }
+  return records == view->record_count();
+}
+
+TEST(WireFuzzTest, EveryPayloadByteFlipIsDetected) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    auto chunk = BuildChunk(seed, 2048);
+    ASSERT_TRUE(ChunkFullyAccepted(chunk));
+    // Flip every byte of the payload (records), one at a time, each bit.
+    for (size_t pos = kChunkHeaderSize; pos < chunk.size(); ++pos) {
+      for (int bit = 0; bit < 8; bit += 3) {
+        auto corrupted = chunk;
+        corrupted[pos] ^= std::byte(1 << bit);
+        EXPECT_FALSE(ChunkFullyAccepted(corrupted))
+            << "undetected flip at " << pos << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(WireFuzzTest, PayloadChecksumFieldFlipIsDetected) {
+  auto chunk = BuildChunk(11, 1024);
+  for (size_t pos = chunk_offsets::kChecksum;
+       pos < chunk_offsets::kChecksum + 4; ++pos) {
+    auto corrupted = chunk;
+    corrupted[pos] ^= std::byte{0xFF};
+    EXPECT_FALSE(ChunkFullyAccepted(corrupted));
+  }
+}
+
+TEST(WireFuzzTest, LengthFieldCorruptionNeverCrashes) {
+  auto chunk = BuildChunk(12, 1024);
+  Xoshiro256 rng(99);
+  // Randomize the payload_length field; Parse must fail or the resulting
+  // view must fail validation — never read out of bounds (ASAN-checked in
+  // sanitizer builds, logic-checked here).
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = chunk;
+    uint32_t bogus = uint32_t(rng.Next());
+    std::memcpy(corrupted.data() + chunk_offsets::kPayloadLength, &bogus, 4);
+    (void)ChunkFullyAccepted(corrupted);  // must not crash
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzzTest, TruncationsAreRejected) {
+  auto chunk = BuildChunk(13, 2048);
+  for (size_t keep = 0; keep < chunk.size(); keep += 7) {
+    EXPECT_FALSE(ChunkFullyAccepted(std::span(chunk).first(keep)))
+        << "accepted truncation to " << keep;
+  }
+}
+
+TEST(WireFuzzTest, RecordHeaderCorruptionDetected) {
+  Xoshiro256 rng(21);
+  std::vector<std::byte> buf(512);
+  std::vector<std::byte> value(100);
+  for (auto& b : value) b = std::byte(rng.Next());
+  RecordOptions opts;
+  opts.version = 5;
+  opts.timestamp = 1234;
+  std::span<const std::byte> key = value;  // reuse bytes as a key
+  std::span<const std::byte> keys[] = {key.first(10)};
+  size_t n = WriteRecord(buf, keys, value, opts);
+
+  for (size_t pos = 4; pos < n; ++pos) {  // skip the checksum field itself
+    auto corrupted = buf;
+    corrupted[pos] ^= std::byte{0x01};
+    auto view = RecordView::Parse(std::span(corrupted).first(n));
+    if (view.ok()) {
+      EXPECT_FALSE(view->VerifyChecksum()) << "undetected flip at " << pos;
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomBytesNeverParseAsValidChunks) {
+  Xoshiro256 rng(31);
+  int accepted = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::byte> garbage(kChunkHeaderSize + rng.NextBounded(512));
+    for (auto& b : garbage) b = std::byte(rng.Next());
+    if (ChunkFullyAccepted(garbage)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(RpcFuzzTest, TruncatedMessagesRejectedCleanly) {
+  // Encode a representative message of every type, then feed every prefix
+  // to the decoder: all must fail without crashing.
+  rpc::ProduceRequest preq;
+  preq.producer = 1;
+  preq.stream = 2;
+  std::vector<std::byte> chunk_bytes(80, std::byte{0x42});
+  preq.chunks = {chunk_bytes};
+  rpc::Writer w;
+  preq.Encode(w);
+  auto frame = rpc::Frame(rpc::Opcode::kProduce, w);
+  for (size_t keep = 0; keep + 1 < frame.size(); ++keep) {
+    rpc::Opcode op;
+    std::span<const std::byte> body;
+    auto prefix = std::span(frame).first(keep);
+    if (!rpc::ParseFrame(prefix, op, body).ok()) continue;
+    rpc::Reader r(body);
+    auto decoded = rpc::ProduceRequest::Decode(r);
+    EXPECT_FALSE(decoded.ok()) << "decoded from prefix " << keep;
+  }
+}
+
+TEST(RpcFuzzTest, RandomFramesNeverCrashDecoders) {
+  Xoshiro256 rng(41);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::byte> garbage(2 + rng.NextBounded(256));
+    for (auto& b : garbage) b = std::byte(rng.Next());
+    rpc::Opcode op;
+    std::span<const std::byte> body;
+    if (!rpc::ParseFrame(garbage, op, body).ok()) continue;
+    rpc::Reader r1(body);
+    (void)rpc::ProduceRequest::Decode(r1);
+    rpc::Reader r2(body);
+    (void)rpc::ConsumeRequest::Decode(r2);
+    rpc::Reader r3(body);
+    (void)rpc::ReplicateRequest::Decode(r3);
+    rpc::Reader r4(body);
+    (void)rpc::CreateStreamRequest::Decode(r4);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace kera

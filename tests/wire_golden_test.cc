@@ -1,0 +1,138 @@
+// Golden tests freezing the wire formats byte-for-byte. The chunk and
+// record layouts are shared between clients, brokers, backups and the
+// on-disk flush format (paper: "clients and brokers share a binary data
+// format", segments have "the same structure on both disk and memory"),
+// so any layout change is a compatibility break and must fail here.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "rpc/messages.h"
+#include "wire/chunk.h"
+#include "storage/segment.h"
+#include "wire/record.h"
+
+namespace kera {
+namespace {
+
+std::span<const std::byte> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string Hex(std::span<const std::byte> bytes) {
+  std::string out;
+  char buf[4];
+  for (std::byte b : bytes) {
+    std::snprintf(buf, sizeof(buf), "%02x", unsigned(b));
+    out += buf;
+  }
+  return out;
+}
+
+TEST(WireGoldenTest, NonKeyedRecordLayout) {
+  std::vector<std::byte> buf(64);
+  size_t n = WriteRecord(buf, AsBytes("hi"));
+  ASSERT_EQ(n, 14u);
+  // checksum(4) | total_length=14 (4) | key_count=0 (2) | flags=0 (2) |
+  // "hi"
+  EXPECT_EQ(Hex(std::span(buf).first(n)),
+            //  crc     len=0x0e   kc   flags 'h' 'i'
+            "4941d611" "0e000000" "0000" "0000" "6869");
+}
+
+TEST(WireGoldenTest, KeyedRecordWithVersionAndTimestampLayout) {
+  std::vector<std::byte> buf(128);
+  RecordOptions opts;
+  opts.version = 0x1122334455667788ull;
+  opts.timestamp = 0x0102030405060708ull;
+  std::span<const std::byte> keys[] = {AsBytes("k")};
+  size_t n = WriteRecord(buf, keys, AsBytes("v"), opts);
+  ASSERT_EQ(n, kRecordFixedHeader + 8 + 8 + 2 + 1 + 1);
+  std::string hex = Hex(std::span(buf).first(n));
+  // total_length = 32 = 0x20, key_count = 1, flags = 3 (version+ts)
+  EXPECT_EQ(hex.substr(8, 8), "20000000");
+  EXPECT_EQ(hex.substr(16, 4), "0100");
+  EXPECT_EQ(hex.substr(20, 4), "0300");
+  // little-endian version and timestamp
+  EXPECT_EQ(hex.substr(24, 16), "8877665544332211");
+  EXPECT_EQ(hex.substr(40, 16), "0807060504030201");
+  // key length 1, key 'k', value 'v'
+  EXPECT_EQ(hex.substr(56, 4), "0100");
+  EXPECT_EQ(hex.substr(60, 2), "6b");
+  EXPECT_EQ(hex.substr(62, 2), "76");
+}
+
+TEST(WireGoldenTest, ChunkHeaderLayout) {
+  ChunkBuilder b(256);
+  b.Start(/*stream=*/0x0102030405060708ull, /*streamlet=*/0x0A0B0C0D,
+          /*producer=*/0x11223344);
+  ASSERT_TRUE(b.AppendValue(AsBytes("x")));
+  auto bytes = b.Seal(/*seq=*/0x5566778899AABBCCull);
+  ASSERT_EQ(bytes.size(), kChunkHeaderSize + kRecordFixedHeader + 1);
+  std::string hex = Hex(bytes);
+  // payload_length = 13 at offset 4
+  EXPECT_EQ(hex.substr(8, 8), "0d000000");
+  // stream id little-endian at offset 8
+  EXPECT_EQ(hex.substr(16, 16), "0807060504030201");
+  // streamlet at offset 16, producer at offset 20
+  EXPECT_EQ(hex.substr(32, 8), "0d0c0b0a");
+  EXPECT_EQ(hex.substr(40, 8), "44332211");
+  // chunk_seq at offset 24
+  EXPECT_EQ(hex.substr(48, 16), "ccbbaa9988776655");
+  // record_count = 1 at offset 32; group/segment/flags/index zero
+  EXPECT_EQ(hex.substr(64, 8), "01000000");
+  EXPECT_EQ(hex.substr(72, 24), std::string(24, '0'));
+  EXPECT_EQ(hex.substr(96, 16), std::string(16, '0'));
+}
+
+TEST(WireGoldenTest, ChunkHeaderSizeIsFrozen) {
+  // These constants are baked into every stored segment and every backup
+  // file; changing them invalidates existing data.
+  EXPECT_EQ(kChunkHeaderSize, 56u);
+  EXPECT_EQ(kSegmentHeaderSize, 24u);
+  EXPECT_EQ(kRecordFixedHeader, 12u);
+  EXPECT_EQ(chunk_offsets::kChecksum, 0u);
+  EXPECT_EQ(chunk_offsets::kPayloadLength, 4u);
+  EXPECT_EQ(chunk_offsets::kStreamId, 8u);
+  EXPECT_EQ(chunk_offsets::kStreamletId, 16u);
+  EXPECT_EQ(chunk_offsets::kProducerId, 20u);
+  EXPECT_EQ(chunk_offsets::kChunkSeq, 24u);
+  EXPECT_EQ(chunk_offsets::kRecordCount, 32u);
+  EXPECT_EQ(chunk_offsets::kGroupId, 36u);
+  EXPECT_EQ(chunk_offsets::kSegmentId, 40u);
+  EXPECT_EQ(chunk_offsets::kFlags, 44u);
+  EXPECT_EQ(chunk_offsets::kGroupChunkIndex, 48u);
+}
+
+TEST(WireGoldenTest, RpcOpcodesAreFrozen) {
+  EXPECT_EQ(uint16_t(rpc::Opcode::kProduce), 1);
+  EXPECT_EQ(uint16_t(rpc::Opcode::kConsume), 2);
+  EXPECT_EQ(uint16_t(rpc::Opcode::kCreateStream), 3);
+  EXPECT_EQ(uint16_t(rpc::Opcode::kGetStreamInfo), 4);
+  EXPECT_EQ(uint16_t(rpc::Opcode::kReplicate), 5);
+  EXPECT_EQ(uint16_t(rpc::Opcode::kListRecoverySegments), 6);
+  EXPECT_EQ(uint16_t(rpc::Opcode::kReadRecoverySegment), 7);
+  EXPECT_EQ(uint16_t(rpc::Opcode::kSealStream), 8);
+}
+
+TEST(WireGoldenTest, ProduceRequestFrameLayout) {
+  rpc::ProduceRequest req;
+  req.producer = 0x0A;
+  req.stream = 0x0B;
+  req.recovery = false;
+  std::vector<std::byte> chunk(4, std::byte{0xEE});
+  req.chunks = {chunk};
+  rpc::Writer body;
+  req.Encode(body);
+  auto frame = rpc::Frame(rpc::Opcode::kProduce, body);
+  EXPECT_EQ(Hex(frame),
+            // opcode=1 | producer=0x0a | stream=0x0b | recovery=0 |
+            // nchunks=1 | len=4 | payload
+            "0100" "0a000000" "0b00000000000000" "00" "01000000"
+            "04000000" "eeeeeeee");
+}
+
+}  // namespace
+}  // namespace kera

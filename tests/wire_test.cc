@@ -1,0 +1,274 @@
+// Unit tests for the record and chunk wire formats.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+
+#include "common/rng.h"
+#include "wire/chunk.h"
+#include "wire/record.h"
+
+namespace kera {
+namespace {
+
+std::span<const std::byte> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string AsString(std::span<const std::byte> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+TEST(RecordTest, RoundTripNonKeyed) {
+  std::vector<std::byte> buf(256);
+  size_t n = WriteRecord(buf, AsBytes("hello world"));
+  EXPECT_EQ(n, kRecordFixedHeader + 11);
+
+  auto view = RecordView::Parse(buf);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->total_length(), n);
+  EXPECT_EQ(view->key_count(), 0);
+  EXPECT_FALSE(view->version().has_value());
+  EXPECT_FALSE(view->timestamp().has_value());
+  EXPECT_EQ(AsString(view->value()), "hello world");
+  EXPECT_TRUE(view->VerifyChecksum());
+}
+
+TEST(RecordTest, RoundTripMultiKey) {
+  std::vector<std::byte> buf(256);
+  std::span<const std::byte> keys[] = {AsBytes("k1"), AsBytes("key-two")};
+  RecordOptions opts;
+  opts.version = 7;
+  opts.timestamp = 1234567890;
+  size_t n = WriteRecord(buf, keys, AsBytes("value"), opts);
+
+  auto view = RecordView::Parse(std::span(buf).first(n));
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->key_count(), 2);
+  EXPECT_EQ(AsString(view->key(0)), "k1");
+  EXPECT_EQ(AsString(view->key(1)), "key-two");
+  EXPECT_EQ(view->version(), 7u);
+  EXPECT_EQ(view->timestamp(), 1234567890u);
+  EXPECT_EQ(AsString(view->value()), "value");
+  EXPECT_TRUE(view->VerifyChecksum());
+}
+
+TEST(RecordTest, WireSizeMatchesWrite) {
+  std::vector<std::byte> buf(512);
+  size_t key_sizes[] = {3, 5};
+  RecordOptions opts;
+  opts.timestamp = 1;
+  size_t predicted = RecordWireSize(key_sizes, 10, opts);
+  std::span<const std::byte> keys[] = {AsBytes("abc"), AsBytes("defgh")};
+  size_t actual = WriteRecord(buf, keys, AsBytes("0123456789"), opts);
+  EXPECT_EQ(predicted, actual);
+}
+
+TEST(RecordTest, EmptyValue) {
+  std::vector<std::byte> buf(64);
+  size_t n = WriteRecord(buf, AsBytes(""));
+  auto view = RecordView::Parse(std::span(buf).first(n));
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->value().empty());
+  EXPECT_TRUE(view->VerifyChecksum());
+}
+
+TEST(RecordTest, ChecksumCoversEverythingButItself) {
+  std::vector<std::byte> buf(128);
+  size_t n = WriteRecord(buf, AsBytes("payload"));
+  auto view = RecordView::Parse(std::span(buf).first(n));
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->VerifyChecksum());
+  // Flip a payload byte: checksum must fail.
+  buf[n - 1] ^= std::byte{1};
+  auto corrupted = RecordView::Parse(std::span(buf).first(n));
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_FALSE(corrupted->VerifyChecksum());
+}
+
+TEST(RecordTest, ParseRejectsTruncation) {
+  std::vector<std::byte> buf(128);
+  size_t n = WriteRecord(buf, AsBytes("some payload"));
+  // Any strict prefix must fail to parse (header or length checks).
+  auto r = RecordView::Parse(std::span(buf).first(n - 1));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  auto r2 = RecordView::Parse(std::span(buf).first(4));
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(RecordTest, ParseStopsAtRecordBoundary) {
+  std::vector<std::byte> buf(256);
+  size_t n1 = WriteRecord(buf, AsBytes("first"));
+  size_t n2 = WriteRecord(std::span(buf).subspan(n1), AsBytes("second!"));
+  auto first = RecordView::Parse(buf);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->total_length(), n1);
+  auto second = RecordView::Parse(std::span(buf).subspan(n1, n2));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(AsString(second->value()), "second!");
+}
+
+// ------------------------------------------------------------------ chunk
+
+class ChunkTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kChunkSize = 1024;
+  ChunkBuilder builder_{kChunkSize};
+};
+
+TEST_F(ChunkTest, BuildAndIterate) {
+  builder_.Start(/*stream=*/9, /*streamlet=*/3, /*producer=*/77);
+  ASSERT_TRUE(builder_.AppendValue(AsBytes("one")));
+  ASSERT_TRUE(builder_.AppendValue(AsBytes("two")));
+  ASSERT_TRUE(builder_.AppendValue(AsBytes("three")));
+  auto bytes = builder_.Seal(/*seq=*/5);
+
+  auto view = ChunkView::Parse(bytes);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->stream_id(), 9u);
+  EXPECT_EQ(view->streamlet_id(), 3u);
+  EXPECT_EQ(view->producer_id(), 77u);
+  EXPECT_EQ(view->chunk_seq(), 5u);
+  EXPECT_EQ(view->record_count(), 3u);
+  EXPECT_TRUE(view->VerifyChecksum());
+
+  std::vector<std::string> values;
+  for (auto it = view->records(); !it.Done(); it.Next()) {
+    values.push_back(AsString(it.record().value()));
+    EXPECT_TRUE(it.record().VerifyChecksum());
+  }
+  EXPECT_EQ(values, (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST_F(ChunkTest, FullChunkRejectsAppend) {
+  builder_.Start(1, 0, 1);
+  std::vector<std::byte> big(kChunkSize, std::byte{0x42});
+  EXPECT_FALSE(builder_.AppendValue(big));  // larger than the chunk
+  std::vector<std::byte> value(100, std::byte{0x42});
+  size_t appended = 0;
+  while (builder_.AppendValue(value)) ++appended;
+  EXPECT_GT(appended, 0u);
+  EXPECT_EQ(builder_.record_count(), appended);
+  // Everything written fits the chunk capacity.
+  auto bytes = builder_.Seal(1);
+  EXPECT_LE(bytes.size(), kChunkSize);
+}
+
+TEST_F(ChunkTest, ReuseAfterSeal) {
+  builder_.Start(1, 0, 1);
+  ASSERT_TRUE(builder_.AppendValue(AsBytes("first chunk")));
+  auto first = builder_.Seal(1);
+  std::vector<std::byte> copy(first.begin(), first.end());
+
+  builder_.Start(1, 1, 1);
+  ASSERT_TRUE(builder_.AppendValue(AsBytes("second")));
+  auto second = builder_.Seal(2);
+
+  auto v1 = ChunkView::Parse(copy);
+  auto v2 = ChunkView::Parse(second);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v1->chunk_seq(), 1u);
+  EXPECT_EQ(v2->chunk_seq(), 2u);
+  EXPECT_EQ(v2->streamlet_id(), 1u);
+}
+
+TEST_F(ChunkTest, AttrsAssignedInPlace) {
+  builder_.Start(1, 0, 1);
+  ASSERT_TRUE(builder_.AppendValue(AsBytes("x")));
+  auto bytes = builder_.Seal(1);
+  std::vector<std::byte> copy(bytes.begin(), bytes.end());
+
+  AssignChunkAttrs(copy, /*group=*/4, /*segment=*/2, /*index=*/123);
+  auto view = ChunkView::Parse(copy);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->group_id(), 4u);
+  EXPECT_EQ(view->segment_id(), 2u);
+  EXPECT_EQ(view->group_chunk_index(), 123u);
+  EXPECT_TRUE(view->flags() & kChunkFlagAttrsAssigned);
+  // Attribute assignment must not break the payload checksum.
+  EXPECT_TRUE(view->VerifyChecksum());
+}
+
+TEST_F(ChunkTest, CorruptPayloadDetected) {
+  builder_.Start(1, 0, 1);
+  ASSERT_TRUE(builder_.AppendValue(AsBytes("sensitive")));
+  auto bytes = builder_.Seal(1);
+  std::vector<std::byte> copy(bytes.begin(), bytes.end());
+  copy[kChunkHeaderSize + 5] ^= std::byte{0xFF};
+  auto view = ChunkView::Parse(copy);
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(view->VerifyChecksum());
+}
+
+TEST_F(ChunkTest, ParseRejectsTruncatedPayload) {
+  builder_.Start(1, 0, 1);
+  ASSERT_TRUE(builder_.AppendValue(AsBytes("0123456789")));
+  auto bytes = builder_.Seal(1);
+  auto r = ChunkView::Parse(bytes.first(bytes.size() - 3));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(ChunkTest, AppendSerializedRecord) {
+  std::vector<std::byte> rec(128);
+  size_t n = WriteRecord(rec, AsBytes("prebuilt"));
+  builder_.Start(2, 1, 3);
+  ASSERT_TRUE(builder_.AppendSerialized(std::span(rec).first(n)));
+  auto bytes = builder_.Seal(1);
+  auto view = ChunkView::Parse(bytes);
+  ASSERT_TRUE(view.ok());
+  auto it = view->records();
+  ASSERT_FALSE(it.Done());
+  EXPECT_EQ(AsString(it.record().value()), "prebuilt");
+}
+
+TEST_F(ChunkTest, EmptyChunkIsValid) {
+  builder_.Start(1, 0, 1);
+  auto bytes = builder_.Seal(1);
+  EXPECT_EQ(bytes.size(), kChunkHeaderSize);
+  auto view = ChunkView::Parse(bytes);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->record_count(), 0u);
+  EXPECT_TRUE(view->records().Done());
+  EXPECT_TRUE(view->VerifyChecksum());
+}
+
+// Property-style sweep: chunks of many sizes round-trip all records.
+class ChunkRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChunkRoundTrip, RandomRecordsSurvive) {
+  const size_t chunk_size = GetParam();
+  ChunkBuilder builder(chunk_size);
+  Xoshiro256 rng(chunk_size);
+  builder.Start(1, 0, 1);
+  std::vector<std::vector<std::byte>> sent;
+  while (true) {
+    std::vector<std::byte> value(rng.NextBounded(200) + 1);
+    for (auto& b : value) b = std::byte(rng.Next());
+    if (!builder.AppendValue(value)) break;
+    sent.push_back(std::move(value));
+  }
+  auto bytes = builder.Seal(42);
+  auto view = ChunkView::Parse(bytes);
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(view->VerifyChecksum());
+  size_t i = 0;
+  for (auto it = view->records(); !it.Done(); it.Next(), ++i) {
+    ASSERT_LT(i, sent.size());
+    ASSERT_TRUE(it.record().VerifyChecksum());
+    ASSERT_EQ(it.record().value().size(), sent[i].size());
+    EXPECT_EQ(std::memcmp(it.record().value().data(), sent[i].data(),
+                          sent[i].size()),
+              0);
+  }
+  EXPECT_EQ(i, sent.size());
+  EXPECT_EQ(view->record_count(), sent.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChunkRoundTrip,
+                         ::testing::Values(256, 1024, 4096, 16384, 65536));
+
+}  // namespace
+}  // namespace kera

@@ -1,0 +1,225 @@
+// vlog_sim: command-line explorer for the simulated 4-broker cluster.
+// Runs one experiment per invocation and prints the paper's metrics.
+//
+//   $ vlog_sim --system=kera --streams=256 --replication=3 --vlogs=4
+//   $ vlog_sim --system=kafka --streams=128 --chunk-kb=16 --producers=16
+//   $ vlog_sim --figure=12 --streams=512      # per-figure presets
+//
+// Flags (defaults in brackets):
+//   --system=kera|kafka [kera]     --streams=N [32]
+//   --streamlets=N [1]             --q=N [1]
+//   --replication=N [3]            --vlogs=N [4]
+//   --policy=shared|subpart [shared]
+//   --chunk-kb=N [1]               --producers=N [4]
+//   --consumers=N [producers]      --request-chunks=N [16]
+//   --consumer-depth=N [1]         --seconds=F [0.5]
+//   --figure=8..21                 (applies that figure's base preset
+//                                   before the remaining flags)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/figure_harness.h"
+
+using namespace kera::sim;
+
+namespace {
+
+struct Flags {
+  std::string system = "kera";
+  uint32_t streams = 32;
+  uint32_t streamlets = 1;
+  uint32_t q = 1;
+  uint32_t replication = 3;
+  uint32_t vlogs = 4;
+  std::string policy = "shared";
+  uint32_t chunk_kb = 1;
+  uint32_t producers = 4;
+  int consumers = -1;  // -1 = same as producers
+  uint32_t request_chunks = 16;
+  uint32_t consumer_depth = 1;
+  double seconds = 0.5;
+  int figure = 0;
+  bool explicit_system = false;
+  bool explicit_clients = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string& out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  out = arg + prefix.size();
+  return true;
+}
+
+template <typename T>
+bool ParseNum(const char* arg, const char* name, T& out) {
+  std::string v;
+  if (!ParseFlag(arg, name, v)) return false;
+  out = T(std::strtod(v.c_str(), nullptr));
+  return true;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: vlog_sim [--system=kera|kafka] [--streams=N]\n"
+               "  [--streamlets=N] [--q=N] [--replication=N] [--vlogs=N]\n"
+               "  [--policy=shared|subpart] [--chunk-kb=N] [--producers=N]\n"
+               "  [--consumers=N] [--request-chunks=N] [--consumer-depth=N]\n"
+               "  [--seconds=F] [--figure=8..21]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string sval;
+    if (ParseFlag(argv[i], "system", flags.system)) {
+      flags.explicit_system = true;
+    } else if (ParseNum(argv[i], "streams", flags.streams) ||
+               ParseNum(argv[i], "streamlets", flags.streamlets) ||
+               ParseNum(argv[i], "q", flags.q) ||
+               ParseNum(argv[i], "replication", flags.replication) ||
+               ParseNum(argv[i], "vlogs", flags.vlogs) ||
+               ParseNum(argv[i], "chunk-kb", flags.chunk_kb) ||
+               ParseNum(argv[i], "request-chunks", flags.request_chunks) ||
+               ParseNum(argv[i], "consumer-depth", flags.consumer_depth) ||
+               ParseNum(argv[i], "seconds", flags.seconds) ||
+               ParseNum(argv[i], "figure", flags.figure)) {
+      // handled
+    } else if (ParseNum(argv[i], "producers", flags.producers)) {
+      flags.explicit_clients = true;
+    } else if (ParseNum(argv[i], "consumers", flags.consumers)) {
+      // handled
+    } else if (ParseFlag(argv[i], "policy", flags.policy)) {
+      // handled
+    } else if (std::string ignored;
+               ParseFlag(argv[i], "sweep", ignored) ||
+               ParseFlag(argv[i], "values", ignored)) {
+      // parsed again after the base config is built
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      Usage();
+      return 2;
+    }
+  }
+
+  System system =
+      flags.system == "kafka" ? System::kKafka : System::kKerA;
+  SimExperimentConfig cfg;
+  switch (flags.figure) {
+    case 0:
+      cfg = LatencyBase(system, flags.producers,
+                        flags.consumers < 0 ? flags.producers
+                                            : uint32_t(flags.consumers),
+                        flags.streams, flags.replication);
+      cfg.streamlets_per_stream = flags.streamlets;
+      cfg.q = flags.q;
+      cfg.vlogs_per_broker = flags.vlogs;
+      cfg.vlog_policy = flags.policy == "subpart"
+                            ? kera::rpc::VlogPolicy::kPerSubPartition
+                            : kera::rpc::VlogPolicy::kSharedPerBroker;
+      cfg.chunk_size = size_t(flags.chunk_kb) << 10;
+      cfg.request_max_chunks = flags.request_chunks;
+      cfg.consumer_chunks_per_partition = flags.consumer_depth;
+      break;
+    case 8:
+      cfg = Fig8(system, flags.streams, flags.replication);
+      break;
+    case 9:
+      cfg = Fig9(system, flags.producers, flags.replication);
+      break;
+    case 10:
+      cfg = Fig10(system, flags.streams, flags.vlogs);
+      break;
+    case 11:
+      cfg = Fig11(system, flags.producers, size_t(flags.chunk_kb) << 10);
+      break;
+    case 12:
+      cfg = Fig12(flags.streams, flags.replication);
+      break;
+    case 13:
+      cfg = Fig13(flags.streams, flags.vlogs);
+      break;
+    case 14:
+    case 15:
+    case 16:
+      cfg = Fig14to16(flags.streams, flags.vlogs, flags.replication);
+      break;
+    case 17:
+    case 18:
+    case 19:
+    case 20:
+      cfg = Fig17to20(flags.explicit_clients ? flags.producers : 8,
+                      size_t(flags.chunk_kb ? flags.chunk_kb : 64) << 10,
+                      flags.replication);
+      break;
+    case 21:
+      cfg = Fig21(flags.vlogs, size_t(flags.chunk_kb ? flags.chunk_kb : 64)
+                                   << 10);
+      break;
+    default:
+      std::fprintf(stderr, "no such figure: %d\n", flags.figure);
+      Usage();
+      return 2;
+  }
+  cfg.measure_seconds = flags.seconds;
+
+  // --sweep=vlogs|streams|chunk-kb|producers --values=a,b,c runs one
+  // experiment per value and prints a series (one row each).
+  std::vector<uint32_t> sweep_values;
+  std::string sweep_dim;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "sweep", sweep_dim)) continue;
+    if (ParseFlag(argv[i], "values", v)) {
+      size_t pos = 0;
+      while (pos < v.size()) {
+        size_t comma = v.find(',', pos);
+        if (comma == std::string::npos) comma = v.size();
+        sweep_values.push_back(
+            uint32_t(std::strtoul(v.substr(pos, comma - pos).c_str(),
+                                  nullptr, 10)));
+        pos = comma + 1;
+      }
+    }
+  }
+  if (sweep_values.empty()) sweep_values.push_back(0);
+
+  for (uint32_t value : sweep_values) {
+    SimExperimentConfig run = cfg;
+    if (sweep_dim == "vlogs") {
+      run.vlogs_per_broker = value;
+    } else if (sweep_dim == "streams") {
+      run.streams = value;
+    } else if (sweep_dim == "chunk-kb") {
+      run.chunk_size = size_t(value) << 10;
+    } else if (sweep_dim == "producers") {
+      run.producers = value;
+      if (run.consumers > 0) run.consumers = value;
+    } else if (!sweep_dim.empty()) {
+      std::fprintf(stderr, "unknown sweep dimension: %s\n",
+                   sweep_dim.c_str());
+      return 2;
+    }
+    auto result = RunSimExperiment(run);
+    char label[128];
+    std::snprintf(label, sizeof(label),
+                  "%s streams=%u R=%u chunk=%zuKB vlogs=%u",
+                  run.system == System::kKafka ? "kafka" : "kera",
+                  run.streams * run.streamlets_per_stream,
+                  run.replication_factor, run.chunk_size >> 10,
+                  run.vlogs_per_broker);
+    std::printf("%s\n", FormatResult(label, result).c_str());
+    std::printf("  records/chunk=%llu  produce_requests=%llu  "
+                "core_util=%.2f  dispatch_util=%.2f  p99=%.0f us  "
+                "e2e_p50=%.0f us  e2e_p99=%.0f us\n",
+                (unsigned long long)result.records_per_chunk,
+                (unsigned long long)result.produce_requests,
+                result.broker_core_utilization, result.dispatch_utilization,
+                result.produce_latency_p99_us, result.e2e_latency_p50_us,
+                result.e2e_latency_p99_us);
+  }
+  return 0;
+}
