@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_active_passive.dir/bench_abl_active_passive.cc.o"
+  "CMakeFiles/bench_abl_active_passive.dir/bench_abl_active_passive.cc.o.d"
+  "bench_abl_active_passive"
+  "bench_abl_active_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_active_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl_active_passive.
+# This may be replaced when dependencies are built.

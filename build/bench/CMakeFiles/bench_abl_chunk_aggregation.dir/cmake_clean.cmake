@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_chunk_aggregation.dir/bench_abl_chunk_aggregation.cc.o"
+  "CMakeFiles/bench_abl_chunk_aggregation.dir/bench_abl_chunk_aggregation.cc.o.d"
+  "bench_abl_chunk_aggregation"
+  "bench_abl_chunk_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_chunk_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_recovery.dir/bench_abl_recovery.cc.o"
+  "CMakeFiles/bench_abl_recovery.dir/bench_abl_recovery.cc.o.d"
+  "bench_abl_recovery"
+  "bench_abl_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

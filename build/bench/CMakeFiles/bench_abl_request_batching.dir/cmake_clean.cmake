@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_request_batching.dir/bench_abl_request_batching.cc.o"
+  "CMakeFiles/bench_abl_request_batching.dir/bench_abl_request_batching.cc.o.d"
+  "bench_abl_request_batching"
+  "bench_abl_request_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_request_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_scale_streams.dir/bench_fig08_scale_streams.cc.o"
+  "CMakeFiles/bench_fig08_scale_streams.dir/bench_fig08_scale_streams.cc.o.d"
+  "bench_fig08_scale_streams"
+  "bench_fig08_scale_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_scale_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

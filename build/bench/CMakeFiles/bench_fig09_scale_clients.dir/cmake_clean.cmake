@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_scale_clients.dir/bench_fig09_scale_clients.cc.o"
+  "CMakeFiles/bench_fig09_scale_clients.dir/bench_fig09_scale_clients.cc.o.d"
+  "bench_fig09_scale_clients"
+  "bench_fig09_scale_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_scale_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

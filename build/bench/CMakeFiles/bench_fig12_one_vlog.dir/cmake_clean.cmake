@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_one_vlog.dir/bench_fig12_one_vlog.cc.o"
+  "CMakeFiles/bench_fig12_one_vlog.dir/bench_fig12_one_vlog.cc.o.d"
+  "bench_fig12_one_vlog"
+  "bench_fig12_one_vlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_one_vlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

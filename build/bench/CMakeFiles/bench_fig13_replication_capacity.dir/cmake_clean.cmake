@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_replication_capacity.dir/bench_fig13_replication_capacity.cc.o"
+  "CMakeFiles/bench_fig13_replication_capacity.dir/bench_fig13_replication_capacity.cc.o.d"
+  "bench_fig13_replication_capacity"
+  "bench_fig13_replication_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_replication_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_vary_vlogs_128.dir/bench_fig14_vary_vlogs_128.cc.o"
+  "CMakeFiles/bench_fig14_vary_vlogs_128.dir/bench_fig14_vary_vlogs_128.cc.o.d"
+  "bench_fig14_vary_vlogs_128"
+  "bench_fig14_vary_vlogs_128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_vary_vlogs_128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

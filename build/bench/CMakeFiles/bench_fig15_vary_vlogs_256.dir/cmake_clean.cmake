@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_vary_vlogs_256.dir/bench_fig15_vary_vlogs_256.cc.o"
+  "CMakeFiles/bench_fig15_vary_vlogs_256.dir/bench_fig15_vary_vlogs_256.cc.o.d"
+  "bench_fig15_vary_vlogs_256"
+  "bench_fig15_vary_vlogs_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_vary_vlogs_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig15_vary_vlogs_256.
+# This may be replaced when dependencies are built.

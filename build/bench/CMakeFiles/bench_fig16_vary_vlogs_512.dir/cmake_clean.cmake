@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_vary_vlogs_512.dir/bench_fig16_vary_vlogs_512.cc.o"
+  "CMakeFiles/bench_fig16_vary_vlogs_512.dir/bench_fig16_vary_vlogs_512.cc.o.d"
+  "bench_fig16_vary_vlogs_512"
+  "bench_fig16_vary_vlogs_512.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_vary_vlogs_512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_tp_4clients.dir/bench_fig17_tp_4clients.cc.o"
+  "CMakeFiles/bench_fig17_tp_4clients.dir/bench_fig17_tp_4clients.cc.o.d"
+  "bench_fig17_tp_4clients"
+  "bench_fig17_tp_4clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tp_4clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

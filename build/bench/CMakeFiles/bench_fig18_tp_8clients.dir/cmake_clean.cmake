@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_tp_8clients.dir/bench_fig18_tp_8clients.cc.o"
+  "CMakeFiles/bench_fig18_tp_8clients.dir/bench_fig18_tp_8clients.cc.o.d"
+  "bench_fig18_tp_8clients"
+  "bench_fig18_tp_8clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_tp_8clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

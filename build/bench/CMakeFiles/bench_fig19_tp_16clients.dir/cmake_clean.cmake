@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_tp_16clients.dir/bench_fig19_tp_16clients.cc.o"
+  "CMakeFiles/bench_fig19_tp_16clients.dir/bench_fig19_tp_16clients.cc.o.d"
+  "bench_fig19_tp_16clients"
+  "bench_fig19_tp_16clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_tp_16clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_tp_32clients.dir/bench_fig20_tp_32clients.cc.o"
+  "CMakeFiles/bench_fig20_tp_32clients.dir/bench_fig20_tp_32clients.cc.o.d"
+  "bench_fig20_tp_32clients"
+  "bench_fig20_tp_32clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_tp_32clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_vary_vlogs_tp.dir/bench_fig21_vary_vlogs_tp.cc.o"
+  "CMakeFiles/bench_fig21_vary_vlogs_tp.dir/bench_fig21_vary_vlogs_tp.cc.o.d"
+  "bench_fig21_vary_vlogs_tp"
+  "bench_fig21_vary_vlogs_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_vary_vlogs_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_profile.dir/bench_latency_profile.cc.o"
+  "CMakeFiles/bench_latency_profile.dir/bench_latency_profile.cc.o.d"
+  "bench_latency_profile"
+  "bench_latency_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bounded_object.dir/bounded_object.cpp.o"
+  "CMakeFiles/example_bounded_object.dir/bounded_object.cpp.o.d"
+  "example_bounded_object"
+  "example_bounded_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bounded_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_bounded_object.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_crash_recovery.dir/crash_recovery.cpp.o"
+  "CMakeFiles/example_crash_recovery.dir/crash_recovery.cpp.o.d"
+  "example_crash_recovery"
+  "example_crash_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_crash_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kera_vs_kafka.dir/kera_vs_kafka.cpp.o"
+  "CMakeFiles/example_kera_vs_kafka.dir/kera_vs_kafka.cpp.o.d"
+  "example_kera_vs_kafka"
+  "example_kera_vs_kafka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kera_vs_kafka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_kera_vs_kafka.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_kera_vs_kafka.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_keyed_kv_view.dir/keyed_kv_view.cpp.o"
+  "CMakeFiles/example_keyed_kv_view.dir/keyed_kv_view.cpp.o.d"
+  "example_keyed_kv_view"
+  "example_keyed_kv_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_keyed_kv_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

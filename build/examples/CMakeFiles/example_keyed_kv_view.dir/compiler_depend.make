@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_keyed_kv_view.
+# This may be replaced when dependencies are built.

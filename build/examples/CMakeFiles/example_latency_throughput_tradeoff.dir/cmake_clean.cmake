@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_latency_throughput_tradeoff.dir/latency_throughput_tradeoff.cpp.o"
+  "CMakeFiles/example_latency_throughput_tradeoff.dir/latency_throughput_tradeoff.cpp.o.d"
+  "example_latency_throughput_tradeoff"
+  "example_latency_throughput_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_latency_throughput_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_stream_ingestion.dir/multi_stream_ingestion.cpp.o"
+  "CMakeFiles/example_multi_stream_ingestion.dir/multi_stream_ingestion.cpp.o.d"
+  "example_multi_stream_ingestion"
+  "example_multi_stream_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_stream_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backup/backup.cc" "src/CMakeFiles/kera.dir/backup/backup.cc.o" "gcc" "src/CMakeFiles/kera.dir/backup/backup.cc.o.d"
+  "/root/repo/src/broker/broker.cc" "src/CMakeFiles/kera.dir/broker/broker.cc.o" "gcc" "src/CMakeFiles/kera.dir/broker/broker.cc.o.d"
+  "/root/repo/src/client/consumer.cc" "src/CMakeFiles/kera.dir/client/consumer.cc.o" "gcc" "src/CMakeFiles/kera.dir/client/consumer.cc.o.d"
+  "/root/repo/src/client/producer.cc" "src/CMakeFiles/kera.dir/client/producer.cc.o" "gcc" "src/CMakeFiles/kera.dir/client/producer.cc.o.d"
+  "/root/repo/src/cluster/mini_cluster.cc" "src/CMakeFiles/kera.dir/cluster/mini_cluster.cc.o" "gcc" "src/CMakeFiles/kera.dir/cluster/mini_cluster.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/kera.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/kera.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/kera.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/kera.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/kera.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/kera.dir/common/logging.cc.o.d"
+  "/root/repo/src/coordinator/coordinator.cc" "src/CMakeFiles/kera.dir/coordinator/coordinator.cc.o" "gcc" "src/CMakeFiles/kera.dir/coordinator/coordinator.cc.o.d"
+  "/root/repo/src/kafka/kafka_broker.cc" "src/CMakeFiles/kera.dir/kafka/kafka_broker.cc.o" "gcc" "src/CMakeFiles/kera.dir/kafka/kafka_broker.cc.o.d"
+  "/root/repo/src/kafka/kafka_cluster.cc" "src/CMakeFiles/kera.dir/kafka/kafka_cluster.cc.o" "gcc" "src/CMakeFiles/kera.dir/kafka/kafka_cluster.cc.o.d"
+  "/root/repo/src/kafka/partition_log.cc" "src/CMakeFiles/kera.dir/kafka/partition_log.cc.o" "gcc" "src/CMakeFiles/kera.dir/kafka/partition_log.cc.o.d"
+  "/root/repo/src/rpc/messages.cc" "src/CMakeFiles/kera.dir/rpc/messages.cc.o" "gcc" "src/CMakeFiles/kera.dir/rpc/messages.cc.o.d"
+  "/root/repo/src/rpc/serialize.cc" "src/CMakeFiles/kera.dir/rpc/serialize.cc.o" "gcc" "src/CMakeFiles/kera.dir/rpc/serialize.cc.o.d"
+  "/root/repo/src/rpc/transport.cc" "src/CMakeFiles/kera.dir/rpc/transport.cc.o" "gcc" "src/CMakeFiles/kera.dir/rpc/transport.cc.o.d"
+  "/root/repo/src/sim/event_sim.cc" "src/CMakeFiles/kera.dir/sim/event_sim.cc.o" "gcc" "src/CMakeFiles/kera.dir/sim/event_sim.cc.o.d"
+  "/root/repo/src/sim/figure_harness.cc" "src/CMakeFiles/kera.dir/sim/figure_harness.cc.o" "gcc" "src/CMakeFiles/kera.dir/sim/figure_harness.cc.o.d"
+  "/root/repo/src/sim/sim_cluster.cc" "src/CMakeFiles/kera.dir/sim/sim_cluster.cc.o" "gcc" "src/CMakeFiles/kera.dir/sim/sim_cluster.cc.o.d"
+  "/root/repo/src/storage/group.cc" "src/CMakeFiles/kera.dir/storage/group.cc.o" "gcc" "src/CMakeFiles/kera.dir/storage/group.cc.o.d"
+  "/root/repo/src/storage/memory_manager.cc" "src/CMakeFiles/kera.dir/storage/memory_manager.cc.o" "gcc" "src/CMakeFiles/kera.dir/storage/memory_manager.cc.o.d"
+  "/root/repo/src/storage/segment.cc" "src/CMakeFiles/kera.dir/storage/segment.cc.o" "gcc" "src/CMakeFiles/kera.dir/storage/segment.cc.o.d"
+  "/root/repo/src/storage/stream.cc" "src/CMakeFiles/kera.dir/storage/stream.cc.o" "gcc" "src/CMakeFiles/kera.dir/storage/stream.cc.o.d"
+  "/root/repo/src/storage/streamlet.cc" "src/CMakeFiles/kera.dir/storage/streamlet.cc.o" "gcc" "src/CMakeFiles/kera.dir/storage/streamlet.cc.o.d"
+  "/root/repo/src/vlog/virtual_log.cc" "src/CMakeFiles/kera.dir/vlog/virtual_log.cc.o" "gcc" "src/CMakeFiles/kera.dir/vlog/virtual_log.cc.o.d"
+  "/root/repo/src/vlog/virtual_segment.cc" "src/CMakeFiles/kera.dir/vlog/virtual_segment.cc.o" "gcc" "src/CMakeFiles/kera.dir/vlog/virtual_segment.cc.o.d"
+  "/root/repo/src/wire/chunk.cc" "src/CMakeFiles/kera.dir/wire/chunk.cc.o" "gcc" "src/CMakeFiles/kera.dir/wire/chunk.cc.o.d"
+  "/root/repo/src/wire/record.cc" "src/CMakeFiles/kera.dir/wire/record.cc.o" "gcc" "src/CMakeFiles/kera.dir/wire/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

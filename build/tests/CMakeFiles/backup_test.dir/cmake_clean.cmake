@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_test.dir/backup_test.cc.o"
+  "CMakeFiles/backup_test.dir/backup_test.cc.o.d"
+  "backup_test"
+  "backup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

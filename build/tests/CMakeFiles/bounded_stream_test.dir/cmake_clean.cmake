@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_stream_test.dir/bounded_stream_test.cc.o"
+  "CMakeFiles/bounded_stream_test.dir/bounded_stream_test.cc.o.d"
+  "bounded_stream_test"
+  "bounded_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

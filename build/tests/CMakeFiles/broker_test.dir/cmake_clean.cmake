@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_test.dir/broker_test.cc.o"
+  "CMakeFiles/broker_test.dir/broker_test.cc.o.d"
+  "broker_test"
+  "broker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

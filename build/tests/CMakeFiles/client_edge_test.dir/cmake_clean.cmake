@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_edge_test.dir/client_edge_test.cc.o"
+  "CMakeFiles/client_edge_test.dir/client_edge_test.cc.o.d"
+  "client_edge_test"
+  "client_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consume_protocol_test.dir/consume_protocol_test.cc.o"
+  "CMakeFiles/consume_protocol_test.dir/consume_protocol_test.cc.o.d"
+  "consume_protocol_test"
+  "consume_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consume_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kafka_property_test.dir/kafka_property_test.cc.o"
+  "CMakeFiles/kafka_property_test.dir/kafka_property_test.cc.o.d"
+  "kafka_property_test"
+  "kafka_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kafka_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kafka_test.dir/kafka_test.cc.o"
+  "CMakeFiles/kafka_test.dir/kafka_test.cc.o.d"
+  "kafka_test"
+  "kafka_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kafka_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_property_test.dir/recovery_property_test.cc.o"
+  "CMakeFiles/recovery_property_test.dir/recovery_property_test.cc.o.d"
+  "recovery_property_test"
+  "recovery_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

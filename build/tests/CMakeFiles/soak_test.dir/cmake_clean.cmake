@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soak_test.dir/soak_test.cc.o"
+  "CMakeFiles/soak_test.dir/soak_test.cc.o.d"
+  "soak_test"
+  "soak_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_property_test.dir/storage_property_test.cc.o"
+  "CMakeFiles/storage_property_test.dir/storage_property_test.cc.o.d"
+  "storage_property_test"
+  "storage_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_property_test.dir/vlog_property_test.cc.o"
+  "CMakeFiles/vlog_property_test.dir/vlog_property_test.cc.o.d"
+  "vlog_property_test"
+  "vlog_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_test.dir/vlog_test.cc.o"
+  "CMakeFiles/vlog_test.dir/vlog_test.cc.o.d"
+  "vlog_test"
+  "vlog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_fuzz_test.dir/wire_fuzz_test.cc.o"
+  "CMakeFiles/wire_fuzz_test.dir/wire_fuzz_test.cc.o.d"
+  "wire_fuzz_test"
+  "wire_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlog_sim.dir/vlog_sim_cli.cc.o"
+  "CMakeFiles/vlog_sim.dir/vlog_sim_cli.cc.o.d"
+  "vlog_sim"
+  "vlog_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlog_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
