@@ -2,6 +2,11 @@
 // replicated virtual log per broker for up to 512 streams. Replication
 // factor 1/2/3; 8 concurrent producers and consumers, 4 brokers, chunk
 // size 1 KB.
+//
+// The W axis sweeps the replication window (batches in flight per vlog).
+// With a single shared vlog per broker the stop-and-wait (W=1) pipeline
+// gates ingestion on the replication round-trip; W>=4 overlaps the
+// round-trips and is the headline win of pipelined replication.
 #include "sim_bench_util.h"
 
 namespace kera::sim {
@@ -10,6 +15,7 @@ namespace {
 void BM_Fig12(benchmark::State& state) {
   SimExperimentConfig cfg =
       Fig12(uint32_t(state.range(0)), uint32_t(state.range(1)));
+  cfg.replication_window = uint32_t(state.range(2));
   SimExperimentResult result;
   for (auto _ : state) {
     result = RunSimExperiment(cfg);
@@ -18,8 +24,8 @@ void BM_Fig12(benchmark::State& state) {
 }
 
 BENCHMARK(BM_Fig12)
-    ->ArgNames({"streams", "R"})
-    ->ArgsProduct({{64, 128, 256, 512}, {1, 2, 3}})
+    ->ArgNames({"streams", "R", "W"})
+    ->ArgsProduct({{64, 128, 256, 512}, {1, 2, 3}, {1, 4}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full local check: regular build + all tests, a ThreadSanitizer build
+# running the concurrency-sensitive suites (virtual log windowed
+# replication, background replicator), and the core micro-benchmark
+# emitting machine-readable JSON.
+#
+#   ./scripts/check.sh [build_dir] [tsan_build_dir]
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+tsan_build=${2:-"$repo/build-tsan"}
+
+echo "== regular build + full test suite =="
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+echo "== ThreadSanitizer build (vlog + broker suites) =="
+cmake -B "$tsan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$tsan_build" -j --target \
+  vlog_test vlog_property_test broker_test
+for t in vlog_test vlog_property_test broker_test; do
+  echo "-- TSan: $t"
+  "$tsan_build/tests/$t"
+done
+
+echo "== micro-benchmark (JSON to BENCH_micro_core.json) =="
+cmake --build "$build" -j --target bench_micro_core
+"$build/bench/bench_micro_core" \
+  --benchmark_out="$repo/BENCH_micro_core.json" \
+  --benchmark_out_format=json
+
+echo "check.sh: all green"

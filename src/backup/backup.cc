@@ -9,6 +9,13 @@
 
 namespace kera {
 
+namespace {
+/// Out-of-order batches buffered per replicated segment before the
+/// contiguous prefix catches up. Primaries keep replication windows far
+/// smaller than this; hitting the cap means a runaway sender.
+constexpr size_t kMaxPendingBatches = 64;
+}  // namespace
+
 Backup::Backup(BackupConfig config) : config_(std::move(config)) {
   if (!config_.storage_dir.empty()) {
     std::filesystem::create_directories(config_.storage_dir);
@@ -60,8 +67,8 @@ rpc::ReplicateResponse Backup::HandleReplicate(
   seg.vlog = req.vlog;
   seg.vseg = req.vseg;
 
-  auto apply_seal = [&] {
-    if (req.seals && !seg.sealed) {
+  auto apply_seal = [&](bool seals) {
+    if (seals && !seg.sealed) {
       seg.sealed = true;
       ++stats_.segments_sealed;
       if (!config_.storage_dir.empty()) {
@@ -70,9 +77,72 @@ rpc::ReplicateResponse Backup::HandleReplicate(
       }
     }
   };
+
+  // Extends the virtual segment header checksum over the new chunks'
+  // checksums, verifies against the primary's value, and appends.
+  auto apply_payload = [&](std::span<const std::byte> payload,
+                           uint32_t chunk_count, uint32_t checksum_after,
+                           bool seals) -> bool {
+    uint32_t crc = seg.running_checksum;
+    std::span<const std::byte> scan = payload;
+    while (!scan.empty()) {
+      auto chunk = ChunkView::Parse(scan);
+      uint32_t chunk_crc = chunk->payload_checksum();
+      crc = Crc32c(&chunk_crc, sizeof(chunk_crc), crc);
+      scan = scan.subspan(chunk->total_size());
+    }
+    if (crc != checksum_after) {
+      ++stats_.checksum_failures;
+      return false;
+    }
+    seg.data.insert(seg.data.end(), payload.begin(), payload.end());
+    seg.chunk_count += chunk_count;
+    seg.running_checksum = crc;
+    apply_seal(seals);
+    return true;
+  };
+
+  // Applies buffered batches that have become contiguous. Entries the data
+  // already covers are stale requeues (the primary aborted the window
+  // suffix and re-shipped with different boundaries); drop them — the live
+  // reissue carries their bytes.
+  auto drain_pending = [&] {
+    while (!seg.pending.empty()) {
+      auto it = seg.pending.begin();
+      if (it->first < seg.data.size()) {
+        seg.pending.erase(it);
+        continue;
+      }
+      if (it->first > seg.data.size()) break;
+      PendingBatch b = std::move(it->second);
+      seg.pending.erase(it);
+      if (!apply_payload(b.payload, b.chunk_count, b.checksum_after,
+                         b.seals)) {
+        break;
+      }
+    }
+  };
+
   if (req.start_offset > seg.data.size()) {
-    // Hole: the broker must replicate in order.
-    resp.status = StatusCode::kOutOfRange;
+    // Hole: an earlier batch of the primary's replication window is still
+    // in flight (the network may reorder concurrent batches). Buffer and
+    // ack — the bytes are in backup memory, and the primary advances its
+    // durable prefix in issue order, so data it acks to producers is
+    // always contiguous here.
+    if (seg.pending.size() >= kMaxPendingBatches) {
+      resp.status = StatusCode::kOutOfRange;
+      return resp;
+    }
+    PendingBatch b;
+    b.payload.assign(req.payload.begin(), req.payload.end());
+    b.chunk_count = req.chunk_count;
+    b.checksum_after = req.checksum_after;
+    b.seals = req.seals;
+    seg.pending[req.start_offset] = std::move(b);
+    ++stats_.replicate_rpcs;
+    stats_.bytes_received += req.payload.size();
+    stats_.chunks_received += req.chunk_count;
+    resp.status = StatusCode::kOk;
     return resp;
   }
   if (req.start_offset < seg.data.size() ||
@@ -88,34 +158,20 @@ rpc::ReplicateResponse Backup::HandleReplicate(
       resp.status = StatusCode::kCorruption;
       return resp;
     }
-    apply_seal();
+    apply_seal(req.seals);
     resp.status = StatusCode::kOk;
     return resp;
   }
 
-  // Extend the virtual segment header checksum over the new chunks'
-  // checksums and verify against the primary's value.
-  uint32_t crc = seg.running_checksum;
-  std::span<const std::byte> scan = req.payload;
-  while (!scan.empty()) {
-    auto chunk = ChunkView::Parse(scan);
-    uint32_t chunk_crc = chunk->payload_checksum();
-    crc = Crc32c(&chunk_crc, sizeof(chunk_crc), crc);
-    scan = scan.subspan(chunk->total_size());
-  }
-  if (crc != req.checksum_after) {
-    ++stats_.checksum_failures;
+  if (!apply_payload(req.payload, req.chunk_count, req.checksum_after,
+                     req.seals)) {
     resp.status = StatusCode::kCorruption;
     return resp;
   }
-
-  seg.data.insert(seg.data.end(), req.payload.begin(), req.payload.end());
-  seg.chunk_count += req.chunk_count;
-  seg.running_checksum = crc;
   ++stats_.replicate_rpcs;
   stats_.bytes_received += req.payload.size();
   stats_.chunks_received += req.chunk_count;
-  apply_seal();
+  drain_pending();
   resp.status = StatusCode::kOk;
   return resp;
 }

@@ -70,6 +70,16 @@ class Backup final : public rpc::RpcHandler {
   size_t EvictFlushed();
 
  private:
+  /// A batch that arrived ahead of a gap (the primary pipelines several
+  /// batches per virtual log; the network may reorder them). Buffered,
+  /// validated, and applied once the contiguous prefix catches up.
+  struct PendingBatch {
+    std::vector<std::byte> payload;
+    uint32_t chunk_count = 0;
+    uint32_t checksum_after = 0;
+    bool seals = false;
+  };
+
   struct ReplicatedSegment {
     NodeId primary = 0;
     VlogId vlog = 0;
@@ -77,6 +87,7 @@ class Backup final : public rpc::RpcHandler {
     std::vector<std::byte> data;  // concatenated chunk frames
     uint32_t chunk_count = 0;
     uint32_t running_checksum = 0;  // over chunk payload checksums, in order
+    std::map<uint64_t, PendingBatch> pending;  // keyed by start_offset
     bool sealed = false;
     bool flushed = false;
     bool evicted = false;

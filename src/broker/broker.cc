@@ -13,6 +13,14 @@ Broker::Broker(BrokerConfig config, rpc::Network& network)
       network_(network),
       memory_(config_.memory_bytes, config_.segment_size) {
   live_backups_ = config_.backup_nodes;
+  if (config_.replication_workers > 0) {
+    replicator_ =
+        std::make_unique<Replicator>(*this, config_.replication_workers);
+  }
+}
+
+void Broker::StopReplicator() {
+  if (replicator_ != nullptr) replicator_->Stop();
 }
 
 void Broker::SetLiveBackups(std::vector<NodeId> live_backup_services) {
@@ -45,6 +53,7 @@ Status Broker::AddStreamlet(StreamId stream, StreamletId streamlet) {
     return Status(StatusCode::kNotFound, "unknown stream");
   }
   it->second->storage->AddStreamlet(streamlet);
+  std::lock_guard<std::mutex> entry_lock(it->second->mu);
   it->second->led.insert(streamlet);
   return OkStatus();
 }
@@ -67,7 +76,10 @@ Status Broker::DropStreamletLeadership(StreamId stream,
   if (it == streams_.end()) {
     return Status(StatusCode::kNotFound, "unknown stream");
   }
-  it->second->led.erase(streamlet);
+  {
+    std::lock_guard<std::mutex> entry_lock(it->second->mu);
+    it->second->led.erase(streamlet);
+  }
   // Close the active groups so the remaining data can be trimmed once
   // consumed; new leadership lives elsewhere.
   Streamlet* sl = it->second->storage->GetStreamlet(streamlet);
@@ -81,7 +93,7 @@ Status Broker::SealStream(StreamId stream) {
     return Status(StatusCode::kNotFound, "unknown stream");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(entry->mu);
     entry->info.sealed = true;
   }
   entry->storage->Seal();
@@ -100,6 +112,7 @@ std::unique_ptr<VirtualLog> Broker::MakeVlog(VlogId id,
   vc.virtual_segment_capacity = config_.virtual_segment_capacity;
   vc.replication_factor = replication_factor;
   vc.max_batch_bytes = config_.replication_max_batch_bytes;
+  vc.replication_window = config_.replication_window;
   // Rotate the backup set per virtual segment so replicas scatter across
   // the cluster and recovery can read from many backups in parallel. A
   // broker never backs up its own data (replicas must survive the node).
@@ -136,26 +149,54 @@ std::unique_ptr<VirtualLog> Broker::MakeVlog(VlogId id,
   return std::make_unique<VirtualLog>(id, vc, selector);
 }
 
-VirtualLog* Broker::ResolveVlog(const StreamEntry& entry,
-                                StreamletId streamlet, uint32_t slot) {
+VirtualLog* Broker::ResolveVlog(StreamEntry& entry, StreamletId streamlet,
+                                uint32_t slot) {
   const auto& opts = entry.info.options;
-  std::lock_guard<std::mutex> lock(mu_);
   if (opts.vlog_policy == rpc::VlogPolicy::kPerSubPartition) {
-    auto key = std::make_tuple(entry.info.stream, streamlet, slot);
-    auto it = subpartition_vlogs_.find(key);
-    if (it != subpartition_vlogs_.end()) return it->second.get();
-    auto vlog = MakeVlog(next_vlog_id_++, opts.replication_factor);
-    VirtualLog* raw = vlog.get();
-    subpartition_vlogs_.emplace(key, std::move(vlog));
+    auto cache_key = std::make_pair(streamlet, slot);
+    {
+      std::lock_guard<std::mutex> lock(entry.mu);
+      auto it = entry.vlog_cache.find(cache_key);
+      if (it != entry.vlog_cache.end()) return it->second;
+    }
+    VirtualLog* raw = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto key = std::make_tuple(entry.info.stream, streamlet, slot);
+      auto it = subpartition_vlogs_.find(key);
+      if (it != subpartition_vlogs_.end()) {
+        raw = it->second.get();
+      } else {
+        auto vlog = MakeVlog(next_vlog_id_++, opts.replication_factor);
+        raw = vlog.get();
+        subpartition_vlogs_.emplace(key, std::move(vlog));
+      }
+    }
+    std::lock_guard<std::mutex> lock(entry.mu);
+    entry.vlog_cache.emplace(cache_key, raw);
     return raw;
   }
-  // Shared pool: a streamlet hashes onto one of the broker's N vlogs.
-  auto& pool = shared_pools_[opts.replication_factor];
-  if (pool.size() < config_.vlogs_per_broker) {
-    pool.reserve(config_.vlogs_per_broker);
-    while (pool.size() < config_.vlogs_per_broker) {
-      pool.push_back(MakeVlog(next_vlog_id_++, opts.replication_factor));
+  // Shared pool: a streamlet hashes onto one of the broker's N vlogs. The
+  // pool (per replication factor) is built once under mu_ and cached per
+  // stream entry so the per-chunk lookup only touches the entry lock.
+  std::vector<VirtualLog*> view;
+  {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    view = entry.shared_pool_cache;
+  }
+  if (view.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& pool = shared_pools_[opts.replication_factor];
+    if (pool.size() < config_.vlogs_per_broker) {
+      pool.reserve(config_.vlogs_per_broker);
+      while (pool.size() < config_.vlogs_per_broker) {
+        pool.push_back(MakeVlog(next_vlog_id_++, opts.replication_factor));
+      }
     }
+    view.reserve(pool.size());
+    for (const auto& v : pool) view.push_back(v.get());
+    std::lock_guard<std::mutex> entry_lock(entry.mu);
+    entry.shared_pool_cache = view;
   }
   // splitmix64-style mix: consecutive stream ids placed round-robin over
   // brokers must still spread across the broker's vlog pool.
@@ -163,7 +204,7 @@ VirtualLog* Broker::ResolveVlog(const StreamEntry& entry,
   h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
   h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
   h ^= h >> 31;
-  return pool[size_t(h % pool.size())].get();
+  return view[size_t(h % view.size())];
 }
 
 Status Broker::AppendOneChunk(
@@ -174,42 +215,36 @@ Status Broker::AppendOneChunk(
   auto chunk = ChunkView::Parse(frame);
   if (!chunk.ok()) return chunk.status();
   if (config_.verify_chunk_checksums && !chunk->VerifyChecksum()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.checksum_failures;
+    stats_.checksum_failures.fetch_add(1, std::memory_order_relaxed);
     return Status(StatusCode::kCorruption, "chunk checksum mismatch");
   }
   if (chunk->stream_id() != req.stream) {
     return Status(StatusCode::kInvalidArgument, "chunk/request stream mismatch");
   }
+  StreamletId streamlet_id = chunk->streamlet_id();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // One per-stream critical section covers the seal/leadership gates
+    // and the exactly-once dedup update (drop chunks at or below the
+    // last acknowledged sequence).
+    std::lock_guard<std::mutex> lock(entry.mu);
     if (entry.info.sealed && !req.recovery) {
       return Status(StatusCode::kSegmentClosed, "stream is sealed");
     }
-  }
-  StreamletId streamlet_id = chunk->streamlet_id();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
     if (entry.led.count(streamlet_id) == 0) {
       return Status(StatusCode::kNotLeader, "streamlet not led here");
     }
+    auto key = std::make_pair(streamlet_id, chunk->producer_id());
+    auto [it, inserted] = entry.dedup.try_emplace(key, 0);
+    if (!inserted && chunk->chunk_seq() <= it->second) {
+      ++resp.duplicates;
+      stats_.chunks_duplicate.fetch_add(1, std::memory_order_relaxed);
+      return OkStatus();
+    }
+    it->second = chunk->chunk_seq();
   }
   Streamlet* streamlet = entry.storage->GetStreamlet(streamlet_id);
   if (streamlet == nullptr) {
     return Status(StatusCode::kNotLeader, "streamlet not led here");
-  }
-
-  // Exactly-once: drop chunks at or below the last acknowledged sequence.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto key = std::make_tuple(req.stream, streamlet_id, chunk->producer_id());
-    auto [it, inserted] = dedup_.try_emplace(key, 0);
-    if (!inserted && chunk->chunk_seq() <= it->second) {
-      ++resp.duplicates;
-      ++stats_.chunks_duplicate;
-      return OkStatus();
-    }
-    it->second = chunk->chunk_seq();
   }
 
   Result<StreamletAppendResult> appended =
@@ -230,9 +265,8 @@ Status Broker::AppendOneChunk(
   appended_refs.emplace_back(vlog, ref);
 
   ++resp.appended;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.chunks_appended;
-  stats_.bytes_appended += frame.size();
+  stats_.chunks_appended.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_appended.fetch_add(frame.size(), std::memory_order_relaxed);
   return OkStatus();
 }
 
@@ -240,10 +274,7 @@ rpc::ProduceResponse Broker::HandleProduceNoSync(
     const rpc::ProduceRequest& req,
     std::vector<std::pair<VirtualLog*, ChunkRef>>* appended) {
   rpc::ProduceResponse resp;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.produce_rpcs;
-  }
+  stats_.produce_rpcs.fetch_add(1, std::memory_order_relaxed);
   StreamEntry* entry = FindStream(req.stream);
   if (entry == nullptr) {
     resp.status = StatusCode::kNotFound;
@@ -266,10 +297,7 @@ rpc::ProduceResponse Broker::HandleProduceNoSync(
 
 rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
   rpc::ProduceResponse resp;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.produce_rpcs;
-  }
+  stats_.produce_rpcs.fetch_add(1, std::memory_order_relaxed);
   StreamEntry* entry = FindStream(req.stream);
   if (entry == nullptr) {
     resp.status = StatusCode::kNotFound;
@@ -284,6 +312,25 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
       resp.status = s.code();
       return resp;
     }
+  }
+
+  // Background replication: wake the worker pool for the touched vlogs
+  // and park on the group-commit waiters. Workers fill the replication
+  // window; every producer whose chunks ride in a completed batch wakes
+  // together, so many produce RPCs share one large replicated I/O.
+  if (replicator_ != nullptr) {
+    for (auto& [vlog, ref] : positions) {
+      (void)ref;
+      replicator_->Notify(vlog);
+    }
+    for (auto& [vlog, ref] : positions) {
+      Status s = vlog->WaitChunkDurable(ref);
+      if (!s.ok()) {
+        resp.status = s.code();
+        return resp;
+      }
+    }
+    return resp;
   }
 
   // Once all chunks of the request are appended, synchronize the touched
@@ -372,7 +419,15 @@ Status Broker::ShipBatch(VirtualLog& vlog, const ReplicationBatch& batch) {
     }
     bool all_ok = true;
     for (auto& f : futures) {
-      auto result = f.get();
+      auto result = [&]() -> Result<std::vector<std::byte>> {
+        try {
+          return f.get();
+        } catch (const std::future_error&) {
+          // The threaded network was shut down with the call in flight
+          // (its queue dropped the work and broke the promise).
+          return Status(StatusCode::kUnavailable, "network stopped");
+        }
+      }();
       if (!result.ok()) {
         all_ok = false;
         failure = result.status();
@@ -386,12 +441,11 @@ Status Broker::ShipBatch(VirtualLog& vlog, const ReplicationBatch& batch) {
                             : resp.status();
       }
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.replication_batches;
-      stats_.replication_rpcs += batch.backups.size();
-      stats_.replication_bytes += batch.bytes * batch.backups.size();
-    }
+    stats_.replication_batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.replication_rpcs.fetch_add(batch.backups.size(),
+                                      std::memory_order_relaxed);
+    stats_.replication_bytes.fetch_add(batch.bytes * batch.backups.size(),
+                                       std::memory_order_relaxed);
     if (all_ok) {
       vlog.Complete(batch);
       return OkStatus();
@@ -408,10 +462,7 @@ Status Broker::ShipBatch(VirtualLog& vlog, const ReplicationBatch& batch) {
 
 rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
   rpc::ConsumeResponse resp;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.consume_rpcs;
-  }
+  stats_.consume_rpcs.fetch_add(1, std::memory_order_relaxed);
   StreamEntry* entry = FindStream(req.stream);
   if (entry == nullptr) {
     resp.status = StatusCode::kNotFound;
@@ -424,7 +475,7 @@ rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
     out.group = e.group;
     out.next_chunk = e.start_chunk;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(entry->mu);
       out.stream_sealed = entry->info.sealed;
     }
 
@@ -454,10 +505,7 @@ rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
     // "No more data will ever appear at or beyond next_chunk."
     out.group_closed =
         group->closed() && out.next_chunk >= group->chunk_count();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.chunks_served += served;
-    }
+    stats_.chunks_served.fetch_add(served, std::memory_order_relaxed);
     resp.entries.push_back(std::move(out));
   }
   return resp;
@@ -504,8 +552,24 @@ std::vector<std::byte> Broker::HandleRpc(std::span<const std::byte> request) {
 }
 
 Broker::Stats Broker::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out;
+  out.produce_rpcs = stats_.produce_rpcs.load(std::memory_order_relaxed);
+  out.chunks_appended =
+      stats_.chunks_appended.load(std::memory_order_relaxed);
+  out.chunks_duplicate =
+      stats_.chunks_duplicate.load(std::memory_order_relaxed);
+  out.bytes_appended = stats_.bytes_appended.load(std::memory_order_relaxed);
+  out.consume_rpcs = stats_.consume_rpcs.load(std::memory_order_relaxed);
+  out.chunks_served = stats_.chunks_served.load(std::memory_order_relaxed);
+  out.replication_batches =
+      stats_.replication_batches.load(std::memory_order_relaxed);
+  out.replication_rpcs =
+      stats_.replication_rpcs.load(std::memory_order_relaxed);
+  out.replication_bytes =
+      stats_.replication_bytes.load(std::memory_order_relaxed);
+  out.checksum_failures =
+      stats_.checksum_failures.load(std::memory_order_relaxed);
+  return out;
 }
 
 Stream* Broker::GetStream(StreamId id) const {
@@ -541,7 +605,7 @@ std::string Broker::DebugString() const {
     bool sealed;
     size_t led;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(entry->mu);
       sealed = entry->info.sealed;
       led = entry->led.size();
     }

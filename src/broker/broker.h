@@ -4,14 +4,17 @@
 // and serves consumers with durably replicated chunks only.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
 #include <mutex>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "broker/replicator.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "rpc/messages.h"
@@ -42,6 +45,13 @@ struct BrokerConfig {
   bool verify_chunk_checksums = true;
   /// Replication RPC retries before failing the producer request.
   int replication_retries = 3;
+  /// Max replication batches in flight per virtual log (1 = the classic
+  /// synchronous stop-and-wait pipeline; >1 overlaps round-trips).
+  uint32_t replication_window = 1;
+  /// Background replication worker threads. 0 disables the background
+  /// replicator: produce handlers drive replication synchronously on the
+  /// RPC thread (the original behavior; also what the DES needs).
+  uint32_t replication_workers = 0;
 };
 
 class Broker final : public rpc::RpcHandler {
@@ -141,16 +151,34 @@ class Broker final : public rpc::RpcHandler {
   /// group and fully replicated virtual segments. Returns groups trimmed.
   size_t TrimDurable();
 
+  /// Stops the background replication workers (no-op when disabled).
+  /// Must be called before the network the broker ships through is shut
+  /// down; the destructor also stops them.
+  void StopReplicator();
+
+  /// The background replicator, or nullptr when replication_workers == 0.
+  [[nodiscard]] Replicator* replicator() const { return replicator_.get(); }
+
  private:
   struct StreamEntry {
     std::unique_ptr<Stream> storage;
-    rpc::StreamInfo info;
     std::string name;
+    /// Hot-path state guarded by the per-stream `mu` (NOT the broker-wide
+    /// mu_), so produce/consume/replication on different streams never
+    /// serialize on one mutex.
+    mutable std::mutex mu;
+    rpc::StreamInfo info;
     std::set<StreamletId> led;  // streamlets this broker currently leads
+    // Exactly-once: last chunk sequence per (streamlet, producer).
+    std::map<std::pair<StreamletId, ProducerId>, ChunkSeq> dedup;
+    // Resolved vlog cache (ownership stays in the broker-level maps);
+    // avoids taking mu_ per chunk once a mapping is established.
+    std::vector<VirtualLog*> shared_pool_cache;
+    std::map<std::pair<StreamletId, uint32_t>, VirtualLog*> vlog_cache;
   };
 
   StreamEntry* FindStream(StreamId id) const;
-  VirtualLog* ResolveVlog(const StreamEntry& entry, StreamletId streamlet,
+  VirtualLog* ResolveVlog(StreamEntry& entry, StreamletId streamlet,
                           uint32_t slot);
   std::unique_ptr<VirtualLog> MakeVlog(VlogId id,
                                        uint32_t replication_factor);
@@ -165,7 +193,10 @@ class Broker final : public rpc::RpcHandler {
   rpc::Network& network_;
   MemoryManager memory_;
 
-  mutable std::mutex mu_;  // guards streams_, vlogs_, dedup_, stats_
+  // Guards the structural maps (streams_, vlog ownership). Hot-path state
+  // lives behind per-StreamEntry locks and atomic stats counters; lock
+  // order is mu_ before StreamEntry::mu, never the reverse.
+  mutable std::mutex mu_;
   std::map<StreamId, std::unique_ptr<StreamEntry>> streams_;
 
   // Shared pool (policy kSharedPerBroker), keyed by replication factor so
@@ -177,16 +208,31 @@ class Broker final : public rpc::RpcHandler {
       subpartition_vlogs_;
   VlogId next_vlog_id_ = 0;
 
-  // Exactly-once: last chunk sequence per (stream, streamlet, producer).
-  std::map<std::tuple<StreamId, StreamletId, ProducerId>, ChunkSeq> dedup_;
-
   // Live backup services (defaults to config_.backup_nodes). Guarded by
   // live_backups_mu_ (not mu_): the vlog backup selectors read it while
   // holding the vlog lock, and must not take mu_.
   mutable std::mutex live_backups_mu_;
   std::vector<NodeId> live_backups_;
 
-  Stats stats_;
+  /// Stats counters are lock-free so the produce/consume/replication hot
+  /// paths never serialize on a stats mutex.
+  struct AtomicStats {
+    std::atomic<uint64_t> produce_rpcs{0};
+    std::atomic<uint64_t> chunks_appended{0};
+    std::atomic<uint64_t> chunks_duplicate{0};
+    std::atomic<uint64_t> bytes_appended{0};
+    std::atomic<uint64_t> consume_rpcs{0};
+    std::atomic<uint64_t> chunks_served{0};
+    std::atomic<uint64_t> replication_batches{0};
+    std::atomic<uint64_t> replication_rpcs{0};
+    std::atomic<uint64_t> replication_bytes{0};
+    std::atomic<uint64_t> checksum_failures{0};
+  };
+  AtomicStats stats_;
+
+  // Declared last: destroyed first, so worker threads stop while the
+  // vlogs/streams they reference are still alive.
+  std::unique_ptr<Replicator> replicator_;
 };
 
 }  // namespace kera

@@ -1,0 +1,60 @@
+// Background replication worker pool: moves batch shipping off the
+// produce path. Produce handlers append chunks, Notify() the vlogs they
+// touched, and park on the vlog's group-commit waiters; workers wake on
+// notification (condition variable, no spin), Poll() batches — up to the
+// vlog's replication window concurrently — ship them over the network,
+// and Complete/Abort them. Many produce RPCs thus share one large
+// replicated I/O, and replication round-trips overlap with ingestion.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace kera {
+
+class Broker;
+class VirtualLog;
+
+class Replicator {
+ public:
+  /// Spawns `workers` shipping threads serving `broker`'s virtual logs.
+  Replicator(Broker& broker, uint32_t workers);
+  ~Replicator();
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Marks a vlog as (possibly) having replication work and wakes a
+  /// worker. Cheap and idempotent: a vlog is queued at most once.
+  void Notify(VirtualLog* vlog);
+
+  /// Stops and joins the workers. Must be called before the network the
+  /// broker ships through is shut down. Idempotent.
+  void Stop();
+
+  struct Stats {
+    uint64_t batches_shipped = 0;
+    uint64_t batch_failures = 0;
+    uint64_t wakeups = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+ private:
+  void WorkerLoop();
+
+  Broker& broker_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<VirtualLog*> queue_;
+  std::unordered_set<VirtualLog*> queued_;  // dedup for queue_
+  bool stop_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kera

@@ -30,6 +30,8 @@ MiniCluster::MiniCluster(MiniClusterConfig config)
     bc.virtual_segment_capacity = config_.virtual_segment_capacity;
     bc.replication_max_batch_bytes = config_.replication_max_batch_bytes;
     bc.vlogs_per_broker = config_.vlogs_per_broker;
+    bc.replication_window = config_.replication_window;
+    bc.replication_workers = config_.replication_workers;
     bc.backup_nodes = backup_services;
     brokers_.push_back(std::make_unique<Broker>(bc, *network_));
 
@@ -61,6 +63,9 @@ MiniCluster::MiniCluster(MiniClusterConfig config)
 }
 
 MiniCluster::~MiniCluster() {
+  // Stop replication workers before the network: a worker mid-ShipBatch
+  // would otherwise race the queue shutdown on every teardown.
+  for (auto& b : brokers_) b->StopReplicator();
   if (threaded_ != nullptr) threaded_->Shutdown();
 }
 

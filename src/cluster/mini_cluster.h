@@ -25,6 +25,11 @@ struct MiniClusterConfig {
   size_t virtual_segment_capacity = 1u << 20;
   size_t replication_max_batch_bytes = 1u << 20;
   uint32_t vlogs_per_broker = 4;
+  /// Replication pipelining (see BrokerConfig): batches in flight per
+  /// vlog, and background replication worker threads per broker (0 =
+  /// synchronous replication on the produce path).
+  uint32_t replication_window = 1;
+  uint32_t replication_workers = 0;
   /// Backup flush directory template; empty disables disk flushing. A
   /// "%u" is replaced by the node id.
   std::string backup_dir;

@@ -211,6 +211,7 @@ class KeraSim : public SimBase {
       bc.virtual_segment_capacity = cfg_.virtual_segment_capacity;
       bc.replication_max_batch_bytes = cfg_.replication_max_batch_bytes;
       bc.vlogs_per_broker = cfg_.vlogs_per_broker;
+      bc.replication_window = cfg_.replication_window;
       bc.backup_nodes = backup_services;
       bc.verify_chunk_checksums = false;  // CPU cost is in the cost model
       brokers_.push_back(std::make_unique<Broker>(bc, net_));
@@ -388,12 +389,20 @@ class KeraSim : public SimBase {
     CheckProduceAcks(b);
   }
 
-  /// Drives one vlog's replication pipeline: at most one batch in flight;
-  /// completion immediately polls the next batch.
+  /// Drives one vlog's replication pipeline: issues batches until the
+  /// vlog's replication window is full (Poll returns nullopt); each
+  /// completion pumps again, so the window stays filled. Completions can
+  /// land out of order across a window; the vlog applies them to the
+  /// durable prefix in issue order.
   void PumpVlog(VirtualLog* vlog, uint32_t b) {
-    auto polled = vlog->Poll();
-    if (!polled.has_value()) return;
-    auto batch = std::make_shared<ReplicationBatch>(std::move(*polled));
+    while (auto polled = vlog->Poll()) {
+      ShipSimBatch(vlog, b,
+                   std::make_shared<ReplicationBatch>(std::move(*polled)));
+    }
+  }
+
+  void ShipSimBatch(VirtualLog* vlog, uint32_t b,
+                    std::shared_ptr<ReplicationBatch> batch) {
     // Primary-side gather + RPC build on a worker core, then one RPC per
     // backup through the dispatch thread and NIC.
     nodes_[b]->cores.Execute(

@@ -41,6 +41,9 @@ struct SimExperimentConfig {
   uint32_t vlogs_per_broker = 4;
   size_t virtual_segment_capacity = 1u << 20;
   size_t replication_max_batch_bytes = 1u << 20;
+  /// Replication batches in flight per vlog (1 = stop-and-wait, the
+  /// pre-pipelining behavior; >1 overlaps replication round-trips).
+  uint32_t replication_window = 1;
 
   /// Kafka follower tuning (static, as the paper emphasizes).
   size_t kafka_fetch_max_bytes = 1u << 20;

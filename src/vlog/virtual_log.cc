@@ -1,15 +1,25 @@
 #include "vlog/virtual_log.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "storage/group.h"
 
 namespace kera {
 
+namespace {
+/// Consecutive failed shipping attempts tolerated before the error is
+/// latched and surfaced to WaitChunkDurable callers. Each attempt already
+/// retries the RPCs internally and may re-target backups via evacuation,
+/// so a handful of outer retries is enough to ride over membership churn.
+constexpr int kMaxConsecutiveReplicationFailures = 4;
+}  // namespace
+
 VirtualLog::VirtualLog(VlogId id, VirtualLogConfig config,
                        BackupSelector selector)
     : id_(id), config_(config), selector_(std::move(selector)) {
   assert(config_.replication_factor >= 1);
+  assert(config_.replication_window >= 1);
 }
 
 VirtualSegment* VirtualLog::OpenSegmentLocked() {
@@ -24,6 +34,18 @@ VirtualSegment* VirtualLog::OpenSegmentLocked() {
       vseg_id, config_.virtual_segment_capacity, std::move(backups)));
   ++stats_.segments_opened;
   return segments_.back().get();
+}
+
+VirtualSegment* VirtualLog::FindSegmentLocked(VirtualSegmentId vseg) const {
+  // Segment ids are assigned sequentially and segments are only removed
+  // from the front (trim), so ids in segments_ are contiguous: resolve by
+  // arithmetic instead of scanning (the window keeps several live).
+  if (segments_.empty()) return nullptr;
+  VirtualSegmentId front = segments_.front()->id();
+  if (vseg < front || vseg - front >= segments_.size()) return nullptr;
+  VirtualSegment* seg = segments_[size_t(vseg - front)].get();
+  assert(seg->id() == vseg && "segment ids must be contiguous");
+  return seg;
 }
 
 VirtualLog::AppendPosition VirtualLog::Append(const ChunkRef& ref) {
@@ -50,27 +72,34 @@ VirtualLog::AppendPosition VirtualLog::Append(const ChunkRef& ref) {
 
 std::optional<ReplicationBatch> VirtualLog::Poll() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (batch_in_flight_ || config_.replication_factor == 1) {
+  if (config_.replication_factor == 1 ||
+      inflight_.size() >= config_.replication_window) {
     return std::nullopt;
   }
-  // Replication is ordered: always the oldest incompletely replicated
-  // virtual segment first.
+  // Replication is issued in order: always the oldest incompletely issued
+  // virtual segment first. Each segment's issue point is its durable
+  // prefix plus everything already in flight for it.
   for (auto& seg_ptr : segments_) {
     VirtualSegment& seg = *seg_ptr;
-    size_t start = seg.durable_ref_count();
-    if (start >= seg.ref_count()) continue;
+    size_t issued = seg.durable_ref_count();
+    uint64_t issued_offset = seg.durable_header();
+    for (const Outstanding& o : inflight_) {
+      if (o.vseg != seg.id()) continue;
+      issued += o.ref_count;
+      issued_offset += o.bytes;
+    }
+    if (issued >= seg.ref_count()) continue;
 
     ReplicationBatch batch;
+    batch.id = next_batch_id_++;
     batch.vlog = id_;
     batch.vseg = seg.id();
     batch.backups = seg.backups();
-    batch.start_ref = start;
-    // Batches always start at the replicated prefix, whose virtual byte
-    // offset is the segment's durable header.
-    batch.start_offset = seg.durable_header();
-    size_t end = start;
+    batch.start_ref = issued;
+    batch.start_offset = issued_offset;
+    size_t end = issued;
     while (end < seg.ref_count() &&
-           (end == start ||
+           (end == issued ||
             batch.bytes + seg.ref(end).loc.length <= config_.max_batch_bytes)) {
       batch.bytes += seg.ref(end).loc.length;
       batch.refs.push_back(seg.ref(end));
@@ -78,21 +107,31 @@ std::optional<ReplicationBatch> VirtualLog::Poll() {
     }
     batch.seals_segment = seg.closed() && end == seg.ref_count();
     batch.checksum_after = seg.ChecksumFromDurable(end);
-    batch_in_flight_ = true;
+    inflight_.push_back(Outstanding{batch.id, batch.vseg, batch.start_ref,
+                                    batch.refs.size(), batch.bytes,
+                                    batch.seals_segment, false});
     ++stats_.batches_issued;
     stats_.bytes_replicated += batch.bytes;
+    stats_.max_inflight_batches =
+        std::max<uint64_t>(stats_.max_inflight_batches, inflight_.size());
     return batch;
   }
   // No data pending: a segment that closed after its last data batch
   // completed still owes the backups an (empty) seal notification, so
-  // they can flush and the segment can be trimmed.
+  // they can flush and the segment can be trimmed. Issued only once the
+  // segment has nothing outstanding (the seal must be the final word).
   for (auto& seg_ptr : segments_) {
     VirtualSegment& seg = *seg_ptr;
     if (!seg.closed() || seg.seal_replicated() ||
         seg.durable_ref_count() < seg.ref_count()) {
       continue;
     }
+    bool busy = std::any_of(
+        inflight_.begin(), inflight_.end(),
+        [&](const Outstanding& o) { return o.vseg == seg.id(); });
+    if (busy) continue;
     ReplicationBatch batch;
+    batch.id = next_batch_id_++;
     batch.vlog = id_;
     batch.vseg = seg.id();
     batch.backups = seg.backups();
@@ -100,26 +139,41 @@ std::optional<ReplicationBatch> VirtualLog::Poll() {
     batch.start_offset = seg.durable_header();
     batch.seals_segment = true;
     batch.checksum_after = seg.running_checksum();
-    batch_in_flight_ = true;
+    inflight_.push_back(Outstanding{batch.id, batch.vseg, batch.start_ref, 0,
+                                    0, true, false});
     ++stats_.batches_issued;
+    stats_.max_inflight_batches =
+        std::max<uint64_t>(stats_.max_inflight_batches, inflight_.size());
     return batch;
   }
   return std::nullopt;
 }
 
+void VirtualLog::ApplyCompletedPrefixLocked() {
+  while (!inflight_.empty() && inflight_.front().done) {
+    const Outstanding& o = inflight_.front();
+    if (VirtualSegment* seg = FindSegmentLocked(o.vseg)) {
+      seg->MarkReplicatedUpTo(size_t(o.start_ref) + o.ref_count);
+      if (o.seals) seg->set_seal_replicated();
+    }
+    inflight_.pop_front();
+  }
+}
+
 void VirtualLog::Complete(const ReplicationBatch& batch) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    assert(batch_in_flight_);
-    for (auto& seg_ptr : segments_) {
-      if (seg_ptr->id() == batch.vseg) {
-        seg_ptr->MarkReplicatedUpTo(size_t(batch.start_ref) +
-                                    batch.refs.size());
-        if (batch.seals_segment) seg_ptr->set_seal_replicated();
-        break;
-      }
+    consecutive_failures_ = 0;
+    auto it = std::find_if(
+        inflight_.begin(), inflight_.end(),
+        [&](const Outstanding& o) { return o.id == batch.id; });
+    if (it == inflight_.end()) {
+      // Stale: the batch was dropped by Abort/Evacuate and its range
+      // requeued; the re-shipped copy carries a fresh id.
+      return;
     }
-    batch_in_flight_ = false;
+    it->done = true;
+    ApplyCompletedPrefixLocked();
   }
   durable_cv_.notify_all();
 }
@@ -127,60 +181,105 @@ void VirtualLog::Complete(const ReplicationBatch& batch) {
 void VirtualLog::Abort(const ReplicationBatch& batch) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    assert(batch_in_flight_);
-    (void)batch;
-    batch_in_flight_ = false;
+    auto it = std::find_if(
+        inflight_.begin(), inflight_.end(),
+        [&](const Outstanding& o) { return o.id == batch.id; });
+    if (it == inflight_.end()) return;  // already dropped (evacuation)
+    // Requeue the aborted range and everything issued after it: a later
+    // batch must never be applied over the hole. Later batches that were
+    // already acked will be re-shipped; backups treat the overlap as an
+    // idempotent retry.
+    inflight_.erase(it, inflight_.end());
     // Stats: the batch counted as issued but its bytes were not durably
     // replicated; the retry will count again, reflecting the extra I/O.
   }
   durable_cv_.notify_all();
 }
 
-bool VirtualLog::IsDurable(AppendPosition pos) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& seg : segments_) {
-    if (seg->id() == pos.vseg) {
-      return seg->durable_ref_count() > pos.ref_index;
+bool VirtualLog::DurableLocked(AppendPosition pos) const {
+  const VirtualSegment* seg = FindSegmentLocked(pos.vseg);
+  // Trimmed (or never within range) => it was fully replicated.
+  if (seg == nullptr) return true;
+  return seg->durable_ref_count() > pos.ref_index;
+}
+
+bool VirtualLog::ChunkDurableLocked(const ChunkRef& ref) const {
+  return ref.group == nullptr ||
+         ref.group->durable_chunk_count() > ref.loc.group_chunk_index;
+}
+
+bool VirtualLog::HasUnissuedWorkLocked() const {
+  if (config_.replication_factor == 1) return false;
+  for (const auto& seg_ptr : segments_) {
+    const VirtualSegment& seg = *seg_ptr;
+    size_t issued = seg.durable_ref_count();
+    bool busy = false;
+    for (const Outstanding& o : inflight_) {
+      if (o.vseg != seg.id()) continue;
+      issued += o.ref_count;
+      busy = true;
+    }
+    if (issued < seg.ref_count()) return true;
+    if (seg.closed() && !seg.seal_replicated() && !busy &&
+        seg.durable_ref_count() == seg.ref_count()) {
+      return true;
     }
   }
-  // Segment already trimmed => it was fully replicated.
-  return true;
+  return false;
+}
+
+bool VirtualLog::IsDurable(AppendPosition pos) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DurableLocked(pos);
 }
 
 void VirtualLog::WaitDurable(AppendPosition pos) {
   std::unique_lock<std::mutex> lock(mu_);
-  durable_cv_.wait(lock, [&] {
-    for (const auto& seg : segments_) {
-      if (seg->id() == pos.vseg) {
-        return seg->durable_ref_count() > pos.ref_index;
-      }
-    }
-    return true;  // trimmed == durable
-  });
+  durable_cv_.wait(lock, [&] { return DurableLocked(pos); });
 }
 
 bool VirtualLog::WaitDurableOrIdle(AppendPosition pos) {
   std::unique_lock<std::mutex> lock(mu_);
-  auto durable = [&] {
-    for (const auto& seg : segments_) {
-      if (seg->id() == pos.vseg) {
-        return seg->durable_ref_count() > pos.ref_index;
-      }
-    }
-    return true;  // trimmed == durable
-  };
-  durable_cv_.wait(lock, [&] { return durable() || !batch_in_flight_; });
-  return durable();
+  durable_cv_.wait(lock, [&] {
+    return DurableLocked(pos) ||
+           (inflight_.size() < config_.replication_window &&
+            HasUnissuedWorkLocked());
+  });
+  return DurableLocked(pos);
 }
 
 bool VirtualLog::WaitChunkDurableOrIdle(const ChunkRef& ref) {
   std::unique_lock<std::mutex> lock(mu_);
-  auto durable = [&] {
-    return ref.group == nullptr ||
-           ref.group->durable_chunk_count() > ref.loc.group_chunk_index;
-  };
-  durable_cv_.wait(lock, [&] { return durable() || !batch_in_flight_; });
-  return durable();
+  durable_cv_.wait(lock, [&] {
+    return ChunkDurableLocked(ref) ||
+           (inflight_.size() < config_.replication_window &&
+            HasUnissuedWorkLocked());
+  });
+  return ChunkDurableLocked(ref);
+}
+
+Status VirtualLog::WaitChunkDurable(const ChunkRef& ref) {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t epoch = error_epoch_;
+  durable_cv_.wait(lock, [&] {
+    return ChunkDurableLocked(ref) || error_epoch_ != epoch;
+  });
+  return ChunkDurableLocked(ref) ? OkStatus() : last_error_;
+}
+
+bool VirtualLog::NoteReplicationFailure(const Status& error) {
+  bool retry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retry = ++consecutive_failures_ <= kMaxConsecutiveReplicationFailures;
+    if (!retry) {
+      consecutive_failures_ = 0;
+      last_error_ = error;
+      ++error_epoch_;
+    }
+  }
+  if (!retry) durable_cv_.notify_all();
+  return retry;
 }
 
 size_t VirtualLog::EvacuateSegment(VirtualSegmentId vseg) {
@@ -199,6 +298,14 @@ size_t VirtualLog::EvacuateSegment(VirtualSegmentId vseg) {
       moved.insert(moved.end(), refs.begin(), refs.end());
     }
     if (!found) return 0;
+    // Outstanding batches covering the truncated ranges are void: their
+    // refs move to the fresh segments below. Late completions/aborts for
+    // them become stale no-ops (the id is gone).
+    inflight_.erase(std::remove_if(inflight_.begin(), inflight_.end(),
+                                   [&](const Outstanding& o) {
+                                     return o.vseg >= vseg;
+                                   }),
+                    inflight_.end());
     if (!moved.empty()) {
       VirtualSegment* fresh = OpenSegmentLocked();
       for (const ChunkRef& ref : moved) {
@@ -219,12 +326,7 @@ size_t VirtualLog::EvacuateSegment(VirtualSegmentId vseg) {
 
 bool VirtualLog::HasWork() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (batch_in_flight_ || config_.replication_factor == 1) return false;
-  for (const auto& seg : segments_) {
-    if (seg->durable_ref_count() < seg->ref_count()) return true;
-    if (seg->closed() && !seg->seal_replicated()) return true;
-  }
-  return false;
+  return HasUnissuedWorkLocked();
 }
 
 VirtualLog::Stats VirtualLog::GetStats() const {

@@ -5,10 +5,19 @@
 // replacing one-replicated-log-per-partition (Kafka) with a consolidated
 // shared log (the paper's core contribution, §III-IV).
 //
+// Replication is *pipelined*: up to config.replication_window batches may
+// be outstanding per log. Issue order is the log order (oldest unissued
+// refs first); completions may arrive out of order, but the durable prefix
+// only advances over the contiguous prefix of completed batches, so
+// durability (and everything derived from it: group durable counts,
+// checksum chain, consumer visibility) stays ordered. Aborting a batch
+// requeues its range and every batch issued after it.
+//
 // Threading: appends and replication-state transitions are internally
-// synchronized; producers block in WaitDurable until the replication
-// pipeline (driven by whichever thread polls batches) confirms their
-// chunks. The DES harness drives Poll/Complete with simulated time.
+// synchronized; producers block in WaitDurable / WaitChunkDurable until
+// the replication pipeline (driven by whichever thread polls batches —
+// typically the broker's background Replicator) confirms their chunks.
+// The DES harness drives Poll/Complete with simulated time.
 #pragma once
 
 #include <condition_variable>
@@ -40,11 +49,16 @@ struct VirtualLogConfig {
   uint32_t replication_factor = 3;
   /// Max bytes of chunk data replicated by one RPC batch.
   size_t max_batch_bytes = 1u << 20;
+  /// Max replication batches outstanding at once (1 = classic synchronous
+  /// stop-and-wait replication; >1 pipelines batches so replication
+  /// round-trips overlap and the backup links stay full).
+  uint32_t replication_window = 1;
 };
 
 /// A unit of replication work: a contiguous run of unreplicated chunk refs
 /// of one virtual segment, to be pushed to that segment's backup set.
 struct ReplicationBatch {
+  uint64_t id = 0;                  // issue ticket; matches Complete/Abort
   VlogId vlog = 0;
   VirtualSegmentId vseg = 0;
   std::vector<NodeId> backups;
@@ -73,29 +87,36 @@ class VirtualLog {
   };
   AppendPosition Append(const ChunkRef& ref);
 
-  /// Returns the next replication batch if data is pending and no batch is
-  /// in flight (replication is ordered: one outstanding batch per vlog).
-  /// The caller ships the chunks to every backup in batch.backups and then
-  /// calls Complete (or Abort on failure).
+  /// Returns the next replication batch if unissued data is pending and
+  /// the replication window has a free slot. Batches are issued in log
+  /// order, each starting where the previous one (durable or in flight)
+  /// ended. The caller ships the chunks to every backup in batch.backups
+  /// and then calls Complete (or Abort on failure).
   [[nodiscard]] std::optional<ReplicationBatch> Poll();
 
-  /// Acknowledges the in-flight batch: advances durable headers, pushes
-  /// durability into groups/segments, wakes WaitDurable callers.
+  /// Acknowledges an outstanding batch. Completions may arrive out of
+  /// order; the durable prefix (headers, group durability, waiter wakeup)
+  /// advances only over the contiguous prefix of completed batches, in
+  /// issue order. Completing a batch that was dropped by Abort/Evacuate is
+  /// a no-op (the range was requeued and will be re-shipped).
   void Complete(const ReplicationBatch& batch);
 
-  /// Returns the in-flight batch to the pending state (backup failure; the
-  /// caller re-polls, possibly after the selector re-targets backups).
+  /// Returns an outstanding batch to the pending state (backup failure).
+  /// The aborted batch AND every batch issued after it are requeued — a
+  /// later batch must never become durable over a hole — and will be
+  /// re-polled, possibly after the selector re-targets backups.
   void Abort(const ReplicationBatch& batch);
 
   /// Blocks until the chunk at `pos` is durably replicated. Threaded
   /// deployments call this from produce handlers; the DES never blocks.
   void WaitDurable(AppendPosition pos);
 
-  /// Blocks until `pos` is durable OR no replication batch is in flight
-  /// (in which case the caller should Poll and drive replication itself).
-  /// Returns IsDurable(pos). This is the building block of the produce
-  /// handler's replicate-or-wait loop: whichever worker thread finds the
-  /// vlog idle ships the next batch, and the others sleep.
+  /// Blocks until `pos` is durable OR the caller could usefully drive
+  /// replication itself (unissued work pending and a window slot free).
+  /// Returns IsDurable(pos). This is the building block of the
+  /// synchronous produce handler's replicate-or-wait loop: whichever
+  /// worker thread finds the vlog pollable ships the next batch, and the
+  /// others sleep.
   [[nodiscard]] bool WaitDurableOrIdle(AppendPosition pos);
 
   /// Like WaitDurableOrIdle but tracks durability through the chunk's
@@ -103,10 +124,26 @@ class VirtualLog {
   /// Returns whether the chunk is durable.
   [[nodiscard]] bool WaitChunkDurableOrIdle(const ChunkRef& ref);
 
+  /// Blocks until the chunk is durable or replication of this log fails
+  /// persistently (see NoteReplicationFailure). Returns OkStatus() when
+  /// durable, the replication error otherwise. Producers parked on the
+  /// background replicator use this: they never drive replication
+  /// themselves, so plain WaitDurable could hang on a dead backup set.
+  [[nodiscard]] Status WaitChunkDurable(const ChunkRef& ref);
+
+  /// Records a failed shipping attempt. Returns true if the caller should
+  /// retry (the failure budget is not yet exhausted); after too many
+  /// consecutive failures it latches the error, wakes WaitChunkDurable
+  /// callers with it, resets the budget, and returns false. Any Complete
+  /// resets the consecutive-failure counter.
+  bool NoteReplicationFailure(const Status& error);
+
   /// Backup-failure handling: closes the segment, moves its unreplicated
   /// refs (in order) to a fresh segment with a newly selected backup set,
   /// and wakes waiters. The already-durable prefix stays where it is.
-  /// Returns the number of refs moved. Call with no batch in flight.
+  /// Outstanding batches covering the victim or any later segment are
+  /// dropped from the window (their refs move, so late completions for
+  /// them are ignored). Returns the number of refs moved.
   size_t EvacuateSegment(VirtualSegmentId vseg);
   [[nodiscard]] bool IsDurable(AppendPosition pos) const;
 
@@ -115,7 +152,8 @@ class VirtualLog {
     return config_.replication_factor;
   }
 
-  /// True if unreplicated refs are pending and no batch is in flight.
+  /// True if unissued replication work is pending (regardless of window
+  /// occupancy — Poll may still return nullopt when the window is full).
   [[nodiscard]] bool HasWork() const;
 
   struct Stats {
@@ -125,6 +163,7 @@ class VirtualLog {
                                      // per-backup; multiply by R-1 for RPCs)
     uint64_t bytes_replicated = 0;   // per-vlog (one copy)
     uint64_t segments_opened = 0;
+    uint64_t max_inflight_batches = 0;  // high-water mark of the window
   };
   [[nodiscard]] Stats GetStats() const;
 
@@ -137,7 +176,30 @@ class VirtualLog {
   size_t TrimReplicatedSegments();
 
  private:
+  /// One issued-but-not-yet-applied replication batch.
+  struct Outstanding {
+    uint64_t id = 0;
+    VirtualSegmentId vseg = 0;
+    uint64_t start_ref = 0;
+    size_t ref_count = 0;
+    size_t bytes = 0;
+    bool seals = false;
+    bool done = false;  // acked by all backups, awaiting in-order apply
+  };
+
   VirtualSegment* OpenSegmentLocked();
+  /// O(1) lookup: segment ids are contiguous in segments_ (assigned
+  /// sequentially, trimmed only from the front). nullptr if trimmed away
+  /// (== fully replicated) or not yet opened.
+  [[nodiscard]] VirtualSegment* FindSegmentLocked(VirtualSegmentId vseg) const;
+  [[nodiscard]] bool DurableLocked(AppendPosition pos) const;
+  [[nodiscard]] bool ChunkDurableLocked(const ChunkRef& ref) const;
+  /// Unissued work exists (data refs or a seal past every outstanding
+  /// batch of its segment).
+  [[nodiscard]] bool HasUnissuedWorkLocked() const;
+  /// Applies the contiguous prefix of completed outstanding batches, in
+  /// issue order, advancing durable headers and group durability.
+  void ApplyCompletedPrefixLocked();
 
   const VlogId id_;
   const VirtualLogConfig config_;
@@ -147,7 +209,16 @@ class VirtualLog {
   std::condition_variable durable_cv_;
   std::deque<std::unique_ptr<VirtualSegment>> segments_;
   VirtualSegmentId next_segment_id_ = 0;
-  bool batch_in_flight_ = false;
+
+  std::deque<Outstanding> inflight_;  // issue order
+  uint64_t next_batch_id_ = 1;
+
+  // Persistent-failure latch for background replication (WaitChunkDurable
+  // returns last_error_ to waiters whenever error_epoch_ advances).
+  int consecutive_failures_ = 0;
+  uint64_t error_epoch_ = 0;
+  Status last_error_ = OkStatus();
+
   Stats stats_;
 };
 

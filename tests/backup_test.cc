@@ -86,12 +86,59 @@ TEST_F(BackupTest, DuplicateBatchIsIdempotent) {
   EXPECT_EQ(backup_.GetStats().chunks_received, 1u);
 }
 
-TEST_F(BackupTest, HoleRejected) {
+TEST_F(BackupTest, OutOfOrderBatchBufferedUntilGapFills) {
+  // The primary pipelines several batches per vlog; the network may
+  // deliver them reordered. A batch past the contiguous prefix is
+  // buffered and acked, then applied once the gap fills.
   auto c1 = MakeChunk(1);
+  auto c2 = MakeChunk(2);
   uint32_t crc1 = ChecksumOf(c1, 0);
-  // start_offset != received bytes: out of order.
-  auto resp = backup_.HandleReplicate(MakeReplicate(c1, 1, 500, crc1));
-  EXPECT_EQ(resp.status, StatusCode::kOutOfRange);
+  uint32_t crc2 = ChecksumOf(c2, crc1);
+
+  auto resp = backup_.HandleReplicate(MakeReplicate(c2, 1, c1.size(), crc2));
+  EXPECT_EQ(resp.status, StatusCode::kOk);
+  // Buffered, not yet part of the applied prefix.
+  EXPECT_EQ(backup_.GetStats().chunks_received, 1u);
+
+  resp = backup_.HandleReplicate(MakeReplicate(c1, 1, 0, crc1));
+  EXPECT_EQ(resp.status, StatusCode::kOk);
+  // The gap filled: both chunks applied, in order, checksum chain intact.
+  auto list = backup_.HandleList({.crashed = 1});
+  ASSERT_EQ(list.segments.size(), 1u);
+  EXPECT_EQ(list.segments[0].chunk_count, 2u);
+  EXPECT_EQ(backup_.GetStats().checksum_failures, 0u);
+}
+
+TEST_F(BackupTest, StaleRequeuedBatchDroppedFromBuffer) {
+  // An aborted-and-requeued window suffix may resend the same range with
+  // new boundaries; a buffered stale copy the applied data already covers
+  // is dropped, not re-applied.
+  auto c1 = MakeChunk(1);
+  auto c2 = MakeChunk(2);
+  uint32_t crc1 = ChecksumOf(c1, 0);
+  uint32_t crc2 = ChecksumOf(c2, crc1);
+
+  // Stale out-of-order copy of c2 arrives first and is buffered.
+  EXPECT_EQ(
+      backup_.HandleReplicate(MakeReplicate(c2, 1, c1.size(), crc2)).status,
+      StatusCode::kOk);
+  // Requeued batch covering [c1, c2) in one piece arrives and applies.
+  std::vector<std::byte> both(c1.begin(), c1.end());
+  both.insert(both.end(), c2.begin(), c2.end());
+  EXPECT_EQ(backup_.HandleReplicate(MakeReplicate(both, 2, 0, crc2)).status,
+            StatusCode::kOk);
+  // The buffered copy is now stale; a further append still lines up.
+  auto c3 = MakeChunk(3);
+  uint32_t crc3 = ChecksumOf(c3, crc2);
+  EXPECT_EQ(backup_
+                .HandleReplicate(
+                    MakeReplicate(c3, 1, c1.size() + c2.size(), crc3))
+                .status,
+            StatusCode::kOk);
+  auto list = backup_.HandleList({.crashed = 1});
+  ASSERT_EQ(list.segments.size(), 1u);
+  EXPECT_EQ(list.segments[0].chunk_count, 3u);
+  EXPECT_EQ(backup_.GetStats().checksum_failures, 0u);
 }
 
 TEST_F(BackupTest, CorruptChunkRejectedAtomically) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string_view>
+#include <thread>
 
 #include "backup/backup.h"
 #include "broker/broker.h"
@@ -284,6 +285,117 @@ TEST_F(BrokerTest, DebugStringSummarizesState) {
   EXPECT_EQ(s.find("[sealed]"), std::string::npos);
   ASSERT_TRUE(broker_->SealStream(info.stream).ok());
   EXPECT_NE(broker_->DebugString().find("[sealed]"), std::string::npos);
+}
+
+// Fixture for the background-replication path: workers ship batches off
+// the produce path, producers block only on durability of their own
+// chunks. Uses the threaded network so replication runs truly
+// concurrently with produce and consume.
+class BackgroundReplicationTest : public ::testing::Test {
+ protected:
+  BackgroundReplicationTest() {
+    BrokerConfig bc;
+    bc.node = 1;
+    bc.memory_bytes = 64 << 20;
+    bc.segment_size = 64 << 10;
+    bc.segments_per_group = 2;
+    bc.virtual_segment_capacity = 64 << 10;
+    bc.vlogs_per_broker = 2;
+    bc.replication_window = 4;
+    bc.replication_workers = 2;
+    bc.backup_nodes = {BackupServiceId(1), BackupServiceId(2),
+                       BackupServiceId(3)};
+    broker_ = std::make_unique<Broker>(bc, net_);
+    backup2_ =
+        std::make_unique<Backup>(BackupConfig{.node = 2, .storage_dir = ""});
+    backup3_ =
+        std::make_unique<Backup>(BackupConfig{.node = 3, .storage_dir = ""});
+    net_.Register(BackupServiceId(2), backup2_.get());
+    net_.Register(BackupServiceId(3), backup3_.get());
+  }
+
+  ~BackgroundReplicationTest() override {
+    broker_->StopReplicator();
+    net_.Shutdown();
+  }
+
+  rpc::StreamInfo MakeStream(uint32_t streamlets) {
+    rpc::StreamInfo info;
+    info.stream = 1;
+    info.options.num_streamlets = streamlets;
+    info.options.active_groups_per_streamlet = 1;
+    info.options.replication_factor = 3;
+    info.options.vlog_policy = rpc::VlogPolicy::kSharedPerBroker;
+    info.streamlet_brokers.assign(streamlets, 1);
+    EXPECT_TRUE(broker_->AddStream("storm", info).ok());
+    for (StreamletId sl = 0; sl < streamlets; ++sl) {
+      EXPECT_TRUE(broker_->AddStreamlet(info.stream, sl).ok());
+    }
+    return info;
+  }
+
+  rpc::ThreadedNetwork net_{2};
+  std::unique_ptr<Broker> broker_;
+  std::unique_ptr<Backup> backup2_;
+  std::unique_ptr<Backup> backup3_;
+};
+
+TEST_F(BackgroundReplicationTest, ProduceStormAcksImplyDurability) {
+  const uint32_t kThreads = 4;
+  const ChunkSeq kChunksEach = 50;
+  auto info = MakeStream(kThreads);
+
+  // Each thread produces to its own streamlet; after every ack the chunk
+  // must already be durable, i.e. visible through the consume gate.
+  std::vector<std::thread> producers;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (ChunkSeq seq = 1; seq <= kChunksEach; ++seq) {
+        rpc::ProduceRequest req;
+        req.producer = ProducerId(t + 1);
+        req.stream = info.stream;
+        auto chunk = MakeChunk(info.stream, StreamletId(t),
+                               ProducerId(t + 1), seq);
+        req.chunks = {chunk};
+        auto resp = broker_->HandleProduce(req);
+        ASSERT_EQ(resp.status, StatusCode::kOk);
+        ASSERT_EQ(resp.appended, 1u);
+
+        rpc::ConsumeRequest creq;
+        creq.stream = info.stream;
+        creq.entries = {{.streamlet = StreamletId(t), .group = 0,
+                         .start_chunk = 0, .max_chunks = 1000}};
+        auto cresp = broker_->HandleConsume(creq);
+        ASSERT_EQ(cresp.status, StatusCode::kOk);
+        ASSERT_GE(cresp.entries[0].chunks.size(), size_t(seq));
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+
+  auto stats = broker_->GetStats();
+  EXPECT_EQ(stats.chunks_appended, uint64_t(kThreads) * kChunksEach);
+  EXPECT_GT(stats.replication_rpcs, 0u);
+  ASSERT_NE(broker_->replicator(), nullptr);
+  auto rstats = broker_->replicator()->GetStats();
+  EXPECT_GT(rstats.batches_shipped, 0u);
+  EXPECT_EQ(rstats.batch_failures, 0u);
+}
+
+TEST_F(BackgroundReplicationTest, BackupFailureSurfacesToProducer) {
+  auto info = MakeStream(1);
+  net_.Crash(BackupServiceId(2));
+  net_.Crash(BackupServiceId(3));
+  rpc::ProduceRequest req;
+  req.producer = 1;
+  req.stream = info.stream;
+  auto chunk = MakeChunk(info.stream, 0, 1, 1);
+  req.chunks = {chunk};
+  // The background replicator exhausts its retry budget; the blocked
+  // producer is woken with the error instead of hanging forever.
+  auto resp = broker_->HandleProduce(req);
+  EXPECT_EQ(resp.status, StatusCode::kUnavailable);
+  EXPECT_GT(broker_->replicator()->GetStats().batch_failures, 0u);
 }
 
 TEST_F(BrokerTest, FramedProduceConsumeDispatch) {

@@ -157,6 +157,104 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(name);
     });
 
+// Windowed replication property: with several batches in flight, random
+// out-of-order completions and aborts must keep the durable prefix
+// contiguous (headers on chunk boundaries, never regressing) and
+// eventually make every chunk durable exactly once.
+TEST(VlogWindowedProperty, OutOfOrderCompletionKeepsInvariants) {
+  for (uint32_t window : {2u, 4u, 8u}) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      Xoshiro256 rng(seed * 977 + window);
+      MemoryManager mm(size_t(64) << 20, 256 << 10);
+      Group group(mm, 1, 0, 0, 64);
+      VirtualLogConfig cfg;
+      cfg.virtual_segment_capacity = 8 << 10;
+      cfg.replication_factor = 3;
+      cfg.max_batch_bytes = 1 << 10;
+      cfg.replication_window = window;
+      VirtualLog vlog(1, cfg, [](VirtualSegmentId v) {
+        return std::vector<NodeId>{NodeId(10 + v % 3), NodeId(13)};
+      });
+
+      ChunkBuilder builder(2048);
+      int appended = 0;
+      const int kChunks = 200;
+      auto append_one = [&] {
+        builder.Start(1, 0, 1);
+        std::vector<std::byte> value(rng.NextBounded(700) + 10);
+        ASSERT_TRUE(builder.AppendValue(value));
+        auto bytes = builder.Seal(ChunkSeq(appended + 1));
+        auto r = group.AppendChunk(bytes);
+        ASSERT_TRUE(r.ok());
+        ChunkRef ref;
+        ref.loc = *r;
+        ref.group = &group;
+        ref.stream = 1;
+        auto view =
+            ChunkView::Parse(r->segment->Bytes(r->offset, r->length));
+        ref.payload_checksum = view->payload_checksum();
+        vlog.Append(ref);
+        ++appended;
+      };
+
+      std::vector<ReplicationBatch> inflight;  // issue order
+      std::map<VirtualSegmentId, uint64_t> durable_seen;
+      auto check_invariants = [&] {
+        for (const VirtualSegment* seg : vlog.Segments()) {
+          // Durable header sits on a chunk boundary and never regresses.
+          uint64_t boundary = 0;
+          bool on_boundary = seg->durable_header() == 0;
+          for (size_t i = 0; i < seg->ref_count(); ++i) {
+            boundary += seg->ref(i).loc.length;
+            if (boundary == seg->durable_header()) on_boundary = true;
+          }
+          EXPECT_TRUE(on_boundary);
+          EXPECT_LE(seg->durable_header(), seg->header());
+          uint64_t& prev = durable_seen[seg->id()];
+          EXPECT_GE(seg->durable_header(), prev);
+          prev = seg->durable_header();
+        }
+      };
+
+      while (appended < kChunks ||
+             group.durable_chunk_count() < uint64_t(appended)) {
+        uint64_t dice = rng.NextBounded(10);
+        if (appended < kChunks && dice < 4) {
+          append_one();
+          continue;
+        }
+        if (dice < 7 || inflight.empty()) {
+          auto batch = vlog.Poll();
+          if (batch.has_value()) {
+            inflight.push_back(std::move(*batch));
+          } else if (inflight.empty() && appended < kChunks) {
+            append_one();
+          }
+          continue;
+        }
+        // Complete or abort a RANDOM in-flight batch (out of order).
+        size_t pick = rng.NextBounded(inflight.size());
+        if (dice == 9) {
+          // Aborting drops the picked batch and the whole issued suffix.
+          vlog.Abort(inflight[pick]);
+          inflight.erase(inflight.begin() + long(pick), inflight.end());
+        } else {
+          vlog.Complete(inflight[pick]);
+          inflight.erase(inflight.begin() + long(pick));
+        }
+        check_invariants();
+      }
+
+      EXPECT_EQ(group.durable_chunk_count(), uint64_t(kChunks));
+      EXPECT_EQ(group.chunk_count(), uint64_t(kChunks));
+      auto stats = vlog.GetStats();
+      EXPECT_EQ(stats.chunks_appended, uint64_t(kChunks));
+      EXPECT_LE(stats.max_inflight_batches, uint64_t(window));
+      if (window > 1) EXPECT_GT(stats.max_inflight_batches, 1u);
+    }
+  }
+}
+
 // Evacuation property: moving unreplicated refs to a fresh segment keeps
 // the exact multiset of chunks and their per-group relative order.
 TEST(VlogEvacuationProperty, PreservesChunksAndOrder) {

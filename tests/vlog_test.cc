@@ -273,6 +273,110 @@ TEST_F(VirtualLogTest, AbortAllowsRetry) {
   EXPECT_TRUE(log.IsDurable(pos));
 }
 
+TEST_F(VirtualLogTest, WindowedPollIssuesConcurrentBatches) {
+  config_.replication_window = 3;
+  config_.max_batch_bytes = 1;  // one chunk per batch
+  VirtualLog log = MakeLog();
+  auto p1 = log.Append(AppendAndRef(group_, 1, 0, 1, 1));
+  auto p2 = log.Append(AppendAndRef(group_, 1, 0, 1, 2));
+  auto p3 = log.Append(AppendAndRef(group_, 1, 0, 1, 3));
+
+  auto b1 = log.Poll();
+  auto b2 = log.Poll();
+  auto b3 = log.Poll();
+  ASSERT_TRUE(b1 && b2 && b3);
+  // Ordered issue: consecutive ranges, strictly increasing offsets.
+  EXPECT_EQ(b1->start_ref, 0u);
+  EXPECT_EQ(b2->start_ref, 1u);
+  EXPECT_EQ(b3->start_ref, 2u);
+  EXPECT_EQ(b2->start_offset, b1->start_offset + b1->bytes);
+  EXPECT_EQ(b3->start_offset, b2->start_offset + b2->bytes);
+  // Window full: nothing further issues.
+  EXPECT_FALSE(log.Poll().has_value());
+  EXPECT_FALSE(log.HasWork());
+
+  // Out-of-order completion: the durable prefix never skips ahead.
+  log.Complete(*b3);
+  EXPECT_FALSE(log.IsDurable(p1));
+  EXPECT_FALSE(log.IsDurable(p3));
+  log.Complete(*b1);
+  EXPECT_TRUE(log.IsDurable(p1));
+  EXPECT_FALSE(log.IsDurable(p2));  // b2 still in flight
+  EXPECT_FALSE(log.IsDurable(p3));  // b3 done but behind b2
+  log.Complete(*b2);
+  EXPECT_TRUE(log.IsDurable(p2));
+  EXPECT_TRUE(log.IsDurable(p3));
+  EXPECT_EQ(group_.durable_chunk_count(), 3u);
+  EXPECT_EQ(log.GetStats().max_inflight_batches, 3u);
+}
+
+TEST_F(VirtualLogTest, WindowedAbortRequeuesSuffix) {
+  config_.replication_window = 3;
+  config_.max_batch_bytes = 1;
+  VirtualLog log = MakeLog();
+  auto p1 = log.Append(AppendAndRef(group_, 1, 0, 1, 1));
+  auto p2 = log.Append(AppendAndRef(group_, 1, 0, 1, 2));
+  auto p3 = log.Append(AppendAndRef(group_, 1, 0, 1, 3));
+  auto b1 = log.Poll();
+  auto b2 = log.Poll();
+  auto b3 = log.Poll();
+  ASSERT_TRUE(b1 && b2 && b3);
+
+  log.Complete(*b3);  // completes out of order, stays pending behind b2
+  log.Abort(*b2);     // drops b2 AND the already-completed b3
+  log.Complete(*b1);
+  EXPECT_TRUE(log.IsDurable(p1));
+  EXPECT_FALSE(log.IsDurable(p2));
+  EXPECT_FALSE(log.IsDurable(p3));
+
+  // The aborted suffix is re-issued from b2's position.
+  auto r2 = log.Poll();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->start_ref, b2->start_ref);
+  EXPECT_EQ(r2->start_offset, b2->start_offset);
+  auto r3 = log.Poll();
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->start_ref, b3->start_ref);
+
+  // A late ack for the aborted generation of b3 is a stale no-op.
+  log.Complete(*b3);
+  EXPECT_FALSE(log.IsDurable(p3));
+
+  log.Complete(*r2);
+  log.Complete(*r3);
+  EXPECT_TRUE(log.IsDurable(p2));
+  EXPECT_TRUE(log.IsDurable(p3));
+  EXPECT_EQ(group_.durable_chunk_count(), 3u);
+}
+
+TEST_F(VirtualLogTest, WindowedSealWaitsForInflightData) {
+  // The empty seal batch for a late-closed segment must not issue while
+  // that segment still has a data batch in flight.
+  config_.replication_window = 4;
+  config_.virtual_segment_capacity = 150;  // ~1 chunk per virtual segment
+  VirtualLog log = MakeLog();
+  log.Append(AppendAndRef(group_, 1, 0, 1, 1));
+  auto b1 = log.Poll();  // seg0 data, segment still open
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_FALSE(b1->seals_segment);
+  log.Append(AppendAndRef(group_, 1, 0, 1, 2));  // rolls; seg0 closed
+  auto b2 = log.Poll();  // seg1 data
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b2->vseg, 1u);
+  // Window has room, but seg0's seal is gated on b1 completing.
+  EXPECT_FALSE(log.Poll().has_value());
+  log.Complete(*b1);
+  auto b3 = log.Poll();
+  ASSERT_TRUE(b3.has_value());
+  EXPECT_EQ(b3->vseg, 0u);
+  EXPECT_TRUE(b3->seals_segment);
+  EXPECT_TRUE(b3->refs.empty());
+  log.Complete(*b3);
+  log.Complete(*b2);
+  EXPECT_TRUE(log.Segments()[0]->fully_replicated());
+  EXPECT_FALSE(log.Poll().has_value());
+}
+
 TEST_F(VirtualLogTest, SharedAcrossGroupsPreservesPerGroupOrder) {
   // Two groups (different streamlets) share one vlog; replication must
   // advance each group's durable prefix in its own append order.
