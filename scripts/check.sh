@@ -1,30 +1,45 @@
 #!/usr/bin/env bash
 # Full local check: regular build + all tests, a ThreadSanitizer build
 # running the concurrency-sensitive suites (virtual log windowed
-# replication, background replicator), and the core micro-benchmark
-# emitting machine-readable JSON.
+# replication, background replicator), an ASan+UBSan build running the
+# wire/rpc suites (the scatter-gather encode path references external
+# buffers; sanitizers catch lifetime mistakes), and the core
+# micro-benchmark emitting machine-readable JSON.
 #
-#   ./scripts/check.sh [build_dir] [tsan_build_dir]
+#   ./scripts/check.sh [build_dir] [tsan_build_dir] [asan_build_dir]
 set -euo pipefail
 
 repo=$(cd "$(dirname "$0")/.." && pwd)
 build=${1:-"$repo/build"}
 tsan_build=${2:-"$repo/build-tsan"}
+asan_build=${3:-"$repo/build-asan"}
 
 echo "== regular build + full test suite =="
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
-echo "== ThreadSanitizer build (vlog + broker suites) =="
+echo "== ThreadSanitizer build (vlog + broker + client suites) =="
 cmake -B "$tsan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$tsan_build" -j --target \
-  vlog_test vlog_property_test broker_test
-for t in vlog_test vlog_property_test broker_test; do
+  vlog_test vlog_property_test broker_test client_test client_edge_test
+for t in vlog_test vlog_property_test broker_test client_test \
+         client_edge_test; do
   echo "-- TSan: $t"
   "$tsan_build/tests/$t"
+done
+
+echo "== ASan+UBSan build (wire + rpc + crc suites) =="
+cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$asan_build" -j --target \
+  wire_test wire_golden_test rpc_test common_test
+for t in wire_test wire_golden_test rpc_test common_test; do
+  echo "-- ASan+UBSan: $t"
+  "$asan_build/tests/$t"
 done
 
 echo "== micro-benchmark (JSON to BENCH_micro_core.json) =="

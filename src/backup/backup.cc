@@ -249,6 +249,8 @@ std::vector<std::byte> Backup::HandleRpc(std::span<const std::byte> request) {
     return std::move(out).Take();
   }
   rpc::Reader r(body);
+  // Outlives the switch: responses reference this storage until Take().
+  std::vector<std::byte> read_storage;
   switch (op) {
     case rpc::Opcode::kReplicate: {
       auto req = rpc::ReplicateRequest::Decode(r);
@@ -274,13 +276,12 @@ std::vector<std::byte> Backup::HandleRpc(std::span<const std::byte> request) {
     }
     case rpc::Opcode::kReadRecoverySegment: {
       auto req = rpc::ReadRecoverySegmentRequest::Decode(r);
-      std::vector<std::byte> storage;
       if (!req.ok()) {
         rpc::ReadRecoverySegmentResponse resp;
         resp.status = req.status().code();
         resp.Encode(out);
       } else {
-        HandleRead(*req, storage).Encode(out);
+        HandleRead(*req, read_storage).Encode(out);
       }
       break;
     }

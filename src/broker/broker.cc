@@ -394,16 +394,16 @@ std::vector<std::byte> Broker::BuildReplicateFrame(
   req.checksum_after = batch.checksum_after;
   req.seals = batch.seals_segment;
 
-  // Gather the chunk bytes from the physical segments into one payload.
-  std::vector<std::byte> payload;
-  payload.reserve(batch.bytes);
+  // Reference the chunk bytes straight from the physical segments; the
+  // encoder splices them into the frame with one copy total (no
+  // intermediate gather buffer).
+  req.payload_parts.reserve(batch.refs.size());
   for (const ChunkRef& ref : batch.refs) {
-    auto bytes = ref.loc.segment->Bytes(ref.loc.offset, ref.loc.length);
-    payload.insert(payload.end(), bytes.begin(), bytes.end());
+    req.payload_parts.push_back(
+        ref.loc.segment->Bytes(ref.loc.offset, ref.loc.length));
   }
-  req.payload = payload;
 
-  rpc::Writer body(payload.size() + 64);
+  rpc::Writer body(64);
   req.Encode(body);
   return rpc::Frame(rpc::Opcode::kReplicate, body);
 }

@@ -68,9 +68,10 @@ void Consumer::OpenDiscoveredGroups(StreamletState& state) {
   }
 }
 
-void Consumer::HandleEntry(StreamletState& state,
-                           const rpc::ConsumeEntryResponse& entry,
-                           bool* got_data) {
+void Consumer::HandleEntry(
+    StreamletState& state, const rpc::ConsumeEntryResponse& entry,
+    const std::shared_ptr<const std::vector<std::byte>>& buf,
+    bool* got_data) {
   if (entry.groups_created > state.groups_created) {
     state.groups_created = entry.groups_created;
   }
@@ -88,12 +89,10 @@ void Consumer::HandleEntry(StreamletState& state,
   for (const auto& chunk_bytes : entry.chunks) {
     FetchedChunk fc;
     fc.streamlet = entry.streamlet;
-    fc.bytes.assign(chunk_bytes.begin(), chunk_bytes.end());
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.chunks_received;
-      stats_.bytes_received += fc.bytes.size();
-    }
+    fc.bytes = chunk_bytes;  // aliases the shared response buffer
+    fc.response = buf;
+    chunks_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(fc.bytes.size(), std::memory_order_relaxed);
     fetched_.Push(std::move(fc));
     *got_data = true;
   }
@@ -160,12 +159,13 @@ void Consumer::RequestsLoop() {
       req.Encode(body);
       auto raw =
           network_.Call(broker, rpc::Frame(rpc::Opcode::kConsume, body));
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.requests_sent;
-      }
+      requests_sent_.fetch_add(1, std::memory_order_relaxed);
       if (!raw.ok()) continue;  // broker down; retry next round
-      rpc::Reader r(*raw);
+      // Keep the response alive for as long as any fetched chunk aliases
+      // it; decoded chunk spans point straight into this buffer.
+      auto shared =
+          std::make_shared<const std::vector<std::byte>>(std::move(*raw));
+      rpc::Reader r(*shared);
       auto resp = rpc::ConsumeResponse::Decode(r);
       if (!resp.ok() || resp->status != StatusCode::kOk) continue;
       for (auto& entry : resp->entries) {
@@ -179,14 +179,11 @@ void Consumer::RequestsLoop() {
           state.active.emplace(entry.group, 0);
           state.next_unstarted = FirstOwnedGroupAtOrAfter(entry.group + 1);
         }
-        HandleEntry(state, entry, &got_data);
+        HandleEntry(state, entry, shared, &got_data);
       }
     }
     if (!got_data) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.empty_responses;
-      }
+      empty_responses_.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::sleep_for(
           std::chrono::microseconds(config_.idle_backoff_us));
     }
@@ -205,8 +202,7 @@ std::vector<ConsumedRecord> Consumer::Poll(size_t max_records) {
     if (!fetched) break;
     auto chunk = ChunkView::Parse(fetched->bytes);
     if (!chunk.ok() || !chunk->VerifyChecksum()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.checksum_failures;
+      checksum_failures_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     for (auto it = chunk->records(); !it.Done(); it.Next()) {
@@ -219,8 +215,8 @@ std::vector<ConsumedRecord> Consumer::Poll(size_t max_records) {
       cr.value.assign(rec.value().begin(), rec.value().end());
       buffered_.push_back(std::move(cr));
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.records_consumed += chunk->record_count();
+    records_consumed_.fetch_add(chunk->record_count(),
+                                std::memory_order_relaxed);
   }
   return out;
 }
@@ -243,8 +239,8 @@ std::vector<ConsumedRecord> Consumer::PollBlocking(size_t max_records) {
                         it.record().value().end());
         buffered_.push_back(std::move(cr));
       }
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.records_consumed += chunk->record_count();
+      records_consumed_.fetch_add(chunk->record_count(),
+                                  std::memory_order_relaxed);
     }
   }
   return Poll(max_records);
@@ -261,8 +257,15 @@ void Consumer::Close() {
 }
 
 Consumer::Stats Consumer::GetStats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats out;
+  out.records_consumed = records_consumed_.load(std::memory_order_relaxed);
+  out.chunks_received = chunks_received_.load(std::memory_order_relaxed);
+  out.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  out.requests_sent = requests_sent_.load(std::memory_order_relaxed);
+  out.empty_responses = empty_responses_.load(std::memory_order_relaxed);
+  out.checksum_failures =
+      checksum_failures_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace kera

@@ -82,12 +82,18 @@ class Consumer {
   };
   struct FetchedChunk {
     StreamletId streamlet = 0;
-    std::vector<std::byte> bytes;  // full chunk frame
+    /// Full chunk frame, aliasing `response` (all chunks fetched by one
+    /// consume RPC share its response buffer instead of being copied out
+    /// one by one).
+    std::span<const std::byte> bytes;
+    std::shared_ptr<const std::vector<std::byte>> response;
   };
 
   void RequestsLoop();
   void HandleEntry(StreamletState& state,
-                   const rpc::ConsumeEntryResponse& entry, bool* got_data);
+                   const rpc::ConsumeEntryResponse& entry,
+                   const std::shared_ptr<const std::vector<std::byte>>& buf,
+                   bool* got_data);
   [[nodiscard]] GroupId FirstOwnedGroupAtOrAfter(GroupId g) const;
   /// Opens owned groups below groups_created into the active set, up to
   /// the parallelism cap.
@@ -109,8 +115,13 @@ class Consumer {
   // Source-side state: partially consumed chunk queue.
   std::deque<ConsumedRecord> buffered_;
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  // Hot-path counters are relaxed atomics (touched per chunk / per poll).
+  std::atomic<uint64_t> records_consumed_{0};
+  std::atomic<uint64_t> chunks_received_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> requests_sent_{0};
+  std::atomic<uint64_t> empty_responses_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
 };
 
 }  // namespace kera

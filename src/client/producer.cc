@@ -123,10 +123,7 @@ Status Producer::SendRecord(std::span<const std::byte> key,
       return Status(StatusCode::kInvalidArgument, "record exceeds chunk size");
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.records_sent;
-  }
+  records_sent_.fetch_add(1, std::memory_order_relaxed);
   return OkStatus();
 }
 
@@ -143,10 +140,7 @@ Status Producer::SealAndEnqueue(StreamletId streamlet, OpenChunk& open) {
   sealed.builder = std::move(open.builder);
   chunks_enqueued_.fetch_add(1, std::memory_order_release);
   sealed_.Push(std::move(sealed));
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.chunks_sent;
-  }
+  chunks_sent_.fetch_add(1, std::memory_order_relaxed);
   return OkStatus();
 }
 
@@ -218,42 +212,77 @@ void Producer::RequestsLoop() {
       requests.push_back(std::move(inflight));
     }
 
-    for (auto& inflight : requests) {
-      auto start = std::chrono::steady_clock::now();
-      bool ok = false;
-      for (int attempt = 0; attempt <= config_.request_retries; ++attempt) {
-        auto raw = network_.Call(inflight.broker, inflight.frame);
-        if (!raw.ok()) continue;
-        rpc::Reader r(*raw);
-        auto resp = rpc::ProduceResponse::Decode(r);
-        if (!resp.ok() || resp->status != StatusCode::kOk) continue;
-        {
-          std::lock_guard<std::mutex> lock(stats_mu_);
-          ++stats_.requests_sent;
-          stats_.duplicates_reported += resp->duplicates;
-          stats_.bytes_sent += inflight.frame.size();
-          auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-          stats_.request_latency_us.Record(uint64_t(us));
-          stats_.chunks_acked += inflight.chunks.size();
+    // Issue the whole round over CallAsync and collect; brokers that fail
+    // are retried together in the next attempt round.
+    auto start = std::chrono::steady_clock::now();
+    std::vector<size_t> pending(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) pending[i] = i;
+    for (int attempt = 0;
+         attempt <= config_.request_retries && !pending.empty(); ++attempt) {
+      std::vector<std::future<Result<std::vector<std::byte>>>> futures;
+      futures.reserve(pending.size());
+      for (size_t i : pending) {
+        futures.push_back(
+            network_.CallAsync(requests[i].broker, requests[i].frame));
+      }
+      std::vector<size_t> still_pending;
+      for (size_t f = 0; f < futures.size(); ++f) {
+        InFlight& inflight = requests[pending[f]];
+        auto raw = [&]() -> Result<std::vector<std::byte>> {
+          try {
+            return futures[f].get();
+          } catch (const std::future_error&) {
+            // Network shut down with the call in flight.
+            return Status(StatusCode::kUnavailable, "network stopped");
+          }
+        }();
+        bool ok = false;
+        if (raw.ok()) {
+          rpc::Reader r(*raw);
+          auto resp = rpc::ProduceResponse::Decode(r);
+          if (resp.ok() && resp->status == StatusCode::kOk) {
+            requests_sent_.fetch_add(1, std::memory_order_relaxed);
+            duplicates_reported_.fetch_add(resp->duplicates,
+                                           std::memory_order_relaxed);
+            bytes_sent_.fetch_add(inflight.frame.size(),
+                                  std::memory_order_relaxed);
+            auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+            {
+              std::lock_guard<std::mutex> lock(latency_mu_);
+              request_latency_us_.Record(uint64_t(us));
+            }
+            ok = true;
+          }
         }
-        ok = true;
-        break;
+        if (ok) {
+          AckChunks(inflight.chunks);
+        } else {
+          still_pending.push_back(pending[f]);
+        }
       }
-      if (!ok) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.request_failures;
-        failed_.store(true, std::memory_order_release);
-      }
-      // Recycle builders (even on failure: the producer is now failed and
-      // Send() will refuse further records).
-      for (auto& c : inflight.chunks) {
-        chunks_acked_.fetch_add(1, std::memory_order_release);
-        pool_.Push(std::move(c.builder));
-      }
+      pending = std::move(still_pending);
+    }
+    for (size_t i : pending) {
+      request_failures_.fetch_add(1, std::memory_order_relaxed);
+      failed_.store(true, std::memory_order_release);
+      // Recycle builders even on failure: the producer is now failed and
+      // Send() will refuse further records.
+      AckChunks(requests[i].chunks);
     }
   }
+}
+
+void Producer::AckChunks(std::vector<SealedChunk>& chunks) {
+  for (auto& c : chunks) {
+    pool_.Push(std::move(c.builder));
+  }
+  {
+    std::lock_guard<std::mutex> lock(ack_mu_);
+    chunks_acked_.fetch_add(chunks.size(), std::memory_order_release);
+  }
+  ack_cv_.notify_all();
 }
 
 Status Producer::Flush() {
@@ -263,8 +292,11 @@ Status Producer::Flush() {
   }
   open_chunks_.clear();
   uint64_t target = chunks_enqueued_.load(std::memory_order_acquire);
-  while (chunks_acked_.load(std::memory_order_acquire) < target) {
-    std::this_thread::yield();
+  {
+    std::unique_lock<std::mutex> lock(ack_mu_);
+    ack_cv_.wait(lock, [&] {
+      return chunks_acked_.load(std::memory_order_acquire) >= target;
+    });
   }
   // Chunks are also recycled on permanent failure; only a clean run counts.
   if (failed_.load(std::memory_order_acquire)) {
@@ -283,8 +315,20 @@ Status Producer::Close() {
 }
 
 Producer::Stats Producer::GetStats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats out;
+  out.records_sent = records_sent_.load(std::memory_order_relaxed);
+  out.chunks_sent = chunks_sent_.load(std::memory_order_relaxed);
+  out.chunks_acked = chunks_acked_.load(std::memory_order_relaxed);
+  out.duplicates_reported =
+      duplicates_reported_.load(std::memory_order_relaxed);
+  out.requests_sent = requests_sent_.load(std::memory_order_relaxed);
+  out.request_failures = request_failures_.load(std::memory_order_relaxed);
+  out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    out.request_latency_us = request_latency_us_;
+  }
+  return out;
 }
 
 }  // namespace kera

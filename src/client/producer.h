@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <thread>
@@ -83,6 +84,9 @@ class Producer {
   void MaybeLingerFlush();
   std::unique_ptr<ChunkBuilder> AcquireBuilder();
   void RequestsLoop();
+  /// Recycles the chunks' builders into the pool, bumps chunks_acked_ and
+  /// wakes any Flush() waiter.
+  void AckChunks(std::vector<SealedChunk>& chunks);
 
   const ProducerConfig config_;
   rpc::Network& network_;
@@ -102,9 +106,24 @@ class Producer {
   std::atomic<bool> running_{false};
   std::atomic<bool> failed_{false};
 
+  // Flush() sleeps here until the requests thread has acked (or given up
+  // on) every chunk enqueued before the flush.
+  std::mutex ack_mu_;
+  std::condition_variable ack_cv_;
+
   std::thread requests_thread_;
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+
+  // Hot-path counters are relaxed atomics (Send/Seal touch them per record
+  // or per chunk); only the latency histogram — one Record per request —
+  // stays behind a mutex.
+  std::atomic<uint64_t> records_sent_{0};
+  std::atomic<uint64_t> chunks_sent_{0};
+  std::atomic<uint64_t> duplicates_reported_{0};
+  std::atomic<uint64_t> requests_sent_{0};
+  std::atomic<uint64_t> request_failures_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  mutable std::mutex latency_mu_;
+  Histogram request_latency_us_;
 };
 
 }  // namespace kera

@@ -1,15 +1,30 @@
 #include "common/crc32c.h"
 
 #include <array>
+#include <atomic>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#define KERA_CRC32C_X86 1
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define KERA_CRC32C_ARM 1
+#endif
 
 namespace kera {
 namespace {
 
-// Slice-by-8 tables, generated at startup (cheap, deterministic).
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+// ---------------------------------------------------------------------------
+// Portable slice-by-8.
+// ---------------------------------------------------------------------------
+
+// Tables generated at startup (cheap, deterministic).
 struct Tables {
   std::array<std::array<uint32_t, 256>, 8> t;
   Tables() {
-    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t crc = i;
       for (int j = 0; j < 8; ++j) {
@@ -30,16 +45,10 @@ const Tables& tables() {
   return kTables;
 }
 
-}  // namespace
-
-uint32_t Crc32c(std::span<const std::byte> data, uint32_t seed) {
+// Raw update (caller handles the ~seed / ~result conditioning).
+uint32_t SoftUpdate(uint32_t crc, const uint8_t* p, size_t n) {
   const auto& t = tables().t;
-  uint32_t crc = ~seed;
-  const auto* p = reinterpret_cast<const uint8_t*>(data.data());
-  size_t n = data.size();
-
   while (n >= 8) {
-    // Process 8 bytes per iteration via the slice tables.
     uint32_t lo = crc ^ (uint32_t(p[0]) | (uint32_t(p[1]) << 8) |
                          (uint32_t(p[2]) << 16) | (uint32_t(p[3]) << 24));
     crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
@@ -50,7 +59,245 @@ uint32_t Crc32c(std::span<const std::byte> data, uint32_t seed) {
   while (n--) {
     crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
   }
-  return ~crc;
+  return crc;
+}
+
+// ---------------------------------------------------------------------------
+// GF(2) polynomial arithmetic in the reflected representation: bit (31 - k)
+// of a word holds the coefficient of x^k, so x^0 is 1u << 31 and multiplying
+// by x is a right shift folded through the polynomial. (Same representation
+// zlib's crc32_combine uses.)
+// ---------------------------------------------------------------------------
+
+uint32_t MultModP(uint32_t a, uint32_t b) {
+  uint32_t m = 1u << 31;
+  uint32_t p = 0;
+  for (;;) {
+    if (a & m) {
+      p ^= b;
+      if ((a & (m - 1)) == 0) break;
+    }
+    m >>= 1;
+    b = (b & 1) ? (b >> 1) ^ kPoly : b >> 1;
+  }
+  return p;
+}
+
+// x^(2^k) mod P by repeated squaring. 64 entries so any 64-bit exponent can
+// be assembled directly (we do not assume x^(2^32) == x for this polynomial).
+struct X2n {
+  std::array<uint32_t, 64> t;
+  X2n() {
+    uint32_t p = 1u << 30;  // x^1
+    t[0] = p;
+    for (size_t k = 1; k < t.size(); ++k) {
+      p = MultModP(p, p);
+      t[k] = p;
+    }
+  }
+};
+
+const X2n& x2n() {
+  static const X2n kX2n;
+  return kX2n;
+}
+
+// x^e mod P.
+uint32_t XPowModP(uint64_t e) {
+  uint32_t p = 1u << 31;  // x^0
+  size_t k = 0;
+  while (e != 0) {
+    if (e & 1) p = MultModP(x2n().t[k], p);
+    e >>= 1;
+    ++k;
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Hardware paths.
+// ---------------------------------------------------------------------------
+
+#if defined(KERA_CRC32C_X86)
+
+bool HwAvailable() {
+  static const bool kOk =
+      __builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("pclmul");
+  return kOk;
+}
+
+// The CRC32 instruction maps state s and 8 message bytes m to
+// s*x^64 + m*x^32 (mod P) in the reflected representation. CLMUL of two
+// reflected-32 operands yields their product times x (the reversal offsets
+// differ by one bit). So crc32(0, clmul(c, K)) == c * K * x^33, and with
+// K = x^(8n - 33) that is c * x^(8n): c shifted across n message bytes with
+// two instructions. Valid for 8n >= 33, i.e. n >= 5.
+constexpr size_t kMinHwShiftBytes = 5;
+
+__attribute__((target("sse4.2,pclmul"))) uint64_t ClMul(uint32_t a,
+                                                        uint64_t b) {
+  __m128i r = _mm_clmulepi64_si128(_mm_cvtsi64_si128(int64_t(uint64_t(a))),
+                                   _mm_cvtsi64_si128(int64_t(b)), 0);
+  return uint64_t(_mm_cvtsi128_si64(r));
+}
+
+__attribute__((target("sse4.2,pclmul"))) uint32_t HwShiftOp(uint32_t crc,
+                                                            uint32_t op) {
+  return uint32_t(_mm_crc32_u64(0, ClMul(crc, op)));
+}
+
+// Bytes per lane of the 3-way stream (hides the 3-cycle crc32 latency).
+constexpr size_t kLane = 1024;
+
+// Shift operators x^(8*kLane - 33) and x^(16*kLane - 33) that fold lanes 0
+// and 1 over the bytes still ahead of them. Computed at startup from the
+// generic machinery instead of baked-in magic constants.
+struct FoldK {
+  uint32_t k1, k2;
+  FoldK() : k1(XPowModP(8 * kLane - 33)), k2(XPowModP(16 * kLane - 33)) {}
+};
+
+const FoldK& foldk() {
+  static const FoldK kFoldK;
+  return kFoldK;
+}
+
+__attribute__((target("sse4.2,pclmul"))) uint32_t HwUpdate(uint32_t crc,
+                                                           const uint8_t* p,
+                                                           size_t n) {
+  uint64_t c0 = crc;
+  while (n >= 3 * kLane) {
+    uint64_t c1 = 0, c2 = 0;
+    for (size_t i = 0; i < kLane; i += 8) {
+      uint64_t a, b, d;
+      std::memcpy(&a, p + i, 8);
+      std::memcpy(&b, p + i + kLane, 8);
+      std::memcpy(&d, p + i + 2 * kLane, 8);
+      c0 = _mm_crc32_u64(c0, a);
+      c1 = _mm_crc32_u64(c1, b);
+      c2 = _mm_crc32_u64(c2, d);
+    }
+    // crc32(0, .) is linear in the data argument, so one instruction folds
+    // both lanes, then lane 2 joins with a plain xor.
+    uint64_t folded = ClMul(uint32_t(c0), foldk().k2) ^
+                      ClMul(uint32_t(c1), foldk().k1);
+    c0 = _mm_crc32_u64(0, folded) ^ c2;
+    p += 3 * kLane;
+    n -= 3 * kLane;
+  }
+  while (n >= 8) {
+    uint64_t a;
+    std::memcpy(&a, p, 8);
+    c0 = _mm_crc32_u64(c0, a);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t r = uint32_t(c0);
+  while (n--) {
+    r = _mm_crc32_u8(r, *p++);
+  }
+  return r;
+}
+
+#elif defined(KERA_CRC32C_ARM)
+
+bool HwAvailable() { return true; }
+
+constexpr size_t kMinHwShiftBytes = SIZE_MAX;  // no CLMUL shift path
+
+uint32_t HwShiftOp(uint32_t crc, uint32_t op) { return MultModP(op, crc); }
+
+uint32_t HwUpdate(uint32_t crc, const uint8_t* p, size_t n) {
+  while (n >= 8) {
+    uint64_t a;
+    std::memcpy(&a, p, 8);
+    crc = __crc32cd(crc, a);
+    p += 8;
+    n -= 8;
+  }
+  while (n--) {
+    crc = __crc32cb(crc, *p++);
+  }
+  return crc;
+}
+
+#else
+
+bool HwAvailable() { return false; }
+
+constexpr size_t kMinHwShiftBytes = SIZE_MAX;
+
+uint32_t HwShiftOp(uint32_t crc, uint32_t op) { return MultModP(op, crc); }
+
+uint32_t HwUpdate(uint32_t crc, const uint8_t* p, size_t n) {
+  return SoftUpdate(crc, p, n);
+}
+
+#endif
+
+// ---------------------------------------------------------------------------
+// Combine: Crc32c(A || B) = shift(crc_a, 8*|B|) ^ crc_b. The ~seed/~result
+// conditioning cancels, so the identity holds on final CRC values directly.
+// Shift operators are cached per length — seal-time combines see a handful
+// of distinct record sizes, so steady state is a table hit plus one
+// CLMUL+CRC32 (or one 32-step GF(2) multiply on the portable path).
+// ---------------------------------------------------------------------------
+
+// Whether a length uses the CLMUL shift (needs x^(8n - 33), n >= 5) or the
+// portable one (x^(8n)) is fixed per process, so each length caches exactly
+// one operator. Entries pack (len << 32) | op; races just re-store the same
+// value.
+bool UseHwShift(size_t len_b) {
+#if defined(KERA_CRC32C_X86)
+  return HwAvailable() && len_b >= kMinHwShiftBytes;
+#else
+  (void)len_b;
+  return false;
+#endif
+}
+
+uint32_t ShiftOpFor(size_t len_b) {
+  const uint64_t exponent =
+      UseHwShift(len_b) ? 8 * uint64_t(len_b) - 33 : 8 * uint64_t(len_b);
+  if (len_b >= (uint64_t(1) << 32)) return XPowModP(exponent);
+
+  constexpr size_t kSlots = 128;
+  static std::array<std::atomic<uint64_t>, kSlots> ops;  // zero-initialized
+  std::atomic<uint64_t>& slot = ops[len_b % kSlots];
+  uint64_t packed = slot.load(std::memory_order_relaxed);
+  if ((packed >> 32) == len_b) return uint32_t(packed);
+  uint32_t op = XPowModP(exponent);
+  slot.store((uint64_t(len_b) << 32) | op, std::memory_order_relaxed);
+  return op;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const std::byte> data, uint32_t seed) {
+  const auto* p = reinterpret_cast<const uint8_t*>(data.data());
+  if (HwAvailable()) return ~HwUpdate(~seed, p, data.size());
+  return ~SoftUpdate(~seed, p, data.size());
+}
+
+uint32_t Crc32cSoftware(std::span<const std::byte> data, uint32_t seed) {
+  const auto* p = reinterpret_cast<const uint8_t*>(data.data());
+  return ~SoftUpdate(~seed, p, data.size());
+}
+
+uint32_t Crc32cHardware(std::span<const std::byte> data, uint32_t seed) {
+  if (!HwAvailable()) return Crc32cSoftware(data, seed);
+  const auto* p = reinterpret_cast<const uint8_t*>(data.data());
+  return ~HwUpdate(~seed, p, data.size());
+}
+
+bool Crc32cHardwareAvailable() { return HwAvailable(); }
+
+uint32_t Crc32cCombine(uint32_t crc_a, uint32_t crc_b, size_t len_b) {
+  if (len_b == 0) return crc_a ^ crc_b;
+  uint32_t op = ShiftOpFor(len_b);
+  uint32_t shifted =
+      UseHwShift(len_b) ? HwShiftOp(crc_a, op) : MultModP(op, crc_a);
+  return shifted ^ crc_b;
 }
 
 }  // namespace kera

@@ -1,6 +1,13 @@
-// Software CRC32C (Castagnoli), slice-by-8. Used for record entry headers,
-// chunk payloads, and virtual segment headers, matching the paper's
-// checksum layering (RAMCloud-style).
+// CRC32C (Castagnoli) with runtime dispatch: SSE4.2 `crc32` instructions
+// with a PCLMUL-folded 3-way stream on x86-64, ACLE `__crc32cd` on ARMv8,
+// and a portable slice-by-8 fallback. Used for record entry headers, chunk
+// payloads, and virtual segment headers, matching the paper's checksum
+// layering (RAMCloud-style).
+//
+// `Crc32cCombine` stitches two checksums together in O(1) (GF(2) shift by
+// x^(8*len_b) mod P), so a chunk's payload checksum can be assembled at
+// seal time from the per-record CRCs that were already computed when the
+// records were written, without re-scanning the payload.
 #pragma once
 
 #include <cstddef>
@@ -18,5 +25,25 @@ namespace kera {
                                      uint32_t seed = 0) {
   return Crc32c(std::span(static_cast<const std::byte*>(data), n), seed);
 }
+
+/// Given crc_a = Crc32c(A) and crc_b = Crc32c(B) (seed 0), returns
+/// Crc32c(A || B) without touching any bytes. Cost is one cached shift
+/// operator per distinct |B| plus one carry-less multiply (hardware) or a
+/// 32-step GF(2) multiply (portable).
+[[nodiscard]] uint32_t Crc32cCombine(uint32_t crc_a, uint32_t crc_b,
+                                     size_t len_b);
+
+/// Portable slice-by-8 path, unconditionally. Exposed so tests can check
+/// hardware and software paths against the same golden vectors.
+[[nodiscard]] uint32_t Crc32cSoftware(std::span<const std::byte> data,
+                                      uint32_t seed = 0);
+
+/// True when an accelerated path is compiled in and the CPU supports it.
+[[nodiscard]] bool Crc32cHardwareAvailable();
+
+/// Accelerated path. Falls back to the software path when
+/// Crc32cHardwareAvailable() is false, so it is always safe to call.
+[[nodiscard]] uint32_t Crc32cHardware(std::span<const std::byte> data,
+                                      uint32_t seed = 0);
 
 }  // namespace kera

@@ -3,10 +3,13 @@
 namespace kera::rpc {
 
 std::vector<std::byte> Frame(Opcode op, const Writer& body) {
-  Writer frame(body.size() + 2);
-  frame.U16(uint16_t(op));
-  frame.Raw(body.View().data(), body.View().size());
-  return std::move(frame).Take();
+  std::vector<std::byte> frame;
+  frame.reserve(2 + body.size());
+  uint16_t raw = uint16_t(op);
+  const auto* p = reinterpret_cast<const std::byte*>(&raw);
+  frame.insert(frame.end(), p, p + 2);
+  body.AppendTo(frame);
+  return frame;
 }
 
 Status ParseFrame(std::span<const std::byte> frame, Opcode& op,
@@ -43,7 +46,7 @@ void ProduceRequest::Encode(Writer& w) const {
   w.U64(stream);
   w.Bool(recovery);
   w.U32(uint32_t(chunks.size()));
-  for (const auto& c : chunks) w.Bytes(c);
+  for (const auto& c : chunks) w.BytesRef(c);
 }
 
 Result<ProduceRequest> ProduceRequest::Decode(Reader& r) {
@@ -124,7 +127,7 @@ void ConsumeResponse::Encode(Writer& w) const {
     w.Bool(e.stream_sealed);
     w.U32(e.groups_created);
     w.U32(uint32_t(e.chunks.size()));
-    for (const auto& c : e.chunks) w.Bytes(c);
+    for (const auto& c : e.chunks) w.BytesRef(c);
   }
 }
 
@@ -279,7 +282,11 @@ void ReplicateRequest::Encode(Writer& w) const {
   w.U32(chunk_count);
   w.U32(checksum_after);
   w.Bool(seals);
-  w.Bytes(payload);
+  if (!payload_parts.empty()) {
+    w.BytesRefParts(payload_parts);
+  } else {
+    w.BytesRef(payload);
+  }
 }
 
 Result<ReplicateRequest> ReplicateRequest::Decode(Reader& r) {
@@ -367,7 +374,7 @@ Result<ReadRecoverySegmentRequest> ReadRecoverySegmentRequest::Decode(
 void ReadRecoverySegmentResponse::Encode(Writer& w) const {
   w.U8(uint8_t(status));
   w.U32(chunk_count);
-  w.Bytes(payload);
+  w.BytesRef(payload);
 }
 
 Result<ReadRecoverySegmentResponse> ReadRecoverySegmentResponse::Decode(

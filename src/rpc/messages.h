@@ -183,6 +183,11 @@ struct ReplicateRequest {
   uint32_t checksum_after = 0;  // virtual segment header checksum after batch
   bool seals = false;           // virtual segment is complete after batch
   std::span<const std::byte> payload;  // concatenated chunk frames
+  /// Encode-side alternative to `payload`: when non-empty, the payload is
+  /// the concatenation of these parts, referenced straight from segment
+  /// memory (one length prefix on the wire — decoders still see a single
+  /// `payload` span).
+  std::vector<std::span<const std::byte>> payload_parts;
 
   void Encode(Writer& w) const;
   [[nodiscard]] static Result<ReplicateRequest> Decode(Reader& r);

@@ -2,8 +2,17 @@
 // and broker share this format (paper: shared binary data format so data
 // is appended/traversed without extra copies — chunk payloads are carried
 // as opaque byte runs and never re-encoded).
+//
+// The Writer is scatter-gather: bulk payloads (sealed chunk frames, segment
+// memory) are appended *by reference* with BytesRef/BytesRefParts and only
+// spliced into the output when the message is materialized (Take / AppendTo
+// / Frame), so encoding a produce or replicate request never re-copies the
+// chunk bodies into the Writer. The materialized bytes are identical to
+// what Bytes() would have produced — referencing is a transport-side
+// optimization, not a wire format change.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -25,7 +34,7 @@ class Writer {
   void U64(uint64_t v) { Raw(&v, 8); }
   void Bool(bool v) { U8(v ? 1 : 0); }
 
-  /// Length-prefixed byte run.
+  /// Length-prefixed byte run, copied into the Writer.
   void Bytes(std::span<const std::byte> data) {
     U32(uint32_t(data.size()));
     Raw(data.data(), data.size());
@@ -34,18 +43,106 @@ class Writer {
     Bytes({reinterpret_cast<const std::byte*>(s.data()), s.size()});
   }
 
+  /// Length-prefixed byte run appended by reference: the bytes are spliced
+  /// in at materialization. The referenced memory must stay alive and
+  /// unchanged until then.
+  void BytesRef(std::span<const std::byte> data) {
+    U32(uint32_t(data.size()));
+    RawRef(data);
+  }
+
+  /// One length prefix covering the concatenation of `parts`, each appended
+  /// by reference (e.g. a replication batch gathered from segment memory).
+  void BytesRefParts(std::span<const std::span<const std::byte>> parts) {
+    size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    U32(uint32_t(total));
+    for (const auto& p : parts) RawRef(p);
+  }
+
   /// Raw bytes without a length prefix (caller encodes the length).
   void Raw(const void* data, size_t n) {
     const auto* p = static_cast<const std::byte*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
 
-  [[nodiscard]] std::vector<std::byte> Take() && { return std::move(buf_); }
-  [[nodiscard]] std::span<const std::byte> View() const { return buf_; }
-  [[nodiscard]] size_t size() const { return buf_.size(); }
+  /// Raw bytes appended by reference (no length prefix). Runs smaller than
+  /// the tracking overhead are copied inline.
+  void RawRef(std::span<const std::byte> data) {
+    if (data.size() < kRefCutoff) {
+      Raw(data.data(), data.size());
+      return;
+    }
+    ext_.push_back({buf_.size(), data});
+    ext_size_ += data.size();
+  }
+
+  /// Total encoded size, including referenced bytes.
+  [[nodiscard]] size_t size() const { return buf_.size() + ext_size_; }
+
+  /// True when everything was copied inline (no external references).
+  [[nodiscard]] bool contiguous() const { return ext_.empty(); }
+
+  /// Contiguous view of the encoded bytes. Only valid on a contiguous
+  /// Writer — use Take()/AppendTo() when payloads were appended by
+  /// reference.
+  [[nodiscard]] std::span<const std::byte> View() const {
+    assert(contiguous() && "Writer::View on scatter-gather content");
+    return buf_;
+  }
+
+  /// Materializes into `out` (appending), splicing referenced runs between
+  /// the inline pieces.
+  void AppendTo(std::vector<std::byte>& out) const {
+    out.reserve(out.size() + size());
+    size_t prev = 0;
+    for (const auto& e : ext_) {
+      out.insert(out.end(), buf_.begin() + long(prev),
+                 buf_.begin() + long(e.after));
+      out.insert(out.end(), e.data.begin(), e.data.end());
+      prev = e.after;
+    }
+    out.insert(out.end(), buf_.begin() + long(prev), buf_.end());
+  }
+
+  /// Iovec-style traversal: invokes fn(span) for each contiguous piece in
+  /// encoding order (inline runs interleaved with referenced runs).
+  template <typename Fn>
+  void ForEachPiece(Fn&& fn) const {
+    size_t prev = 0;
+    for (const auto& e : ext_) {
+      if (e.after > prev) {
+        fn(std::span<const std::byte>(buf_.data() + prev, e.after - prev));
+      }
+      fn(e.data);
+      prev = e.after;
+    }
+    if (buf_.size() > prev) {
+      fn(std::span<const std::byte>(buf_.data() + prev, buf_.size() - prev));
+    }
+  }
+
+  /// Materialized encoded bytes. Free of copies when contiguous.
+  [[nodiscard]] std::vector<std::byte> Take() && {
+    if (contiguous()) return std::move(buf_);
+    std::vector<std::byte> out;
+    AppendTo(out);
+    return out;
+  }
 
  private:
+  /// Below this size, copying beats recording a reference (a piece costs a
+  /// 24-byte entry plus an extra insert at materialization).
+  static constexpr size_t kRefCutoff = 64;
+
+  struct ExtPiece {
+    size_t after;  // buf_ offset this piece follows
+    std::span<const std::byte> data;
+  };
+
   std::vector<std::byte> buf_;
+  std::vector<ExtPiece> ext_;
+  size_t ext_size_ = 0;
 };
 
 class Reader {

@@ -20,10 +20,10 @@ Result<std::vector<std::byte>> DirectNetwork::Call(
   if (it == handlers_.end()) {
     return Status(StatusCode::kUnavailable, "node down");
   }
-  ++stats_.calls;
-  stats_.bytes_sent += request.size();
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(request.size(), std::memory_order_relaxed);
   std::vector<std::byte> response = it->second->HandleRpc(request);
-  stats_.bytes_received += response.size();
+  bytes_received_.fetch_add(response.size(), std::memory_order_relaxed);
   return response;
 }
 

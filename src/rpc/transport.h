@@ -8,6 +8,7 @@
 //    futures. Used by the MiniCluster and the examples.
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <map>
 #include <memory>
@@ -65,11 +66,21 @@ class DirectNetwork final : public Network {
     uint64_t bytes_sent = 0;
     uint64_t bytes_received = 0;
   };
-  [[nodiscard]] Stats GetStats() const { return stats_; }
+  [[nodiscard]] Stats GetStats() const {
+    Stats out;
+    out.calls = calls_.load(std::memory_order_relaxed);
+    out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    out.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    return out;
+  }
 
  private:
   std::map<NodeId, RpcHandler*> handlers_;
-  Stats stats_;
+  // Relaxed atomics: handlers may be invoked from concurrent callers (the
+  // DES harness and tests drive one DirectNetwork from several threads).
+  std::atomic<uint64_t> calls_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
 };
 
 /// Fault-injection decorator: fails a configurable fraction of calls with

@@ -24,6 +24,7 @@ void ChunkBuilder::Start(StreamId stream, StreamletId streamlet,
   streamlet_ = streamlet;
   producer_ = producer;
   record_count_ = 0;
+  payload_crc_ = 0;
 }
 
 bool ChunkBuilder::AppendValue(std::span<const std::byte> value,
@@ -45,12 +46,22 @@ bool ChunkBuilder::AppendRecord(
   size_t written = WriteRecord({buf_.data() + off, need}, keys, value, opts);
   assert(written == need);
   (void)written;
+  // WriteRecord already checksummed entry bytes [4, need); combine it with
+  // the CRC of the 4-byte checksum field itself instead of re-scanning the
+  // record.
+  const std::byte* entry = buf_.data() + off;
+  uint32_t entry_crc = Crc32cCombine(Crc32c(entry, sizeof(uint32_t)),
+                                     wire::LoadU32(entry), need - 4);
+  payload_crc_ = Crc32cCombine(payload_crc_, entry_crc, need);
   ++record_count_;
   return true;
 }
 
 bool ChunkBuilder::AppendSerialized(std::span<const std::byte> entry) {
   if (buf_.Append(entry) == SIZE_MAX) return false;
+  // External bytes: compute the full CRC (the embedded record checksum is
+  // not trusted to match the bytes).
+  payload_crc_ = Crc32cCombine(payload_crc_, Crc32c(entry), entry.size());
   ++record_count_;
   return true;
 }
@@ -68,8 +79,8 @@ std::span<const std::byte> ChunkBuilder::Seal(ChunkSeq seq) {
   wire::StoreU32(p + co::kSegmentId, 0);
   wire::StoreU32(p + co::kFlags, 0);
   wire::StoreU64(p + co::kGroupChunkIndex, 0);
-  uint32_t crc = Crc32c(p + kChunkHeaderSize, payload_len);
-  wire::StoreU32(p + co::kChecksum, crc);
+  assert(payload_crc_ == Crc32c(p + kChunkHeaderSize, payload_len));
+  wire::StoreU32(p + co::kChecksum, payload_crc_);
   return buf_.view();
 }
 

@@ -99,6 +99,10 @@ class ChunkBuilder {
   StreamletId streamlet_ = 0;
   ProducerId producer_ = 0;
   uint32_t record_count_ = 0;
+  // Running CRC32C over the payload built so far, maintained by the append
+  // paths (combined from the per-record CRCs already computed by
+  // WriteRecord), so Seal() does not re-scan the payload.
+  uint32_t payload_crc_ = 0;
 };
 
 /// Zero-copy view over a serialized chunk (header + payload).

@@ -92,6 +92,86 @@ TEST(Crc32cTest, DetectsSingleBitFlip) {
   EXPECT_NE(Crc32c(data), base);
 }
 
+// RFC 3720 B.4 golden vectors asserted against BOTH the hardware and
+// software paths (Crc32cHardware falls back to software when no
+// accelerated path exists, in which case the two assertions coincide).
+TEST(Crc32cTest, GoldenVectorsOnBothPaths) {
+  struct Case {
+    std::vector<std::byte> data;
+    uint32_t want;
+  };
+  std::vector<Case> cases;
+  cases.push_back({std::vector<std::byte>(32, std::byte{0}), 0x8A9136AAu});
+  cases.push_back({std::vector<std::byte>(32, std::byte{0xFF}), 0x62A8AB43u});
+  Case asc{std::vector<std::byte>(32), 0x46DD794Eu};
+  Case desc{std::vector<std::byte>(32), 0x113FDB5Cu};
+  for (int i = 0; i < 32; ++i) {
+    asc.data[i] = std::byte(i);
+    desc.data[i] = std::byte(31 - i);
+  }
+  cases.push_back(asc);
+  cases.push_back(desc);
+  for (const Case& c : cases) {
+    EXPECT_EQ(Crc32cSoftware(c.data), c.want);
+    EXPECT_EQ(Crc32cHardware(c.data), c.want);
+    EXPECT_EQ(Crc32c(c.data), c.want);
+  }
+}
+
+// The dispatched, software, and hardware paths must agree on arbitrary
+// inputs — including lengths that exercise the 3-way folded stream (>3 KiB)
+// and misaligned heads/tails — with arbitrary seeds.
+TEST(Crc32cTest, HardwareMatchesSoftwareOnRandomInputs) {
+  SplitMix64 rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t n = size_t(rng.Next() % 8000);
+    std::vector<std::byte> data(n);
+    for (auto& b : data) b = std::byte(rng.Next());
+    uint32_t seed = uint32_t(rng.Next());
+    uint32_t sw = Crc32cSoftware(data, seed);
+    EXPECT_EQ(Crc32cHardware(data, seed), sw) << "n=" << n;
+    EXPECT_EQ(Crc32c(data, seed), sw) << "n=" << n;
+  }
+}
+
+// Combining the CRCs of two halves must equal the flat CRC of the whole,
+// for random splits (including empty sides and sizes below the hardware
+// shift threshold).
+TEST(Crc32cTest, CombineMatchesFlatOverRandomSplits) {
+  SplitMix64 rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = size_t(rng.Next() % 4096);
+    std::vector<std::byte> data(n);
+    for (auto& b : data) b = std::byte(rng.Next());
+    size_t cut = n == 0 ? 0 : size_t(rng.Next() % (n + 1));
+    uint32_t crc_a = Crc32c(std::span(data).first(cut));
+    uint32_t crc_b = Crc32c(std::span(data).subspan(cut));
+    EXPECT_EQ(Crc32cCombine(crc_a, crc_b, n - cut), Crc32c(data))
+        << "n=" << n << " cut=" << cut;
+  }
+}
+
+// Combine must also chain: stitching k pieces left to right equals the
+// flat CRC (this is exactly how chunk seal assembles the payload checksum
+// from per-record CRCs).
+TEST(Crc32cTest, CombineChainsAcrossManyPieces) {
+  SplitMix64 rng(17);
+  std::vector<std::byte> data(2048);
+  for (auto& b : data) b = std::byte(rng.Next());
+  for (size_t pieces : {2ul, 3ul, 7ul, 32ul}) {
+    uint32_t crc = 0;
+    size_t off = 0;
+    for (size_t i = 0; i < pieces; ++i) {
+      size_t len = (i + 1 == pieces) ? data.size() - off
+                                     : (data.size() / pieces);
+      uint32_t piece = Crc32c(std::span(data).subspan(off, len));
+      crc = Crc32cCombine(crc, piece, len);
+      off += len;
+    }
+    EXPECT_EQ(crc, Crc32c(data)) << "pieces=" << pieces;
+  }
+}
+
 TEST(BufferTest, AppendAndView) {
   Buffer buf(64);
   EXPECT_EQ(buf.capacity(), 64u);

@@ -99,7 +99,8 @@ TEST(MessagesTest, ProduceRoundTrip) {
 
   Writer w;
   req.Encode(w);
-  Reader r(w.View());
+  auto encoded = std::move(w).Take();  // materializes the referenced chunks
+  Reader r(encoded);
   auto got = ProduceRequest::Decode(r);
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->producer, 9u);
@@ -137,7 +138,8 @@ TEST(MessagesTest, ConsumeRoundTrip) {
   resp.entries.push_back(std::move(e));
   Writer w2;
   resp.Encode(w2);
-  Reader r2(w2.View());
+  auto encoded = std::move(w2).Take();
+  Reader r2(encoded);
   auto got2 = ConsumeResponse::Decode(r2);
   ASSERT_TRUE(got2.ok());
   EXPECT_TRUE(got2->entries[0].group_closed);
@@ -177,13 +179,138 @@ TEST(MessagesTest, ReplicateRoundTrip) {
   req.payload = payload;
   Writer w;
   req.Encode(w);
-  Reader r(w.View());
+  auto encoded = std::move(w).Take();
+  Reader r(encoded);
   auto got = ReplicateRequest::Decode(r);
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->start_offset, 1000u);
   EXPECT_EQ(got->checksum_after, 0xFEEDFACEu);
   EXPECT_TRUE(got->seals);
   EXPECT_EQ(got->payload.size(), 128u);
+}
+
+// The scatter-gather encoder must emit frames byte-identical to a plain
+// copy-everything encoder: referencing payloads is a transport-side
+// optimization, not a wire format change.
+TEST(MessagesTest, ScatterGatherProduceFrameIsByteIdentical) {
+  // Mixed sizes straddle the inline-copy cutoff (small runs are copied,
+  // large ones referenced) so both materialization paths are exercised.
+  std::vector<std::byte> small(17, std::byte{0x01});
+  std::vector<std::byte> large(900, std::byte{0x02});
+  std::vector<std::byte> medium(64, std::byte{0x03});
+  ProduceRequest req;
+  req.producer = 3;
+  req.stream = 77;
+  req.recovery = false;
+  req.chunks = {small, large, medium};
+
+  Writer sg;
+  req.Encode(sg);
+
+  // Reference encoding: identical field order, everything copied inline.
+  Writer ref;
+  ref.U32(req.producer);
+  ref.U64(req.stream);
+  ref.Bool(req.recovery);
+  ref.U32(uint32_t(req.chunks.size()));
+  for (const auto& c : req.chunks) ref.Bytes(c);
+  ASSERT_TRUE(ref.contiguous());
+
+  EXPECT_EQ(sg.size(), ref.size());
+  auto ref_frame = Frame(Opcode::kProduce, ref);
+  auto sg_frame = Frame(Opcode::kProduce, sg);
+  EXPECT_EQ(sg_frame, ref_frame);
+  auto sg_bytes = std::move(sg).Take();
+  auto ref_bytes = std::move(ref).Take();
+  EXPECT_EQ(sg_bytes, ref_bytes);
+}
+
+TEST(MessagesTest, ScatterGatherConsumeFrameIsByteIdentical) {
+  std::vector<std::byte> c1(128, std::byte{0xAB});
+  std::vector<std::byte> c2(1000, std::byte{0xCD});
+  ConsumeResponse resp;
+  ConsumeEntryResponse e;
+  e.streamlet = 4;
+  e.group = 9;
+  e.next_chunk = 2;
+  e.group_exists = true;
+  e.groups_created = 3;
+  e.chunks = {c1, c2};
+  resp.entries.push_back(std::move(e));
+
+  Writer sg;
+  resp.Encode(sg);
+
+  Writer ref;
+  ref.U8(uint8_t(resp.status));
+  ref.U32(1);
+  const auto& re = resp.entries[0];
+  ref.U32(re.streamlet);
+  ref.U32(re.group);
+  ref.U64(re.next_chunk);
+  ref.Bool(re.group_exists);
+  ref.Bool(re.group_closed);
+  ref.Bool(re.stream_sealed);
+  ref.U32(re.groups_created);
+  ref.U32(uint32_t(re.chunks.size()));
+  for (const auto& c : re.chunks) ref.Bytes(c);
+  ASSERT_TRUE(ref.contiguous());
+
+  EXPECT_EQ(Frame(Opcode::kConsume, sg), Frame(Opcode::kConsume, ref));
+  EXPECT_EQ(std::move(sg).Take(), std::move(ref).Take());
+}
+
+// payload_parts must encode exactly like one flat payload span covering
+// the same bytes (backups decode a single payload either way).
+TEST(MessagesTest, ReplicatePayloadPartsMatchFlatPayload) {
+  std::vector<std::byte> a(300, std::byte{0x11});
+  std::vector<std::byte> b(45, std::byte{0x22});
+  std::vector<std::byte> c(512, std::byte{0x33});
+  std::vector<std::byte> flat;
+  flat.insert(flat.end(), a.begin(), a.end());
+  flat.insert(flat.end(), b.begin(), b.end());
+  flat.insert(flat.end(), c.begin(), c.end());
+
+  ReplicateRequest parts_req;
+  parts_req.primary = 1;
+  parts_req.vlog = 2;
+  parts_req.vseg = 3;
+  parts_req.start_offset = 4;
+  parts_req.chunk_count = 3;
+  parts_req.checksum_after = 0xABCD;
+  parts_req.payload_parts = {a, b, c};
+
+  ReplicateRequest flat_req = parts_req;
+  flat_req.payload_parts.clear();
+  flat_req.payload = flat;
+
+  Writer wp, wf;
+  parts_req.Encode(wp);
+  flat_req.Encode(wf);
+  auto encoded_parts = std::move(wp).Take();
+  auto encoded_flat = std::move(wf).Take();
+  EXPECT_EQ(encoded_parts, encoded_flat);
+
+  Reader r(encoded_parts);
+  auto got = ReplicateRequest::Decode(r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload.size(), flat.size());
+  EXPECT_TRUE(std::equal(got->payload.begin(), got->payload.end(),
+                         flat.begin()));
+}
+
+TEST(SerializeTest, WriterPiecesReassembleInOrder) {
+  std::vector<std::byte> big(200, std::byte{0x7E});
+  Writer w;
+  w.U32(1);
+  w.BytesRef(big);
+  w.U32(2);
+  std::vector<std::byte> gathered;
+  w.ForEachPiece([&](std::span<const std::byte> piece) {
+    gathered.insert(gathered.end(), piece.begin(), piece.end());
+  });
+  EXPECT_EQ(gathered.size(), w.size());
+  EXPECT_EQ(gathered, std::move(w).Take());
 }
 
 TEST(MessagesTest, RecoveryMessagesRoundTrip) {
