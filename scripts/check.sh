@@ -19,25 +19,26 @@ cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
-echo "== ThreadSanitizer build (vlog + broker + client suites) =="
+echo "== ThreadSanitizer build (vlog + broker + client + transport suites) =="
 cmake -B "$tsan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$tsan_build" -j --target \
-  vlog_test vlog_property_test broker_test client_test client_edge_test
+  vlog_test vlog_property_test broker_test client_test client_edge_test \
+  transport_test
 for t in vlog_test vlog_property_test broker_test client_test \
-         client_edge_test; do
+         client_edge_test transport_test; do
   echo "-- TSan: $t"
   "$tsan_build/tests/$t"
 done
 
-echo "== ASan+UBSan build (wire + rpc + crc suites) =="
+echo "== ASan+UBSan build (wire + rpc + crc + transport suites) =="
 cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$asan_build" -j --target \
-  wire_test wire_golden_test rpc_test common_test
-for t in wire_test wire_golden_test rpc_test common_test; do
+  wire_test wire_golden_test rpc_test common_test transport_test
+for t in wire_test wire_golden_test rpc_test common_test transport_test; do
   echo "-- ASan+UBSan: $t"
   "$asan_build/tests/$t"
 done
@@ -46,6 +47,12 @@ echo "== micro-benchmark (JSON to BENCH_micro_core.json) =="
 cmake --build "$build" -j --target bench_micro_core
 "$build/bench/bench_micro_core" \
   --benchmark_out="$repo/BENCH_micro_core.json" \
+  --benchmark_out_format=json
+
+echo "== transport benchmark (JSON to BENCH_transport.json) =="
+cmake --build "$build" -j --target bench_transport
+"$build/bench/bench_transport" \
+  --benchmark_out="$repo/BENCH_transport.json" \
   --benchmark_out_format=json
 
 echo "check.sh: all green"

@@ -383,8 +383,8 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
   return resp;
 }
 
-std::vector<std::byte> Broker::BuildReplicateFrame(
-    const ReplicationBatch& batch) const {
+void Broker::EncodeReplicateBody(const ReplicationBatch& batch,
+                                 rpc::Writer& body) const {
   rpc::ReplicateRequest req;
   req.primary = config_.node;
   req.vlog = batch.vlog;
@@ -395,27 +395,40 @@ std::vector<std::byte> Broker::BuildReplicateFrame(
   req.seals = batch.seals_segment;
 
   // Reference the chunk bytes straight from the physical segments; the
-  // encoder splices them into the frame with one copy total (no
-  // intermediate gather buffer).
+  // encoder records them without copying, and the transport either sends
+  // them vectored (SocketNetwork) or splices them into the frame with one
+  // copy total (no intermediate gather buffer).
   req.payload_parts.reserve(batch.refs.size());
   for (const ChunkRef& ref : batch.refs) {
     req.payload_parts.push_back(
         ref.loc.segment->Bytes(ref.loc.offset, ref.loc.length));
   }
-
-  rpc::Writer body(64);
   req.Encode(body);
+}
+
+std::vector<std::byte> Broker::BuildReplicateFrame(
+    const ReplicationBatch& batch) const {
+  rpc::Writer body(64);
+  EncodeReplicateBody(batch, body);
   return rpc::Frame(rpc::Opcode::kReplicate, body);
 }
 
 Status Broker::ShipBatch(VirtualLog& vlog, const ReplicationBatch& batch) {
-  std::vector<std::byte> frame = BuildReplicateFrame(batch);
+  // The frame stays in parts form: the encoder's inline runs plus spans
+  // into segment memory (pinned until Complete/Abort). All futures are
+  // consumed before `body` leaves scope, satisfying CallAsyncParts'
+  // lifetime contract across every retry round.
+  rpc::Writer body(64);
+  EncodeReplicateBody(batch, body);
+  std::array<std::byte, 2> opcode;
+  const rpc::BytesRefParts parts =
+      rpc::FrameAsParts(rpc::Opcode::kReplicate, body, opcode);
   Status failure = OkStatus();
   for (int attempt = 0; attempt <= config_.replication_retries; ++attempt) {
     std::vector<std::future<Result<std::vector<std::byte>>>> futures;
     futures.reserve(batch.backups.size());
     for (NodeId backup : batch.backups) {
-      futures.push_back(network_.CallAsync(backup, frame));
+      futures.push_back(network_.CallAsyncParts(backup, parts));
     }
     bool all_ok = true;
     for (auto& f : futures) {

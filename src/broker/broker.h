@@ -114,8 +114,9 @@ class Broker final : public rpc::RpcHandler {
   /// aborts it on the vlog. Returns the replication status.
   Status ShipBatch(VirtualLog& vlog, const ReplicationBatch& batch);
 
-  /// Serializes a batch into a framed kReplicate request (shared by the
-  /// threaded path and the DES, which needs the byte size for costing).
+  /// Serializes a batch into a materialized kReplicate frame (for callers
+  /// that need contiguous bytes, e.g. DES costing; ShipBatch itself sends
+  /// the frame in scatter-gather parts without materializing it).
   [[nodiscard]] std::vector<std::byte> BuildReplicateFrame(
       const ReplicationBatch& batch) const;
 
@@ -176,6 +177,9 @@ class Broker final : public rpc::RpcHandler {
     std::vector<VirtualLog*> shared_pool_cache;
     std::map<std::pair<StreamletId, uint32_t>, VirtualLog*> vlog_cache;
   };
+
+  void EncodeReplicateBody(const ReplicationBatch& batch,
+                           rpc::Writer& body) const;
 
   StreamEntry* FindStream(StreamId id) const;
   VirtualLog* ResolveVlog(StreamEntry& entry, StreamletId streamlet,

@@ -1,5 +1,6 @@
 #include "client/producer.h"
 
+#include <array>
 #include <cassert>
 
 #include "common/logging.h"
@@ -189,10 +190,16 @@ void Producer::RequestsLoop() {
       add(std::move(*more));
     }
 
-    // One request per broker; issue them in parallel.
+    // One request per broker; issue them in parallel. The frame stays in
+    // scatter-gather form: the Writer's inline runs plus spans into the
+    // sealed chunk builders, both owned by the InFlight entry — alive
+    // until every retry round's futures have resolved, as the parts send
+    // path requires. Vectoring transports (SocketNetwork) put these
+    // pieces on the wire without ever materializing the frame.
     struct InFlight {
       NodeId broker;
-      std::vector<std::byte> frame;
+      rpc::Writer body;
+      std::array<std::byte, 2> opcode;
       std::vector<SealedChunk> chunks;
     };
     std::vector<InFlight> requests;
@@ -203,11 +210,10 @@ void Producer::RequestsLoop() {
       for (auto& c : chunks) {
         req.chunks.push_back(c.builder->SealedView());
       }
-      rpc::Writer body(broker_bytes[broker] + 64);
-      req.Encode(body);
       InFlight inflight;
       inflight.broker = broker;
-      inflight.frame = rpc::Frame(rpc::Opcode::kProduce, body);
+      inflight.body = rpc::Writer(64);
+      req.Encode(inflight.body);
       inflight.chunks = std::move(chunks);
       requests.push_back(std::move(inflight));
     }
@@ -222,8 +228,10 @@ void Producer::RequestsLoop() {
       std::vector<std::future<Result<std::vector<std::byte>>>> futures;
       futures.reserve(pending.size());
       for (size_t i : pending) {
+        rpc::BytesRefParts parts = rpc::FrameAsParts(
+            rpc::Opcode::kProduce, requests[i].body, requests[i].opcode);
         futures.push_back(
-            network_.CallAsync(requests[i].broker, requests[i].frame));
+            network_.CallAsyncParts(requests[i].broker, parts));
       }
       std::vector<size_t> still_pending;
       for (size_t f = 0; f < futures.size(); ++f) {
@@ -244,7 +252,8 @@ void Producer::RequestsLoop() {
             requests_sent_.fetch_add(1, std::memory_order_relaxed);
             duplicates_reported_.fetch_add(resp->duplicates,
                                            std::memory_order_relaxed);
-            bytes_sent_.fetch_add(inflight.frame.size(),
+            bytes_sent_.fetch_add(inflight.opcode.size() +
+                                      inflight.body.size(),
                                   std::memory_order_relaxed);
             auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - start)

@@ -2,17 +2,37 @@
 
 #include <cstdio>
 
+#include "common/logging.h"
+
 namespace kera {
 
 MiniCluster::MiniCluster(MiniClusterConfig config)
     : config_(std::move(config)) {
-  if (config_.workers_per_node > 0) {
-    threaded_ =
-        std::make_unique<rpc::ThreadedNetwork>(config_.workers_per_node);
-    network_ = threaded_.get();
-  } else {
-    direct_ = std::make_unique<rpc::DirectNetwork>();
-    network_ = direct_.get();
+  MiniClusterTransport transport = config_.transport;
+  if (transport == MiniClusterTransport::kAuto) {
+    transport = config_.workers_per_node > 0 ? MiniClusterTransport::kThreaded
+                                             : MiniClusterTransport::kDirect;
+  }
+  switch (transport) {
+    case MiniClusterTransport::kAuto:  // resolved above
+    case MiniClusterTransport::kThreaded:
+      threaded_ =
+          std::make_unique<rpc::ThreadedNetwork>(config_.workers_per_node);
+      network_ = threaded_.get();
+      break;
+    case MiniClusterTransport::kDirect:
+      direct_ = std::make_unique<rpc::DirectNetwork>();
+      network_ = direct_.get();
+      break;
+    case MiniClusterTransport::kSocket: {
+      rpc::SocketNetwork::Options opts;
+      if (config_.workers_per_node > 0) {
+        opts.workers_per_node = config_.workers_per_node;
+      }
+      socket_ = std::make_unique<rpc::SocketNetwork>(opts);
+      network_ = socket_.get();
+      break;
+    }
   }
   coordinator_ = std::make_unique<Coordinator>(*network_);
 
@@ -49,6 +69,12 @@ MiniCluster::MiniCluster(MiniClusterConfig config)
   auto register_node = [&](NodeId service, rpc::RpcHandler* handler) {
     if (threaded_ != nullptr) {
       threaded_->Register(service, handler);
+    } else if (socket_ != nullptr) {
+      auto port = socket_->Register(service, handler);
+      if (!port.ok()) {
+        KERA_ERROR("socket register failed for node %u: %s",
+                   unsigned(service), port.status().message().c_str());
+      }
     } else {
       direct_->Register(service, handler);
     }
@@ -67,6 +93,7 @@ MiniCluster::~MiniCluster() {
   // would otherwise race the queue shutdown on every teardown.
   for (auto& b : brokers_) b->StopReplicator();
   if (threaded_ != nullptr) threaded_->Shutdown();
+  if (socket_ != nullptr) socket_->Shutdown();
 }
 
 std::vector<NodeId> MiniCluster::BrokerNodes() const {
@@ -79,6 +106,9 @@ void MiniCluster::CrashNode(NodeId node) {
   if (threaded_ != nullptr) {
     threaded_->Crash(node);
     threaded_->Crash(BackupServiceId(node));
+  } else if (socket_ != nullptr) {
+    socket_->Crash(node);
+    socket_->Crash(BackupServiceId(node));
   } else {
     direct_->Crash(node);
     direct_->Crash(BackupServiceId(node));

@@ -11,14 +11,29 @@
 #include "backup/backup.h"
 #include "broker/broker.h"
 #include "coordinator/coordinator.h"
+#include "rpc/socket_transport.h"
 #include "rpc/transport.h"
 
 namespace kera {
+
+/// Which Network implementation carries the cluster's RPCs.
+enum class MiniClusterTransport {
+  /// Legacy selection: workers_per_node > 0 -> kThreaded, else kDirect.
+  kAuto,
+  /// DirectNetwork: handler runs inline on the caller thread.
+  kDirect,
+  /// ThreadedNetwork: in-process queues + worker threads per node.
+  kThreaded,
+  /// SocketNetwork: real TCP over loopback, multiplexed framing.
+  kSocket,
+};
 
 struct MiniClusterConfig {
   uint32_t nodes = 4;
   /// Worker threads per node (RPC dispatch); 0 selects DirectNetwork.
   int workers_per_node = 4;
+  /// Transport selection; kAuto preserves the workers_per_node behavior.
+  MiniClusterTransport transport = MiniClusterTransport::kAuto;
   size_t broker_memory_bytes = size_t(512) << 20;
   size_t segment_size = 1u << 20;
   uint32_t segments_per_group = 4;
@@ -63,6 +78,7 @@ class MiniCluster {
   MiniClusterConfig config_;
   std::unique_ptr<rpc::ThreadedNetwork> threaded_;
   std::unique_ptr<rpc::DirectNetwork> direct_;
+  std::unique_ptr<rpc::SocketNetwork> socket_;
   rpc::Network* network_ = nullptr;
   std::unique_ptr<Coordinator> coordinator_;
   std::vector<std::unique_ptr<Broker>> brokers_;

@@ -1,5 +1,7 @@
 #include "rpc/messages.h"
 
+#include <cstring>
+
 namespace kera::rpc {
 
 std::vector<std::byte> Frame(Opcode op, const Writer& body) {
@@ -10,6 +12,16 @@ std::vector<std::byte> Frame(Opcode op, const Writer& body) {
   frame.insert(frame.end(), p, p + 2);
   body.AppendTo(frame);
   return frame;
+}
+
+BytesRefParts FrameAsParts(Opcode op, const Writer& body,
+                           std::array<std::byte, 2>& opcode_storage) {
+  uint16_t raw = uint16_t(op);
+  std::memcpy(opcode_storage.data(), &raw, 2);
+  BytesRefParts parts;
+  parts.pieces.push_back(opcode_storage);
+  body.CollectPieces(parts);
+  return parts;
 }
 
 Status ParseFrame(std::span<const std::byte> frame, Opcode& op,

@@ -4,6 +4,7 @@
 // request buffer.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -32,6 +33,14 @@ enum class Opcode : uint16_t {
 /// Splits a request frame into opcode + body span.
 [[nodiscard]] Status ParseFrame(std::span<const std::byte> frame, Opcode& op,
                                 std::span<const std::byte>& body);
+
+/// Exposes a request frame (u16 opcode + encoded body) as scatter-gather
+/// parts without materializing it — the vectored-send analog of Frame().
+/// `opcode_storage` receives the encoded opcode; it, `body`, and every
+/// buffer `body` references by BytesRef must outlive the parts' use (for
+/// Network::CallAsyncParts: until the returned future is ready).
+[[nodiscard]] BytesRefParts FrameAsParts(
+    Opcode op, const Writer& body, std::array<std::byte, 2>& opcode_storage);
 
 // ---------------------------------------------------------------- produce
 

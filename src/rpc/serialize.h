@@ -23,6 +23,21 @@
 
 namespace kera::rpc {
 
+/// A message carried as scatter-gather pieces referencing caller-owned
+/// memory, in wire order. Used by the vectored transport send path
+/// (Network::CallAsyncParts) to hand frames to the socket layer without
+/// materializing them into one contiguous buffer. Every referenced run
+/// must stay alive and unchanged until the call's future is ready.
+struct BytesRefParts {
+  std::vector<std::span<const std::byte>> pieces;
+
+  [[nodiscard]] size_t total_size() const {
+    size_t n = 0;
+    for (const auto& p : pieces) n += p.size();
+    return n;
+  }
+};
+
 class Writer {
  public:
   Writer() = default;
@@ -122,6 +137,12 @@ class Writer {
     }
   }
 
+  /// Appends this Writer's pieces (inline runs interleaved with referenced
+  /// runs, in wire order) to `out` without materializing anything. The
+  /// pieces alias this Writer's buffer and the referenced memory; both
+  /// must outlive the use of `out`.
+  void CollectPieces(struct BytesRefParts& out) const;
+
   /// Materialized encoded bytes. Free of copies when contiguous.
   [[nodiscard]] std::vector<std::byte> Take() && {
     if (contiguous()) return std::move(buf_);
@@ -144,6 +165,12 @@ class Writer {
   std::vector<ExtPiece> ext_;
   size_t ext_size_ = 0;
 };
+
+inline void Writer::CollectPieces(struct BytesRefParts& out) const {
+  out.pieces.reserve(out.pieces.size() + ext_.size() * 2 + 1);
+  ForEachPiece(
+      [&](std::span<const std::byte> piece) { out.pieces.push_back(piece); });
+}
 
 class Reader {
  public:

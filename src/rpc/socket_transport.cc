@@ -1,0 +1,835 @@
+#include "rpc/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kera::rpc {
+namespace {
+
+// epoll_event.data.u64 tags. Server loops: wake, listener, then conn ids.
+// Client loop: wake, then NodeId + kClientConnTagBase.
+constexpr uint64_t kWakeTag = 0;
+constexpr uint64_t kListenTag = 1;
+constexpr uint64_t kServerConnIdBase = 2;
+constexpr uint64_t kClientConnTagBase = 1;
+
+// Vectored-send width per flush. Linux IOV_MAX is 1024; 64 keeps the
+// iovec array on the stack while still coalescing dozens of frames (or
+// all the scatter-gather pieces of a large parts frame) per syscall.
+constexpr int kMaxIov = 64;
+
+constexpr size_t kReadChunk = 64 * 1024;
+// Wire framing: u32 length then u64 request id.
+constexpr size_t kHeaderBytes = 12;
+constexpr size_t kRequestIdBytes = 8;
+
+Status Errno(const char* what) {
+  return Status(StatusCode::kInternal,
+                std::string(what) + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void AddToEpoll(int epoll_fd, int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  (void)epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void ModEpoll(int epoll_fd, int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  (void)epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void DrainEventFd(int fd) {
+  uint64_t count;
+  while (read(fd, &count, sizeof(count)) > 0) {
+  }
+}
+
+void SignalEventFd(int fd) {
+  uint64_t one = 1;
+  ssize_t n;
+  do {
+    n = write(fd, &one, sizeof(one));
+  } while (n < 0 && errno == EINTR);
+}
+
+/// Grows `buf` so at least kReadChunk bytes fit after `len`.
+void EnsureReadRoom(std::vector<std::byte>& buf, size_t len) {
+  if (buf.size() - len < kReadChunk) {
+    buf.resize(std::max(buf.size() * 2, len + kReadChunk));
+  }
+}
+
+/// Drops the parsed prefix [0, pos) of a read buffer.
+void CompactReadBuffer(std::vector<std::byte>& buf, size_t& pos,
+                       size_t& len) {
+  if (pos == len) {
+    pos = len = 0;
+  } else if (pos > 0) {
+    std::memmove(buf.data(), buf.data() + pos, len - pos);
+    len -= pos;
+    pos = 0;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- state
+
+struct SocketNetwork::ServerConn {
+  uint64_t id = 0;
+  int fd = -1;
+  std::vector<std::byte> rbuf;
+  size_t rpos = 0;
+  size_t rlen = 0;
+  std::deque<OutFrame> wq;
+  bool want_write = false;
+};
+
+struct SocketNetwork::ServerNode {
+  NodeId id = 0;
+  std::atomic<RpcHandler*> handler{nullptr};
+  uint16_t port = 0;
+  size_t max_frame_bytes = 0;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::atomic<bool> stop{false};
+
+  struct Work {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    std::vector<std::byte> request;
+  };
+  BlockingQueue<Work> queue;
+
+  // Finished responses staged by workers for the IO thread.
+  std::mutex resp_mu;
+  std::vector<std::pair<uint64_t, OutFrame>> responses;
+
+  // Owned exclusively by the IO thread.
+  std::unordered_map<uint64_t, std::unique_ptr<ServerConn>> conns;
+  uint64_t next_conn_id = kServerConnIdBase;
+
+  std::thread io;
+  std::vector<std::thread> workers;
+
+  ~ServerNode() {
+    if (io.joinable()) io.join();
+    for (auto& w : workers) {
+      if (w.joinable()) w.join();
+    }
+    if (listen_fd >= 0) close(listen_fd);
+    if (wake_fd >= 0) close(wake_fd);
+    if (epoll_fd >= 0) close(epoll_fd);
+  }
+};
+
+struct SocketNetwork::ClientConn {
+  NodeId dest = 0;
+  int fd = -1;
+  std::deque<OutFrame> wq;
+  std::unordered_map<uint64_t, std::promise<Result<std::vector<std::byte>>>>
+      pending;
+  std::vector<std::byte> rbuf;
+  size_t rpos = 0;
+  size_t rlen = 0;
+  bool want_write = false;
+};
+
+// ----------------------------------------------------------- lifecycle
+
+SocketNetwork::SocketNetwork() : SocketNetwork(Options{}) {}
+
+SocketNetwork::SocketNetwork(Options options) : options_(std::move(options)) {
+  client_epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  client_wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  AddToEpoll(client_epoll_fd_, client_wake_fd_, EPOLLIN, kWakeTag);
+  client_thread_ = std::thread([this] { ClientIoLoop(); });
+}
+
+SocketNetwork::~SocketNetwork() { Shutdown(); }
+
+void SocketNetwork::Shutdown() {
+  std::map<NodeId, std::unique_ptr<ServerNode>> nodes;
+  std::vector<std::unique_ptr<ServerNode>> draining;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    nodes.swap(nodes_);
+    draining.swap(draining_);
+  }
+  for (auto& [_, n] : nodes) {
+    n->stop.store(true, std::memory_order_release);
+    SignalEventFd(n->wake_fd);
+    n->queue.Shutdown();
+  }
+  nodes.clear();     // joins IO + workers per node
+  draining.clear();  // joins leftover workers of crashed nodes
+
+  client_stop_.store(true, std::memory_order_release);
+  SignalEventFd(client_wake_fd_);
+  if (client_thread_.joinable()) client_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(client_mu_);
+    for (auto& [_, conn] : conns_) {
+      for (auto& [id, promise] : conn->pending) {
+        promise.set_value(
+            Status(StatusCode::kUnavailable, "network shut down"));
+      }
+      if (conn->fd >= 0) close(conn->fd);
+    }
+    conns_.clear();
+  }
+  if (client_wake_fd_ >= 0) close(client_wake_fd_);
+  if (client_epoll_fd_ >= 0) close(client_epoll_fd_);
+  client_wake_fd_ = client_epoll_fd_ = -1;
+}
+
+// ---------------------------------------------------------- server side
+
+Result<uint16_t> SocketNetwork::Register(NodeId node, RpcHandler* handler,
+                                         uint16_t port) {
+  auto n = std::make_unique<ServerNode>();
+  n->id = node;
+  n->handler.store(handler, std::memory_order_release);
+  n->max_frame_bytes = options_.max_frame_bytes;
+
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  n->listen_fd = fd;
+  int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  "bad listen host: " + options_.host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (listen(fd, 128) != 0) return Errno("listen");
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    return Errno("getsockname");
+  }
+  n->port = ntohs(addr.sin_port);
+
+  n->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+  n->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (n->epoll_fd < 0 || n->wake_fd < 0) return Errno("epoll/eventfd");
+  AddToEpoll(n->epoll_fd, n->wake_fd, EPOLLIN, kWakeTag);
+  AddToEpoll(n->epoll_fd, n->listen_fd, EPOLLIN, kListenTag);
+
+  uint16_t bound = n->port;
+  ServerNode* raw = n.get();
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    if (shutdown_) {
+      return Status(StatusCode::kUnavailable, "network shut down");
+    }
+    if (nodes_.count(node) != 0) {
+      return Status(StatusCode::kAlreadyExists, "node already registered");
+    }
+    // Threads spawn under nodes_mu_ so a racing Shutdown either refuses
+    // this registration or sees the node (and joins it).
+    raw->io = std::thread([this, raw] { ServerIoLoop(raw); });
+    int workers = std::max(1, options_.workers_per_node);
+    raw->workers.reserve(size_t(workers));
+    for (int i = 0; i < workers; ++i) {
+      raw->workers.emplace_back([this, raw] { ServerWorkerLoop(raw); });
+    }
+    nodes_[node] = std::move(n);
+  }
+  {
+    std::lock_guard<std::mutex> lock(client_mu_);
+    peers_[node] = PeerAddr{options_.host, bound};
+  }
+  return bound;
+}
+
+void SocketNetwork::Crash(NodeId node) {
+  std::unique_ptr<ServerNode> n;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    auto it = nodes_.find(node);
+    if (it == nodes_.end()) return;
+    n = std::move(it->second);
+    nodes_.erase(it);
+  }
+  n->stop.store(true, std::memory_order_release);
+  SignalEventFd(n->wake_fd);
+  // The IO thread never runs handlers, so it exits promptly, closing the
+  // listener and every accepted connection — clients see the connection
+  // die and fail their in-flight requests, like a real machine crash.
+  if (n->io.joinable()) n->io.join();
+  // Workers may be blocked inside a handler (e.g. a produce waiting on
+  // replication); don't wait for them here — park the node for the final
+  // join at Shutdown. Their responses are dropped.
+  n->queue.Shutdown();
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  draining_.push_back(std::move(n));
+}
+
+Result<uint16_t> SocketNetwork::Restore(NodeId node, RpcHandler* handler) {
+  uint16_t preferred = 0;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    if (shutdown_) {
+      return Status(StatusCode::kUnavailable, "network shut down");
+    }
+    auto it = nodes_.find(node);
+    if (it != nodes_.end()) {
+      // Not crashed: just swap the handler.
+      it->second->handler.store(handler, std::memory_order_release);
+      return it->second->port;
+    }
+    // Prefer the port the node listened on before the crash so remote
+    // peers' routes stay valid.
+    for (auto d = draining_.rbegin(); d != draining_.rend(); ++d) {
+      if ((*d)->id == node) {
+        preferred = (*d)->port;
+        break;
+      }
+    }
+  }
+  auto bound = Register(node, handler, preferred);
+  if (!bound.ok() && preferred != 0) {
+    bound = Register(node, handler, 0);  // port taken meanwhile
+  }
+  return bound;
+}
+
+Result<uint16_t> SocketNetwork::Port(NodeId node) const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return Status(StatusCode::kNotFound, "node not registered");
+  }
+  return it->second->port;
+}
+
+void SocketNetwork::SetPeer(NodeId node, const std::string& host,
+                            uint16_t port) {
+  std::lock_guard<std::mutex> lock(client_mu_);
+  peers_[node] = PeerAddr{host, port};
+}
+
+void SocketNetwork::ServerWorkerLoop(ServerNode* node) {
+  while (auto work = node->queue.Pop()) {
+    if (node->stop.load(std::memory_order_acquire)) continue;
+    RpcHandler* handler = node->handler.load(std::memory_order_acquire);
+    std::vector<std::byte> response = handler->HandleRpc(work->request);
+
+    OutFrame frame;
+    uint32_t len = uint32_t(kRequestIdBytes + response.size());
+    std::memcpy(frame.header.data(), &len, 4);
+    std::memcpy(frame.header.data() + 4, &work->request_id, 8);
+    frame.owned = std::move(response);
+    frame.total = kHeaderBytes + frame.owned.size();
+    {
+      std::lock_guard<std::mutex> lock(node->resp_mu);
+      if (node->stop.load(std::memory_order_acquire)) continue;
+      node->responses.emplace_back(work->conn_id, std::move(frame));
+    }
+    SignalEventFd(node->wake_fd);
+  }
+}
+
+SocketNetwork::FlushStatus SocketNetwork::FlushFrameQueue(
+    int fd, std::deque<OutFrame>& wq) {
+  while (!wq.empty()) {
+    iovec iov[kMaxIov];
+    int niov = 0;
+    for (const OutFrame& f : wq) {
+      size_t skip = f.written;
+      auto offer = [&](std::span<const std::byte> piece) {
+        if (piece.empty() || niov == kMaxIov) return;
+        if (skip >= piece.size()) {
+          skip -= piece.size();
+          return;
+        }
+        iov[niov].iov_base =
+            const_cast<std::byte*>(piece.data() + skip);
+        iov[niov].iov_len = piece.size() - skip;
+        ++niov;
+        skip = 0;
+      };
+      offer(f.header);
+      offer(f.owned);
+      for (const auto& p : f.pieces) offer(p);
+      if (niov == kMaxIov) break;
+    }
+
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = size_t(niov);
+    ssize_t sent = sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return FlushStatus::kPartial;
+      return FlushStatus::kError;
+    }
+    stats_.sendmsg_calls.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_sent.fetch_add(uint64_t(sent), std::memory_order_relaxed);
+    size_t rem = size_t(sent);
+    while (rem > 0 && !wq.empty()) {
+      OutFrame& f = wq.front();
+      size_t left = f.total - f.written;
+      if (rem >= left) {
+        rem -= left;
+        stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+        wq.pop_front();
+      } else {
+        f.written += rem;
+        rem = 0;
+      }
+    }
+  }
+  return FlushStatus::kDrained;
+}
+
+void SocketNetwork::ServerFlushConn(ServerNode* node, ServerConn* conn) {
+  FlushStatus fs = FlushFrameQueue(conn->fd, conn->wq);
+  if (fs == FlushStatus::kError) {
+    // Peer is gone; drop the connection (the client side fails its
+    // pending requests when it observes the close).
+    (void)epoll_ctl(node->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    close(conn->fd);
+    node->conns.erase(conn->id);
+    return;
+  }
+  bool need_write = fs == FlushStatus::kPartial;
+  if (need_write != conn->want_write) {
+    conn->want_write = need_write;
+    ModEpoll(node->epoll_fd, conn->fd,
+             need_write ? (EPOLLIN | EPOLLOUT) : EPOLLIN, conn->id);
+  }
+}
+
+bool SocketNetwork::ServerReadConn(ServerNode* node, ServerConn* conn) {
+  auto destroy = [&] {
+    (void)epoll_ctl(node->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    close(conn->fd);
+    node->conns.erase(conn->id);
+    return false;
+  };
+  while (true) {
+    EnsureReadRoom(conn->rbuf, conn->rlen);
+    ssize_t n = read(conn->fd, conn->rbuf.data() + conn->rlen,
+                     conn->rbuf.size() - conn->rlen);
+    if (n > 0) {
+      conn->rlen += size_t(n);
+      stats_.bytes_received.fetch_add(uint64_t(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (n == 0) return destroy();  // peer closed
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return destroy();
+  }
+  // Decode complete request frames and hand them to the workers.
+  while (conn->rlen - conn->rpos >= 4) {
+    uint32_t len;
+    std::memcpy(&len, conn->rbuf.data() + conn->rpos, 4);
+    if (len < kRequestIdBytes || len > node->max_frame_bytes) {
+      return destroy();  // corrupt framing
+    }
+    if (conn->rlen - conn->rpos < 4 + size_t(len)) break;
+    ServerNode::Work work;
+    work.conn_id = conn->id;
+    std::memcpy(&work.request_id, conn->rbuf.data() + conn->rpos + 4, 8);
+    const std::byte* payload = conn->rbuf.data() + conn->rpos + kHeaderBytes;
+    work.request.assign(payload, payload + (len - kRequestIdBytes));
+    node->queue.Push(std::move(work));
+    conn->rpos += 4 + size_t(len);
+  }
+  CompactReadBuffer(conn->rbuf, conn->rpos, conn->rlen);
+  return true;
+}
+
+void SocketNetwork::CloseServerConns(ServerNode* node) {
+  for (auto& [_, conn] : node->conns) close(conn->fd);
+  node->conns.clear();
+  if (node->listen_fd >= 0) {
+    close(node->listen_fd);
+    node->listen_fd = -1;
+  }
+}
+
+void SocketNetwork::ServerIoLoop(ServerNode* node) {
+  epoll_event events[64];
+  while (true) {
+    int nev = epoll_wait(node->epoll_fd, events, 64, -1);
+    if (nev < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (node->stop.load(std::memory_order_acquire)) break;
+    bool stopped = false;
+    for (int i = 0; i < nev; ++i) {
+      uint64_t tag = events[i].data.u64;
+      uint32_t ev = events[i].events;
+      if (tag == kWakeTag) {
+        DrainEventFd(node->wake_fd);
+        // Crash/Shutdown set stop then signal; that token may have raced
+        // into the drain above alongside worker response tokens. Re-check
+        // so a consumed stop token cannot strand this loop in epoll_wait.
+        if (node->stop.load(std::memory_order_acquire)) {
+          stopped = true;
+          break;
+        }
+      } else if (tag == kListenTag) {
+        while (true) {
+          int fd = accept4(node->listen_fd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (fd < 0) break;
+          SetNoDelay(fd);
+          auto conn = std::make_unique<ServerConn>();
+          conn->fd = fd;
+          conn->id = node->next_conn_id++;
+          AddToEpoll(node->epoll_fd, fd, EPOLLIN, conn->id);
+          node->conns[conn->id] = std::move(conn);
+        }
+      } else {
+        auto it = node->conns.find(tag);
+        if (it == node->conns.end()) continue;  // destroyed this batch
+        ServerConn* conn = it->second.get();
+        if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+          (void)epoll_ctl(node->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+          close(conn->fd);
+          node->conns.erase(it);
+          continue;
+        }
+        if ((ev & EPOLLIN) != 0 && !ServerReadConn(node, conn)) continue;
+        if ((ev & EPOLLOUT) != 0) ServerFlushConn(node, conn);
+      }
+    }
+    if (stopped) break;
+    // Route staged worker responses to their connections, then flush
+    // everything that has queued frames in one vectored send each.
+    std::vector<std::pair<uint64_t, OutFrame>> batch;
+    {
+      std::lock_guard<std::mutex> lock(node->resp_mu);
+      batch.swap(node->responses);
+    }
+    for (auto& [conn_id, frame] : batch) {
+      auto it = node->conns.find(conn_id);
+      if (it == node->conns.end()) continue;  // conn died; drop response
+      it->second->wq.push_back(std::move(frame));
+    }
+    for (auto it = node->conns.begin(); it != node->conns.end();) {
+      ServerConn* conn = (it++)->second.get();  // flush may erase
+      if (!conn->wq.empty() && !conn->want_write) {
+        ServerFlushConn(node, conn);
+      }
+    }
+  }
+  CloseServerConns(node);
+}
+
+// ---------------------------------------------------------- client side
+
+SocketNetwork::ClientConn* SocketNetwork::GetOrConnectLocked(NodeId to,
+                                                             Status& error) {
+  auto it = conns_.find(to);
+  if (it != conns_.end()) return it->second.get();
+
+  auto peer = peers_.find(to);
+  if (peer == peers_.end()) {
+    error = Status(StatusCode::kUnavailable, "no route to node");
+    return nullptr;
+  }
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    error = Errno("socket");
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peer->second.port);
+  if (inet_pton(AF_INET, peer->second.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    error = Status(StatusCode::kInvalidArgument,
+                   "bad peer host: " + peer->second.host);
+    return nullptr;
+  }
+  // Blocking connect: instantaneous on loopback/LAN, and a dead peer
+  // answers with ECONNREFUSED immediately — the kUnavailable the fault
+  // tests expect.
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    close(fd);
+    error = Status(StatusCode::kUnavailable,
+                   std::string("connect: ") + std::strerror(errno));
+    return nullptr;
+  }
+  SetNoDelay(fd);
+  int flags = fcntl(fd, F_GETFL, 0);
+  (void)fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  auto conn = std::make_unique<ClientConn>();
+  conn->dest = to;
+  conn->fd = fd;
+  ClientConn* raw = conn.get();
+  AddToEpoll(client_epoll_fd_, fd, EPOLLIN, uint64_t(to) + kClientConnTagBase);
+  conns_[to] = std::move(conn);
+  stats_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+  return raw;
+}
+
+std::future<Result<std::vector<std::byte>>> SocketNetwork::EnqueueLocked(
+    ClientConn* conn, OutFrame frame, uint64_t request_id) {
+  std::promise<Result<std::vector<std::byte>>> promise;
+  auto future = promise.get_future();
+  conn->pending.emplace(request_id, std::move(promise));
+  conn->wq.push_back(std::move(frame));
+  return future;
+}
+
+void SocketNetwork::WakeClient() {
+  if (!client_wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+    SignalEventFd(client_wake_fd_);
+  }
+}
+
+void SocketNetwork::DestroyClientConnLocked(NodeId dest, const Status& why) {
+  auto it = conns_.find(dest);
+  if (it == conns_.end()) return;
+  ClientConn* conn = it->second.get();
+  for (auto& [id, promise] : conn->pending) {
+    promise.set_value(why);
+  }
+  (void)epoll_ctl(client_epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  close(conn->fd);
+  conns_.erase(it);
+}
+
+void SocketNetwork::FlushClientConnLocked(ClientConn* conn) {
+  FlushStatus fs = FlushFrameQueue(conn->fd, conn->wq);
+  if (fs == FlushStatus::kError) {
+    DestroyClientConnLocked(
+        conn->dest, Status(StatusCode::kUnavailable, "connection lost"));
+    return;
+  }
+  bool need_write = fs == FlushStatus::kPartial;
+  if (need_write != conn->want_write) {
+    conn->want_write = need_write;
+    ModEpoll(client_epoll_fd_, conn->fd,
+             need_write ? (EPOLLIN | EPOLLOUT) : EPOLLIN,
+             uint64_t(conn->dest) + kClientConnTagBase);
+  }
+}
+
+bool SocketNetwork::ReadClientConnLocked(ClientConn* conn) {
+  auto destroy = [&] {
+    DestroyClientConnLocked(
+        conn->dest, Status(StatusCode::kUnavailable, "connection lost"));
+    return false;
+  };
+  while (true) {
+    EnsureReadRoom(conn->rbuf, conn->rlen);
+    ssize_t n = read(conn->fd, conn->rbuf.data() + conn->rlen,
+                     conn->rbuf.size() - conn->rlen);
+    if (n > 0) {
+      conn->rlen += size_t(n);
+      stats_.bytes_received.fetch_add(uint64_t(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (n == 0) return destroy();
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return destroy();
+  }
+  // Demultiplex response frames to their pending calls by request id.
+  while (conn->rlen - conn->rpos >= 4) {
+    uint32_t len;
+    std::memcpy(&len, conn->rbuf.data() + conn->rpos, 4);
+    if (len < kRequestIdBytes || len > options_.max_frame_bytes) {
+      return destroy();
+    }
+    if (conn->rlen - conn->rpos < 4 + size_t(len)) break;
+    uint64_t id;
+    std::memcpy(&id, conn->rbuf.data() + conn->rpos + 4, 8);
+    const std::byte* payload = conn->rbuf.data() + conn->rpos + kHeaderBytes;
+    auto pending = conn->pending.find(id);
+    if (pending != conn->pending.end()) {
+      pending->second.set_value(std::vector<std::byte>(
+          payload, payload + (len - kRequestIdBytes)));
+      conn->pending.erase(pending);
+    }
+    conn->rpos += 4 + size_t(len);
+  }
+  CompactReadBuffer(conn->rbuf, conn->rpos, conn->rlen);
+  return true;
+}
+
+void SocketNetwork::ClientIoLoop() {
+  epoll_event events[64];
+  while (true) {
+    int nev = epoll_wait(client_epoll_fd_, events, 64, -1);
+    if (nev < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(client_mu_);
+    if (client_stop_.load(std::memory_order_acquire)) return;
+    for (int i = 0; i < nev; ++i) {
+      uint64_t tag = events[i].data.u64;
+      uint32_t ev = events[i].events;
+      if (tag == kWakeTag) {
+        // Drain strictly BEFORE clearing the pending flag. The eventfd
+        // read consumes every accumulated token, so clearing first would
+        // let a concurrent WakeClient's token be eaten while the flag
+        // stays set — and the next caller would skip its signal with its
+        // frame unflushed (lost wakeup). With this order, any enqueue is
+        // serialized by client_mu_ either before this pass (its frame is
+        // flushed below) or after the clear (its WakeClient signals).
+        DrainEventFd(client_wake_fd_);
+        client_wake_pending_.store(false, std::memory_order_release);
+        // Re-check stop: Shutdown signals the eventfd directly, and the
+        // drain above may have just consumed that token. client_stop_ is
+        // stored before the signal, so if we ate the token we must see
+        // the flag here; if we didn't, the token survives and wakes the
+        // next epoll_wait, where the top-of-pass check catches it.
+        if (client_stop_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      NodeId dest = NodeId(tag - kClientConnTagBase);
+      auto it = conns_.find(dest);
+      if (it == conns_.end()) continue;  // destroyed earlier in this batch
+      ClientConn* conn = it->second.get();
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        DestroyClientConnLocked(
+            dest, Status(StatusCode::kUnavailable, "connection lost"));
+        continue;
+      }
+      if ((ev & EPOLLIN) != 0 && !ReadClientConnLocked(conn)) continue;
+      if ((ev & EPOLLOUT) != 0) FlushClientConnLocked(conn);
+    }
+    // Flush every connection with newly queued frames: frames enqueued
+    // since the last pass coalesce into one vectored send here.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      ClientConn* conn = (it++)->second.get();  // flush may erase
+      if (!conn->wq.empty() && !conn->want_write) {
+        FlushClientConnLocked(conn);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ call paths
+
+std::future<Result<std::vector<std::byte>>> SocketNetwork::CallAsync(
+    NodeId to, std::span<const std::byte> request) {
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.tx_copied_bytes.fetch_add(request.size(), std::memory_order_relaxed);
+  OutFrame frame;
+  frame.owned.assign(request.begin(), request.end());
+  frame.total = kHeaderBytes + frame.owned.size();
+  std::future<Result<std::vector<std::byte>>> future;
+  {
+    std::lock_guard<std::mutex> lock(client_mu_);
+    if (client_stop_.load(std::memory_order_acquire)) {
+      std::promise<Result<std::vector<std::byte>>> promise;
+      promise.set_value(Status(StatusCode::kUnavailable, "network shut down"));
+      return promise.get_future();
+    }
+    Status error = OkStatus();
+    ClientConn* conn = GetOrConnectLocked(to, error);
+    if (conn == nullptr) {
+      std::promise<Result<std::vector<std::byte>>> promise;
+      promise.set_value(error);
+      return promise.get_future();
+    }
+    uint64_t id = next_request_id_++;
+    uint32_t len = uint32_t(kRequestIdBytes + frame.owned.size());
+    std::memcpy(frame.header.data(), &len, 4);
+    std::memcpy(frame.header.data() + 4, &id, 8);
+    future = EnqueueLocked(conn, std::move(frame), id);
+  }
+  WakeClient();
+  return future;
+}
+
+std::future<Result<std::vector<std::byte>>> SocketNetwork::CallAsyncParts(
+    NodeId to, const BytesRefParts& parts) {
+  stats_.parts_calls.fetch_add(1, std::memory_order_relaxed);
+  // Zero-copy send path: the pieces go from caller memory (segment
+  // buffers, sealed chunks, the encoder's inline runs) straight into the
+  // vectored send — nothing is materialized, so parts_copied_bytes and
+  // tx_copied_bytes stay untouched.
+  OutFrame frame;
+  frame.pieces.assign(parts.pieces.begin(), parts.pieces.end());
+  size_t payload = parts.total_size();
+  frame.total = kHeaderBytes + payload;
+  std::future<Result<std::vector<std::byte>>> future;
+  {
+    std::lock_guard<std::mutex> lock(client_mu_);
+    if (client_stop_.load(std::memory_order_acquire)) {
+      std::promise<Result<std::vector<std::byte>>> promise;
+      promise.set_value(Status(StatusCode::kUnavailable, "network shut down"));
+      return promise.get_future();
+    }
+    Status error = OkStatus();
+    ClientConn* conn = GetOrConnectLocked(to, error);
+    if (conn == nullptr) {
+      std::promise<Result<std::vector<std::byte>>> promise;
+      promise.set_value(error);
+      return promise.get_future();
+    }
+    uint64_t id = next_request_id_++;
+    uint32_t len = uint32_t(kRequestIdBytes + payload);
+    std::memcpy(frame.header.data(), &len, 4);
+    std::memcpy(frame.header.data() + 4, &id, 8);
+    future = EnqueueLocked(conn, std::move(frame), id);
+  }
+  WakeClient();
+  return future;
+}
+
+Result<std::vector<std::byte>> SocketNetwork::Call(
+    NodeId to, std::span<const std::byte> request) {
+  return CallAsync(to, request).get();
+}
+
+SocketNetwork::Stats SocketNetwork::GetStats() const {
+  Stats out;
+  out.calls = stats_.calls.load(std::memory_order_relaxed);
+  out.parts_calls = stats_.parts_calls.load(std::memory_order_relaxed);
+  out.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
+  out.bytes_received = stats_.bytes_received.load(std::memory_order_relaxed);
+  out.connections_opened =
+      stats_.connections_opened.load(std::memory_order_relaxed);
+  out.sendmsg_calls = stats_.sendmsg_calls.load(std::memory_order_relaxed);
+  out.frames_sent = stats_.frames_sent.load(std::memory_order_relaxed);
+  out.tx_copied_bytes = stats_.tx_copied_bytes.load(std::memory_order_relaxed);
+  out.parts_copied_bytes =
+      stats_.parts_copied_bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace kera::rpc

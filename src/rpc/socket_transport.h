@@ -1,0 +1,204 @@
+// SocketNetwork: a real TCP transport implementing the Network interface,
+// drop-in for ThreadedNetwork in MiniCluster and the examples — the step
+// from "simulated cluster" to a deployment that can run brokers, backups
+// and clients as separate processes.
+//
+// Wire protocol (both directions, little-endian like the RPC format):
+//
+//   u32 n        frame length (bytes following this field)
+//   u64 id       request id, echoed verbatim in the response frame
+//   n-8 bytes    payload: a request frame (u16 opcode + body) client->server,
+//                the raw HandleRpc response bytes server->client
+//
+// Request ids multiplex many in-flight RPCs over ONE persistent connection
+// per (SocketNetwork instance, destination node) — no connection-per-call.
+// Responses may return in any order; the client demultiplexes by id.
+//
+// Per registered node: one listening socket plus one epoll event-loop
+// thread that only moves bytes (accept/read/write, never runs handlers),
+// and a worker pool draining decoded requests — the RAMCloud-style
+// dispatch/worker split the in-process ThreadedNetwork models. One more
+// epoll thread serves the client side of this instance (all outbound
+// connections). All sockets are TCP_NODELAY; queued frames are flushed
+// with one vectored send (writev-style sendmsg) per flush, so many small
+// frames and the scatter-gather pieces of a parts frame coalesce into one
+// syscall without being materialized into a contiguous buffer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "rpc/transport.h"
+
+namespace kera::rpc {
+
+class SocketNetwork final : public Network {
+ public:
+  struct Options {
+    /// Handler worker threads per registered node.
+    int workers_per_node = 4;
+    /// Address registered listeners bind (and advertise to in-process
+    /// clients).
+    std::string host = "127.0.0.1";
+    /// Frames larger than this are treated as corruption and kill the
+    /// connection.
+    size_t max_frame_bytes = size_t(1) << 30;
+  };
+
+  SocketNetwork();
+  explicit SocketNetwork(Options options);
+  ~SocketNetwork() override;
+
+  SocketNetwork(const SocketNetwork&) = delete;
+  SocketNetwork& operator=(const SocketNetwork&) = delete;
+
+  /// Binds a listener for `node` (port 0 picks an ephemeral port), spawns
+  /// its event loop + workers, and routes in-process calls to it. Returns
+  /// the bound port (to hand to SetPeer in another process).
+  [[nodiscard]] Result<uint16_t> Register(NodeId node, RpcHandler* handler,
+                                          uint16_t port = 0);
+
+  /// Fault injection: closes the node's listener and every accepted
+  /// connection. Queued and in-flight requests against it fail with
+  /// kUnavailable on the caller side (the connection died), like a real
+  /// machine crash.
+  void Crash(NodeId node);
+
+  /// Serves a crashed (or never-registered) node again, rebinding the
+  /// port it had when possible so remote peers reconnect unchanged.
+  [[nodiscard]] Result<uint16_t> Restore(NodeId node, RpcHandler* handler);
+
+  /// Routes calls for `node` to another process at host:port. Local
+  /// registrations take precedence.
+  void SetPeer(NodeId node, const std::string& host, uint16_t port);
+
+  /// Listening port of a locally registered node.
+  [[nodiscard]] Result<uint16_t> Port(NodeId node) const;
+
+  Result<std::vector<std::byte>> Call(
+      NodeId to, std::span<const std::byte> request) override;
+  std::future<Result<std::vector<std::byte>>> CallAsync(
+      NodeId to, std::span<const std::byte> request) override;
+  std::future<Result<std::vector<std::byte>>> CallAsyncParts(
+      NodeId to, const BytesRefParts& parts) override;
+
+  /// Stops serving, fails every pending call, and joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  struct Stats {
+    uint64_t calls = 0;        // CallAsync (span) requests issued
+    uint64_t parts_calls = 0;  // CallAsyncParts requests issued
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+    uint64_t connections_opened = 0;  // outbound connects
+    /// Vectored flushes and frames fully written, across both sides of
+    /// this instance (requests it sends plus responses its registered
+    /// nodes send).
+    uint64_t sendmsg_calls = 0;
+    uint64_t frames_sent = 0;
+    /// Payload bytes memcpy'd into transport-owned buffers on the send
+    /// path. CallAsync copies its span once (same contract as the other
+    /// transports); CallAsyncParts never adds here — its pieces go from
+    /// caller memory straight into the vectored send. The transport-level
+    /// mirror of PR 2's bytes-per-record accounting.
+    uint64_t tx_copied_bytes = 0;
+    uint64_t parts_copied_bytes = 0;  // parts-path share of the above: 0
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+ private:
+  // One frame queued for writing: a 12-byte header followed by either an
+  // owned contiguous payload or referenced scatter-gather pieces.
+  struct OutFrame {
+    std::array<std::byte, 12> header;  // u32 len, u64 request id
+    std::vector<std::byte> owned;      // span path / server responses
+    std::vector<std::span<const std::byte>> pieces;  // parts path
+    size_t written = 0;  // wire bytes of this frame already sent
+    size_t total = 0;    // header + payload
+  };
+
+  struct ServerConn;
+  struct ServerNode;
+  struct ClientConn;
+
+  enum class FlushStatus { kDrained, kPartial, kError };
+  /// One flush: coalesces up to kMaxIov pieces from the queued frames
+  /// into a single vectored send, repeating until the queue drains or
+  /// the socket would block.
+  FlushStatus FlushFrameQueue(int fd, std::deque<OutFrame>& wq);
+
+  void ServerIoLoop(ServerNode* node);
+  void ServerWorkerLoop(ServerNode* node);
+  void ServerFlushConn(ServerNode* node, ServerConn* conn);
+  // Returns false when the connection died and was destroyed.
+  bool ServerReadConn(ServerNode* node, ServerConn* conn);
+  static void CloseServerConns(ServerNode* node);
+
+  void ClientIoLoop();
+  // All Client* helpers run under client_mu_.
+  ClientConn* GetOrConnectLocked(NodeId to, Status& error);
+  void FlushClientConnLocked(ClientConn* conn);
+  bool ReadClientConnLocked(ClientConn* conn);
+  void DestroyClientConnLocked(NodeId dest, const Status& why);
+  std::future<Result<std::vector<std::byte>>> EnqueueLocked(
+      ClientConn* conn, OutFrame frame, uint64_t request_id);
+  void WakeClient();
+
+  const Options options_;
+
+  // ----- server side -----
+  mutable std::mutex nodes_mu_;
+  std::map<NodeId, std::unique_ptr<ServerNode>> nodes_;
+  // Crashed nodes awaiting final worker join (their IO thread is already
+  // joined; workers may still be draining a blocked handler).
+  std::vector<std::unique_ptr<ServerNode>> draining_;
+  bool shutdown_ = false;
+
+  // ----- client side -----
+  // Guards conns_, peers_, pending maps and write queues. The client IO
+  // thread holds it while moving bytes; callers hold it to enqueue.
+  mutable std::mutex client_mu_;
+  std::map<NodeId, std::unique_ptr<ClientConn>> conns_;
+  struct PeerAddr {
+    std::string host;
+    uint16_t port = 0;
+  };
+  std::map<NodeId, PeerAddr> peers_;
+  uint64_t next_request_id_ = 1;
+  uint64_t next_conn_id_ = 1;
+  int client_epoll_fd_ = -1;
+  int client_wake_fd_ = -1;
+  std::thread client_thread_;
+  std::atomic<bool> client_wake_pending_{false};
+  std::atomic<bool> client_stop_{false};
+
+  struct AtomicStats {
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> parts_calls{0};
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> bytes_received{0};
+    std::atomic<uint64_t> connections_opened{0};
+    std::atomic<uint64_t> sendmsg_calls{0};
+    std::atomic<uint64_t> frames_sent{0};
+    std::atomic<uint64_t> tx_copied_bytes{0};
+    std::atomic<uint64_t> parts_copied_bytes{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace kera::rpc

@@ -1,6 +1,27 @@
 #include "rpc/transport.h"
 
+#include <cstring>
+
 namespace kera::rpc {
+
+// --------------------------------------------------------------- Network
+
+std::future<Result<std::vector<std::byte>>> Network::CallAsyncParts(
+    NodeId to, const BytesRefParts& parts) {
+  // Copying fallback: materialize the frame once and forward. CallAsync
+  // consumes the request before returning, so the local buffer's lifetime
+  // is sufficient.
+  std::vector<std::byte> frame(parts.total_size());
+  size_t off = 0;
+  for (const auto& p : parts.pieces) {
+    if (p.empty()) continue;
+    std::memcpy(frame.data() + off, p.data(), p.size());
+    off += p.size();
+  }
+  materialized_parts_bytes_.fetch_add(frame.size(),
+                                      std::memory_order_relaxed);
+  return CallAsync(to, frame);
+}
 
 // ---------------------------------------------------------- DirectNetwork
 
@@ -39,8 +60,7 @@ std::future<Result<std::vector<std::byte>>> DirectNetwork::CallAsync(
 FlakyNetwork::FlakyNetwork(Network& inner, Options options)
     : inner_(inner), options_(options), rng_state_(options.seed) {}
 
-Result<std::vector<std::byte>> FlakyNetwork::Call(
-    NodeId to, std::span<const std::byte> request) {
+void FlakyNetwork::DrawCoins(bool& drop_request, bool& drop_response) {
   auto next_double = [this] {
     // splitmix64 -> [0,1)
     uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ull);
@@ -49,15 +69,18 @@ Result<std::vector<std::byte>> FlakyNetwork::Call(
     z ^= z >> 31;
     return double(z >> 11) * (1.0 / (uint64_t(1) << 53));
   };
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.calls;
+  drop_request = next_double() < options_.drop_request;
+  drop_response = next_double() < options_.drop_response;
+  if (drop_request) ++stats_.dropped_requests;
+}
+
+Result<std::vector<std::byte>> FlakyNetwork::Call(
+    NodeId to, std::span<const std::byte> request) {
   bool drop_req;
   bool drop_resp;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.calls;
-    drop_req = next_double() < options_.drop_request;
-    drop_resp = next_double() < options_.drop_response;
-    if (drop_req) ++stats_.dropped_requests;
-  }
+  DrawCoins(drop_req, drop_resp);
   if (drop_req) {
     return Status(StatusCode::kUnavailable, "injected request drop");
   }
@@ -70,11 +93,51 @@ Result<std::vector<std::byte>> FlakyNetwork::Call(
   return result;
 }
 
+std::future<Result<std::vector<std::byte>>> FlakyNetwork::ApplyResponseCoin(
+    std::future<Result<std::vector<std::byte>>> inner, bool drop_response) {
+  // Deferred post-processing: the inner call is already in flight (so
+  // fan-out stays parallel); the coin is applied when the caller consumes
+  // the result.
+  return std::async(
+      std::launch::deferred,
+      [this, drop_response,
+       f = std::move(inner)]() mutable -> Result<std::vector<std::byte>> {
+        auto result = f.get();
+        if (result.ok() && drop_response) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.dropped_responses;
+          return Status(StatusCode::kUnavailable, "injected response drop");
+        }
+        return result;
+      });
+}
+
 std::future<Result<std::vector<std::byte>>> FlakyNetwork::CallAsync(
     NodeId to, std::span<const std::byte> request) {
-  std::promise<Result<std::vector<std::byte>>> promise;
-  promise.set_value(Call(to, request));
-  return promise.get_future();
+  bool drop_req;
+  bool drop_resp;
+  DrawCoins(drop_req, drop_resp);
+  if (drop_req) {
+    std::promise<Result<std::vector<std::byte>>> promise;
+    promise.set_value(Status(StatusCode::kUnavailable,
+                             "injected request drop"));
+    return promise.get_future();
+  }
+  return ApplyResponseCoin(inner_.CallAsync(to, request), drop_resp);
+}
+
+std::future<Result<std::vector<std::byte>>> FlakyNetwork::CallAsyncParts(
+    NodeId to, const BytesRefParts& parts) {
+  bool drop_req;
+  bool drop_resp;
+  DrawCoins(drop_req, drop_resp);
+  if (drop_req) {
+    std::promise<Result<std::vector<std::byte>>> promise;
+    promise.set_value(Status(StatusCode::kUnavailable,
+                             "injected request drop"));
+    return promise.get_future();
+  }
+  return ApplyResponseCoin(inner_.CallAsyncParts(to, parts), drop_resp);
 }
 
 FlakyNetwork::Stats FlakyNetwork::GetStats() const {
@@ -91,12 +154,15 @@ ThreadedNetwork::~ThreadedNetwork() { Shutdown(); }
 
 void ThreadedNetwork::Register(NodeId node, RpcHandler* handler) {
   auto state = std::make_unique<NodeState>();
-  state->handler = handler;
+  state->handler.store(handler, std::memory_order_release);
   NodeState* raw = state.get();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    nodes_[node] = std::move(state);
-  }
+  // Publication and worker spawn share the critical section: Shutdown
+  // snapshots nodes_ under mu_ and joins every spawned worker, so a
+  // Register racing Shutdown either loses (refused below, no threads
+  // spawned) or wins with its workers already recorded for joining.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return;  // refused: workers would never be joined
+  nodes_[node] = std::move(state);
   for (int i = 0; i < workers_per_node_; ++i) {
     raw->workers.emplace_back([raw] {
       while (auto work = raw->queue.Pop()) {
@@ -105,7 +171,8 @@ void ThreadedNetwork::Register(NodeId node, RpcHandler* handler) {
               Status(StatusCode::kUnavailable, "node crashed"));
           continue;
         }
-        (*work)->promise.set_value(raw->handler->HandleRpc((*work)->request));
+        RpcHandler* h = raw->handler.load(std::memory_order_acquire);
+        (*work)->promise.set_value(h->HandleRpc((*work)->request));
       }
     });
   }
@@ -117,6 +184,19 @@ void ThreadedNetwork::Crash(NodeId node) {
   if (it != nodes_.end()) {
     it->second->crashed.store(true, std::memory_order_release);
   }
+}
+
+void ThreadedNetwork::Restore(NodeId node, RpcHandler* handler) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(node);
+    if (it != nodes_.end()) {
+      it->second->handler.store(handler, std::memory_order_release);
+      it->second->crashed.store(false, std::memory_order_release);
+      return;
+    }
+  }
+  Register(node, handler);
 }
 
 std::future<Result<std::vector<std::byte>>> ThreadedNetwork::CallAsync(

@@ -20,6 +20,7 @@
 #include "common/queue.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "rpc/serialize.h"
 
 namespace kera::rpc {
 
@@ -43,8 +44,31 @@ class Network {
       NodeId to, std::span<const std::byte> request) = 0;
 
   /// Asynchronous call (parallel replication to multiple backups).
+  /// Implementations consume `request` before returning; the caller's
+  /// buffer need not outlive the call.
   [[nodiscard]] virtual std::future<Result<std::vector<std::byte>>> CallAsync(
       NodeId to, std::span<const std::byte> request) = 0;
+
+  /// Vectored asynchronous call: the request frame is the concatenation of
+  /// `parts.pieces`, referencing caller-owned memory (segment buffers,
+  /// sealed chunk frames, a live Writer). Unlike CallAsync, the referenced
+  /// memory must stay alive and unchanged until the returned future is
+  /// ready. The default materializes the frame once and forwards to
+  /// CallAsync; transports with scatter-gather sends (SocketNetwork's
+  /// writev path) override it and never copy the payload.
+  [[nodiscard]] virtual std::future<Result<std::vector<std::byte>>>
+  CallAsyncParts(NodeId to, const BytesRefParts& parts);
+
+  /// Payload bytes copied by the base-class CallAsyncParts fallback above
+  /// (the PR 2 "frame materialization" copy). Transports that send parts
+  /// frames with writev never add to it — tests pin the produce/replicate
+  /// parts path to zero materialization copies with this counter.
+  [[nodiscard]] uint64_t materialized_parts_bytes() const {
+    return materialized_parts_bytes_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  std::atomic<uint64_t> materialized_parts_bytes_{0};
 };
 
 /// Synchronous direct-dispatch network. Registration is not thread-safe;
@@ -103,6 +127,8 @@ class FlakyNetwork final : public Network {
       NodeId to, std::span<const std::byte> request) override;
   std::future<Result<std::vector<std::byte>>> CallAsync(
       NodeId to, std::span<const std::byte> request) override;
+  std::future<Result<std::vector<std::byte>>> CallAsyncParts(
+      NodeId to, const BytesRefParts& parts) override;
 
   struct Stats {
     uint64_t calls = 0;
@@ -112,6 +138,14 @@ class FlakyNetwork final : public Network {
   [[nodiscard]] Stats GetStats() const;
 
  private:
+  /// Draws the two fault coins for one call (under mu_, so fault patterns
+  /// stay deterministic in issue order given the seed).
+  void DrawCoins(bool& drop_request, bool& drop_response);
+  /// Wraps an in-flight inner future so the response-drop coin is applied
+  /// when the result is consumed, not at issue time.
+  std::future<Result<std::vector<std::byte>>> ApplyResponseCoin(
+      std::future<Result<std::vector<std::byte>>> inner, bool drop_response);
+
   Network& inner_;
   const Options options_;
   mutable std::mutex mu_;
@@ -129,11 +163,16 @@ class ThreadedNetwork final : public Network {
   ThreadedNetwork(const ThreadedNetwork&) = delete;
   ThreadedNetwork& operator=(const ThreadedNetwork&) = delete;
 
+  /// Registers a node and spawns its workers. Refused (no-op) after
+  /// Shutdown — late registration would spawn workers nobody joins.
   void Register(NodeId node, RpcHandler* handler);
 
   /// Fault injection: stop serving a node. In-flight requests complete;
   /// new calls fail with kUnavailable.
   void Crash(NodeId node);
+
+  /// Fault injection: serve a crashed (or never-registered) node again.
+  void Restore(NodeId node, RpcHandler* handler);
 
   Result<std::vector<std::byte>> Call(
       NodeId to, std::span<const std::byte> request) override;
@@ -148,7 +187,8 @@ class ThreadedNetwork final : public Network {
     std::promise<Result<std::vector<std::byte>>> promise;
   };
   struct NodeState {
-    RpcHandler* handler = nullptr;
+    // Atomic: Restore() swaps the handler while workers are draining.
+    std::atomic<RpcHandler*> handler{nullptr};
     BlockingQueue<std::unique_ptr<Work>> queue;
     std::vector<std::thread> workers;
     std::atomic<bool> crashed{false};

@@ -1,0 +1,390 @@
+// Transport fault-semantics suite, run against every Network
+// implementation (Direct, Threaded, Socket) through a typed harness, plus
+// socket-specific tests: zero-copy accounting on the parts path, request
+// multiplexing over one connection, cross-instance routing via SetPeer,
+// and a full produce/consume round trip over real TCP.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "client/consumer.h"
+#include "client/producer.h"
+#include "cluster/mini_cluster.h"
+#include "rpc/messages.h"
+#include "rpc/socket_transport.h"
+#include "rpc/transport.h"
+
+namespace kera::rpc {
+namespace {
+
+std::span<const std::byte> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string AsString(const std::vector<std::byte>& b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+/// Echoes the request back; optionally sleeps first (to keep requests
+/// in flight while the test crashes the node).
+class EchoHandler : public RpcHandler {
+ public:
+  std::vector<std::byte> HandleRpc(
+      std::span<const std::byte> request) override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    return {request.begin(), request.end()};
+  }
+  std::atomic<int> calls{0};
+  int delay_ms = 0;
+};
+
+// ----- typed harnesses: a uniform facade over the three transports -----
+
+class DirectHarness {
+ public:
+  void Register(NodeId node, RpcHandler* h) { net_.Register(node, h); }
+  void Crash(NodeId node) { net_.Crash(node); }
+  void Restore(NodeId node, RpcHandler* h) { net_.Restore(node, h); }
+  Network& network() { return net_; }
+
+ private:
+  DirectNetwork net_;
+};
+
+class ThreadedHarness {
+ public:
+  void Register(NodeId node, RpcHandler* h) { net_.Register(node, h); }
+  void Crash(NodeId node) { net_.Crash(node); }
+  void Restore(NodeId node, RpcHandler* h) { net_.Restore(node, h); }
+  Network& network() { return net_; }
+
+ private:
+  ThreadedNetwork net_{2};
+};
+
+class SocketHarness {
+ public:
+  void Register(NodeId node, RpcHandler* h) {
+    auto port = net_.Register(node, h);
+    EXPECT_TRUE(port.ok()) << port.status().ToString();
+  }
+  void Crash(NodeId node) { net_.Crash(node); }
+  void Restore(NodeId node, RpcHandler* h) {
+    auto port = net_.Restore(node, h);
+    EXPECT_TRUE(port.ok()) << port.status().ToString();
+  }
+  Network& network() { return net_; }
+
+ private:
+  SocketNetwork net_;
+};
+
+template <typename Harness>
+class TransportTest : public ::testing::Test {
+ protected:
+  Harness harness_;
+};
+
+using Transports =
+    ::testing::Types<DirectHarness, ThreadedHarness, SocketHarness>;
+
+class TransportNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, DirectHarness>) return "Direct";
+    if (std::is_same_v<T, ThreadedHarness>) return "Threaded";
+    return "Socket";
+  }
+};
+
+TYPED_TEST_SUITE(TransportTest, Transports, TransportNames);
+
+TYPED_TEST(TransportTest, EchoRoundTrip) {
+  EchoHandler echo;
+  this->harness_.Register(1, &echo);
+  auto r = this->harness_.network().Call(1, AsBytes("ping"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(AsString(*r), "ping");
+  EXPECT_EQ(echo.calls.load(), 1);
+}
+
+TYPED_TEST(TransportTest, UnknownNodeUnavailable) {
+  auto r = this->harness_.network().Call(42, AsBytes("ping"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TYPED_TEST(TransportTest, ManyInFlightAsync) {
+  EchoHandler echo;
+  this->harness_.Register(1, &echo);
+  constexpr int kInFlight = 32;
+  std::vector<std::future<Result<std::vector<std::byte>>>> futures;
+  futures.reserve(kInFlight);
+  for (int i = 0; i < kInFlight; ++i) {
+    std::string payload = "req-" + std::to_string(i);
+    futures.push_back(
+        this->harness_.network().CallAsync(1, AsBytes(payload)));
+  }
+  for (int i = 0; i < kInFlight; ++i) {
+    auto r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(AsString(*r), "req-" + std::to_string(i));
+  }
+  EXPECT_EQ(echo.calls.load(), kInFlight);
+}
+
+TYPED_TEST(TransportTest, PartsCallMatchesSpan) {
+  EchoHandler echo;
+  this->harness_.Register(1, &echo);
+  // Scatter-gather request: three pieces with independent storage.
+  const std::string a = "scatter-";
+  const std::string b = "gather-";
+  const std::string c = "pieces";
+  BytesRefParts parts;
+  parts.pieces = {AsBytes(a), AsBytes(b), AsBytes(c)};
+  auto f = this->harness_.network().CallAsyncParts(1, parts);
+  auto r = f.get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(AsString(*r), a + b + c);
+}
+
+TYPED_TEST(TransportTest, CrashFailsNewCalls) {
+  EchoHandler echo;
+  this->harness_.Register(1, &echo);
+  ASSERT_TRUE(this->harness_.network().Call(1, AsBytes("up")).ok());
+  this->harness_.Crash(1);
+  // The socket transport tears the connection down asynchronously; a call
+  // issued before the client notices may still fail only on response. All
+  // transports must converge to kUnavailable within the deadline.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  Result<std::vector<std::byte>> r = this->harness_.network().Call(
+      1, AsBytes("down"));
+  while (r.ok() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    r = this->harness_.network().Call(1, AsBytes("down"));
+  }
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TYPED_TEST(TransportTest, CrashMidFlightCompletesEveryFuture) {
+  EchoHandler slow;
+  slow.delay_ms = 20;
+  this->harness_.Register(1, &slow);
+  std::vector<std::future<Result<std::vector<std::byte>>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(this->harness_.network().CallAsync(1, AsBytes("x")));
+  }
+  this->harness_.Crash(1);
+  // Every future must become ready: either it completed before the crash
+  // or it fails with kUnavailable — none may hang or be abandoned.
+  int failed = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    auto r = f.get();
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+      ++failed;
+    } else {
+      EXPECT_EQ(AsString(*r), "x");
+    }
+  }
+  // The stale futures stayed valid; at least the calls issued after the
+  // handler pool saturated cannot all have completed... but timing makes
+  // that non-deterministic, so only the completeness above is asserted.
+  (void)failed;
+}
+
+TYPED_TEST(TransportTest, RestoreAfterCrashServesAgain) {
+  EchoHandler first;
+  this->harness_.Register(1, &first);
+  ASSERT_TRUE(this->harness_.network().Call(1, AsBytes("one")).ok());
+  this->harness_.Crash(1);
+
+  EchoHandler second;
+  this->harness_.Restore(1, &second);
+  // The socket client may need a moment to drop the dead connection and
+  // reconnect to the rebound listener; retry until the deadline.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  Result<std::vector<std::byte>> r =
+      this->harness_.network().Call(1, AsBytes("two"));
+  while (!r.ok() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    r = this->harness_.network().Call(1, AsBytes("two"));
+  }
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(AsString(*r), "two");
+  EXPECT_GE(second.calls.load(), 1);
+}
+
+// ----- zero-copy accounting -----
+
+TEST(TransportCopyTest, SocketPartsPathCopiesNothing) {
+  SocketNetwork net;
+  EchoHandler echo;
+  ASSERT_TRUE(net.Register(1, &echo).ok());
+
+  // Span path: one copy into the transport-owned frame (same contract as
+  // the other transports).
+  ASSERT_TRUE(net.Call(1, AsBytes("copied")).ok());
+  auto s1 = net.GetStats();
+  EXPECT_EQ(s1.calls, 1u);
+  EXPECT_EQ(s1.tx_copied_bytes, 6u);
+  EXPECT_EQ(s1.parts_copied_bytes, 0u);
+
+  // Parts path: pieces go from caller memory straight to the vectored
+  // send — zero payload bytes copied into transport buffers, and the
+  // base-class materializing fallback is never taken.
+  const std::string big(4096, 'z');
+  BytesRefParts parts;
+  parts.pieces = {AsBytes("hdr|"), AsBytes(big)};
+  auto r = net.CallAsyncParts(1, parts).get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 4u + big.size());
+  auto s2 = net.GetStats();
+  EXPECT_EQ(s2.parts_calls, 1u);
+  EXPECT_EQ(s2.tx_copied_bytes, s1.tx_copied_bytes);  // unchanged
+  EXPECT_EQ(s2.parts_copied_bytes, 0u);
+  EXPECT_EQ(net.materialized_parts_bytes(), 0u);
+}
+
+TEST(TransportCopyTest, BaseFallbackMaterializesOnce) {
+  // Transports without a native parts path (Threaded here) materialize
+  // the frame exactly once and account for it.
+  ThreadedNetwork net(1);
+  EchoHandler echo;
+  net.Register(1, &echo);
+  BytesRefParts parts;
+  parts.pieces = {AsBytes("abc"), AsBytes("defg")};
+  auto r = net.CallAsyncParts(1, parts).get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(AsString(*r), "abcdefg");
+  EXPECT_EQ(net.materialized_parts_bytes(), 7u);
+  net.Shutdown();
+}
+
+// ----- multiplexing -----
+
+TEST(TransportMuxTest, ManyCallsShareOneConnection) {
+  SocketNetwork net;
+  EchoHandler echo;
+  ASSERT_TRUE(net.Register(1, &echo).ok());
+  constexpr int kRounds = 8;
+  constexpr int kWindow = 16;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::future<Result<std::vector<std::byte>>>> futures;
+    for (int i = 0; i < kWindow; ++i) {
+      std::string payload =
+          "r" + std::to_string(round) + "-" + std::to_string(i);
+      futures.push_back(net.CallAsync(1, AsBytes(payload)));
+    }
+    for (int i = 0; i < kWindow; ++i) {
+      auto r = futures[i].get();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(AsString(*r),
+                "r" + std::to_string(round) + "-" + std::to_string(i));
+    }
+  }
+  // A resolved future proves the response bytes arrived, but the server
+  // IO thread bumps frames_sent after the sendmsg that carried them — so
+  // the counter can trail the futures briefly. It is monotonic; poll.
+  const uint64_t want_frames = 2u * kRounds * kWindow;
+  auto stats = net.GetStats();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (stats.frames_sent < want_frames &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = net.GetStats();
+  }
+  EXPECT_EQ(stats.connections_opened, 1u);  // no connection-per-call
+  // Requests plus their responses (client and server share the instance).
+  EXPECT_EQ(stats.frames_sent, want_frames);
+  // Queued frames coalesce into vectored sends: strictly fewer syscalls
+  // than frames on at least some flushes is not guaranteed by timing, but
+  // the flush count can never exceed one per frame.
+  EXPECT_LE(stats.sendmsg_calls, stats.frames_sent);
+  EXPECT_EQ(echo.calls.load(), kRounds * kWindow);
+}
+
+// ----- cross-instance routing (two "processes" in one test) -----
+
+TEST(TransportPeerTest, SetPeerRoutesAcrossInstances) {
+  SocketNetwork server_net;
+  EchoHandler echo;
+  auto port = server_net.Register(7, &echo);
+  ASSERT_TRUE(port.ok());
+
+  SocketNetwork client_net;
+  client_net.SetPeer(7, "127.0.0.1", *port);
+  auto r = client_net.Call(7, AsBytes("hello across"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(AsString(*r), "hello across");
+  EXPECT_EQ(echo.calls.load(), 1);
+}
+
+// ----- end-to-end over TCP -----
+
+TEST(SocketClusterTest, ProduceConsumeRoundTrip) {
+  MiniClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.workers_per_node = 2;
+  cfg.transport = MiniClusterTransport::kSocket;
+  cfg.segment_size = 64 << 10;
+  cfg.virtual_segment_capacity = 64 << 10;
+  cfg.broker_memory_bytes = 64 << 20;
+  MiniCluster cluster(cfg);
+
+  rpc::StreamOptions opts;
+  opts.num_streamlets = 2;
+  opts.replication_factor = 2;
+  auto info = cluster.coordinator().CreateStream("s", opts);
+  ASSERT_TRUE(info.ok());
+
+  ProducerConfig pc;
+  pc.producer_id = 1;
+  pc.stream = "s";
+  pc.chunk_size = 1024;
+  Producer producer(pc, cluster.network());
+  ASSERT_TRUE(producer.Connect().ok());
+  constexpr int kRecords = 1000;
+  for (int i = 0; i < kRecords; ++i) {
+    std::string v = "v" + std::to_string(i);
+    ASSERT_TRUE(producer.Send(AsBytes(v)).ok());
+  }
+  ASSERT_TRUE(producer.Close().ok());
+
+  ConsumerConfig cc;
+  cc.stream = "s";
+  Consumer consumer(cc, cluster.network());
+  ASSERT_TRUE(consumer.Connect().ok());
+  std::multiset<std::string> received;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (received.size() < kRecords &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (auto& rec : consumer.PollBlocking(256)) {
+      received.emplace(reinterpret_cast<const char*>(rec.value.data()),
+                       rec.value.size());
+    }
+  }
+  consumer.Close();
+  ASSERT_EQ(received.size(), size_t(kRecords));
+  for (int i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(received.count("v" + std::to_string(i)), 1u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace kera::rpc
