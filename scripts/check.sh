@@ -19,26 +19,28 @@ cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
-echo "== ThreadSanitizer build (vlog + broker + client + transport suites) =="
+echo "== ThreadSanitizer build (vlog + broker + client + consume suites) =="
 cmake -B "$tsan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$tsan_build" -j --target \
   vlog_test vlog_property_test broker_test client_test client_edge_test \
-  transport_test
+  consume_protocol_test transport_test
 for t in vlog_test vlog_property_test broker_test client_test \
-         client_edge_test transport_test; do
+         client_edge_test consume_protocol_test transport_test; do
   echo "-- TSan: $t"
   "$tsan_build/tests/$t"
 done
 
-echo "== ASan+UBSan build (wire + rpc + crc + transport suites) =="
+echo "== ASan+UBSan build (wire + rpc + crc + consume + backup suites) =="
 cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$asan_build" -j --target \
-  wire_test wire_golden_test rpc_test common_test transport_test
-for t in wire_test wire_golden_test rpc_test common_test transport_test; do
+  wire_test wire_golden_test rpc_test common_test transport_test \
+  consume_protocol_test client_edge_test backup_test
+for t in wire_test wire_golden_test rpc_test common_test transport_test \
+         consume_protocol_test client_edge_test backup_test; do
   echo "-- ASan+UBSan: $t"
   "$asan_build/tests/$t"
 done
@@ -53,6 +55,12 @@ echo "== transport benchmark (JSON to BENCH_transport.json) =="
 cmake --build "$build" -j --target bench_transport
 "$build/bench/bench_transport" \
   --benchmark_out="$repo/BENCH_transport.json" \
+  --benchmark_out_format=json
+
+echo "== consume benchmark (JSON to BENCH_consume.json) =="
+cmake --build "$build" -j --target bench_consume
+"$build/bench/bench_consume" \
+  --benchmark_out="$repo/BENCH_consume.json" \
   --benchmark_out_format=json
 
 echo "check.sh: all green"

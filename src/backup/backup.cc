@@ -198,18 +198,39 @@ Status Backup::LoadFromDisk(ReplicatedSegment& seg, const Key& key,
   std::string path = FilePath(key);
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return Status(StatusCode::kNotFound, "flushed segment file missing");
+    return Status(StatusCode::kNotFound,
+                  "flushed segment file missing: " + path);
   }
-  std::fseek(f, 0, SEEK_END);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status(StatusCode::kCorruption, "cannot seek in " + path);
+  }
   long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
+  // ftell returns -1 on failure; resizing to size_t(-1) would abort. A
+  // size that disagrees with what the flusher wrote means the file was
+  // truncated or replaced behind our back.
+  if (size < 0) {
+    std::fclose(f);
+    return Status(StatusCode::kCorruption, "cannot size " + path);
+  }
+  if (size_t(size) != seg.flushed_bytes) {
+    std::fclose(f);
+    return Status(StatusCode::kCorruption,
+                  "segment file " + path + " has " + std::to_string(size) +
+                      " bytes, expected " +
+                      std::to_string(seg.flushed_bytes));
+  }
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status(StatusCode::kCorruption, "cannot seek in " + path);
+  }
   out.resize(size_t(size));
   size_t read = std::fread(out.data(), 1, out.size(), f);
   std::fclose(f);
   if (read != out.size()) {
-    return Status(StatusCode::kCorruption, "short read of segment file");
+    out.clear();
+    return Status(StatusCode::kCorruption, "short read of " + path);
   }
-  (void)seg;
   return OkStatus();
 }
 
@@ -307,11 +328,22 @@ void Backup::FlusherLoop() {
     std::string path = FilePath(*key);
     FILE* f = std::fopen(path.c_str(), "wb");
     if (f != nullptr) {
-      std::fwrite(data.data(), 1, data.size(), f);
+      size_t written = std::fwrite(data.data(), 1, data.size(), f);
       std::fclose(f);
+      if (written != data.size()) {
+        // Partial write (disk full?): don't mark flushed, so the segment
+        // is never evicted on the strength of a torn file.
+        KERA_ERROR("backup %u: short write to %s", unsigned(config_.node),
+                   path.c_str());
+        flushes_done_.fetch_add(1, std::memory_order_release);
+        continue;
+      }
       std::lock_guard<std::mutex> lock(mu_);
       auto it = segments_.find(*key);
-      if (it != segments_.end()) it->second.flushed = true;
+      if (it != segments_.end()) {
+        it->second.flushed = true;
+        it->second.flushed_bytes = written;
+      }
       ++stats_.segments_flushed;
     } else {
       KERA_ERROR("backup %u: cannot open %s", unsigned(config_.node),

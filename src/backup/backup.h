@@ -90,6 +90,7 @@ class Backup final : public rpc::RpcHandler {
     std::map<uint64_t, PendingBatch> pending;  // keyed by start_offset
     bool sealed = false;
     bool flushed = false;
+    size_t flushed_bytes = 0;  // file size written by the flusher
     bool evicted = false;
   };
   using Key = std::tuple<NodeId, VlogId, VirtualSegmentId>;

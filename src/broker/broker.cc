@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/logging.h"
 #include "wire/chunk.h"
@@ -19,8 +20,38 @@ Broker::Broker(BrokerConfig config, rpc::Network& network)
   }
 }
 
+Broker::~Broker() { StopConsumeWaits(); }
+
 void Broker::StopReplicator() {
   if (replicator_ != nullptr) replicator_->Stop();
+}
+
+void Broker::StopConsumeWaits() {
+  consume_waits_stopped_.store(true, std::memory_order_release);
+  std::vector<StreamEntry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [_, entry] : streams_) entries.push_back(entry.get());
+  }
+  for (StreamEntry* entry : entries) NotifyConsumeWaiters(*entry);
+}
+
+void Broker::NotifyConsumeWaiters(StreamEntry& entry) {
+  {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    ++entry.consume_epoch;
+  }
+  entry.consume_cv.notify_all();
+}
+
+void Broker::NotifyConsumeWaitersForBatch(const ReplicationBatch& batch) {
+  StreamId last = StreamId(-1);
+  for (const ChunkRef& ref : batch.refs) {
+    if (ref.stream == last) continue;  // refs cluster by stream in practice
+    last = ref.stream;
+    StreamEntry* entry = FindStream(ref.stream);
+    if (entry != nullptr) NotifyConsumeWaiters(*entry);
+  }
 }
 
 void Broker::SetLiveBackups(std::vector<NodeId> live_backup_services) {
@@ -53,8 +84,13 @@ Status Broker::AddStreamlet(StreamId stream, StreamletId streamlet) {
     return Status(StatusCode::kNotFound, "unknown stream");
   }
   it->second->storage->AddStreamlet(streamlet);
-  std::lock_guard<std::mutex> entry_lock(it->second->mu);
-  it->second->led.insert(streamlet);
+  {
+    std::lock_guard<std::mutex> entry_lock(it->second->mu);
+    it->second->led.insert(streamlet);
+  }
+  // A consumer may already be parked probing this streamlet (leadership
+  // handed over mid-poll): let it re-gather.
+  NotifyConsumeWaiters(*it->second);
   return OkStatus();
 }
 
@@ -66,6 +102,7 @@ Status Broker::FinishRecovery(StreamId stream) {
   for (StreamletId sl : entry->storage->StreamletIds()) {
     entry->storage->GetStreamlet(sl)->CloseRecoveryGroups();
   }
+  NotifyConsumeWaiters(*entry);
   return OkStatus();
 }
 
@@ -84,6 +121,7 @@ Status Broker::DropStreamletLeadership(StreamId stream,
   // consumed; new leadership lives elsewhere.
   Streamlet* sl = it->second->storage->GetStreamlet(streamlet);
   if (sl != nullptr) sl->SealActiveGroups();
+  NotifyConsumeWaiters(*it->second);
   return OkStatus();
 }
 
@@ -97,6 +135,8 @@ Status Broker::SealStream(StreamId stream) {
     entry->info.sealed = true;
   }
   entry->storage->Seal();
+  // Parked consumers must observe the seal (it is their end-of-stream).
+  NotifyConsumeWaiters(*entry);
   return OkStatus();
 }
 
@@ -330,6 +370,11 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
         return resp;
       }
     }
+    // With R=1 chunks are durable at append time and no replication batch
+    // ever ships, so the batch-completion wakeup never fires — notify the
+    // stream's parked long-polls here. (Redundant with the batch wakeup
+    // for R>1; waiters re-check their predicate.)
+    NotifyConsumeWaiters(*entry);
     return resp;
   }
 
@@ -380,6 +425,7 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
       }
     }
   }
+  NotifyConsumeWaiters(*entry);
   return resp;
 }
 
@@ -461,6 +507,9 @@ Status Broker::ShipBatch(VirtualLog& vlog, const ReplicationBatch& batch) {
                                        std::memory_order_relaxed);
     if (all_ok) {
       vlog.Complete(batch);
+      // The durable prefix of every group in the batch just advanced:
+      // complete parked long-poll consume requests.
+      NotifyConsumeWaitersForBatch(batch);
       return OkStatus();
     }
   }
@@ -473,14 +522,15 @@ Status Broker::ShipBatch(VirtualLog& vlog, const ReplicationBatch& batch) {
   return failure;
 }
 
-rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
+rpc::ConsumeResponse Broker::GatherConsume(StreamEntry& entry,
+                                           const rpc::ConsumeRequest& req,
+                                           size_t* payload_bytes,
+                                           bool* all_terminal,
+                                           bool* rotated) {
   rpc::ConsumeResponse resp;
-  stats_.consume_rpcs.fetch_add(1, std::memory_order_relaxed);
-  StreamEntry* entry = FindStream(req.stream);
-  if (entry == nullptr) {
-    resp.status = StatusCode::kNotFound;
-    return resp;
-  }
+  *payload_bytes = 0;
+  *all_terminal = !req.entries.empty();
+  *rotated = false;
   size_t budget = req.max_bytes;
   for (const auto& e : req.entries) {
     rpc::ConsumeEntryResponse out;
@@ -488,12 +538,15 @@ rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
     out.group = e.group;
     out.next_chunk = e.start_chunk;
     {
-      std::lock_guard<std::mutex> lock(entry->mu);
-      out.stream_sealed = entry->info.sealed;
+      std::lock_guard<std::mutex> lock(entry.mu);
+      out.stream_sealed = entry.info.sealed;
     }
 
-    Streamlet* streamlet = entry->storage->GetStreamlet(e.streamlet);
+    Streamlet* streamlet = entry.storage->GetStreamlet(e.streamlet);
     if (streamlet == nullptr) {
+      // Not hosted here (yet): a long-poller is paced by the wait instead
+      // of spinning; AddStreamlet wakes it if leadership arrives.
+      *all_terminal = false;
       resp.entries.push_back(std::move(out));
       continue;
     }
@@ -502,6 +555,7 @@ rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
     if (group == nullptr) {
       // Not created yet: exists only if a later group already does.
       out.group_exists = e.group < streamlet->next_group_id();
+      if (!out.stream_sealed || out.group_exists) *all_terminal = false;
       resp.entries.push_back(std::move(out));
       continue;
     }
@@ -512,16 +566,68 @@ rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
     for (const ChunkLocator& loc : locators) {
       out.chunks.push_back(loc.segment->Bytes(loc.offset, loc.length));
       budget = budget > loc.length ? budget - loc.length : 0;
+      *payload_bytes += loc.length;
       ++served;
     }
     out.next_chunk = e.start_chunk + served;
     // "No more data will ever appear at or beyond next_chunk."
     out.group_closed =
         group->closed() && out.next_chunk >= group->chunk_count();
+    if (out.group_closed && served == 0) *rotated = true;
+    if (!out.stream_sealed || !out.group_closed) *all_terminal = false;
     stats_.chunks_served.fetch_add(served, std::memory_order_relaxed);
     resp.entries.push_back(std::move(out));
   }
   return resp;
+}
+
+rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
+  stats_.consume_rpcs.fetch_add(1, std::memory_order_relaxed);
+  StreamEntry* entry = FindStream(req.stream);
+  if (entry == nullptr) {
+    rpc::ConsumeResponse resp;
+    resp.status = StatusCode::kNotFound;
+    return resp;
+  }
+  const uint64_t wait_us =
+      std::min<uint64_t>(req.max_wait_us, config_.max_consume_wait_us);
+  const size_t want = std::max<uint32_t>(req.min_bytes, 1);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(wait_us);
+  bool parked = false;
+  for (;;) {
+    // Epoch before gather: an event that lands in between bumps the epoch
+    // and the wait below falls through instead of sleeping past it.
+    uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      epoch = entry->consume_epoch;
+    }
+    size_t payload_bytes = 0;
+    bool all_terminal = false;
+    bool rotated = false;
+    rpc::ConsumeResponse resp =
+        GatherConsume(*entry, req, &payload_bytes, &all_terminal, &rotated);
+    // Return when there is data (or enough data), when no requested entry
+    // can ever produce more, or when a group rolled over — the consumer
+    // must rotate its cursors, which takes a new request.
+    if (wait_us == 0 || payload_bytes >= want || all_terminal || rotated ||
+        consume_waits_stopped_.load(std::memory_order_acquire)) {
+      return resp;
+    }
+    if (!parked) {
+      parked = true;
+      stats_.consume_long_polls.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::unique_lock<std::mutex> lock(entry->mu);
+    while (entry->consume_epoch == epoch &&
+           !consume_waits_stopped_.load(std::memory_order_acquire)) {
+      if (entry->consume_cv.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        return resp;  // long-poll expired: hand back the empty gather
+      }
+    }
+  }
 }
 
 std::vector<std::byte> Broker::HandleRpc(std::span<const std::byte> request) {
@@ -574,6 +680,8 @@ Broker::Stats Broker::GetStats() const {
   out.bytes_appended = stats_.bytes_appended.load(std::memory_order_relaxed);
   out.consume_rpcs = stats_.consume_rpcs.load(std::memory_order_relaxed);
   out.chunks_served = stats_.chunks_served.load(std::memory_order_relaxed);
+  out.consume_long_polls =
+      stats_.consume_long_polls.load(std::memory_order_relaxed);
   out.replication_batches =
       stats_.replication_batches.load(std::memory_order_relaxed);
   out.replication_rpcs =

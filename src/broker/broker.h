@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <set>
@@ -52,11 +53,16 @@ struct BrokerConfig {
   /// replicator: produce handlers drive replication synchronously on the
   /// RPC thread (the original behavior; also what the DES needs).
   uint32_t replication_workers = 0;
+  /// Server-side cap on ConsumeRequest::max_wait_us (long-poll): a parked
+  /// consume request never outlives this, no matter what the client asks
+  /// for, so handler threads are reclaimed on a bounded schedule.
+  uint64_t max_consume_wait_us = 1'000'000;
 };
 
 class Broker final : public rpc::RpcHandler {
  public:
   Broker(BrokerConfig config, rpc::Network& network);
+  ~Broker() override;
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
@@ -129,6 +135,7 @@ class Broker final : public rpc::RpcHandler {
     uint64_t bytes_appended = 0;
     uint64_t consume_rpcs = 0;
     uint64_t chunks_served = 0;
+    uint64_t consume_long_polls = 0;  // consume RPCs that parked at least once
     uint64_t replication_batches = 0;
     uint64_t replication_rpcs = 0;
     uint64_t replication_bytes = 0;  // bytes * (R-1), i.e. network cost
@@ -157,6 +164,12 @@ class Broker final : public rpc::RpcHandler {
   /// down; the destructor also stops them.
   void StopReplicator();
 
+  /// Wakes every parked long-poll consume request and makes subsequent
+  /// ones return immediately. Call before shutting down the transport that
+  /// delivers consume RPCs so its handler threads are not held until the
+  /// poll deadline; the destructor also calls it.
+  void StopConsumeWaits();
+
   /// The background replicator, or nullptr when replication_workers == 0.
   [[nodiscard]] Replicator* replicator() const { return replicator_.get(); }
 
@@ -170,6 +183,13 @@ class Broker final : public rpc::RpcHandler {
     mutable std::mutex mu;
     rpc::StreamInfo info;
     std::set<StreamletId> led;  // streamlets this broker currently leads
+    /// Long-poll waiter list: consume handlers with nothing to return park
+    /// on `consume_cv` until the durability gate advances for this stream
+    /// (replication completes), a group rolls/seals, or the poll deadline
+    /// passes. `consume_epoch` is bumped on every wake-worthy event so a
+    /// gather racing a wakeup re-checks instead of sleeping through it.
+    std::condition_variable consume_cv;
+    uint64_t consume_epoch = 0;
     // Exactly-once: last chunk sequence per (streamlet, producer).
     std::map<std::pair<StreamletId, ProducerId>, ChunkSeq> dedup;
     // Resolved vlog cache (ownership stays in the broker-level maps);
@@ -180,6 +200,22 @@ class Broker final : public rpc::RpcHandler {
 
   void EncodeReplicateBody(const ReplicationBatch& batch,
                            rpc::Writer& body) const;
+
+  /// One pass of the consume gather (durability-gated chunk collection for
+  /// every entry). `payload_bytes` receives the total chunk bytes served;
+  /// `all_terminal` is true when no requested entry can ever yield more
+  /// data (sealed stream, groups drained) so waiting would be pointless;
+  /// `rotated` is true when some entry hit group_closed with its cursor at
+  /// the end — actionable for the consumer even without data.
+  rpc::ConsumeResponse GatherConsume(StreamEntry& entry,
+                                     const rpc::ConsumeRequest& req,
+                                     size_t* payload_bytes,
+                                     bool* all_terminal, bool* rotated);
+
+  /// Bumps the stream's consume epoch and wakes its parked long-pollers.
+  void NotifyConsumeWaiters(StreamEntry& entry);
+  /// Notifies every stream entry whose data advanced in `batch`.
+  void NotifyConsumeWaitersForBatch(const ReplicationBatch& batch);
 
   StreamEntry* FindStream(StreamId id) const;
   VirtualLog* ResolveVlog(StreamEntry& entry, StreamletId streamlet,
@@ -227,12 +263,17 @@ class Broker final : public rpc::RpcHandler {
     std::atomic<uint64_t> bytes_appended{0};
     std::atomic<uint64_t> consume_rpcs{0};
     std::atomic<uint64_t> chunks_served{0};
+    std::atomic<uint64_t> consume_long_polls{0};
     std::atomic<uint64_t> replication_batches{0};
     std::atomic<uint64_t> replication_rpcs{0};
     std::atomic<uint64_t> replication_bytes{0};
     std::atomic<uint64_t> checksum_failures{0};
   };
   AtomicStats stats_;
+
+  /// Set by StopConsumeWaits: long-poll parking is disabled and parked
+  /// handlers return on their next wake.
+  std::atomic<bool> consume_waits_stopped_{false};
 
   // Declared last: destroyed first, so worker threads stop while the
   // vlogs/streams they reference are still alive.

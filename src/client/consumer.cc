@@ -1,6 +1,10 @@
 #include "client/consumer.h"
 
 #include <chrono>
+#include <deque>
+#include <future>
+#include <set>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -9,7 +13,79 @@ namespace {
 /// How many groups of one streamlet a consumer reads in parallel. Bounds
 /// per-request entry counts; discovery opens more as groups drain.
 constexpr size_t kMaxActiveGroups = 8;
+
+/// Sentinel group key marking a discovery probe (never a real cursor).
+constexpr GroupId kProbeGroup = ~GroupId(0);
+
+/// Slice for waiting on in-flight futures: short enough that Close()
+/// returns promptly even while a long-poll is parked at the broker.
+constexpr auto kFutureSlice = std::chrono::milliseconds(2);
 }  // namespace
+
+// ----- FetchBuffer ---------------------------------------------------------
+
+void Consumer::FetchBuffer::Push(FetchedChunk fc) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    buffered_[fc.broker] += fc.bytes.size();
+    items_.push_back(std::move(fc));
+  }
+  pop_cv_.notify_one();
+}
+
+std::optional<Consumer::FetchedChunk> Consumer::FetchBuffer::TryPop() {
+  std::optional<FetchedChunk> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    out = std::move(items_.front());
+    items_.pop_front();
+    buffered_[out->broker] -= out->bytes.size();
+  }
+  budget_cv_.notify_all();
+  return out;
+}
+
+std::optional<Consumer::FetchedChunk> Consumer::FetchBuffer::Pop() {
+  std::optional<FetchedChunk> out;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    pop_cv_.wait(lock, [&] { return shutdown_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // shut down and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    buffered_[out->broker] -= out->bytes.size();
+  }
+  budget_cv_.notify_all();
+  return out;
+}
+
+bool Consumer::FetchBuffer::WaitBelowBudget(NodeId broker, size_t budget) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!shutdown_ && buffered_[broker] >= budget) {
+    ++pauses_;
+    budget_cv_.wait(
+        lock, [&] { return shutdown_ || buffered_[broker] < budget; });
+  }
+  return !shutdown_;
+}
+
+void Consumer::FetchBuffer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  pop_cv_.notify_all();
+  budget_cv_.notify_all();
+}
+
+uint64_t Consumer::FetchBuffer::pauses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pauses_;
+}
+
+// ----- Consumer ------------------------------------------------------------
 
 Consumer::Consumer(ConsumerConfig config, rpc::Network& network)
     : config_(std::move(config)), network_(network) {}
@@ -26,6 +102,10 @@ Status Consumer::Connect() {
   if (config_.share_count == 0 ||
       config_.share_index >= config_.share_count) {
     return Status(StatusCode::kInvalidArgument, "bad group share config");
+  }
+  if (config_.fetch_pipeline_depth == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "fetch_pipeline_depth must be >= 1");
   }
   rpc::GetStreamInfoRequest req;
   req.name = config_.stream;
@@ -48,6 +128,12 @@ Status Consumer::Connect() {
       assigned_.push_back(sl);
     }
   }
+  if (assigned_.empty()) {
+    // Degenerate stream with no streamlets: nothing to ever fetch.
+    finished_.store(true, std::memory_order_release);
+    fetched_.Shutdown();
+    return OkStatus();
+  }
   for (StreamletId sl : assigned_) {
     StreamletState state;
     state.next_unstarted = FirstOwnedGroupAtOrAfter(0);
@@ -55,7 +141,30 @@ Status Consumer::Connect() {
   }
 
   running_.store(true, std::memory_order_release);
-  requests_thread_ = std::thread([this] { RequestsLoop(); });
+  if (config_.fetch_pipeline_depth == 1) {
+    requests_thread_ = std::thread([this] { SerialFetchLoop(); });
+    return OkStatus();
+  }
+  // Pipelined engine: one fetch worker per leader broker, so brokers are
+  // fetched in parallel even on transports whose CallAsync runs inline.
+  std::map<NodeId, std::vector<StreamletId>> by_broker;
+  for (StreamletId sl : assigned_) {
+    by_broker[info_.streamlet_brokers[sl]].push_back(sl);
+  }
+  active_fetch_workers_.store(by_broker.size(), std::memory_order_release);
+  for (auto& [broker, streamlets] : by_broker) {
+    fetch_threads_.emplace_back(
+        [this, broker = broker, streamlets = streamlets] {
+          BrokerFetchLoop(broker, streamlets);
+          // Last worker out closes the hand-off queue when the stream is
+          // fully drained, so PollBlocking sees end-of-data.
+          if (active_fetch_workers_.fetch_sub(
+                  1, std::memory_order_acq_rel) == 1 &&
+              finished_.load(std::memory_order_acquire)) {
+            fetched_.Shutdown();
+          }
+        });
+  }
   return OkStatus();
 }
 
@@ -68,8 +177,18 @@ void Consumer::OpenDiscoveredGroups(StreamletState& state) {
   }
 }
 
+void Consumer::MarkStreamletDone(StreamletState& state) {
+  if (state.done) return;
+  state.done = true;
+  if (done_streamlets_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      assigned_.size()) {
+    finished_.store(true, std::memory_order_release);
+  }
+}
+
 void Consumer::HandleEntry(
-    StreamletState& state, const rpc::ConsumeEntryResponse& entry,
+    NodeId broker, StreamletState& state,
+    const rpc::ConsumeEntryResponse& entry,
     const std::shared_ptr<const std::vector<std::byte>>& buf,
     bool* got_data) {
   if (entry.groups_created > state.groups_created) {
@@ -82,13 +201,14 @@ void Consumer::HandleEntry(
     // the stream is sealed and nothing more can appear.
     if (entry.stream_sealed && state.active.empty() &&
         state.next_unstarted >= state.groups_created) {
-      state.done = true;
+      MarkStreamletDone(state);
     }
     return;
   }
   for (const auto& chunk_bytes : entry.chunks) {
     FetchedChunk fc;
     fc.streamlet = entry.streamlet;
+    fc.broker = broker;
     fc.bytes = chunk_bytes;  // aliases the shared response buffer
     fc.response = buf;
     chunks_received_.fetch_add(1, std::memory_order_relaxed);
@@ -106,11 +226,38 @@ void Consumer::HandleEntry(
   // owns has been drained, and no further groups will ever appear.
   if (entry.stream_sealed && state.active.empty() &&
       state.next_unstarted >= state.groups_created) {
-    state.done = true;
+    MarkStreamletDone(state);
   }
 }
 
-void Consumer::RequestsLoop() {
+bool Consumer::ProcessResponse(NodeId broker, std::vector<std::byte> raw) {
+  // Keep the response alive for as long as any fetched chunk aliases it;
+  // decoded chunk spans point straight into this buffer.
+  auto shared =
+      std::make_shared<const std::vector<std::byte>>(std::move(raw));
+  rpc::Reader r(*shared);
+  auto resp = rpc::ConsumeResponse::Decode(r);
+  if (!resp.ok() || resp->status != StatusCode::kOk) return false;
+  bool got_data = false;
+  for (auto& entry : resp->entries) {
+    auto sit = states_.find(entry.streamlet);
+    if (sit == states_.end()) continue;
+    StreamletState& state = sit->second;
+    // A probe that found its group: open it before handling.
+    if (state.active.count(entry.group) == 0 &&
+        entry.group == state.next_unstarted &&
+        (entry.group_exists || !entry.chunks.empty())) {
+      state.active.emplace(entry.group, 0);
+      state.next_unstarted = FirstOwnedGroupAtOrAfter(entry.group + 1);
+    }
+    HandleEntry(broker, state, entry, shared, &got_data);
+  }
+  if (!got_data) empty_responses_.fetch_add(1, std::memory_order_relaxed);
+  return got_data;
+}
+
+void Consumer::SerialFetchLoop() {
+  bool idle = false;  // last round returned no data -> long-poll next
   while (running_.load(std::memory_order_acquire)) {
     // One request per broker covering every (streamlet, active group) this
     // consumer is reading; when nothing is open, a discovery entry probes
@@ -118,7 +265,7 @@ void Consumer::RequestsLoop() {
     std::map<NodeId, rpc::ConsumeRequest> per_broker;
     size_t done_count = 0;
     for (StreamletId sl : assigned_) {
-      StreamletState& state = states_[sl];
+      StreamletState& state = states_.find(sl)->second;
       if (state.done) {
         ++done_count;
         continue;
@@ -155,35 +302,167 @@ void Consumer::RequestsLoop() {
     }
     bool got_data = false;
     for (auto& [broker, req] : per_broker) {
+      // Flow control: don't fetch more for a broker whose buffered bytes
+      // already exceed the prefetch budget.
+      if (!fetched_.WaitBelowBudget(broker, config_.fetch_buffer_bytes)) {
+        return;
+      }
+      if (idle) {
+        req.max_wait_us = config_.fetch_max_wait_us;
+        req.min_bytes = config_.fetch_min_bytes;
+      }
       rpc::Writer body;
       req.Encode(body);
       auto raw =
           network_.Call(broker, rpc::Frame(rpc::Opcode::kConsume, body));
       requests_sent_.fetch_add(1, std::memory_order_relaxed);
       if (!raw.ok()) continue;  // broker down; retry next round
-      // Keep the response alive for as long as any fetched chunk aliases
-      // it; decoded chunk spans point straight into this buffer.
-      auto shared =
-          std::make_shared<const std::vector<std::byte>>(std::move(*raw));
-      rpc::Reader r(*shared);
-      auto resp = rpc::ConsumeResponse::Decode(r);
-      if (!resp.ok() || resp->status != StatusCode::kOk) continue;
-      for (auto& entry : resp->entries) {
-        auto sit = states_.find(entry.streamlet);
-        if (sit == states_.end()) continue;
-        StreamletState& state = sit->second;
-        // A probe that found its group: open it before handling.
-        if (state.active.count(entry.group) == 0 &&
-            entry.group == state.next_unstarted &&
-            (entry.group_exists || !entry.chunks.empty())) {
-          state.active.emplace(entry.group, 0);
-          state.next_unstarted = FirstOwnedGroupAtOrAfter(entry.group + 1);
+      got_data |= ProcessResponse(broker, std::move(*raw));
+    }
+    if (got_data) {
+      idle = false;
+    } else if (config_.fetch_max_wait_us > 0) {
+      idle = true;  // the broker paces us via long-poll
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.idle_backoff_us));
+    }
+  }
+}
+
+void Consumer::BrokerFetchLoop(NodeId broker,
+                               const std::vector<StreamletId>& streamlets) {
+  struct InFlight {
+    std::future<Result<std::vector<std::byte>>> future;
+    // Cursors / probes covered, released when the response lands so the
+    // next round can re-issue them (one outstanding request per group
+    // keeps per-group chunk order).
+    std::vector<std::pair<StreamletId, GroupId>> groups;
+    std::vector<StreamletId> probes;
+  };
+  std::deque<InFlight> inflight;
+  std::set<std::pair<StreamletId, GroupId>> outstanding;
+  std::set<StreamletId> probing;
+  bool idle = false;  // all-empty responses -> collapse to one long-poll
+
+  while (running_.load(std::memory_order_acquire)) {
+    // Collect the cursors that are free to fetch right now.
+    size_t done_count = 0;
+    std::vector<rpc::ConsumeEntryRequest> avail;
+    std::vector<std::pair<StreamletId, GroupId>> keys;  // parallel to avail
+    for (StreamletId sl : streamlets) {
+      StreamletState& state = states_.find(sl)->second;
+      if (state.done) {
+        ++done_count;
+        continue;
+      }
+      OpenDiscoveredGroups(state);
+      if (state.active.empty()) {
+        if (probing.count(sl) != 0) continue;
+        rpc::ConsumeEntryRequest e;
+        e.streamlet = sl;
+        e.group = state.next_unstarted;
+        e.start_chunk = 0;
+        e.max_chunks = config_.max_chunks_per_entry;
+        avail.push_back(e);
+        keys.emplace_back(sl, kProbeGroup);
+      } else {
+        for (const auto& [group, cursor] : state.active) {
+          if (outstanding.count({sl, group}) != 0) continue;
+          rpc::ConsumeEntryRequest e;
+          e.streamlet = sl;
+          e.group = group;
+          e.start_chunk = cursor;
+          e.max_chunks = config_.max_chunks_per_entry;
+          avail.push_back(e);
+          keys.emplace_back(sl, group);
         }
-        HandleEntry(state, entry, shared, &got_data);
       }
     }
-    if (!got_data) {
-      empty_responses_.fetch_add(1, std::memory_order_relaxed);
+    if (done_count == streamlets.size() && inflight.empty()) return;
+
+    // Issue: stripe the available entries over the free pipeline slots.
+    // Idle mode sends a single request that long-polls at the broker
+    // (never more than one parked RPC per broker, so transport workers
+    // are not hoarded); streaming mode fills the pipeline with wait-0
+    // fetches.
+    const size_t depth = config_.fetch_pipeline_depth;
+    size_t slots = depth > inflight.size() ? depth - inflight.size() : 0;
+    size_t nreq = 0;
+    if (!avail.empty() && slots > 0) {
+      nreq = idle && config_.fetch_max_wait_us > 0
+                 ? (inflight.empty() ? 1 : 0)
+                 : std::min(slots, avail.size());
+    }
+    for (size_t rq = 0; rq < nreq; ++rq) {
+      // Flow control: pause this broker's prefetch until Poll drains.
+      if (!fetched_.WaitBelowBudget(broker, config_.fetch_buffer_bytes)) {
+        return;
+      }
+      rpc::ConsumeRequest req;
+      req.stream = info_.stream;
+      req.max_bytes = config_.max_bytes_per_request;
+      if (idle) {
+        req.max_wait_us = config_.fetch_max_wait_us;
+        req.min_bytes = config_.fetch_min_bytes;
+      }
+      InFlight inf;
+      for (size_t i = rq; i < avail.size(); i += nreq) {
+        req.entries.push_back(avail[i]);
+        if (keys[i].second == kProbeGroup) {
+          probing.insert(keys[i].first);
+          inf.probes.push_back(keys[i].first);
+        } else {
+          outstanding.insert(keys[i]);
+          inf.groups.push_back(keys[i]);
+        }
+      }
+      rpc::Writer body;
+      req.Encode(body);
+      inf.future =
+          network_.CallAsync(broker, rpc::Frame(rpc::Opcode::kConsume, body));
+      requests_sent_.fetch_add(1, std::memory_order_relaxed);
+      inflight.push_back(std::move(inf));
+    }
+
+    if (inflight.empty()) {
+      // Every cursor is done or momentarily unavailable; don't spin.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.idle_backoff_us));
+      continue;
+    }
+
+    // Wait for the oldest in-flight response, in short slices so Close()
+    // returns promptly even while a long-poll is parked at the broker
+    // (the abandoned future just outlives us via its shared state).
+    InFlight front = std::move(inflight.front());
+    inflight.pop_front();
+    bool ready = false;
+    for (;;) {
+      auto st = front.future.wait_for(kFutureSlice);
+      if (st != std::future_status::timeout) {  // ready (or deferred)
+        ready = true;
+        break;
+      }
+      if (!running_.load(std::memory_order_acquire)) break;
+    }
+    for (const auto& key : front.groups) outstanding.erase(key);
+    for (StreamletId sl : front.probes) probing.erase(sl);
+    if (!ready) return;
+
+    auto raw = front.future.get();
+    if (!raw.ok()) {
+      // Broker unreachable (or response dropped): back off, then the next
+      // round re-issues the released cursors.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.idle_backoff_us));
+      continue;
+    }
+    if (ProcessResponse(broker, std::move(*raw))) {
+      idle = false;
+    } else if (config_.fetch_max_wait_us > 0) {
+      idle = true;
+    } else {
       std::this_thread::sleep_for(
           std::chrono::microseconds(config_.idle_backoff_us));
     }
@@ -254,6 +533,10 @@ void Consumer::Close() {
   if (!running_.exchange(false)) return;
   fetched_.Shutdown();
   if (requests_thread_.joinable()) requests_thread_.join();
+  for (auto& t : fetch_threads_) {
+    if (t.joinable()) t.join();
+  }
+  fetch_threads_.clear();
 }
 
 Consumer::Stats Consumer::GetStats() const {
@@ -265,6 +548,7 @@ Consumer::Stats Consumer::GetStats() const {
   out.empty_responses = empty_responses_.load(std::memory_order_relaxed);
   out.checksum_failures =
       checksum_failures_.load(std::memory_order_relaxed);
+  out.flow_control_pauses = fetched_.pauses();
   return out;
 }
 

@@ -1,23 +1,33 @@
-// Consumer client (paper Fig. 7): a Requests thread pulls chunks — one
-// request per broker, with entries for every group this consumer is
-// currently reading — and hands them through a queue to the Source side,
-// where Poll() materializes records. Groups are independently consumable
-// units (paper §IV.A): within one streamlet, several groups are read in
-// parallel (Q > 1 appends create interleaved groups), and group-level
-// sharing splits a streamlet's groups across cooperating consumers.
-// Consumers only ever receive durably replicated data (the broker
-// enforces the durability gate).
+// Consumer client (paper Fig. 7), rebuilt as a pipelined fetch engine.
+// One fetch worker per broker issues consume RPCs asynchronously, keeping
+// up to ConsumerConfig::fetch_pipeline_depth requests in flight by
+// striping the broker's active (streamlet, group) cursors across them —
+// with at most one outstanding request per group, so chunks of a group
+// always arrive in order. Fetched chunks land in a bounded FetchBuffer:
+// a per-broker byte budget (fetch_buffer_bytes) pauses a broker's
+// prefetch when too much data sits unpolled and resumes it when Poll()
+// drains. Workers with nothing buffered fall back to a single broker-side
+// long-poll request (fetch_max_wait_us) instead of spinning on empty
+// responses. fetch_pipeline_depth == 1 selects the legacy serial engine.
+//
+// Groups are independently consumable units (paper §IV.A): within one
+// streamlet, several groups are read in parallel (Q > 1 appends create
+// interleaved groups), and group-level sharing splits a streamlet's
+// groups across cooperating consumers. Consumers only ever receive
+// durably replicated data (the broker enforces the durability gate).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "client/client_config.h"
-#include "common/queue.h"
 #include "common/status.h"
 #include "rpc/messages.h"
 #include "rpc/transport.h"
@@ -42,7 +52,7 @@ class Consumer {
   Consumer(const Consumer&) = delete;
   Consumer& operator=(const Consumer&) = delete;
 
-  /// Fetches stream metadata and starts the requests thread.
+  /// Fetches stream metadata and starts the fetch workers.
   Status Connect();
 
   /// Returns up to `max_records` records, in order per group.
@@ -66,6 +76,8 @@ class Consumer {
     uint64_t requests_sent = 0;
     uint64_t empty_responses = 0;
     uint64_t checksum_failures = 0;
+    /// Times a broker's prefetch blocked on the fetch_buffer_bytes budget.
+    uint64_t flow_control_pauses = 0;
   };
   [[nodiscard]] Stats GetStats() const;
 
@@ -74,6 +86,8 @@ class Consumer {
  private:
   /// Per-streamlet fetch state: the groups currently being read (several
   /// in parallel) plus the discovery cursor for groups not yet opened.
+  /// Owned by exactly one fetch worker (streamlet -> leader broker is
+  /// fixed at Connect), so no lock is needed.
   struct StreamletState {
     std::map<GroupId, uint64_t> active;  // group -> next chunk index
     GroupId next_unstarted = 0;          // next owned group to open
@@ -82,6 +96,7 @@ class Consumer {
   };
   struct FetchedChunk {
     StreamletId streamlet = 0;
+    NodeId broker = 0;  // leader it was fetched from (budget accounting)
     /// Full chunk frame, aliasing `response` (all chunks fetched by one
     /// consume RPC share its response buffer instead of being copied out
     /// one by one).
@@ -89,11 +104,46 @@ class Consumer {
     std::shared_ptr<const std::vector<std::byte>> response;
   };
 
-  void RequestsLoop();
-  void HandleEntry(StreamletState& state,
+  /// Bounded hand-off queue between fetch workers and Poll(): the flow
+  /// controller of the prefetch window. Tracks buffered-but-unpolled
+  /// bytes per broker; a worker calls WaitBelowBudget before issuing and
+  /// parks until Poll drains below budget (or shutdown). Shutdown wakes
+  /// everything; Pop keeps draining queued chunks after shutdown.
+  class FetchBuffer {
+   public:
+    void Push(FetchedChunk fc);
+    std::optional<FetchedChunk> TryPop();
+    std::optional<FetchedChunk> Pop();  // blocks; nullopt once drained + shut
+    /// Returns false on shutdown, true once broker's bytes < budget.
+    bool WaitBelowBudget(NodeId broker, size_t budget);
+    void Shutdown();
+    [[nodiscard]] uint64_t pauses() const;
+
+   private:
+    mutable std::mutex mu_;
+    std::condition_variable pop_cv_;     // Pop waiters
+    std::condition_variable budget_cv_;  // WaitBelowBudget waiters
+    std::deque<FetchedChunk> items_;
+    std::map<NodeId, size_t> buffered_;  // broker -> unpolled bytes
+    uint64_t pauses_ = 0;
+    bool shutdown_ = false;
+  };
+
+  /// Serial engine (fetch_pipeline_depth == 1): one thread, one blocking
+  /// RPC at a time across all brokers — the pre-pipelining baseline.
+  void SerialFetchLoop();
+  /// Pipelined engine: per-broker worker striping available cursors over
+  /// up to fetch_pipeline_depth concurrent CallAsync requests.
+  void BrokerFetchLoop(NodeId broker,
+                       const std::vector<StreamletId>& streamlets);
+  /// Decodes one consume response and applies it; returns true when any
+  /// chunk was delivered (counts an empty response otherwise).
+  bool ProcessResponse(NodeId broker, std::vector<std::byte> raw);
+  void HandleEntry(NodeId broker, StreamletState& state,
                    const rpc::ConsumeEntryResponse& entry,
                    const std::shared_ptr<const std::vector<std::byte>>& buf,
                    bool* got_data);
+  void MarkStreamletDone(StreamletState& state);
   [[nodiscard]] GroupId FirstOwnedGroupAtOrAfter(GroupId g) const;
   /// Opens owned groups below groups_created into the active set, up to
   /// the parallelism cap.
@@ -104,13 +154,17 @@ class Consumer {
   rpc::StreamInfo info_;
   std::vector<StreamletId> assigned_;
 
-  // Requests-thread state.
+  // Fetch-worker state; each StreamletState is touched only by the worker
+  // of its leader broker (the map itself is immutable after Connect).
   std::map<StreamletId, StreamletState> states_;
 
-  BlockingQueue<FetchedChunk> fetched_;
+  FetchBuffer fetched_;
   std::atomic<bool> running_{false};
   std::atomic<bool> finished_{false};
-  std::thread requests_thread_;
+  std::atomic<size_t> done_streamlets_{0};
+  std::atomic<size_t> active_fetch_workers_{0};
+  std::thread requests_thread_;             // serial engine
+  std::vector<std::thread> fetch_threads_;  // pipelined engine
 
   // Source-side state: partially consumed chunk queue.
   std::deque<ConsumedRecord> buffered_;

@@ -52,6 +52,7 @@ MiniCluster::MiniCluster(MiniClusterConfig config)
     bc.vlogs_per_broker = config_.vlogs_per_broker;
     bc.replication_window = config_.replication_window;
     bc.replication_workers = config_.replication_workers;
+    bc.max_consume_wait_us = config_.max_consume_wait_us;
     bc.backup_nodes = backup_services;
     brokers_.push_back(std::make_unique<Broker>(bc, *network_));
 
@@ -90,7 +91,10 @@ MiniCluster::MiniCluster(MiniClusterConfig config)
 
 MiniCluster::~MiniCluster() {
   // Stop replication workers before the network: a worker mid-ShipBatch
-  // would otherwise race the queue shutdown on every teardown.
+  // would otherwise race the queue shutdown on every teardown. Waking the
+  // consume long-pollers first keeps network shutdown from blocking on a
+  // handler thread parked until its poll deadline.
+  for (auto& b : brokers_) b->StopConsumeWaits();
   for (auto& b : brokers_) b->StopReplicator();
   if (threaded_ != nullptr) threaded_->Shutdown();
   if (socket_ != nullptr) socket_->Shutdown();
@@ -125,6 +129,7 @@ Broker::Stats MiniCluster::TotalBrokerStats() const {
     total.bytes_appended += s.bytes_appended;
     total.consume_rpcs += s.consume_rpcs;
     total.chunks_served += s.chunks_served;
+    total.consume_long_polls += s.consume_long_polls;
     total.replication_batches += s.replication_batches;
     total.replication_rpcs += s.replication_rpcs;
     total.replication_bytes += s.replication_bytes;

@@ -45,6 +45,8 @@ struct MiniClusterConfig {
   /// synchronous replication on the produce path).
   uint32_t replication_window = 1;
   uint32_t replication_workers = 0;
+  /// Broker-side cap on consume long-poll waits (see BrokerConfig).
+  uint64_t max_consume_wait_us = 1'000'000;
   /// Backup flush directory template; empty disables disk flushing. A
   /// "%u" is replaced by the node id.
   std::string backup_dir;

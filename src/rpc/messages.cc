@@ -106,6 +106,8 @@ void ConsumeRequest::Encode(Writer& w) const {
     w.U64(e.start_chunk);
     w.U32(e.max_chunks);
   }
+  w.U64(max_wait_us);
+  w.U32(min_bytes);
 }
 
 Result<ConsumeRequest> ConsumeRequest::Decode(Reader& r) {
@@ -124,6 +126,11 @@ Result<ConsumeRequest> ConsumeRequest::Decode(Reader& r) {
     KERA_RETURN_IF_ERROR(r.U32(e.max_chunks));
     req.entries.push_back(e);
   }
+  // Version guard: pre-long-poll requests end here; the absent fields mean
+  // "return immediately", which is exactly what those senders expect.
+  if (r.AtEnd()) return req;
+  KERA_RETURN_IF_ERROR(r.U64(req.max_wait_us));
+  KERA_RETURN_IF_ERROR(r.U32(req.min_bytes));
   return req;
 }
 

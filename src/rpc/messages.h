@@ -81,6 +81,14 @@ struct ConsumeRequest {
   StreamId stream = 0;
   uint32_t max_bytes = 1u << 20;
   std::vector<ConsumeEntryRequest> entries;
+  /// Long-poll: the broker parks the request until at least
+  /// max(min_bytes, 1) bytes of chunk data are available for the requested
+  /// entries, the stream reaches a terminal state for all of them, or the
+  /// wait elapses. 0 preserves the original immediate-return behavior.
+  /// Both fields ride at the end of the frame so old-format requests
+  /// (which simply omit them) decode with the 0 defaults.
+  uint64_t max_wait_us = 0;
+  uint32_t min_bytes = 0;
 
   void Encode(Writer& w) const;
   [[nodiscard]] static Result<ConsumeRequest> Decode(Reader& r);

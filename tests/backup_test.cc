@@ -236,6 +236,43 @@ TEST(BackupFlushTest, FlushEvictReload) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(BackupFlushTest, TruncatedOrMissingFileIsReportedNotFatal) {
+  // A flushed-then-evicted segment whose file was damaged behind the
+  // backup's back must fail the read with a clean status — the old code
+  // resized the buffer to size_t(ftell(-1)) and aborted the process.
+  std::string dir = ::testing::TempDir() + "/kera_backup_damage";
+  std::filesystem::remove_all(dir);
+  Backup backup(BackupConfig{.node = 4, .storage_dir = dir});
+
+  auto c1 = MakeChunk(1, "bytes that will be truncated away");
+  uint32_t crc1 = ChecksumOf(c1, 0);
+  ASSERT_EQ(backup.HandleReplicate(MakeReplicate(c1, 1, 0, crc1,
+                                                 /*seals=*/true)).status,
+            StatusCode::kOk);
+  backup.WaitForFlushes();
+  ASSERT_EQ(backup.EvictFlushed(), 1u);
+
+  std::string path;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    path = e.path().string();
+  }
+  ASSERT_FALSE(path.empty());
+
+  // Truncate the flushed file: the size check catches the mismatch.
+  std::filesystem::resize_file(path, c1.size() / 2);
+  rpc::ReadRecoverySegmentRequest req;
+  req.crashed = 1;
+  req.vlog = 0;
+  req.vseg = 0;
+  std::vector<std::byte> storage;
+  EXPECT_EQ(backup.HandleRead(req, storage).status, StatusCode::kCorruption);
+
+  // Delete it outright: a clean kNotFound, not a crash.
+  std::filesystem::remove(path);
+  EXPECT_EQ(backup.HandleRead(req, storage).status, StatusCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(BackupRpcTest, FramedDispatch) {
   Backup backup(BackupConfig{.node = 2, .storage_dir = ""});
   auto c1 = MakeChunk(1);
