@@ -45,6 +45,23 @@ for t in wire_test wire_golden_test rpc_test common_test transport_test \
   "$asan_build/tests/$t"
 done
 
+echo "== chaos: bounded schedule sweeps under both sanitizers =="
+# The full 200-schedule sweep runs in the regular suite above (ctest label
+# "chaos"); under the sanitizers a bounded band keeps the stage fast while
+# still driving crashes, partitions and recovery through the instrumented
+# build. KERA_CHAOS_SCHEDULES/KERA_CHAOS_EVENTS bound the gtest sweep.
+cmake --build "$tsan_build" -j --target chaos_test
+echo "-- TSan: chaos_test (bounded)"
+KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$tsan_build/tests/chaos_test"
+cmake --build "$asan_build" -j --target chaos_test
+echo "-- ASan+UBSan: chaos_test (bounded)"
+KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$asan_build/tests/chaos_test"
+
+echo "== chaos soak (JSON to BENCH_chaos.json) =="
+cmake --build "$build" -j --target chaos_soak
+"$build/tools/chaos_soak" --schedules=400 --events=60 \
+  --out="$repo/BENCH_chaos.json"
+
 echo "== micro-benchmark (JSON to BENCH_micro_core.json) =="
 cmake --build "$build" -j --target bench_micro_core
 "$build/bench/bench_micro_core" \

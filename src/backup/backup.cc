@@ -70,6 +70,10 @@ rpc::ReplicateResponse Backup::HandleReplicate(
   auto apply_seal = [&](bool seals) {
     if (seals && !seg.sealed) {
       seg.sealed = true;
+      // Holes still buffered at seal time are stale: the seal is the
+      // primary's final word, so their bytes either were re-shipped and
+      // applied already or were disowned by an abort.
+      seg.pending.clear();
       ++stats_.segments_sealed;
       if (!config_.storage_dir.empty()) {
         flushes_enqueued_.fetch_add(1, std::memory_order_relaxed);
@@ -129,6 +133,12 @@ rpc::ReplicateResponse Backup::HandleReplicate(
     // ack — the bytes are in backup memory, and the primary advances its
     // durable prefix in issue order, so data it acks to producers is
     // always contiguous here.
+    if (seg.sealed) {
+      // Only a stale duplicated frame can address bytes past a sealed
+      // copy's final length; never buffer it.
+      resp.status = StatusCode::kOutOfRange;
+      return resp;
+    }
     if (seg.pending.size() >= kMaxPendingBatches) {
       resp.status = StatusCode::kOutOfRange;
       return resp;
@@ -147,10 +157,79 @@ rpc::ReplicateResponse Backup::HandleReplicate(
   }
   if (req.start_offset < seg.data.size() ||
       (req.payload.empty() && req.start_offset == seg.data.size())) {
+    if (req.payload.empty() && req.seals && !seg.sealed &&
+        req.start_offset < seg.data.size()) {
+      // Seal below our size: the primary aborted a batch we had already
+      // applied and evacuated its refs to a fresh segment, then sealed
+      // this one at its retained length. The surplus suffix is disowned
+      // (its chunks live in the evacuation target now) — truncate to the
+      // sealed length and re-derive the prefix checksum, or this copy
+      // would diverge forever and reject the seal on every retry.
+      uint32_t crc = 0;
+      uint32_t chunks = 0;
+      std::span<const std::byte> scan{seg.data.data(),
+                                      size_t(req.start_offset)};
+      while (!scan.empty()) {
+        auto chunk = ChunkView::Parse(scan);
+        if (!chunk.ok() || chunk->total_size() > scan.size()) break;
+        uint32_t chunk_crc = chunk->payload_checksum();
+        crc = Crc32c(&chunk_crc, sizeof(chunk_crc), crc);
+        scan = scan.subspan(chunk->total_size());
+        ++chunks;
+      }
+      if (!scan.empty() || crc != req.checksum_after) {
+        ++stats_.checksum_failures;  // seal point not a clean chunk prefix
+        resp.status = StatusCode::kCorruption;
+        return resp;
+      }
+      seg.data.resize(size_t(req.start_offset));
+      seg.chunk_count = chunks;
+      seg.running_checksum = crc;
+      seg.pending.clear();  // buffered suffixes are part of the disowned tail
+      ++stats_.replicate_rpcs;
+      apply_seal(true);
+      resp.status = StatusCode::kOk;
+      return resp;
+    }
     // Already-applied batch (broker retry) or an empty seal-only batch:
     // idempotent ack, but still honor the seal flag.
     if (req.start_offset + req.payload.size() > seg.data.size()) {
-      resp.status = StatusCode::kOutOfRange;  // partially overlapping
+      // Partial overlap: the primary aborted a window whose ack we sent
+      // but it never saw (lost response), then re-coalesced the requeued
+      // refs into a batch with shifted boundaries. The overlap prefix is
+      // already applied; split on the chunk boundary at our append point
+      // and apply only the new tail. A stale frame extending a SEALED
+      // copy is rejected instead — the sealed length is final.
+      if (seg.sealed) {
+        resp.status = StatusCode::kOutOfRange;
+        return resp;
+      }
+      size_t skip = seg.data.size() - size_t(req.start_offset);
+      std::span<const std::byte> tail = req.payload;
+      uint32_t tail_chunks = req.chunk_count;
+      while (skip > 0) {
+        auto chunk = ChunkView::Parse(tail);
+        if (!chunk.ok() || chunk->total_size() > skip) break;
+        skip -= chunk->total_size();
+        tail = tail.subspan(chunk->total_size());
+        --tail_chunks;
+      }
+      if (skip != 0) {
+        // Our append point is not a chunk boundary of this batch: not a
+        // re-ship of the stream we hold.
+        resp.status = StatusCode::kOutOfRange;
+        return resp;
+      }
+      if (!apply_payload(tail, tail_chunks, req.checksum_after,
+                         req.seals)) {
+        resp.status = StatusCode::kCorruption;
+        return resp;
+      }
+      ++stats_.replicate_rpcs;
+      stats_.bytes_received += tail.size();
+      stats_.chunks_received += tail_chunks;
+      drain_pending();
+      resp.status = StatusCode::kOk;
       return resp;
     }
     if (req.payload.empty() && req.checksum_after != seg.running_checksum) {
@@ -163,6 +242,12 @@ rpc::ReplicateResponse Backup::HandleReplicate(
     return resp;
   }
 
+  if (seg.sealed) {
+    // A non-empty append landing exactly at a sealed copy's length is a
+    // stale frame from before the seal; the sealed length is final.
+    resp.status = StatusCode::kOutOfRange;
+    return resp;
+  }
   if (!apply_payload(req.payload, req.chunk_count, req.checksum_after,
                      req.seals)) {
     resp.status = StatusCode::kCorruption;

@@ -153,6 +153,7 @@ std::unique_ptr<VirtualLog> Broker::MakeVlog(VlogId id,
   vc.replication_factor = replication_factor;
   vc.max_batch_bytes = config_.replication_max_batch_bytes;
   vc.replication_window = config_.replication_window;
+  vc.first_segment_id = VirtualSegmentId(config_.incarnation) << 32;
   // Rotate the backup set per virtual segment so replicas scatter across
   // the cluster and recovery can read from many backups in parallel. A
   // broker never backs up its own data (replicas must survive the node).
@@ -251,6 +252,7 @@ Status Broker::AppendOneChunk(
     StreamEntry& entry, const rpc::ProduceRequest& req,
     std::span<const std::byte> frame,
     std::vector<std::pair<VirtualLog*, ChunkRef>>& appended_refs,
+    std::vector<DuplicateWait>& duplicate_waits,
     rpc::ProduceResponse& resp) {
   auto chunk = ChunkView::Parse(frame);
   if (!chunk.ok()) return chunk.status();
@@ -262,10 +264,12 @@ Status Broker::AppendOneChunk(
     return Status(StatusCode::kInvalidArgument, "chunk/request stream mismatch");
   }
   StreamletId streamlet_id = chunk->streamlet_id();
+  auto key = std::make_pair(streamlet_id, chunk->producer_id());
+  StreamEntry::DedupEntry prev;  // state before this chunk reserved its seq
   {
     // One per-stream critical section covers the seal/leadership gates
     // and the exactly-once dedup update (drop chunks at or below the
-    // last acknowledged sequence).
+    // last accepted sequence).
     std::lock_guard<std::mutex> lock(entry.mu);
     if (entry.info.sealed && !req.recovery) {
       return Status(StatusCode::kSegmentClosed, "stream is sealed");
@@ -273,17 +277,39 @@ Status Broker::AppendOneChunk(
     if (entry.led.count(streamlet_id) == 0) {
       return Status(StatusCode::kNotLeader, "streamlet not led here");
     }
-    auto key = std::make_pair(streamlet_id, chunk->producer_id());
-    auto [it, inserted] = entry.dedup.try_emplace(key, 0);
-    if (!inserted && chunk->chunk_seq() <= it->second) {
+    auto [it, inserted] = entry.dedup.try_emplace(key);
+    if (!inserted && chunk->chunk_seq() <= it->second.seq) {
       ++resp.duplicates;
       stats_.chunks_duplicate.fetch_add(1, std::memory_order_relaxed);
+      // A retry of the LATEST sequence must not be acked before the
+      // original copy is durable (the producer is retrying because it
+      // never saw an ack). Older sequences were below the latest when it
+      // was accepted, i.e. already acknowledged once — ack immediately.
+      if (chunk->chunk_seq() == it->second.seq && it->second.vlog != nullptr) {
+        duplicate_waits.push_back({it->second.vlog, streamlet_id,
+                                   it->second.group,
+                                   it->second.group_chunk_index});
+      }
       return OkStatus();
     }
-    it->second = chunk->chunk_seq();
+    // Reserve the sequence now (so a concurrent same-seq retry classifies
+    // as a duplicate and waits); the landing position is recorded after
+    // the appends, and the reservation is rolled back if they fail —
+    // otherwise a retry of a never-appended chunk would be swallowed.
+    prev = it->second;
+    it->second = StreamEntry::DedupEntry{chunk->chunk_seq(), nullptr, 0, 0};
   }
+  auto rollback = [&] {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    auto it = entry.dedup.find(key);
+    if (it != entry.dedup.end() && it->second.seq == chunk->chunk_seq() &&
+        it->second.vlog == nullptr) {
+      it->second = prev;
+    }
+  };
   Streamlet* streamlet = entry.storage->GetStreamlet(streamlet_id);
   if (streamlet == nullptr) {
+    rollback();
     return Status(StatusCode::kNotLeader, "streamlet not led here");
   }
 
@@ -291,7 +317,10 @@ Status Broker::AppendOneChunk(
       req.recovery
           ? streamlet->AppendRecoveryChunk(chunk->group_id(), frame)
           : streamlet->AppendChunk(chunk->producer_id(), frame);
-  if (!appended.ok()) return appended.status();
+  if (!appended.ok()) {
+    rollback();
+    return appended.status();
+  }
 
   ChunkRef ref;
   ref.loc = appended->locator;
@@ -303,6 +332,15 @@ Status Broker::AppendOneChunk(
   VirtualLog* vlog = ResolveVlog(entry, streamlet_id, appended->active_slot);
   vlog->Append(ref);
   appended_refs.emplace_back(vlog, ref);
+  {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    auto it = entry.dedup.find(key);
+    if (it != entry.dedup.end() && it->second.seq == chunk->chunk_seq()) {
+      it->second.vlog = vlog;
+      it->second.group = ref.loc.group;
+      it->second.group_chunk_index = ref.loc.group_chunk_index;
+    }
+  }
 
   ++resp.appended;
   stats_.chunks_appended.fetch_add(1, std::memory_order_relaxed);
@@ -322,8 +360,11 @@ rpc::ProduceResponse Broker::HandleProduceNoSync(
   }
   std::vector<std::pair<VirtualLog*, ChunkRef>> positions;
   positions.reserve(req.chunks.size());
+  // Duplicate-durability waits are not driven here: the DES schedules
+  // replication on simulated time and gates acks itself.
+  std::vector<DuplicateWait> dup_waits;
   for (const auto& frame : req.chunks) {
-    Status s = AppendOneChunk(*entry, req, frame, positions, resp);
+    Status s = AppendOneChunk(*entry, req, frame, positions, dup_waits, resp);
     if (!s.ok()) {
       resp.status = s.code();
       return resp;
@@ -346,12 +387,28 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
 
   std::vector<std::pair<VirtualLog*, ChunkRef>> positions;
   positions.reserve(req.chunks.size());
+  std::vector<DuplicateWait> dup_waits;
   for (const auto& frame : req.chunks) {
-    Status s = AppendOneChunk(*entry, req, frame, positions, resp);
+    Status s = AppendOneChunk(*entry, req, frame, positions, dup_waits, resp);
     if (!s.ok()) {
       resp.status = s.code();
       return resp;
     }
+  }
+
+  // Resolve duplicate retries to (group, index) durability targets. A
+  // group that no longer exists was trimmed, and only fully durable
+  // groups trim — nothing to wait for.
+  std::vector<std::pair<VirtualLog*, ChunkRef>> dup_refs;
+  for (const DuplicateWait& d : dup_waits) {
+    Streamlet* sl = entry->storage->GetStreamlet(d.streamlet);
+    Group* group = sl == nullptr ? nullptr : sl->GetGroup(d.group);
+    if (group == nullptr) continue;
+    ChunkRef ref;
+    ref.group = group;
+    ref.loc.group = d.group;
+    ref.loc.group_chunk_index = d.group_chunk_index;
+    dup_refs.emplace_back(d.vlog, ref);
   }
 
   // Background replication: wake the worker pool for the touched vlogs
@@ -363,7 +420,21 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
       (void)ref;
       replicator_->Notify(vlog);
     }
+    // Duplicate retries also nudge the workers: the original request may
+    // have failed mid-replication, leaving the chunk queued but nobody
+    // pushing it.
+    for (auto& [vlog, ref] : dup_refs) {
+      (void)ref;
+      replicator_->Notify(vlog);
+    }
     for (auto& [vlog, ref] : positions) {
+      Status s = vlog->WaitChunkDurable(ref);
+      if (!s.ok()) {
+        resp.status = s.code();
+        return resp;
+      }
+    }
+    for (auto& [vlog, ref] : dup_refs) {
       Status s = vlog->WaitChunkDurable(ref);
       if (!s.ok()) {
         resp.status = s.code();
@@ -382,27 +453,20 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
   // virtual logs on the backups (paper §IV.B). Whichever worker finds a
   // vlog idle ships the next batch; others sleep until woken. Durability
   // is tracked through the chunk's group so it survives virtual segment
-  // evacuation after a backup failure.
+  // evacuation after a backup failure. Duplicate retries gate on the
+  // original copy's durability the same way.
   for (auto& [vlog, ref] : positions) {
-    int evacuations = 0;
-    auto durable = [&ref] {
-      return ref.group->durable_chunk_count() > ref.loc.group_chunk_index;
-    };
-    while (!durable()) {
-      if (auto batch = vlog->Poll()) {
-        Status s = ShipBatch(*vlog, *batch);
-        if (!s.ok()) {
-          // kUnavailable after an evacuation is retryable: the refs moved
-          // to a fresh segment targeting live backups.
-          if (s.code() == StatusCode::kUnavailable && ++evacuations <= 4) {
-            continue;
-          }
-          resp.status = s.code();
-          return resp;
-        }
-      } else {
-        (void)vlog->WaitChunkDurableOrIdle(ref);
-      }
+    Status s = DriveUntilDurable(*vlog, ref);
+    if (!s.ok()) {
+      resp.status = s.code();
+      return resp;
+    }
+  }
+  for (auto& [vlog, ref] : dup_refs) {
+    Status s = DriveUntilDurable(*vlog, ref);
+    if (!s.ok()) {
+      resp.status = s.code();
+      return resp;
     }
   }
 
@@ -427,6 +491,45 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
   }
   NotifyConsumeWaiters(*entry);
   return resp;
+}
+
+Status Broker::DriveUntilDurable(VirtualLog& vlog, const ChunkRef& ref) {
+  int evacuations = 0;
+  auto durable = [&ref] {
+    return ref.group->durable_chunk_count() > ref.loc.group_chunk_index;
+  };
+  while (!durable()) {
+    if (auto batch = vlog.Poll()) {
+      Status s = ShipBatch(vlog, *batch);
+      if (!s.ok()) {
+        // kUnavailable after an evacuation is retryable: the refs moved
+        // to a fresh segment targeting live backups.
+        if (s.code() == StatusCode::kUnavailable && ++evacuations <= 4) {
+          continue;
+        }
+        return s;
+      }
+    } else {
+      (void)vlog.WaitChunkDurableOrIdle(ref);
+    }
+  }
+  return OkStatus();
+}
+
+bool Broker::DrainReplication(int max_failed_batches) {
+  int failures = 0;
+  bool all_drained = true;
+  for (VirtualLog* vlog : VirtualLogs()) {
+    while (vlog->HasWork()) {
+      auto batch = vlog->Poll();
+      if (!batch.has_value()) break;  // window full; nothing to drive here
+      if (!ShipBatch(*vlog, *batch).ok() && ++failures >= max_failed_batches) {
+        return false;
+      }
+    }
+    if (vlog->HasWork()) all_drained = false;
+  }
+  return all_drained;
 }
 
 void Broker::EncodeReplicateBody(const ReplicationBatch& batch,

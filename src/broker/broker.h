@@ -28,6 +28,11 @@ namespace kera {
 
 struct BrokerConfig {
   NodeId node = 0;
+  /// Process incarnation of this broker (0 for the first life, bumped on
+  /// every restart). Baked into the high bits of virtual segment ids so a
+  /// restarted broker never reuses (vlog, vseg) keys that backups may
+  /// still hold from its previous life.
+  uint64_t incarnation = 0;
   /// Broker memory budget for segment buffers.
   size_t memory_bytes = size_t(1) << 30;
   /// Segment geometry (stream Q comes from StreamOptions at creation).
@@ -159,6 +164,14 @@ class Broker final : public rpc::RpcHandler {
   /// group and fully replicated virtual segments. Returns groups trimmed.
   size_t TrimDurable();
 
+  /// Quiescence helper (deterministic tests): drives every virtual log's
+  /// pending replication work to completion on the calling thread. Only
+  /// meaningful with replication_workers == 0 — no background pollers
+  /// compete for the batches. Gives up after `max_failed_batches` failed
+  /// ship attempts (a dead backup would otherwise mean an endless
+  /// abort/evacuate/retry loop); returns true when every vlog drained.
+  bool DrainReplication(int max_failed_batches = 8);
+
   /// Stops the background replication workers (no-op when disabled).
   /// Must be called before the network the broker ships through is shut
   /// down; the destructor also stops them.
@@ -190,8 +203,23 @@ class Broker final : public rpc::RpcHandler {
     /// gather racing a wakeup re-checks instead of sleeping through it.
     std::condition_variable consume_cv;
     uint64_t consume_epoch = 0;
-    // Exactly-once: last chunk sequence per (streamlet, producer).
-    std::map<std::pair<StreamletId, ProducerId>, ChunkSeq> dedup;
+    /// Exactly-once dedup state per (streamlet, producer): the last
+    /// accepted chunk sequence plus where that chunk landed, so a
+    /// duplicate retry can WAIT for the original's durability instead of
+    /// being acked immediately (a retry usually means the producer never
+    /// saw an ack; acking before the original replicates would fabricate
+    /// durability — the chunk can still be lost to a crash). `vlog` is
+    /// broker-owned and outlives the entry; it stays nullptr while the
+    /// original append is still in flight. The group is re-resolved by id
+    /// at wait time because trimming destroys Group objects (a trimmed
+    /// group was fully durable).
+    struct DedupEntry {
+      ChunkSeq seq = 0;
+      VirtualLog* vlog = nullptr;
+      GroupId group = 0;
+      uint64_t group_chunk_index = 0;
+    };
+    std::map<std::pair<StreamletId, ProducerId>, DedupEntry> dedup;
     // Resolved vlog cache (ownership stays in the broker-level maps);
     // avoids taking mu_ per chunk once a mapping is established.
     std::vector<VirtualLog*> shared_pool_cache;
@@ -223,11 +251,29 @@ class Broker final : public rpc::RpcHandler {
   std::unique_ptr<VirtualLog> MakeVlog(VlogId id,
                                        uint32_t replication_factor);
 
+  /// A duplicate produce chunk whose original copy may not be durable
+  /// yet: the produce paths wait on this position before acking, so the
+  /// retry's ack carries the same durability guarantee as the original's
+  /// would have.
+  struct DuplicateWait {
+    VirtualLog* vlog = nullptr;
+    StreamletId streamlet = 0;
+    GroupId group = 0;
+    uint64_t group_chunk_index = 0;
+  };
+
   Status AppendOneChunk(StreamEntry& entry, const rpc::ProduceRequest& req,
                         std::span<const std::byte> frame,
                         std::vector<std::pair<VirtualLog*, ChunkRef>>&
                             appended,
+                        std::vector<DuplicateWait>& duplicate_waits,
                         rpc::ProduceResponse& resp);
+
+  /// Synchronous-replication drive loop: polls and ships `vlog`'s batches
+  /// on the calling thread until `ref` is durable (only ref.group and
+  /// ref.loc.group_chunk_index are consulted), tolerating a bounded number
+  /// of segment evacuations after backup failures before giving up.
+  Status DriveUntilDurable(VirtualLog& vlog, const ChunkRef& ref);
 
   const BrokerConfig config_;
   rpc::Network& network_;

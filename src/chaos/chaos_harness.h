@@ -1,0 +1,57 @@
+// ChaosHarness: executes one seed-reproducible fault schedule against a
+// full in-process MiniCluster (producers, brokers, virtual logs, backups,
+// coordinator, consumers) wired through a ChaosNetwork, checking the
+// global stream invariants after every event. Everything is
+// single-threaded and the schedule is a pure function of the seed, so a
+// run is deterministic: the same seed produces a byte-identical annotated
+// trace and identical checker results, and any failure replays exactly
+// from its dumped trace (ParseTrace + RunSchedule).
+//
+// Model kept by the harness while driving the cluster over RPC frames:
+//   - every acknowledged (streamlet, producer, seq), for the lost-ack oracle;
+//   - per-producer retry counts, for the bounded-duplication budget;
+//   - per-consumer cursors, committed snapshots and consumed sets, for the
+//     ordering / at-least-once / bounded-redelivery oracles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "chaos/chaos_net.h"
+#include "chaos/fault_schedule.h"
+
+namespace kera::chaos {
+
+struct RunResult {
+  bool ok = true;
+  /// Violation or infrastructure-error description when !ok.
+  std::string failure;
+  /// Index into Schedule::events of the failing event (size_t(-1): the
+  /// failure happened in setup or in the final drain phase).
+  size_t failed_event = size_t(-1);
+  /// Annotated, replayable trace: FormatTrace interleaved with '#' outcome
+  /// lines. ParseTrace(trace) recovers the exact schedule.
+  std::string trace;
+
+  uint64_t events_run = 0;
+  uint64_t events_skipped = 0;  // deterministically skipped (see harness)
+  uint64_t checks = 0;          // individual invariant checks performed
+  uint64_t acked_chunks = 0;
+  uint64_t consumed_chunks = 0;     // fresh chunks across all consumers
+  uint64_t redelivered_chunks = 0;  // re-consumed after consumer restarts
+  uint64_t retried_sends = 0;       // producer resends of a chunk frame
+  uint64_t abandoned_sends = 0;     // chunks never acked within the event
+  uint64_t dedup_hits = 0;          // broker exactly-once rejections
+  uint64_t recovery_replayed = 0;   // chunks replayed by crash/migration
+  ChaosNetwork::Stats net;
+};
+
+/// Runs one schedule to completion (or first violation). The cluster is
+/// built fresh from the schedule's shape; nothing persists across runs.
+[[nodiscard]] RunResult RunSchedule(const Schedule& schedule);
+
+/// GenerateSchedule + RunSchedule.
+[[nodiscard]] RunResult RunSeed(uint64_t seed, uint32_t num_events);
+
+}  // namespace kera::chaos

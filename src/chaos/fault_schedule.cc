@@ -1,0 +1,248 @@
+#include "chaos/fault_schedule.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <set>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace kera::chaos {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kProduce: return "produce";
+    case FaultKind::kConsume: return "consume";
+    case FaultKind::kBrokerCrash: return "broker-crash";
+    case FaultKind::kMigrate: return "migrate";
+    case FaultKind::kBackupCrash: return "backup-crash";
+    case FaultKind::kBackupRestart: return "backup-restart";
+    case FaultKind::kNetFault: return "net-fault";
+    case FaultKind::kHealNetwork: return "heal";
+    case FaultKind::kConsumerRestart: return "consumer-restart";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool ParseFaultKind(const char* name, FaultKind& out) {
+  for (uint8_t k = 0; k <= uint8_t(FaultKind::kConsumerRestart); ++k) {
+    if (std::strcmp(name, FaultKindName(FaultKind(k))) == 0) {
+      out = FaultKind(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Schedule GenerateSchedule(uint64_t seed, uint32_t num_events) {
+  Xoshiro256 rng(seed);
+  Schedule s;
+  s.seed = seed;
+  s.nodes = 3 + uint32_t(rng.NextBounded(2));
+  s.backup_mode = rng.NextBounded(4) == 0;
+  // Broker mode may use any R the cluster can recover at (a crashed node's
+  // survivors must still offer R-1 non-self backups). Backup mode stays at
+  // R=2 so one backup down leaves enough live candidates to keep producing.
+  s.replication_factor =
+      s.backup_mode ? 2 : 2 + uint32_t(rng.NextBounded(s.nodes - 2));
+  s.streamlets = 2 + uint32_t(rng.NextBounded(3));
+  s.producers = 2 + uint32_t(rng.NextBounded(2));
+  s.consumers = 1 + uint32_t(rng.NextBounded(2));
+  s.vlog_per_subpartition = rng.NextBounded(4) == 0;
+
+  uint32_t backup_down = 0;  // node whose backup is currently down, or 0
+  // Broker mode crashes at most R-1 DISTINCT nodes per schedule (re-crashing
+  // a prior victim is always allowed). Each distinct victim's death also
+  // wipes its backup service, removing one replica of every other leader's
+  // durable prefix — and segment evacuation only re-replicates the
+  // unreplicated suffix, so an R-th distinct victim could expose a durable
+  // prefix whose every copy is gone without any bug being involved.
+  std::set<uint32_t> crash_victims;
+  s.events.reserve(num_events + 2);
+  for (uint32_t i = 0; i < num_events; ++i) {
+    uint64_t roll = rng.NextBounded(100);
+    FaultEvent ev;
+    if (roll < 42 || roll >= 94) {
+      ev.kind = FaultKind::kProduce;
+      ev.a = uint32_t(rng.NextBounded(s.producers));
+      ev.b = uint32_t(rng.NextBounded(s.streamlets));
+    } else if (roll < 62) {
+      ev.kind = FaultKind::kConsume;
+      ev.a = uint32_t(rng.NextBounded(s.consumers));
+      ev.b = 1 + uint32_t(rng.NextBounded(3));
+    } else if (roll < 72) {
+      ev.kind = FaultKind::kNetFault;
+      uint32_t node = 1 + uint32_t(rng.NextBounded(s.nodes));
+      ev.a = rng.NextBounded(2) == 0 ? node : uint32_t(BackupServiceId(node));
+      auto type = NetFaultType(rng.NextBounded(5));
+      ev.b = uint32_t(type);
+      switch (type) {
+        case NetFaultType::kDelay:
+          ev.arg = 10 + rng.NextBounded(990);  // microseconds
+          break;
+        case NetFaultType::kPartition:
+          ev.arg = 0;
+          break;
+        default:
+          ev.arg = 100 + rng.NextBounded(400);  // per-mille: 10%..50%
+          break;
+      }
+    } else if (roll < 80) {
+      ev.kind = FaultKind::kHealNetwork;
+    } else if (roll < 88) {
+      if (s.backup_mode) {
+        if (backup_down == 0) {
+          ev.kind = FaultKind::kBackupCrash;
+          ev.a = 1 + uint32_t(rng.NextBounded(s.nodes));
+          backup_down = ev.a;
+        } else {
+          ev.kind = FaultKind::kBackupRestart;
+          ev.a = backup_down;
+          backup_down = 0;
+        }
+      } else if (rng.NextBounded(2) == 0) {
+        ev.kind = FaultKind::kBrokerCrash;
+        uint32_t victim = 1 + uint32_t(rng.NextBounded(s.nodes));
+        if (crash_victims.count(victim) == 0 &&
+            crash_victims.size() >= s.replication_factor - 1) {
+          victim = *std::next(crash_victims.begin(),
+                              long(rng.NextBounded(crash_victims.size())));
+        }
+        crash_victims.insert(victim);
+        ev.a = victim;
+      } else {
+        ev.kind = FaultKind::kMigrate;
+        ev.a = uint32_t(rng.NextBounded(s.streamlets));
+        ev.b = 1 + uint32_t(rng.NextBounded(s.nodes));
+      }
+    } else {
+      ev.kind = FaultKind::kConsumerRestart;
+      ev.a = uint32_t(rng.NextBounded(s.consumers));
+    }
+    s.events.push_back(ev);
+  }
+  // Leave the cluster whole: a schedule never ends with a backup down or
+  // faults armed (the harness's final drain needs live replication paths).
+  if (backup_down != 0) {
+    s.events.push_back({FaultKind::kBackupRestart, backup_down, 0, 0});
+  }
+  s.events.push_back({FaultKind::kHealNetwork, 0, 0, 0});
+  return s;
+}
+
+std::string FormatTraceHeader(const Schedule& s) {
+  std::string out;
+  char line[160];
+  out += "kera-chaos-trace v1\n";
+  std::snprintf(line, sizeof(line), "seed=%" PRIu64 "\n", s.seed);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "nodes=%u rf=%u streamlets=%u producers=%u consumers=%u "
+                "mode=%c vlogs=%s\n",
+                s.nodes, s.replication_factor, s.streamlets, s.producers,
+                s.consumers, s.backup_mode ? 'B' : 'A',
+                s.vlog_per_subpartition ? "per-sub" : "shared");
+  out += line;
+  std::snprintf(line, sizeof(line), "events=%zu\n", s.events.size());
+  out += line;
+  return out;
+}
+
+std::string FormatEventLine(const FaultEvent& ev) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "ev %s a=%u b=%u arg=%" PRIu64 "\n",
+                FaultKindName(ev.kind), ev.a, ev.b, ev.arg);
+  return line;
+}
+
+std::string FormatTrace(const Schedule& s) {
+  std::string out = FormatTraceHeader(s);
+  for (const FaultEvent& ev : s.events) out += FormatEventLine(ev);
+  out += "end\n";
+  return out;
+}
+
+Result<Schedule> ParseTrace(std::string_view text) {
+  Schedule s;
+  bool have_header = false;
+  bool have_seed = false;
+  bool have_shape = false;
+  bool have_end = false;
+  size_t declared_events = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string line(text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos));
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (line.empty() || line[0] == '#') continue;  // annotations
+    if (!have_header) {
+      if (line != "kera-chaos-trace v1") {
+        return Status(StatusCode::kInvalidArgument, "bad trace header");
+      }
+      have_header = true;
+      continue;
+    }
+    if (line == "end") {
+      have_end = true;
+      break;
+    }
+    if (line.rfind("seed=", 0) == 0) {
+      if (std::sscanf(line.c_str(), "seed=%" SCNu64, &s.seed) != 1) {
+        return Status(StatusCode::kInvalidArgument, "bad seed line");
+      }
+      have_seed = true;
+      continue;
+    }
+    if (line.rfind("nodes=", 0) == 0) {
+      char mode = 0;
+      char vlogs[16] = {0};
+      if (std::sscanf(line.c_str(),
+                      "nodes=%u rf=%u streamlets=%u producers=%u "
+                      "consumers=%u mode=%c vlogs=%15s",
+                      &s.nodes, &s.replication_factor, &s.streamlets,
+                      &s.producers, &s.consumers, &mode, vlogs) != 7 ||
+          (mode != 'A' && mode != 'B')) {
+        return Status(StatusCode::kInvalidArgument, "bad shape line");
+      }
+      s.backup_mode = mode == 'B';
+      s.vlog_per_subpartition = std::strcmp(vlogs, "per-sub") == 0;
+      have_shape = true;
+      continue;
+    }
+    if (line.rfind("events=", 0) == 0) {
+      if (std::sscanf(line.c_str(), "events=%zu", &declared_events) != 1) {
+        return Status(StatusCode::kInvalidArgument, "bad events line");
+      }
+      continue;
+    }
+    if (line.rfind("ev ", 0) == 0) {
+      char name[32] = {0};
+      FaultEvent ev;
+      if (std::sscanf(line.c_str(), "ev %31s a=%u b=%u arg=%" SCNu64, name,
+                      &ev.a, &ev.b, &ev.arg) != 4 ||
+          !ParseFaultKind(name, ev.kind)) {
+        return Status(StatusCode::kInvalidArgument, "bad event line");
+      }
+      s.events.push_back(ev);
+      continue;
+    }
+    return Status(StatusCode::kInvalidArgument, "unrecognized trace line");
+  }
+  if (!have_header || !have_seed || !have_shape || !have_end) {
+    return Status(StatusCode::kInvalidArgument, "truncated trace");
+  }
+  if (declared_events != s.events.size()) {
+    return Status(StatusCode::kInvalidArgument, "event count mismatch");
+  }
+  return s;
+}
+
+}  // namespace kera::chaos

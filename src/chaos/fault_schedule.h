@@ -1,0 +1,90 @@
+// FaultScheduler: seed-reproducible chaos schedules. A schedule is the
+// full description of one chaos run — cluster shape plus an ordered list
+// of events (workload operations interleaved with fault injections) —
+// computed entirely from the seed BEFORE execution, so it never depends on
+// runtime outcomes and any failing schedule replays exactly from its
+// dumped trace.
+//
+// Fault-mode soundness: each schedule is either broker-fault mode (broker
+// crash + recovery, restarts, leadership migrations) or backup-fault mode
+// (backup crash + fresh restart), never both. Mixing them can lose
+// acknowledged data LEGITIMATELY at R=2: segment evacuation re-targets
+// only the unreplicated suffix, so a backup's memory loss followed by a
+// primary crash removes both copies of the durable prefix without any bug
+// being involved. Network faults (drops, duplicates, delays, partitions)
+// are injected in both modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kera::chaos {
+
+enum class FaultKind : uint8_t {
+  kProduce = 0,         // a: producer index, b: streamlet
+  kConsume = 1,         // a: consumer index, b: max gather rounds
+  kBrokerCrash = 2,     // a: node; crash + RecoverNode + RestartNode
+  kMigrate = 3,         // a: streamlet, b: target node
+  kBackupCrash = 4,     // a: node; CrashBackup + NoteBackupDown
+  kBackupRestart = 5,   // a: node; RestartBackup + NoteBackupUp
+  kNetFault = 6,        // a: service id, b: fault type, arg: parameter
+  kHealNetwork = 7,     // clear faults, quiesce, full invariant check
+  kConsumerRestart = 8, // a: consumer index; rewind to committed offsets
+};
+
+/// kNetFault sub-types carried in FaultEvent::b.
+enum class NetFaultType : uint8_t {
+  kDropRequest = 0,   // arg: probability in per-mille
+  kDropResponse = 1,  // arg: probability in per-mille
+  kDuplicate = 2,     // arg: probability in per-mille
+  kDelay = 3,         // arg: max delay in microseconds
+  kPartition = 4,     // arg unused
+};
+
+[[nodiscard]] const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kProduce;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint64_t arg = 0;
+};
+
+struct Schedule {
+  uint64_t seed = 0;
+  uint32_t nodes = 3;
+  uint32_t replication_factor = 2;
+  uint32_t streamlets = 2;
+  uint32_t producers = 2;
+  uint32_t consumers = 1;
+  /// true: backup-fault mode (B); false: broker-fault mode (A).
+  bool backup_mode = false;
+  /// true: one vlog per sub-partition; false: shared per-broker pool.
+  bool vlog_per_subpartition = false;
+  std::vector<FaultEvent> events;
+};
+
+/// Derives a complete schedule from the seed: cluster shape first, then
+/// `num_events` events. Pure function of (seed, num_events).
+[[nodiscard]] Schedule GenerateSchedule(uint64_t seed, uint32_t num_events);
+
+/// Serializes a schedule as a replayable text trace. Lines beginning with
+/// '#' are annotations (execution outcomes) and are ignored by ParseTrace;
+/// everything else round-trips exactly.
+[[nodiscard]] std::string FormatTrace(const Schedule& schedule);
+
+/// The header portion of FormatTrace (through the events= line) and a
+/// single "ev ..." line — the harness interleaves these with '#'-prefixed
+/// outcome annotations to build a trace that is both replayable and
+/// human-diagnosable.
+[[nodiscard]] std::string FormatTraceHeader(const Schedule& schedule);
+[[nodiscard]] std::string FormatEventLine(const FaultEvent& event);
+
+/// Parses a trace produced by FormatTrace (annotation lines skipped).
+[[nodiscard]] Result<Schedule> ParseTrace(std::string_view text);
+
+}  // namespace kera::chaos

@@ -1,0 +1,174 @@
+#include "chaos/invariant_checker.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <tuple>
+
+#include "wire/chunk.h"
+
+namespace kera::chaos {
+
+namespace {
+
+std::string Describe(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string InvariantChecker::CheckVirtualLogs(MiniCluster& cluster,
+                                               uint64_t* checks) {
+  for (NodeId node : cluster.BrokerNodes()) {
+    for (VirtualLog* vlog : cluster.broker(node).VirtualLogs()) {
+      auto segments = vlog->Segments();
+      for (size_t si = 0; si < segments.size(); ++si) {
+        const VirtualSegment* seg = segments[si];
+        ++*checks;
+        if (si + 1 < segments.size() && !seg->closed()) {
+          return Describe("node %u vlog %u vseg %u: non-newest segment open",
+                          unsigned(node), unsigned(vlog->id()),
+                          unsigned(seg->id()));
+        }
+        if (seg->durable_ref_count() > seg->ref_count() ||
+            seg->durable_header() > seg->header()) {
+          return Describe(
+              "node %u vlog %u vseg %u: durable prefix beyond the end",
+              unsigned(node), unsigned(vlog->id()), unsigned(seg->id()));
+        }
+        uint64_t bytes = 0;
+        uint64_t durable_bytes = 0;
+        auto refs = seg->refs();
+        for (size_t i = 0; i < refs.size(); ++i) {
+          bytes += refs[i].loc.length;
+          if (i < seg->durable_ref_count()) {
+            durable_bytes += refs[i].loc.length;
+            // Durability must have propagated into the chunk's group: the
+            // consumer-visibility gate derives from the group counter.
+            if (refs[i].group != nullptr &&
+                refs[i].group->durable_chunk_count() <=
+                    refs[i].loc.group_chunk_index) {
+              return Describe(
+                  "node %u vlog %u vseg %u ref %zu: durable in the vseg but "
+                  "not in group %u",
+                  unsigned(node), unsigned(vlog->id()), unsigned(seg->id()),
+                  i, unsigned(refs[i].loc.group));
+            }
+          }
+        }
+        if (bytes != seg->header() || durable_bytes != seg->durable_header()) {
+          return Describe(
+              "node %u vlog %u vseg %u: virtual offsets inconsistent with "
+              "referenced chunk lengths",
+              unsigned(node), unsigned(vlog->id()), unsigned(seg->id()));
+        }
+        if (seg->ChecksumUpTo(seg->ref_count()) != seg->running_checksum()) {
+          return Describe(
+              "node %u vlog %u vseg %u: checksum chain does not recompute",
+              unsigned(node), unsigned(vlog->id()), unsigned(seg->id()));
+        }
+      }
+    }
+  }
+  return "";
+}
+
+std::string InvariantChecker::CheckAckedDurable(MiniCluster& cluster,
+                                                const std::string& stream_name,
+                                                const AckedMap& acked,
+                                                uint64_t* checks) {
+  auto info = cluster.coordinator().GetStreamInfo(stream_name);
+  if (!info.ok()) {
+    return Describe("stream '%s' unknown to the coordinator",
+                    stream_name.c_str());
+  }
+  // (streamlet, producer, seq) found in the current leaders' durable
+  // prefixes. Uniqueness is checked as the scan inserts.
+  std::set<std::tuple<StreamletId, ProducerId, ChunkSeq>> durable;
+  for (StreamletId sl = 0; sl < StreamletId(info->streamlet_brokers.size());
+       ++sl) {
+    NodeId leader = info->streamlet_brokers[sl];
+    Stream* stream = cluster.broker(leader).GetStream(info->stream);
+    Streamlet* streamlet =
+        stream == nullptr ? nullptr : stream->GetStreamlet(sl);
+    if (streamlet == nullptr) continue;  // nothing durable here (checked
+                                         // against acked below)
+    for (GroupId gid : streamlet->GroupIds()) {
+      Group* group = streamlet->GetGroup(gid);
+      if (group == nullptr || group->trimmed()) continue;
+      uint64_t durable_count = group->durable_chunk_count();
+      for (uint64_t i = 0; i < durable_count; ++i) {
+        ++*checks;
+        ChunkLocator loc = group->GetChunk(i);
+        auto chunk = ChunkView::Parse(loc.segment->Bytes(loc.offset,
+                                                         loc.length));
+        if (!chunk.ok()) {
+          return Describe(
+              "leader %u streamlet %u group %u chunk %" PRIu64
+              ": durable chunk does not parse",
+              unsigned(leader), unsigned(sl), unsigned(gid), i);
+        }
+        if (!chunk->VerifyChecksum()) {
+          return Describe(
+              "leader %u streamlet %u group %u chunk %" PRIu64
+              ": payload checksum mismatch",
+              unsigned(leader), unsigned(sl), unsigned(gid), i);
+        }
+        auto key = std::make_tuple(StreamletId(sl), chunk->producer_id(),
+                                   chunk->chunk_seq());
+        if (!durable.insert(key).second) {
+          return Describe(
+              "leader %u streamlet %u: (producer %u, seq %" PRIu64
+              ") stored durably more than once",
+              unsigned(leader), unsigned(sl), unsigned(chunk->producer_id()),
+              chunk->chunk_seq());
+        }
+      }
+    }
+  }
+  for (const auto& [key, seqs] : acked) {
+    for (ChunkSeq seq : seqs) {
+      ++*checks;
+      if (durable.count({key.first, key.second, seq}) == 0) {
+        return Describe(
+            "ACKED DATA LOST: streamlet %u producer %u seq %" PRIu64
+            " not in any current leader's durable prefix",
+            unsigned(key.first), unsigned(key.second), seq);
+      }
+    }
+  }
+  return "";
+}
+
+std::string InvariantChecker::CheckDuplicateBound(uint64_t chunks_duplicate,
+                                                  uint64_t budget,
+                                                  uint64_t* checks) {
+  ++*checks;
+  if (chunks_duplicate > budget) {
+    return Describe("dedup hits (%" PRIu64
+                    ") exceed the accounted duplication budget (%" PRIu64 ")",
+                    chunks_duplicate, budget);
+  }
+  return "";
+}
+
+std::string InvariantChecker::CheckChecksumCounters(MiniCluster& cluster,
+                                                    uint64_t* checks) {
+  for (NodeId node : cluster.BrokerNodes()) {
+    ++*checks;
+    if (cluster.broker(node).GetStats().checksum_failures != 0) {
+      return Describe("broker %u counted checksum failures", unsigned(node));
+    }
+    if (cluster.backup(node).GetStats().checksum_failures != 0) {
+      return Describe("backup %u counted checksum failures", unsigned(node));
+    }
+  }
+  return "";
+}
+
+}  // namespace kera::chaos

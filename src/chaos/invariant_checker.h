@@ -1,0 +1,61 @@
+// InvariantChecker: the chaos harness's global correctness oracle. Each
+// check scans live cluster state (brokers' virtual logs, group storage,
+// stats counters) against the harness's model of what was acknowledged,
+// and returns a human-readable violation description — or "" when the
+// invariant holds. The harness runs the cheap structural checks after
+// every event and the full set at quiescence points.
+//
+// Invariant catalog (ISSUE/DESIGN §10):
+//   1. Durable-prefix contiguity per virtual log / virtual segment.
+//   2. No acknowledged record lost across any crash/recovery.
+//   3. Per-(streamlet, group) chunk order preserved at consumers
+//      (checked consumer-side by the harness during consumption).
+//   4. At-least-once with bounded duplication, accounted against retry
+//      and injected-fault counters.
+//   5. Checksum integrity end to end (chunk payload CRCs verify
+//      everywhere; no transport or backup checksum failure counters).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "cluster/mini_cluster.h"
+
+namespace kera::chaos {
+
+/// Acknowledged chunks: (streamlet, producer) -> set of acked sequences.
+using AckedMap =
+    std::map<std::pair<StreamletId, ProducerId>, std::set<ChunkSeq>>;
+
+class InvariantChecker {
+ public:
+  /// Invariant 1 (+5 for the checksum chain): for every virtual segment of
+  /// every live broker — durable prefix within bounds, virtual offsets
+  /// consistent with the referenced chunk lengths, the running checksum
+  /// chain recomputes, durability propagated into the referenced groups,
+  /// and only the newest segment of a vlog open.
+  [[nodiscard]] static std::string CheckVirtualLogs(MiniCluster& cluster,
+                                                    uint64_t* checks);
+
+  /// Invariant 2 (+5, + exactly-once storage): every acked (streamlet,
+  /// producer, seq) appears in the current leader's durable prefix, at
+  /// most once, and every durable chunk's payload checksum verifies.
+  [[nodiscard]] static std::string CheckAckedDurable(
+      MiniCluster& cluster, const std::string& stream_name,
+      const AckedMap& acked, uint64_t* checks);
+
+  /// Invariant 4 (broker side): dedup hits never exceed the duplication
+  /// the harness can account for (producer retries, injected duplicate
+  /// deliveries, recovery replay overlap).
+  [[nodiscard]] static std::string CheckDuplicateBound(
+      uint64_t chunks_duplicate, uint64_t budget, uint64_t* checks);
+
+  /// Invariant 5 (counter side): no checksum failure was ever counted by
+  /// any broker or backup.
+  [[nodiscard]] static std::string CheckChecksumCounters(
+      MiniCluster& cluster, uint64_t* checks);
+};
+
+}  // namespace kera::chaos

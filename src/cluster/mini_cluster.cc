@@ -6,84 +6,129 @@
 
 namespace kera {
 
+BrokerConfig MiniCluster::BrokerConfigFor(NodeId node) const {
+  BrokerConfig bc;
+  bc.node = node;
+  if (node <= incarnations_.size()) {
+    bc.incarnation = incarnations_[node - 1];
+  }
+  bc.memory_bytes = config_.broker_memory_bytes;
+  bc.segment_size = config_.segment_size;
+  bc.segments_per_group = config_.segments_per_group;
+  bc.virtual_segment_capacity = config_.virtual_segment_capacity;
+  bc.replication_max_batch_bytes = config_.replication_max_batch_bytes;
+  bc.vlogs_per_broker = config_.vlogs_per_broker;
+  bc.replication_window = config_.replication_window;
+  bc.replication_workers = config_.replication_workers;
+  bc.max_consume_wait_us = config_.max_consume_wait_us;
+  for (NodeId n = 1; n <= config_.nodes; ++n) {
+    bc.backup_nodes.push_back(BackupServiceId(n));
+  }
+  return bc;
+}
+
+BackupConfig MiniCluster::BackupConfigFor(NodeId node) const {
+  BackupConfig bkc;
+  bkc.node = node;
+  if (!config_.backup_dir.empty()) {
+    char dir[256];
+    std::snprintf(dir, sizeof(dir), config_.backup_dir.c_str(),
+                  unsigned(node));
+    bkc.storage_dir = dir;
+  }
+  return bkc;
+}
+
+void MiniCluster::RegisterOnNetwork(NodeId service, rpc::RpcHandler* handler) {
+  if (config_.external_network != nullptr) {
+    config_.external_register(service, handler);
+  } else if (threaded_ != nullptr) {
+    threaded_->Register(service, handler);
+  } else if (socket_ != nullptr) {
+    auto port = socket_->Register(service, handler);
+    if (!port.ok()) {
+      KERA_ERROR("socket register failed for node %u: %s", unsigned(service),
+                 port.status().message().c_str());
+    }
+  } else {
+    direct_->Register(service, handler);
+  }
+}
+
+void MiniCluster::CrashOnNetwork(NodeId service) {
+  if (config_.external_network != nullptr) {
+    config_.external_crash(service);
+  } else if (threaded_ != nullptr) {
+    threaded_->Crash(service);
+  } else if (socket_ != nullptr) {
+    socket_->Crash(service);
+  } else {
+    direct_->Crash(service);
+  }
+}
+
+void MiniCluster::RestoreOnNetwork(NodeId service, rpc::RpcHandler* handler) {
+  if (config_.external_network != nullptr) {
+    config_.external_restore(service, handler);
+  } else if (threaded_ != nullptr) {
+    threaded_->Restore(service, handler);
+  } else if (socket_ != nullptr) {
+    auto port = socket_->Restore(service, handler);
+    if (!port.ok()) {
+      KERA_ERROR("socket restore failed for node %u: %s", unsigned(service),
+                 port.status().message().c_str());
+    }
+  } else {
+    direct_->Restore(service, handler);
+  }
+}
+
 MiniCluster::MiniCluster(MiniClusterConfig config)
     : config_(std::move(config)) {
-  MiniClusterTransport transport = config_.transport;
-  if (transport == MiniClusterTransport::kAuto) {
-    transport = config_.workers_per_node > 0 ? MiniClusterTransport::kThreaded
-                                             : MiniClusterTransport::kDirect;
-  }
-  switch (transport) {
-    case MiniClusterTransport::kAuto:  // resolved above
-    case MiniClusterTransport::kThreaded:
-      threaded_ =
-          std::make_unique<rpc::ThreadedNetwork>(config_.workers_per_node);
-      network_ = threaded_.get();
-      break;
-    case MiniClusterTransport::kDirect:
-      direct_ = std::make_unique<rpc::DirectNetwork>();
-      network_ = direct_.get();
-      break;
-    case MiniClusterTransport::kSocket: {
-      rpc::SocketNetwork::Options opts;
-      if (config_.workers_per_node > 0) {
-        opts.workers_per_node = config_.workers_per_node;
+  if (config_.external_network != nullptr) {
+    network_ = config_.external_network;
+  } else {
+    MiniClusterTransport transport = config_.transport;
+    if (transport == MiniClusterTransport::kAuto) {
+      transport = config_.workers_per_node > 0
+                      ? MiniClusterTransport::kThreaded
+                      : MiniClusterTransport::kDirect;
+    }
+    switch (transport) {
+      case MiniClusterTransport::kAuto:  // resolved above
+      case MiniClusterTransport::kThreaded:
+        threaded_ =
+            std::make_unique<rpc::ThreadedNetwork>(config_.workers_per_node);
+        network_ = threaded_.get();
+        break;
+      case MiniClusterTransport::kDirect:
+        direct_ = std::make_unique<rpc::DirectNetwork>();
+        network_ = direct_.get();
+        break;
+      case MiniClusterTransport::kSocket: {
+        rpc::SocketNetwork::Options opts;
+        if (config_.workers_per_node > 0) {
+          opts.workers_per_node = config_.workers_per_node;
+        }
+        socket_ = std::make_unique<rpc::SocketNetwork>(opts);
+        network_ = socket_.get();
+        break;
       }
-      socket_ = std::make_unique<rpc::SocketNetwork>(opts);
-      network_ = socket_.get();
-      break;
     }
   }
   coordinator_ = std::make_unique<Coordinator>(*network_);
 
-  std::vector<NodeId> backup_services;
+  incarnations_.assign(config_.nodes, 0);
   for (NodeId node = 1; node <= config_.nodes; ++node) {
-    backup_services.push_back(BackupServiceId(node));
+    brokers_.push_back(
+        std::make_unique<Broker>(BrokerConfigFor(node), *network_));
+    backups_.push_back(std::make_unique<Backup>(BackupConfigFor(node)));
   }
 
+  RegisterOnNetwork(kCoordinatorNode, coordinator_.get());
   for (NodeId node = 1; node <= config_.nodes; ++node) {
-    BrokerConfig bc;
-    bc.node = node;
-    bc.memory_bytes = config_.broker_memory_bytes;
-    bc.segment_size = config_.segment_size;
-    bc.segments_per_group = config_.segments_per_group;
-    bc.virtual_segment_capacity = config_.virtual_segment_capacity;
-    bc.replication_max_batch_bytes = config_.replication_max_batch_bytes;
-    bc.vlogs_per_broker = config_.vlogs_per_broker;
-    bc.replication_window = config_.replication_window;
-    bc.replication_workers = config_.replication_workers;
-    bc.max_consume_wait_us = config_.max_consume_wait_us;
-    bc.backup_nodes = backup_services;
-    brokers_.push_back(std::make_unique<Broker>(bc, *network_));
-
-    BackupConfig bkc;
-    bkc.node = node;
-    if (!config_.backup_dir.empty()) {
-      char dir[256];
-      std::snprintf(dir, sizeof(dir), config_.backup_dir.c_str(),
-                    unsigned(node));
-      bkc.storage_dir = dir;
-    }
-    backups_.push_back(std::make_unique<Backup>(bkc));
-  }
-
-  auto register_node = [&](NodeId service, rpc::RpcHandler* handler) {
-    if (threaded_ != nullptr) {
-      threaded_->Register(service, handler);
-    } else if (socket_ != nullptr) {
-      auto port = socket_->Register(service, handler);
-      if (!port.ok()) {
-        KERA_ERROR("socket register failed for node %u: %s",
-                   unsigned(service), port.status().message().c_str());
-      }
-    } else {
-      direct_->Register(service, handler);
-    }
-  };
-  register_node(kCoordinatorNode, coordinator_.get());
-  for (NodeId node = 1; node <= config_.nodes; ++node) {
-    register_node(node, brokers_[node - 1].get());
-    register_node(BackupServiceId(node), backups_[node - 1].get());
+    RegisterOnNetwork(node, brokers_[node - 1].get());
+    RegisterOnNetwork(BackupServiceId(node), backups_[node - 1].get());
     coordinator_->RegisterNode(node, brokers_[node - 1].get(),
                                backups_[node - 1].get());
   }
@@ -107,16 +152,49 @@ std::vector<NodeId> MiniCluster::BrokerNodes() const {
 }
 
 void MiniCluster::CrashNode(NodeId node) {
-  if (threaded_ != nullptr) {
-    threaded_->Crash(node);
-    threaded_->Crash(BackupServiceId(node));
-  } else if (socket_ != nullptr) {
-    socket_->Crash(node);
-    socket_->Crash(BackupServiceId(node));
-  } else {
-    direct_->Crash(node);
-    direct_->Crash(BackupServiceId(node));
+  CrashOnNetwork(node);
+  CrashOnNetwork(BackupServiceId(node));
+  // Fail parked long-polls now: the transport no longer delivers to this
+  // broker, but handler threads already inside HandleConsume would
+  // otherwise sleep until their poll deadline (and a later restart swaps
+  // in a fresh broker whose parking works again).
+  brokers_[node - 1]->StopConsumeWaits();
+}
+
+Status MiniCluster::RestartNode(NodeId node) {
+  if (node == 0 || node > config_.nodes) {
+    return Status(StatusCode::kInvalidArgument, "no such node");
   }
+  // Fresh instances: a restarted process has lost all in-memory state.
+  // The bumped incarnation keeps the new broker's virtual segment ids
+  // disjoint from any stale copies of its previous life that backups
+  // still hold (backups key copies by (primary, vlog, vseg)).
+  ++incarnations_[node - 1];
+  auto broker = std::make_unique<Broker>(BrokerConfigFor(node), *network_);
+  auto backup = std::make_unique<Backup>(BackupConfigFor(node));
+  // Transport first, so the node is reachable the moment the coordinator
+  // re-admits it (recovery replay and fresh placements dial it directly).
+  RestoreOnNetwork(node, broker.get());
+  RestoreOnNetwork(BackupServiceId(node), backup.get());
+  Status s = coordinator_->RejoinNode(node, broker.get(), backup.get());
+  if (!s.ok()) {
+    CrashOnNetwork(node);
+    CrashOnNetwork(BackupServiceId(node));
+    return s;
+  }
+  brokers_[node - 1] = std::move(broker);
+  backups_[node - 1] = std::move(backup);
+  return OkStatus();
+}
+
+void MiniCluster::CrashBackup(NodeId node) {
+  CrashOnNetwork(BackupServiceId(node));
+}
+
+void MiniCluster::RestartBackup(NodeId node) {
+  auto backup = std::make_unique<Backup>(BackupConfigFor(node));
+  RestoreOnNetwork(BackupServiceId(node), backup.get());
+  backups_[node - 1] = std::move(backup);
 }
 
 Broker::Stats MiniCluster::TotalBrokerStats() const {

@@ -4,6 +4,7 @@
 // single-threaded). Used by integration tests and the examples.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +51,16 @@ struct MiniClusterConfig {
   /// Backup flush directory template; empty disables disk flushing. A
   /// "%u" is replaced by the node id.
   std::string backup_dir;
+
+  /// External network injection (fault-injection harnesses wrap a
+  /// DirectNetwork in a decorator): when `external_network` is set the
+  /// cluster uses it instead of constructing a transport, and the three
+  /// callbacks implement registration and crash/restore against it. The
+  /// network must outlive the cluster. `transport` is ignored.
+  rpc::Network* external_network = nullptr;
+  std::function<void(NodeId, rpc::RpcHandler*)> external_register;
+  std::function<void(NodeId)> external_crash;
+  std::function<void(NodeId, rpc::RpcHandler*)> external_restore;
 };
 
 class MiniCluster {
@@ -69,14 +80,37 @@ class MiniCluster {
   /// Broker node ids: 1..nodes.
   [[nodiscard]] std::vector<NodeId> BrokerNodes() const;
 
-  /// Kills a node (both broker and backup stop answering). Use
-  /// coordinator().RecoverNode(node) afterwards.
+  /// Kills a node (both broker and backup stop answering). Parked consume
+  /// long-polls on the crashed broker are failed immediately rather than
+  /// leaking until their poll deadline. Use coordinator().RecoverNode(node)
+  /// afterwards, then optionally RestartNode to bring the node back.
   void CrashNode(NodeId node);
+
+  /// Restarts a crashed-and-recovered node with a FRESH broker and backup
+  /// (all previous in-memory state is gone, as after a real process
+  /// restart): re-registers both services on the transport and rejoins the
+  /// coordinator (Coordinator::RejoinNode), so new streams can place
+  /// streamlets on it and new virtual segments can target its backup.
+  Status RestartNode(NodeId node);
+
+  /// Kills only the node's backup service (mid-flush memory loss); the
+  /// broker keeps serving. Pair with coordinator().NoteBackupDown(node).
+  void CrashBackup(NodeId node);
+
+  /// Brings a crashed backup service back as a fresh, empty instance.
+  /// Pair with coordinator().NoteBackupUp(node, &backup(node)).
+  void RestartBackup(NodeId node);
 
   /// Aggregated broker stats across the cluster.
   [[nodiscard]] Broker::Stats TotalBrokerStats() const;
 
  private:
+  [[nodiscard]] BrokerConfig BrokerConfigFor(NodeId node) const;
+  [[nodiscard]] BackupConfig BackupConfigFor(NodeId node) const;
+  void RegisterOnNetwork(NodeId service, rpc::RpcHandler* handler);
+  void CrashOnNetwork(NodeId service);
+  void RestoreOnNetwork(NodeId service, rpc::RpcHandler* handler);
+
   MiniClusterConfig config_;
   std::unique_ptr<rpc::ThreadedNetwork> threaded_;
   std::unique_ptr<rpc::DirectNetwork> direct_;
@@ -85,6 +119,10 @@ class MiniCluster {
   std::unique_ptr<Coordinator> coordinator_;
   std::vector<std::unique_ptr<Broker>> brokers_;
   std::vector<std::unique_ptr<Backup>> backups_;
+  /// Per-node broker restart count; fed into BrokerConfig::incarnation so
+  /// a restarted broker's virtual segment ids never collide with stale
+  /// backup copies from its previous life.
+  std::vector<uint64_t> incarnations_;
 };
 
 }  // namespace kera

@@ -165,19 +165,7 @@ Result<uint64_t> Coordinator::RecoverNode(NodeId crashed) {
   }
   // Tell survivors which backup services remain so their virtual logs
   // stop targeting the dead node for new virtual segments.
-  {
-    std::vector<NodeId> live_backup_services;
-    std::vector<Broker*> live_brokers;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (const auto& [node, live] : alive_) {
-        if (!live) continue;
-        live_backup_services.push_back(BackupServiceId(node));
-        live_brokers.push_back(brokers_[node]);
-      }
-    }
-    for (Broker* b : live_brokers) b->SetLiveBackups(live_backup_services);
-  }
+  PushLiveBackups();
 
   for (StreamState* state : affected) {
     KERA_RETURN_IF_ERROR(AnnounceLeadership(*state));
@@ -187,6 +175,69 @@ Result<uint64_t> Coordinator::RecoverNode(NodeId crashed) {
   //       backups into the new leaders.
   return ReplayFromBackups(crashed,
                            [](StreamId, StreamletId) { return true; });
+}
+
+void Coordinator::PushLiveBackups() {
+  std::vector<NodeId> live_backup_services;
+  std::vector<Broker*> live_brokers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [node, live] : alive_) {
+      if (!live) continue;
+      if (backup_down_.count(node) == 0) {
+        live_backup_services.push_back(BackupServiceId(node));
+      }
+      live_brokers.push_back(brokers_[node]);
+    }
+  }
+  for (Broker* b : live_brokers) b->SetLiveBackups(live_backup_services);
+}
+
+Status Coordinator::RejoinNode(NodeId node, Broker* broker, Backup* backup) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = alive_.find(node);
+    if (it == alive_.end()) {
+      return Status(StatusCode::kNotFound, "unknown node");
+    }
+    if (it->second) {
+      return Status(StatusCode::kAlreadyExists, "node is still alive");
+    }
+    // RecoverNode reassigned every streamlet away from the dead node; a
+    // leftover leadership would mean the caller skipped recovery and the
+    // fresh (empty) broker would silently lead data it does not hold.
+    for (const auto& [_, state] : streams_by_name_) {
+      for (NodeId leader : state->info.streamlet_brokers) {
+        if (leader == node) {
+          return Status(StatusCode::kInvalidArgument,
+                        "node still leads a streamlet; recover it first");
+        }
+      }
+    }
+    brokers_[node] = broker;
+    backups_[node] = backup;
+    backup_down_.erase(node);
+    it->second = true;
+  }
+  PushLiveBackups();
+  return OkStatus();
+}
+
+void Coordinator::NoteBackupDown(NodeId node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    backup_down_.insert(node);
+  }
+  PushLiveBackups();
+}
+
+void Coordinator::NoteBackupUp(NodeId node, Backup* backup) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    backups_[node] = backup;
+    backup_down_.erase(node);
+  }
+  PushLiveBackups();
 }
 
 Result<uint64_t> Coordinator::ReplayFromBackups(
@@ -200,7 +251,9 @@ Result<uint64_t> Coordinator::ReplayFromBackups(
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [node, live] : alive_) {
-      if (live) backup_services.push_back(BackupServiceId(node));
+      if (live && backup_down_.count(node) == 0) {
+        backup_services.push_back(BackupServiceId(node));
+      }
     }
   }
   struct Source {
@@ -220,7 +273,17 @@ Result<uint64_t> Coordinator::ReplayFromBackups(
     auto resp = rpc::ListRecoverySegmentsResponse::Decode(r);
     if (!resp.ok() || resp->status != StatusCode::kOk) continue;
     for (const auto& desc : resp->segments) {
-      sources.try_emplace({desc.vlog, desc.vseg}, Source{backup, desc});
+      // Copies of one virtual segment can differ in length: a backup that
+      // (re)started mid-stream holds only a suffix buffered as pending —
+      // its contiguous chunk_count is short (possibly zero) while a
+      // backup that followed from the start holds everything. Replay from
+      // the longest contiguous copy; every chunk the primary acked is in
+      // at least one backup's contiguous prefix.
+      auto [it, inserted] =
+          sources.try_emplace({desc.vlog, desc.vseg}, Source{backup, desc});
+      if (!inserted && desc.chunk_count > it->second.desc.chunk_count) {
+        it->second = Source{backup, desc};
+      }
     }
   }
 

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,22 @@ class Coordinator final : public rpc::RpcHandler {
   /// leaders. Returns the number of chunks replayed.
   Result<uint64_t> RecoverNode(NodeId crashed);
 
+  /// Re-admits a node that was marked dead by RecoverNode, with fresh
+  /// broker/backup instances (restart-after-crash: the old in-memory state
+  /// is gone). The node must not lead any streamlet — RecoverNode moved
+  /// its leaderships away — and rejoins as an empty member: new streams
+  /// may place streamlets on it and new virtual segments may target its
+  /// backup service. Pushes the refreshed backup membership to every live
+  /// broker. Errors if the node is unknown, still alive, or still leads.
+  Status RejoinNode(NodeId node, Broker* broker, Backup* backup);
+
+  /// A node's backup service crashed (in-memory replicas lost) while its
+  /// broker stays up. Newly opened virtual segments stop targeting it.
+  void NoteBackupDown(NodeId node);
+
+  /// The node's backup service is serving again (a fresh, empty instance).
+  void NoteBackupUp(NodeId node, Backup* backup);
+
   /// Migrates one streamlet to `target` (the paper's horizontal
   /// scalability: streamlets move to new brokers). The acknowledged data
   /// is replayed from the backups into the target — the same machinery as
@@ -83,11 +100,17 @@ class Coordinator final : public rpc::RpcHandler {
       NodeId primary,
       const std::function<bool(StreamId, StreamletId)>& filter);
 
+  /// Pushes the current live backup-service membership (alive nodes whose
+  /// backup is not independently down) to every live broker.
+  void PushLiveBackups();
+
   rpc::Network& network_;
   mutable std::mutex mu_;
   std::map<NodeId, Broker*> brokers_;
   std::map<NodeId, Backup*> backups_;
   std::map<NodeId, bool> alive_;
+  /// Nodes whose backup service is down while the broker is alive.
+  std::set<NodeId> backup_down_;
   std::map<std::string, std::unique_ptr<StreamState>> streams_by_name_;
   std::map<StreamId, StreamState*> streams_by_id_;
   StreamId next_stream_id_ = 1;

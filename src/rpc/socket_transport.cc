@@ -616,6 +616,18 @@ void SocketNetwork::WakeClient() {
   }
 }
 
+void SocketNetwork::SetClientWakeHooksForTest(
+    std::function<void()> before_drain, std::function<void()> after_drain) {
+  std::lock_guard<std::mutex> lock(client_mu_);
+  wake_hook_before_drain_ = std::move(before_drain);
+  wake_hook_after_drain_ = std::move(after_drain);
+}
+
+void SocketNetwork::SignalClientStopForTest() {
+  client_stop_.store(true, std::memory_order_release);
+  SignalEventFd(client_wake_fd_);
+}
+
 void SocketNetwork::DestroyClientConnLocked(NodeId dest, const Status& why) {
   auto it = conns_.find(dest);
   if (it == conns_.end()) return;
@@ -701,6 +713,7 @@ void SocketNetwork::ClientIoLoop() {
       uint64_t tag = events[i].data.u64;
       uint32_t ev = events[i].events;
       if (tag == kWakeTag) {
+        if (wake_hook_before_drain_) wake_hook_before_drain_();
         // Drain strictly BEFORE clearing the pending flag. The eventfd
         // read consumes every accumulated token, so clearing first would
         // let a concurrent WakeClient's token be eaten while the flag
@@ -709,6 +722,13 @@ void SocketNetwork::ClientIoLoop() {
         // serialized by client_mu_ either before this pass (its frame is
         // flushed below) or after the clear (its WakeClient signals).
         DrainEventFd(client_wake_fd_);
+        // The after-drain hook runs INSIDE the drain-to-clear window so a
+        // test can inject a WakeClient at the exact point where the old
+        // ordering (clear first, then drain) would eat its token and
+        // strand the pending flag. With the correct order the injection
+        // is a no-op: the flag is still set, so WakeClient skips its
+        // signal, and the clear below leaves a clean slate.
+        if (wake_hook_after_drain_) wake_hook_after_drain_();
         client_wake_pending_.store(false, std::memory_order_release);
         // Re-check stop: Shutdown signals the eventfd directly, and the
         // drain above may have just consumed that token. client_stop_ is

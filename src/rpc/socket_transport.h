@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -121,6 +122,28 @@ class SocketNetwork final : public Network {
   };
   [[nodiscard]] Stats GetStats() const;
 
+  // ----- deterministic test hooks (eventfd wake-race regressions) -----
+
+  /// Installs callbacks the client IO thread runs around the kWakeTag
+  /// handling: `before_drain` right before the eventfd drain,
+  /// `after_drain` between the drain and the pending-flag clear (the
+  /// critical window of the lost-wakeup race). Both run on the IO thread
+  /// with client_mu_ held, so they must not call the public API — use the
+  /// two helpers below, which touch only the wake atomics and the
+  /// eventfd. Pass {} to uninstall.
+  void SetClientWakeHooksForTest(std::function<void()> before_drain,
+                                 std::function<void()> after_drain);
+
+  /// Exactly what WakeClient does, without needing a frame to enqueue:
+  /// sets the wake-pending flag and signals the eventfd at most once.
+  /// Safe from the hooks above.
+  void InjectClientWakeForTest() { WakeClient(); }
+
+  /// Exactly what Shutdown's client-side stop does — stores client_stop_
+  /// and signals the eventfd — without tearing anything else down. Safe
+  /// from the hooks above.
+  void SignalClientStopForTest();
+
  private:
   // One frame queued for writing: a 12-byte header followed by either an
   // owned contiguous payload or referenced scatter-gather pieces.
@@ -186,6 +209,10 @@ class SocketNetwork final : public Network {
   std::thread client_thread_;
   std::atomic<bool> client_wake_pending_{false};
   std::atomic<bool> client_stop_{false};
+  // Test hooks around the kWakeTag drain (run on the IO thread under
+  // client_mu_); empty in production.
+  std::function<void()> wake_hook_before_drain_;
+  std::function<void()> wake_hook_after_drain_;
 
   struct AtomicStats {
     std::atomic<uint64_t> calls{0};

@@ -20,6 +20,7 @@ VirtualLog::VirtualLog(VlogId id, VirtualLogConfig config,
     : id_(id), config_(config), selector_(std::move(selector)) {
   assert(config_.replication_factor >= 1);
   assert(config_.replication_window >= 1);
+  next_segment_id_ = config_.first_segment_id;
 }
 
 VirtualSegment* VirtualLog::OpenSegmentLocked() {

@@ -53,6 +53,12 @@ struct VirtualLogConfig {
   /// stop-and-wait replication; >1 pipelines batches so replication
   /// round-trips overlap and the backup links stay full).
   uint32_t replication_window = 1;
+  /// First virtual segment id this log hands out. Backups key copies by
+  /// (primary, vlog, vseg), so segment ids must never repeat across a
+  /// primary's process incarnations — a restarted broker would otherwise
+  /// collide with stale copies of its previous life still held by
+  /// backups. Callers bake the incarnation into the high bits.
+  VirtualSegmentId first_segment_id = 0;
 };
 
 /// A unit of replication work: a contiguous run of unreplicated chunk refs

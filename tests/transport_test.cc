@@ -8,6 +8,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <future>
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
@@ -333,6 +335,93 @@ TEST(TransportPeerTest, SetPeerRoutesAcrossInstances) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(AsString(*r), "hello across");
   EXPECT_EQ(echo.calls.load(), 1);
+}
+
+// ----- client wake machinery: deterministic eventfd race regressions -----
+//
+// The client IO loop coalesces wakeups through one eventfd guarded by a
+// wake-pending flag. Two orderings inside the kWakeTag pass are
+// load-bearing, and both once raced under stress: the eventfd must be
+// drained BEFORE the pending flag is cleared, and the stop flag must be
+// re-checked AFTER the drain (a stop token can be consumed by a drain it
+// raced into). These tests drive the exact interleavings through the
+// injected wake hooks instead of hammering threads and hoping.
+
+TEST(SocketWakeRaceTest, WakeInDrainWindowDoesNotStrandPendingFlag) {
+  SocketNetwork net;
+  EchoHandler echo;
+  auto port = net.Register(1, &echo);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  // Warm the connection so later calls exercise only the wake machinery.
+  auto warm = net.Call(1, AsBytes("warm"));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  // Inject a concurrent WakeClient at the exact point between the eventfd
+  // drain and the pending-flag clear — the critical window. With the
+  // correct order the flag is still set there, so the injected wake
+  // elides its signal and the clear below leaves a clean slate. With the
+  // broken order (clear first) the injected token is eaten by the drain
+  // while the flag sticks at true: every later WakeClient elides its
+  // signal, no pass ever flushes the queue again, and the call below
+  // hangs.
+  std::atomic<bool> injected{false};
+  net.SetClientWakeHooksForTest({}, [&net, &injected] {
+    if (!injected.exchange(true)) net.InjectClientWakeForTest();
+  });
+
+  auto f2 = net.CallAsync(1, AsBytes("two"));
+  ASSERT_EQ(std::future_status::ready, f2.wait_for(std::chrono::seconds(10)));
+  for (int i = 0; i < 5000 && !injected.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(injected.load()) << "wake pass never ran the injected hook";
+  net.SetClientWakeHooksForTest({}, {});
+
+  auto f3 = net.CallAsync(1, AsBytes("three"));
+  ASSERT_EQ(std::future_status::ready, f3.wait_for(std::chrono::seconds(10)))
+      << "wake-pending flag stranded: a wake injected inside the "
+         "drain-to-clear window was lost and later signals were elided";
+  auto r3 = f3.get();
+  ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+  EXPECT_EQ(AsString(*r3), "three");
+}
+
+TEST(SocketWakeRaceTest, StopTokenAbsorbedByDrainStillStopsLoop) {
+  auto net = std::make_unique<SocketNetwork>();
+
+  // Fire the client-side stop (exactly what Shutdown does: store the flag,
+  // signal the eventfd) from just before a drain, so the drain consumes
+  // the stop token along with the wake token that triggered the pass. The
+  // post-clear stop re-check must still notice the flag and exit the
+  // loop; without it the thread re-parks in epoll_wait with the stop
+  // token already eaten.
+  std::atomic<int> fires{0};
+  SocketNetwork* raw = net.get();
+  net->SetClientWakeHooksForTest(
+      [raw, &fires] {
+        if (fires.fetch_add(1) == 0) raw->SignalClientStopForTest();
+      },
+      {});
+  net->InjectClientWakeForTest();
+  for (int i = 0; i < 5000 && fires.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(fires.load(), 1) << "wake pass never ran the injected hook";
+
+  // The stop is sticky once absorbed: a fresh wake token must not get the
+  // loop to process events again (the exited thread never drains it).
+  net->InjectClientWakeForTest();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(fires.load(), 1)
+      << "client IO loop kept processing wake passes after an absorbed "
+         "stop token";
+
+  // And teardown must complete promptly — the join inside Shutdown hangs
+  // forever if the loop is still parked waiting for a token that was
+  // already consumed.
+  auto gone = std::async(std::launch::async, [&net] { net.reset(); });
+  ASSERT_EQ(std::future_status::ready, gone.wait_for(std::chrono::seconds(10)))
+      << "Shutdown did not complete after an absorbed stop token";
 }
 
 // ----- end-to-end over TCP -----

@@ -5,6 +5,7 @@
 // defence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string_view>
 #include <vector>
 
@@ -148,6 +149,98 @@ TEST(RpcFuzzTest, TruncatedMessagesRejectedCleanly) {
     rpc::Reader r(body);
     auto decoded = rpc::ProduceRequest::Decode(r);
     EXPECT_FALSE(decoded.ok()) << "decoded from prefix " << keep;
+  }
+}
+
+// ----- ConsumeRequest tail fields (long-poll max_wait_us / min_bytes) --
+//
+// The long-poll fields ride at the end of the frame behind an AtEnd()
+// version guard: old senders simply omit them. That guard is a classic
+// fuzz target — every split point around it must decode-or-reject
+// cleanly, and the only prefixes that may decode are the two genuine
+// format versions.
+
+rpc::ConsumeRequest SampleConsumeRequest() {
+  rpc::ConsumeRequest req;
+  req.stream = 9;
+  req.max_bytes = 1 << 20;
+  req.entries = {{.streamlet = 1, .group = 2, .start_chunk = 3,
+                  .max_chunks = 4},
+                 {.streamlet = 5, .group = 6, .start_chunk = 7,
+                  .max_chunks = 8}};
+  req.max_wait_us = 123456789;
+  req.min_bytes = 4096;
+  return req;
+}
+
+TEST(RpcFuzzTest, ConsumeTailFieldsRoundTripAndOldFramesDefault) {
+  auto req = SampleConsumeRequest();
+  rpc::Writer w;
+  req.Encode(w);
+  std::vector<std::byte> body(w.View().begin(), w.View().end());
+
+  rpc::Reader r(body);
+  auto decoded = rpc::ConsumeRequest::Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->max_wait_us, req.max_wait_us);
+  EXPECT_EQ(decoded->min_bytes, req.min_bytes);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+
+  // A pre-long-poll sender's frame is exactly this one minus the 12-byte
+  // tail; it must decode with the "return immediately" defaults.
+  rpc::Reader old_r{std::span(body).first(body.size() - 12)};
+  auto old_decoded = rpc::ConsumeRequest::Decode(old_r);
+  ASSERT_TRUE(old_decoded.ok());
+  EXPECT_EQ(old_decoded->max_wait_us, 0u);
+  EXPECT_EQ(old_decoded->min_bytes, 0u);
+  EXPECT_EQ(old_decoded->entries.size(), 2u);
+}
+
+TEST(RpcFuzzTest, ConsumeTailTruncationsDecodeOrRejectOnly) {
+  auto req = SampleConsumeRequest();
+  rpc::Writer w;
+  req.Encode(w);
+  std::vector<std::byte> body(w.View().begin(), w.View().end());
+
+  // Feed every byte-prefix to the decoder. Exactly two lengths are valid
+  // frames — the old format (no tail) and the new one (full tail). Every
+  // other prefix, including each of the eleven cuts inside the tail, must
+  // be rejected; none may crash or read out of bounds.
+  for (size_t keep = 0; keep <= body.size(); ++keep) {
+    rpc::Reader r{std::span(body).first(keep)};
+    auto decoded = rpc::ConsumeRequest::Decode(r);
+    if (keep == body.size() || keep == body.size() - 12) {
+      EXPECT_TRUE(decoded.ok()) << "valid boundary rejected at " << keep;
+    } else {
+      EXPECT_FALSE(decoded.ok()) << "decoded from bad prefix " << keep;
+    }
+  }
+}
+
+TEST(RpcFuzzTest, ConsumeTailGarbageValuesDecodeCleanly) {
+  auto req = SampleConsumeRequest();
+  rpc::Writer w;
+  req.Encode(w);
+  std::vector<std::byte> body(w.View().begin(), w.View().end());
+
+  // Any 12 bytes in the tail are a structurally valid (wait, min_bytes)
+  // pair — extreme values are the broker's problem to clamp, not the
+  // decoder's to crash on. Decode must succeed and round-trip.
+  Xoshiro256 rng(97);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto mutated = body;
+    for (size_t i = mutated.size() - 12; i < mutated.size(); ++i) {
+      mutated[i] = std::byte(rng.Next());
+    }
+    rpc::Reader r(mutated);
+    auto decoded = rpc::ConsumeRequest::Decode(r);
+    ASSERT_TRUE(decoded.ok());
+    rpc::Writer rw;
+    decoded->Encode(rw);
+    std::vector<std::byte> reencoded(rw.View().begin(), rw.View().end());
+    ASSERT_EQ(reencoded.size(), mutated.size());
+    EXPECT_TRUE(std::equal(mutated.begin(), mutated.end(),
+                           reencoded.begin()));
   }
 }
 

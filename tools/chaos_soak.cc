@@ -1,0 +1,172 @@
+// chaos_soak: long-running chaos sweep for soak testing and CI stages.
+// Runs a contiguous band of seeds through the deterministic chaos harness
+// and emits a machine-readable JSON summary (schedules run, faults by
+// kind, invariant checks performed, workload counters). Any failing seed
+// dumps its replayable trace and fails the process.
+//
+//   chaos_soak [--schedules=N] [--events=N] [--seed_base=N] [--out=PATH]
+//
+// Environment overrides (flags win): KERA_CHAOS_SCHEDULES,
+// KERA_CHAOS_EVENTS — the same knobs scripts/check.sh uses to bound the
+// sanitizer stages.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "chaos/chaos_harness.h"
+#include "chaos/fault_schedule.h"
+
+namespace {
+
+uint64_t ParseU64(const char* s, const char* what) {
+  char* end = nullptr;
+  uint64_t v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "chaos_soak: bad %s value: %s\n", what, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t schedules = 1000;
+  uint32_t events = 60;
+  uint64_t seed_base = 1;
+  std::string out_path = "BENCH_chaos.json";
+
+  if (const char* env = std::getenv("KERA_CHAOS_SCHEDULES")) {
+    schedules = ParseU64(env, "KERA_CHAOS_SCHEDULES");
+  }
+  if (const char* env = std::getenv("KERA_CHAOS_EVENTS")) {
+    events = uint32_t(ParseU64(env, "KERA_CHAOS_EVENTS"));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--schedules=", 12) == 0) {
+      schedules = ParseU64(arg + 12, "--schedules");
+    } else if (std::strncmp(arg, "--events=", 9) == 0) {
+      events = uint32_t(ParseU64(arg + 9, "--events"));
+    } else if (std::strncmp(arg, "--seed_base=", 12) == 0) {
+      seed_base = ParseU64(arg + 12, "--seed_base");
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_soak [--schedules=N] [--events=N] "
+                   "[--seed_base=N] [--out=PATH]\n");
+      return 2;
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  auto start = Clock::now();
+
+  std::map<std::string, uint64_t> faults_by_kind;
+  kera::chaos::RunResult total;
+  uint64_t ran = 0;
+  for (uint64_t i = 0; i < schedules; ++i) {
+    uint64_t seed = seed_base + i;
+    auto schedule = kera::chaos::GenerateSchedule(seed, events);
+    for (const auto& ev : schedule.events) {
+      ++faults_by_kind[kera::chaos::FaultKindName(ev.kind)];
+    }
+    auto r = kera::chaos::RunSchedule(schedule);
+    if (!r.ok) {
+      std::string trace_path = "chaos_failure_" + std::to_string(seed) +
+                               ".trace";
+      if (FILE* f = std::fopen(trace_path.c_str(), "w")) {
+        std::fwrite(r.trace.data(), 1, r.trace.size(), f);
+        std::fclose(f);
+      }
+      std::fprintf(stderr,
+                   "chaos_soak: FAILED seed=%" PRIu64 " event=%zu\n  %s\n"
+                   "  trace: %s\n  replay: chaos_test --chaos_seed=%" PRIu64
+                   "\n",
+                   seed, r.failed_event, r.failure.c_str(),
+                   trace_path.c_str(), seed);
+      return 1;
+    }
+    ++ran;
+    total.events_run += r.events_run;
+    total.events_skipped += r.events_skipped;
+    total.checks += r.checks;
+    total.acked_chunks += r.acked_chunks;
+    total.consumed_chunks += r.consumed_chunks;
+    total.redelivered_chunks += r.redelivered_chunks;
+    total.retried_sends += r.retried_sends;
+    total.abandoned_sends += r.abandoned_sends;
+    total.dedup_hits += r.dedup_hits;
+    total.recovery_replayed += r.recovery_replayed;
+    total.net.calls += r.net.calls;
+    total.net.dropped_requests += r.net.dropped_requests;
+    total.net.dropped_responses += r.net.dropped_responses;
+    total.net.duplicated_requests += r.net.duplicated_requests;
+    total.net.partitioned_calls += r.net.partitioned_calls;
+    total.net.delays_injected += r.net.delays_injected;
+    if (ran % 100 == 0) {
+      std::fprintf(stderr, "chaos_soak: %" PRIu64 "/%" PRIu64 " schedules\n",
+                   ran, schedules);
+    }
+  }
+
+  double secs = std::chrono::duration<double>(Clock::now() - start).count();
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "chaos_soak: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schedules\": %" PRIu64 ",\n", ran);
+  std::fprintf(out, "  \"events_per_schedule\": %u,\n", events);
+  std::fprintf(out, "  \"seed_base\": %" PRIu64 ",\n", seed_base);
+  std::fprintf(out, "  \"seconds\": %.3f,\n", secs);
+  std::fprintf(out, "  \"faults_by_kind\": {\n");
+  size_t i = 0;
+  for (const auto& [kind, count] : faults_by_kind) {
+    std::fprintf(out, "    \"%s\": %" PRIu64 "%s\n", kind.c_str(), count,
+                 ++i == faults_by_kind.size() ? "" : ",");
+  }
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"events_run\": %" PRIu64 ",\n", total.events_run);
+  std::fprintf(out, "  \"events_skipped\": %" PRIu64 ",\n",
+               total.events_skipped);
+  std::fprintf(out, "  \"invariant_checks\": %" PRIu64 ",\n", total.checks);
+  std::fprintf(out, "  \"acked_chunks\": %" PRIu64 ",\n", total.acked_chunks);
+  std::fprintf(out, "  \"consumed_chunks\": %" PRIu64 ",\n",
+               total.consumed_chunks);
+  std::fprintf(out, "  \"redelivered_chunks\": %" PRIu64 ",\n",
+               total.redelivered_chunks);
+  std::fprintf(out, "  \"retried_sends\": %" PRIu64 ",\n",
+               total.retried_sends);
+  std::fprintf(out, "  \"abandoned_sends\": %" PRIu64 ",\n",
+               total.abandoned_sends);
+  std::fprintf(out, "  \"dedup_hits\": %" PRIu64 ",\n", total.dedup_hits);
+  std::fprintf(out, "  \"recovery_replayed\": %" PRIu64 ",\n",
+               total.recovery_replayed);
+  std::fprintf(out, "  \"net_calls\": %" PRIu64 ",\n", total.net.calls);
+  std::fprintf(out, "  \"net_dropped_requests\": %" PRIu64 ",\n",
+               total.net.dropped_requests);
+  std::fprintf(out, "  \"net_dropped_responses\": %" PRIu64 ",\n",
+               total.net.dropped_responses);
+  std::fprintf(out, "  \"net_duplicated_requests\": %" PRIu64 ",\n",
+               total.net.duplicated_requests);
+  std::fprintf(out, "  \"net_partitioned_calls\": %" PRIu64 ",\n",
+               total.net.partitioned_calls);
+  std::fprintf(out, "  \"net_delays_injected\": %" PRIu64 "\n",
+               total.net.delays_injected);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::fprintf(stderr,
+               "chaos_soak: %" PRIu64 " schedules, %" PRIu64
+               " events, %" PRIu64 " invariant checks in %.1fs -> %s\n",
+               ran, total.events_run, total.checks, secs, out_path.c_str());
+  return 0;
+}
