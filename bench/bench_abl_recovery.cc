@@ -7,6 +7,8 @@
 // backups").
 #include <benchmark/benchmark.h>
 
+#include "bench_host_context.h"
+
 #include <chrono>
 #include <string>
 

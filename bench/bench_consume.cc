@@ -8,6 +8,8 @@
 //                   --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
+#include "bench_host_context.h"
+
 #include <array>
 #include <chrono>
 #include <cstring>

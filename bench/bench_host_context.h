@@ -1,0 +1,26 @@
+// Stamps host identification (nproc, CPU model) into the google-benchmark
+// context, so --benchmark_out JSON records the machine a run came from.
+// Included for its side effect: the registrar runs during static
+// initialization, before benchmark_main's RunSpecifiedBenchmarks.
+// AddCustomContext allocates its global map lazily, so static-init order
+// across translation units is not a concern.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/host_info.h"
+
+namespace kera::bench_internal {
+
+struct HostContextRegistrar {
+  HostContextRegistrar() {
+    benchmark::AddCustomContext("nproc", std::to_string(HostNproc()));
+    benchmark::AddCustomContext("cpu_model", HostCpuModel());
+  }
+};
+
+inline const HostContextRegistrar host_context_registrar{};
+
+}  // namespace kera::bench_internal

@@ -4,6 +4,8 @@
 // measurements of the real code (not the DES).
 #include <benchmark/benchmark.h>
 
+#include "bench_host_context.h"
+
 #include <string_view>
 #include <vector>
 

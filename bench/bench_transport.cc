@@ -5,6 +5,8 @@
 // the zero-materialization path the producer and replicator use.
 #include <benchmark/benchmark.h>
 
+#include "bench_host_context.h"
+
 #include <array>
 #include <deque>
 #include <string>

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_host_context.h"
 #include "sim/figure_harness.h"
 
 namespace kera::sim {

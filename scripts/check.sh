@@ -32,6 +32,15 @@ for t in vlog_test vlog_property_test broker_test client_test \
   "$tsan_build/tests/$t"
 done
 
+echo "== TSan: broker + transport suites with 2 broker shards =="
+# KERA_BROKER_SHARDS=2 makes every MiniCluster in these suites build
+# sharded brokers (per-shard reactors, mailboxes, parking), so TSan sees
+# the cross-shard paths under real thread interleavings.
+for t in broker_test transport_test; do
+  echo "-- TSan (KERA_BROKER_SHARDS=2): $t"
+  KERA_BROKER_SHARDS=2 "$tsan_build/tests/$t"
+done
+
 echo "== ASan+UBSan build (wire + rpc + crc + consume + backup suites) =="
 cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
@@ -53,6 +62,9 @@ echo "== chaos: bounded schedule sweeps under both sanitizers =="
 cmake --build "$tsan_build" -j --target chaos_test
 echo "-- TSan: chaos_test (bounded)"
 KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$tsan_build/tests/chaos_test"
+echo "-- TSan: chaos_test sharded sweep (bounded)"
+KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$tsan_build/tests/chaos_test" \
+  --gtest_filter='ChaosSweep.ShardedBrokersHoldInvariants'
 cmake --build "$asan_build" -j --target chaos_test
 echo "-- ASan+UBSan: chaos_test (bounded)"
 KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$asan_build/tests/chaos_test"
@@ -78,6 +90,15 @@ echo "== consume benchmark (JSON to BENCH_consume.json) =="
 cmake --build "$build" -j --target bench_consume
 "$build/bench/bench_consume" \
   --benchmark_out="$repo/BENCH_consume.json" \
+  --benchmark_out_format=json
+
+echo "== multicore scaling benchmark (JSON to BENCH_multicore.json) =="
+# Sweeps broker shard count 1..nproc over the socket transport; the JSON
+# context records nproc and the CPU model, so single-CPU runs are
+# self-documenting (no scaling is expected there, only routing counters).
+cmake --build "$build" -j --target bench_multicore
+"$build/bench/bench_multicore" \
+  --benchmark_out="$repo/BENCH_multicore.json" \
   --benchmark_out_format=json
 
 echo "check.sh: all green"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstring>
 
 #include "common/logging.h"
 #include "wire/chunk.h"
@@ -11,12 +12,17 @@ namespace kera {
 
 Broker::Broker(BrokerConfig config, rpc::Network& network)
     : config_(std::move(config)),
+      shards_(std::max<uint32_t>(1, config_.shards)),
       network_(network),
       memory_(config_.memory_bytes, config_.segment_size) {
   live_backups_ = config_.backup_nodes;
+  shard_rt_.reserve(shards_);
+  for (uint32_t s = 0; s < shards_; ++s) {
+    shard_rt_.push_back(std::make_unique<ShardRuntime>());
+  }
   if (config_.replication_workers > 0) {
-    replicator_ =
-        std::make_unique<Replicator>(*this, config_.replication_workers);
+    replicator_ = std::make_unique<Replicator>(
+        *this, config_.replication_workers, shards_ > 1);
   }
 }
 
@@ -33,24 +39,81 @@ void Broker::StopConsumeWaits() {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [_, entry] : streams_) entries.push_back(entry.get());
   }
-  for (StreamEntry* entry : entries) NotifyConsumeWaiters(*entry);
+  for (StreamEntry* entry : entries) NotifyConsumeWaitersAllShards(*entry);
 }
 
-void Broker::NotifyConsumeWaiters(StreamEntry& entry) {
-  {
-    std::lock_guard<std::mutex> lock(entry.mu);
-    ++entry.consume_epoch;
+void Broker::ExecuteOnShard(uint32_t shard, std::function<void()> op) {
+  if (shards_ <= 1) {
+    op();
+    return;
   }
-  entry.consume_cv.notify_all();
+  stats_.cross_shard_ops.fetch_add(1, std::memory_order_relaxed);
+  shard_rt_[shard]->mailbox.Execute(std::move(op));
+}
+
+void Broker::EnterShardFrame(uint32_t shard) {
+  ShardRuntime& rt = *shard_rt_[shard];
+  rt.frames.fetch_add(1, std::memory_order_relaxed);
+  rt.mailbox.Drain();
+}
+
+uint32_t Broker::HomeShardOf(const rpc::ProduceRequest& req) const {
+  if (shards_ <= 1 || req.chunks.empty()) return 0;
+  const auto& first = req.chunks.front();
+  if (first.size() < chunk_offsets::kStreamletId + 4) return 0;
+  uint32_t streamlet;
+  std::memcpy(&streamlet, first.data() + chunk_offsets::kStreamletId, 4);
+  return streamlet % shards_;
+}
+
+uint32_t Broker::HomeShardOf(const rpc::ConsumeRequest& req) const {
+  if (shards_ <= 1 || req.entries.empty()) return 0;
+  return req.entries.front().streamlet % shards_;
+}
+
+void Broker::NotifyConsumeWaiters(StreamEntry& entry, uint32_t shard) {
+  {
+    StreamEntry::ShardState& ss = entry.shard[shard];
+    std::lock_guard<std::mutex> lock(ss.mu);
+    ++ss.consume_epoch;
+    ss.consume_cv.notify_all();
+  }
+  // Pollers whose entries span shards park on one shard but wait for data
+  // on others: while any are parked, every wake broadcasts. The epoch
+  // bump must happen under each shard's lock or a poller between its
+  // epoch check and cv wait would sleep through the wake.
+  if (entry.cross_parked.load(std::memory_order_acquire) > 0) {
+    for (uint32_t s = 0; s < entry.nshards; ++s) {
+      if (s == shard) continue;
+      StreamEntry::ShardState& ss = entry.shard[s];
+      std::lock_guard<std::mutex> lock(ss.mu);
+      ++ss.consume_epoch;
+      ss.consume_cv.notify_all();
+    }
+  }
+}
+
+void Broker::NotifyConsumeWaitersAllShards(StreamEntry& entry) {
+  for (uint32_t s = 0; s < entry.nshards; ++s) {
+    StreamEntry::ShardState& ss = entry.shard[s];
+    std::lock_guard<std::mutex> lock(ss.mu);
+    ++ss.consume_epoch;
+    ss.consume_cv.notify_all();
+  }
 }
 
 void Broker::NotifyConsumeWaitersForBatch(const ReplicationBatch& batch) {
-  StreamId last = StreamId(-1);
+  StreamId last_stream = StreamId(-1);
+  uint32_t last_shard = 0;
   for (const ChunkRef& ref : batch.refs) {
-    if (ref.stream == last) continue;  // refs cluster by stream in practice
-    last = ref.stream;
+    uint32_t shard = ShardOf(ref.streamlet);
+    if (ref.stream == last_stream && shard == last_shard) {
+      continue;  // refs cluster by stream/streamlet in practice
+    }
+    last_stream = ref.stream;
+    last_shard = shard;
     StreamEntry* entry = FindStream(ref.stream);
-    if (entry != nullptr) NotifyConsumeWaiters(*entry);
+    if (entry != nullptr) NotifyConsumeWaiters(*entry, shard);
   }
 }
 
@@ -73,24 +136,40 @@ Status Broker::AddStream(const std::string& name,
   entry->storage = std::make_unique<Stream>(memory_, sc, info.stream, name);
   entry->info = info;
   entry->name = name;
+  entry->sealed.store(info.sealed, std::memory_order_release);
+  entry->nshards = shards_;
+  entry->shard = std::make_unique<StreamEntry::ShardState[]>(shards_);
+  StreamEntry* raw = entry.get();
   streams_.emplace(info.stream, std::move(entry));
+  // Publish into the lock-free slot last: a reader that wins the race
+  // sees a fully constructed entry.
+  if (info.stream < kStreamSlots) {
+    stream_slots_[info.stream].store(raw, std::memory_order_release);
+  }
   return OkStatus();
 }
 
 Status Broker::AddStreamlet(StreamId stream, StreamletId streamlet) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = streams_.find(stream);
-  if (it == streams_.end()) {
-    return Status(StatusCode::kNotFound, "unknown stream");
-  }
-  it->second->storage->AddStreamlet(streamlet);
+  StreamEntry* entry;
   {
-    std::lock_guard<std::mutex> entry_lock(it->second->mu);
-    it->second->led.insert(streamlet);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) {
+      return Status(StatusCode::kNotFound, "unknown stream");
+    }
+    entry = it->second.get();
+    entry->storage->AddStreamlet(streamlet);
   }
+  // Leadership lands through the owning shard's mailbox: the insert is
+  // serialized between that shard's frames, never mid-produce-batch.
+  ExecuteOnShard(ShardOf(streamlet), [entry, streamlet] {
+    StreamEntry::ShardState& ss = entry->ShardFor(streamlet);
+    std::lock_guard<std::mutex> entry_lock(ss.mu);
+    ss.led.insert(streamlet);
+  });
   // A consumer may already be parked probing this streamlet (leadership
   // handed over mid-poll): let it re-gather.
-  NotifyConsumeWaiters(*it->second);
+  NotifyConsumeWaitersAllShards(*entry);
   return OkStatus();
 }
 
@@ -102,26 +181,31 @@ Status Broker::FinishRecovery(StreamId stream) {
   for (StreamletId sl : entry->storage->StreamletIds()) {
     entry->storage->GetStreamlet(sl)->CloseRecoveryGroups();
   }
-  NotifyConsumeWaiters(*entry);
+  NotifyConsumeWaitersAllShards(*entry);
   return OkStatus();
 }
 
 Status Broker::DropStreamletLeadership(StreamId stream,
                                        StreamletId streamlet) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = streams_.find(stream);
-  if (it == streams_.end()) {
-    return Status(StatusCode::kNotFound, "unknown stream");
-  }
+  StreamEntry* entry;
   {
-    std::lock_guard<std::mutex> entry_lock(it->second->mu);
-    it->second->led.erase(streamlet);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) {
+      return Status(StatusCode::kNotFound, "unknown stream");
+    }
+    entry = it->second.get();
   }
+  ExecuteOnShard(ShardOf(streamlet), [entry, streamlet] {
+    StreamEntry::ShardState& ss = entry->ShardFor(streamlet);
+    std::lock_guard<std::mutex> entry_lock(ss.mu);
+    ss.led.erase(streamlet);
+  });
   // Close the active groups so the remaining data can be trimmed once
   // consumed; new leadership lives elsewhere.
-  Streamlet* sl = it->second->storage->GetStreamlet(streamlet);
+  Streamlet* sl = entry->storage->GetStreamlet(streamlet);
   if (sl != nullptr) sl->SealActiveGroups();
-  NotifyConsumeWaiters(*it->second);
+  NotifyConsumeWaitersAllShards(*entry);
   return OkStatus();
 }
 
@@ -130,24 +214,28 @@ Status Broker::SealStream(StreamId stream) {
   if (entry == nullptr) {
     return Status(StatusCode::kNotFound, "unknown stream");
   }
-  {
-    std::lock_guard<std::mutex> lock(entry->mu);
-    entry->info.sealed = true;
-  }
+  entry->sealed.store(true, std::memory_order_release);
   entry->storage->Seal();
   // Parked consumers must observe the seal (it is their end-of-stream).
-  NotifyConsumeWaiters(*entry);
+  NotifyConsumeWaitersAllShards(*entry);
   return OkStatus();
 }
 
 Broker::StreamEntry* Broker::FindStream(StreamId id) const {
+  if (id < kStreamSlots) {
+    StreamEntry* entry = stream_slots_[id].load(std::memory_order_acquire);
+    if (entry != nullptr) return entry;
+    // A miss can mean "racing AddStream": fall through to the map, which
+    // the writer updates under mu_ before publishing the slot.
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = streams_.find(id);
   return it == streams_.end() ? nullptr : it->second.get();
 }
 
 std::unique_ptr<VirtualLog> Broker::MakeVlog(VlogId id,
-                                             uint32_t replication_factor) {
+                                             uint32_t replication_factor,
+                                             uint32_t owner_shard) {
   VirtualLogConfig vc;
   vc.virtual_segment_capacity = config_.virtual_segment_capacity;
   vc.replication_factor = replication_factor;
@@ -187,18 +275,22 @@ std::unique_ptr<VirtualLog> Broker::MakeVlog(VlogId id,
     }
     return picked;
   };
-  return std::make_unique<VirtualLog>(id, vc, selector);
+  auto vlog = std::make_unique<VirtualLog>(id, vc, selector);
+  vlog->set_owner_shard(owner_shard);
+  return vlog;
 }
 
 VirtualLog* Broker::ResolveVlog(StreamEntry& entry, StreamletId streamlet,
                                 uint32_t slot) {
   const auto& opts = entry.info.options;
+  const uint32_t shard = ShardOf(streamlet);
+  StreamEntry::ShardState& ss = entry.shard[shard];
   if (opts.vlog_policy == rpc::VlogPolicy::kPerSubPartition) {
     auto cache_key = std::make_pair(streamlet, slot);
     {
-      std::lock_guard<std::mutex> lock(entry.mu);
-      auto it = entry.vlog_cache.find(cache_key);
-      if (it != entry.vlog_cache.end()) return it->second;
+      std::lock_guard<std::mutex> lock(ss.mu);
+      auto it = ss.vlog_cache.find(cache_key);
+      if (it != ss.vlog_cache.end()) return it->second;
     }
     VirtualLog* raw = nullptr;
     {
@@ -208,22 +300,27 @@ VirtualLog* Broker::ResolveVlog(StreamEntry& entry, StreamletId streamlet,
       if (it != subpartition_vlogs_.end()) {
         raw = it->second.get();
       } else {
-        auto vlog = MakeVlog(next_vlog_id_++, opts.replication_factor);
+        auto vlog =
+            MakeVlog(next_vlog_id_++, opts.replication_factor, shard);
         raw = vlog.get();
         subpartition_vlogs_.emplace(key, std::move(vlog));
       }
     }
-    std::lock_guard<std::mutex> lock(entry.mu);
-    entry.vlog_cache.emplace(cache_key, raw);
+    std::lock_guard<std::mutex> lock(ss.mu);
+    ss.vlog_cache.emplace(cache_key, raw);
     return raw;
   }
   // Shared pool: a streamlet hashes onto one of the broker's N vlogs. The
-  // pool (per replication factor) is built once under mu_ and cached per
-  // stream entry so the per-chunk lookup only touches the entry lock.
+  // pool (per replication factor) is built once under mu_; each shard
+  // caches only its slice (pool index i belongs to shard i % shards), so
+  // a streamlet always resolves to a vlog owned by its shard and the
+  // replication work for that log never leaves the shard's core. With
+  // shards == 1 the slice is the whole pool and the selection arithmetic
+  // is unchanged.
   std::vector<VirtualLog*> view;
   {
-    std::lock_guard<std::mutex> lock(entry.mu);
-    view = entry.shared_pool_cache;
+    std::lock_guard<std::mutex> lock(ss.mu);
+    view = ss.shared_pool_cache;
   }
   if (view.empty()) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -231,16 +328,25 @@ VirtualLog* Broker::ResolveVlog(StreamEntry& entry, StreamletId streamlet,
     if (pool.size() < config_.vlogs_per_broker) {
       pool.reserve(config_.vlogs_per_broker);
       while (pool.size() < config_.vlogs_per_broker) {
-        pool.push_back(MakeVlog(next_vlog_id_++, opts.replication_factor));
+        pool.push_back(MakeVlog(next_vlog_id_++, opts.replication_factor,
+                                uint32_t(pool.size()) % shards_));
       }
     }
-    view.reserve(pool.size());
-    for (const auto& v : pool) view.push_back(v.get());
-    std::lock_guard<std::mutex> entry_lock(entry.mu);
-    entry.shared_pool_cache = view;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (uint32_t(i) % shards_ == shard) view.push_back(pool[i].get());
+    }
+    if (view.empty()) {
+      // Fewer vlogs than shards: this shard has no slice of its own and
+      // borrows one log (two shards then contend on that vlog's lock —
+      // size the pool >= shards to avoid it).
+      view.push_back(pool[shard % pool.size()].get());
+    }
+    std::lock_guard<std::mutex> entry_lock(ss.mu);
+    ss.shared_pool_cache = view;
   }
   // splitmix64-style mix: consecutive stream ids placed round-robin over
-  // brokers must still spread across the broker's vlog pool.
+  // brokers must still spread across the broker's vlog pool (and, with
+  // shards > 1, across the shard's slice of it).
   uint64_t h = entry.info.stream * 0x9E3779B97F4A7C15ull + streamlet;
   h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
   h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
@@ -250,7 +356,7 @@ VirtualLog* Broker::ResolveVlog(StreamEntry& entry, StreamletId streamlet,
 
 Status Broker::AppendOneChunk(
     StreamEntry& entry, const rpc::ProduceRequest& req,
-    std::span<const std::byte> frame,
+    std::span<const std::byte> frame, uint32_t home_shard,
     std::vector<std::pair<VirtualLog*, ChunkRef>>& appended_refs,
     std::vector<DuplicateWait>& duplicate_waits,
     rpc::ProduceResponse& resp) {
@@ -264,20 +370,27 @@ Status Broker::AppendOneChunk(
     return Status(StatusCode::kInvalidArgument, "chunk/request stream mismatch");
   }
   StreamletId streamlet_id = chunk->streamlet_id();
+  StreamEntry::ShardState& ss = entry.ShardFor(streamlet_id);
+  if (shards_ > 1 && ShardOf(streamlet_id) != home_shard) {
+    // A producer batched chunks of differently-homed streamlets into one
+    // request: still correct (the shard lock protects from any thread),
+    // just off the fast path.
+    stats_.cross_shard_ops.fetch_add(1, std::memory_order_relaxed);
+  }
   auto key = std::make_pair(streamlet_id, chunk->producer_id());
   StreamEntry::DedupEntry prev;  // state before this chunk reserved its seq
   {
-    // One per-stream critical section covers the seal/leadership gates
+    // One per-shard critical section covers the seal/leadership gates
     // and the exactly-once dedup update (drop chunks at or below the
     // last accepted sequence).
-    std::lock_guard<std::mutex> lock(entry.mu);
-    if (entry.info.sealed && !req.recovery) {
+    std::lock_guard<std::mutex> lock(ss.mu);
+    if (entry.sealed.load(std::memory_order_acquire) && !req.recovery) {
       return Status(StatusCode::kSegmentClosed, "stream is sealed");
     }
-    if (entry.led.count(streamlet_id) == 0) {
+    if (ss.led.count(streamlet_id) == 0) {
       return Status(StatusCode::kNotLeader, "streamlet not led here");
     }
-    auto [it, inserted] = entry.dedup.try_emplace(key);
+    auto [it, inserted] = ss.dedup.try_emplace(key);
     if (!inserted && chunk->chunk_seq() <= it->second.seq) {
       ++resp.duplicates;
       stats_.chunks_duplicate.fetch_add(1, std::memory_order_relaxed);
@@ -300,9 +413,9 @@ Status Broker::AppendOneChunk(
     it->second = StreamEntry::DedupEntry{chunk->chunk_seq(), nullptr, 0, 0};
   }
   auto rollback = [&] {
-    std::lock_guard<std::mutex> lock(entry.mu);
-    auto it = entry.dedup.find(key);
-    if (it != entry.dedup.end() && it->second.seq == chunk->chunk_seq() &&
+    std::lock_guard<std::mutex> lock(ss.mu);
+    auto it = ss.dedup.find(key);
+    if (it != ss.dedup.end() && it->second.seq == chunk->chunk_seq() &&
         it->second.vlog == nullptr) {
       it->second = prev;
     }
@@ -333,9 +446,9 @@ Status Broker::AppendOneChunk(
   vlog->Append(ref);
   appended_refs.emplace_back(vlog, ref);
   {
-    std::lock_guard<std::mutex> lock(entry.mu);
-    auto it = entry.dedup.find(key);
-    if (it != entry.dedup.end() && it->second.seq == chunk->chunk_seq()) {
+    std::lock_guard<std::mutex> lock(ss.mu);
+    auto it = ss.dedup.find(key);
+    if (it != ss.dedup.end() && it->second.seq == chunk->chunk_seq()) {
       it->second.vlog = vlog;
       it->second.group = ref.loc.group;
       it->second.group_chunk_index = ref.loc.group_chunk_index;
@@ -358,13 +471,16 @@ rpc::ProduceResponse Broker::HandleProduceNoSync(
     resp.status = StatusCode::kNotFound;
     return resp;
   }
+  const uint32_t home = HomeShardOf(req);
+  EnterShardFrame(home);
   std::vector<std::pair<VirtualLog*, ChunkRef>> positions;
   positions.reserve(req.chunks.size());
   // Duplicate-durability waits are not driven here: the DES schedules
   // replication on simulated time and gates acks itself.
   std::vector<DuplicateWait> dup_waits;
   for (const auto& frame : req.chunks) {
-    Status s = AppendOneChunk(*entry, req, frame, positions, dup_waits, resp);
+    Status s =
+        AppendOneChunk(*entry, req, frame, home, positions, dup_waits, resp);
     if (!s.ok()) {
       resp.status = s.code();
       return resp;
@@ -384,15 +500,30 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
     resp.status = StatusCode::kNotFound;
     return resp;
   }
+  const uint32_t home = HomeShardOf(req);
+  EnterShardFrame(home);
 
   std::vector<std::pair<VirtualLog*, ChunkRef>> positions;
   positions.reserve(req.chunks.size());
   std::vector<DuplicateWait> dup_waits;
   for (const auto& frame : req.chunks) {
-    Status s = AppendOneChunk(*entry, req, frame, positions, dup_waits, resp);
+    Status s =
+        AppendOneChunk(*entry, req, frame, home, positions, dup_waits, resp);
     if (!s.ok()) {
       resp.status = s.code();
       return resp;
+    }
+  }
+
+  // Shards whose streamlets this request appended to (usually exactly
+  // {home}); parked long-polls on those shards are notified at the end.
+  std::vector<uint32_t> touched_shards;
+  for (auto& [vlog, ref] : positions) {
+    (void)vlog;
+    uint32_t s = ShardOf(ref.streamlet);
+    if (std::find(touched_shards.begin(), touched_shards.end(), s) ==
+        touched_shards.end()) {
+      touched_shards.push_back(s);
     }
   }
 
@@ -443,9 +574,9 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
     }
     // With R=1 chunks are durable at append time and no replication batch
     // ever ships, so the batch-completion wakeup never fires — notify the
-    // stream's parked long-polls here. (Redundant with the batch wakeup
-    // for R>1; waiters re-check their predicate.)
-    NotifyConsumeWaiters(*entry);
+    // parked long-polls of every shard this request touched. (Redundant
+    // with the batch wakeup for R>1; waiters re-check their predicate.)
+    for (uint32_t s : touched_shards) NotifyConsumeWaiters(*entry, s);
     return resp;
   }
 
@@ -489,7 +620,7 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
       }
     }
   }
-  NotifyConsumeWaiters(*entry);
+  for (uint32_t s : touched_shards) NotifyConsumeWaiters(*entry, s);
   return resp;
 }
 
@@ -640,10 +771,7 @@ rpc::ConsumeResponse Broker::GatherConsume(StreamEntry& entry,
     out.streamlet = e.streamlet;
     out.group = e.group;
     out.next_chunk = e.start_chunk;
-    {
-      std::lock_guard<std::mutex> lock(entry.mu);
-      out.stream_sealed = entry.info.sealed;
-    }
+    out.stream_sealed = entry.sealed.load(std::memory_order_acquire);
 
     Streamlet* streamlet = entry.storage->GetStreamlet(e.streamlet);
     if (streamlet == nullptr) {
@@ -697,14 +825,48 @@ rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
   const size_t want = std::max<uint32_t>(req.min_bytes, 1);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(wait_us);
+  const uint32_t home = HomeShardOf(req);
+  EnterShardFrame(home);
+  StreamEntry::ShardState& home_ss = entry->shard[home];
+
+  // A request whose entries span shards parks on its home shard but waits
+  // for data owned by others. Register as cross-parked BEFORE the first
+  // gather (and with seq_cst, so the registration orders against the
+  // producer's post-notify check): a producer on another shard that lands
+  // after our gather then sees cross_parked > 0 and broadcasts the wake to
+  // every shard, including ours. The deadline bounds any residual race.
+  bool spans = false;
+  if (shards_ > 1) {
+    for (const auto& e : req.entries) {
+      if (ShardOf(e.streamlet) != home) {
+        spans = true;
+        break;
+      }
+    }
+  }
+  struct CrossParkGuard {
+    std::atomic<uint32_t>* counter = nullptr;
+    ~CrossParkGuard() {
+      if (counter != nullptr) counter->fetch_sub(1);
+    }
+  } cross_guard;
+  if (spans) {
+    stats_.cross_shard_ops.fetch_add(1, std::memory_order_relaxed);
+    if (wait_us > 0) {
+      entry->cross_parked.fetch_add(1);
+      cross_guard.counter = &entry->cross_parked;
+    }
+  }
+
   bool parked = false;
   for (;;) {
-    // Epoch before gather: an event that lands in between bumps the epoch
-    // and the wait below falls through instead of sleeping past it.
+    // Epoch (of the home shard) before gather: an event that lands in
+    // between bumps the epoch and the wait below falls through instead of
+    // sleeping past it.
     uint64_t epoch;
     {
-      std::lock_guard<std::mutex> lock(entry->mu);
-      epoch = entry->consume_epoch;
+      std::lock_guard<std::mutex> lock(home_ss.mu);
+      epoch = home_ss.consume_epoch;
     }
     size_t payload_bytes = 0;
     bool all_terminal = false;
@@ -722,10 +884,10 @@ rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
       parked = true;
       stats_.consume_long_polls.fetch_add(1, std::memory_order_relaxed);
     }
-    std::unique_lock<std::mutex> lock(entry->mu);
-    while (entry->consume_epoch == epoch &&
+    std::unique_lock<std::mutex> lock(home_ss.mu);
+    while (home_ss.consume_epoch == epoch &&
            !consume_waits_stopped_.load(std::memory_order_acquire)) {
-      if (entry->consume_cv.wait_until(lock, deadline) ==
+      if (home_ss.consume_cv.wait_until(lock, deadline) ==
           std::cv_status::timeout) {
         return resp;  // long-poll expired: hand back the empty gather
       }
@@ -793,6 +955,12 @@ Broker::Stats Broker::GetStats() const {
       stats_.replication_bytes.load(std::memory_order_relaxed);
   out.checksum_failures =
       stats_.checksum_failures.load(std::memory_order_relaxed);
+  out.cross_shard_ops = stats_.cross_shard_ops.load(std::memory_order_relaxed);
+  out.shard_frames.reserve(shards_);
+  for (const auto& rt : shard_rt_) {
+    out.shard_mailbox_enqueues += rt->mailbox.enqueues();
+    out.shard_frames.push_back(rt->frames.load(std::memory_order_relaxed));
+  }
   return out;
 }
 
@@ -826,12 +994,11 @@ std::string Broker::DebugString() const {
     }
   }
   for (const auto& [name, entry] : entries) {
-    bool sealed;
-    size_t led;
-    {
-      std::lock_guard<std::mutex> lock(entry->mu);
-      sealed = entry->info.sealed;
-      led = entry->led.size();
+    bool sealed = entry->sealed.load(std::memory_order_acquire);
+    size_t led = 0;
+    for (uint32_t s = 0; s < entry->nshards; ++s) {
+      std::lock_guard<std::mutex> lock(entry->shard[s].mu);
+      led += entry->shard[s].led.size();
     }
     std::snprintf(line, sizeof(line),
                   "  stream '%s' (id %llu)%s: leads %zu streamlet(s)\n",

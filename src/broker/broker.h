@@ -4,8 +4,10 @@
 // and serves consumers with durably replicated chunks only.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "broker/replicator.h"
+#include "broker/shard_mailbox.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "rpc/messages.h"
@@ -62,6 +65,16 @@ struct BrokerConfig {
   /// consume request never outlives this, no matter what the client asks
   /// for, so handler threads are reclaimed on a bounded schedule.
   uint64_t max_consume_wait_us = 1'000'000;
+  /// Shared-nothing shard count: the broker's hot-path state (leadership
+  /// sets, dedup tables, long-poll parking, vlog caches) is partitioned
+  /// into this many per-core shards by streamlet id (streamlet % shards),
+  /// and the shared vlog pool is sliced so a streamlet only ever resolves
+  /// to a vlog owned by its shard. 1 (the default) reproduces the
+  /// single-shard behavior exactly. Correctness never depends on the
+  /// transport routing frames to the right shard — any thread may handle
+  /// any frame — but a shard-affine transport (SocketNetwork with a
+  /// router) makes the per-shard locks effectively uncontended.
+  uint32_t shards = 1;
 };
 
 class Broker final : public rpc::RpcHandler {
@@ -145,8 +158,30 @@ class Broker final : public rpc::RpcHandler {
     uint64_t replication_rpcs = 0;
     uint64_t replication_bytes = 0;  // bytes * (R-1), i.e. network cost
     uint64_t checksum_failures = 0;
+    /// Shared-nothing contention telemetry: ops posted through the
+    /// per-shard mailboxes, data-plane items (chunks/consume entries)
+    /// that landed on a thread handling a different shard's frame plus
+    /// admin ops executed cross-shard, and data-plane frames per shard
+    /// (produce + consume; size == config().shards). Mis-routing shows
+    /// up as cross_shard_ops > 0 or a lopsided shard_frames.
+    uint64_t shard_mailbox_enqueues = 0;
+    uint64_t cross_shard_ops = 0;
+    std::vector<uint64_t> shard_frames;
   };
   [[nodiscard]] Stats GetStats() const;
+
+  /// Shard of a streamlet in the shared-nothing runtime (identity map to
+  /// 0 when shards == 1). The transport's frame router must agree.
+  [[nodiscard]] uint32_t ShardOf(StreamletId streamlet) const {
+    return shards_ <= 1 ? 0 : streamlet % shards_;
+  }
+  [[nodiscard]] uint32_t shards() const { return shards_; }
+
+  /// Posts `op` to `shard`'s mailbox and waits for it to execute (by this
+  /// thread if the shard is idle, by the shard's active handler
+  /// otherwise). Counted in cross_shard_ops. With shards == 1 the op runs
+  /// inline.
+  void ExecuteOnShard(uint32_t shard, std::function<void()> op);
 
   [[nodiscard]] Stream* GetStream(StreamId id) const;
   [[nodiscard]] MemoryManager& memory() { return memory_; }
@@ -190,19 +225,16 @@ class Broker final : public rpc::RpcHandler {
   struct StreamEntry {
     std::unique_ptr<Stream> storage;
     std::string name;
-    /// Hot-path state guarded by the per-stream `mu` (NOT the broker-wide
-    /// mu_), so produce/consume/replication on different streams never
-    /// serialize on one mutex.
-    mutable std::mutex mu;
+    /// Immutable after AddStream (the mutable seal bit lives in `sealed`).
     rpc::StreamInfo info;
-    std::set<StreamletId> led;  // streamlets this broker currently leads
-    /// Long-poll waiter list: consume handlers with nothing to return park
-    /// on `consume_cv` until the durability gate advances for this stream
-    /// (replication completes), a group rolls/seals, or the poll deadline
-    /// passes. `consume_epoch` is bumped on every wake-worthy event so a
-    /// gather racing a wakeup re-checks instead of sleeping through it.
-    std::condition_variable consume_cv;
-    uint64_t consume_epoch = 0;
+    /// Bounded-stream seal: checked on every append/gather, flipped once
+    /// by SealStream. Atomic so no shard lock covers a stream-wide bit.
+    std::atomic<bool> sealed{false};
+    /// Count of long-pollers parked on a shard other than (some of) the
+    /// shards their entries live on (a consume request may span shards).
+    /// While > 0, every wake-worthy event broadcasts to all shards; the
+    /// hot single-shard path never pays for this.
+    std::atomic<uint32_t> cross_parked{0};
     /// Exactly-once dedup state per (streamlet, producer): the last
     /// accepted chunk sequence plus where that chunk landed, so a
     /// duplicate retry can WAIT for the original's durability instead of
@@ -219,11 +251,35 @@ class Broker final : public rpc::RpcHandler {
       GroupId group = 0;
       uint64_t group_chunk_index = 0;
     };
-    std::map<std::pair<StreamletId, ProducerId>, DedupEntry> dedup;
-    // Resolved vlog cache (ownership stays in the broker-level maps);
-    // avoids taking mu_ per chunk once a mapping is established.
-    std::vector<VirtualLog*> shared_pool_cache;
-    std::map<std::pair<StreamletId, uint32_t>, VirtualLog*> vlog_cache;
+    /// The shared-nothing unit: every mutable hot-path field is owned by
+    /// one shard (streamlet % shards) and guarded by that shard's `mu`
+    /// only — produce/consume/replication on different shards of the same
+    /// stream never serialize on one lock or bounce one cache line. With
+    /// shards == 1 this collapses to the old per-stream lock.
+    struct alignas(64) ShardState {
+      mutable std::mutex mu;
+      std::set<StreamletId> led;  // streamlets led here, owned by shard
+      /// Long-poll waiter list: consume handlers with nothing to return
+      /// park on `consume_cv` until the durability gate advances for this
+      /// shard's streamlets (replication completes), a group rolls/seals,
+      /// or the poll deadline passes. `consume_epoch` is bumped on every
+      /// wake-worthy event so a gather racing a wakeup re-checks instead
+      /// of sleeping through it.
+      std::condition_variable consume_cv;
+      uint64_t consume_epoch = 0;
+      std::map<std::pair<StreamletId, ProducerId>, DedupEntry> dedup;
+      // Resolved vlog cache (ownership stays in the broker-level maps);
+      // avoids taking mu_ per chunk once a mapping is established. The
+      // shared-pool slice holds only this shard's vlogs.
+      std::vector<VirtualLog*> shared_pool_cache;
+      std::map<std::pair<StreamletId, uint32_t>, VirtualLog*> vlog_cache;
+    };
+    uint32_t nshards = 1;
+    std::unique_ptr<ShardState[]> shard;
+
+    [[nodiscard]] ShardState& ShardFor(StreamletId streamlet) {
+      return shard[nshards <= 1 ? 0 : streamlet % nshards];
+    }
   };
 
   void EncodeReplicateBody(const ReplicationBatch& batch,
@@ -240,16 +296,34 @@ class Broker final : public rpc::RpcHandler {
                                      size_t* payload_bytes,
                                      bool* all_terminal, bool* rotated);
 
-  /// Bumps the stream's consume epoch and wakes its parked long-pollers.
-  void NotifyConsumeWaiters(StreamEntry& entry);
-  /// Notifies every stream entry whose data advanced in `batch`.
+  /// Bumps `shard`'s consume epoch and wakes its parked long-pollers;
+  /// broadcasts to every shard while cross-shard pollers are parked.
+  void NotifyConsumeWaiters(StreamEntry& entry, uint32_t shard);
+  /// Stream-wide events (seal, leadership changes, shutdown): wakes the
+  /// parked long-pollers of every shard.
+  void NotifyConsumeWaitersAllShards(StreamEntry& entry);
+  /// Notifies every (stream, shard) whose data advanced in `batch`.
   void NotifyConsumeWaitersForBatch(const ReplicationBatch& batch);
 
+  /// Lock-free on the hot path: stream ids below kStreamSlots resolve
+  /// through an append-only atomic slot array (streams are never removed
+  /// from a live broker), everything else falls back to the mu_-guarded
+  /// map.
   StreamEntry* FindStream(StreamId id) const;
   VirtualLog* ResolveVlog(StreamEntry& entry, StreamletId streamlet,
                           uint32_t slot);
-  std::unique_ptr<VirtualLog> MakeVlog(VlogId id,
-                                       uint32_t replication_factor);
+  std::unique_ptr<VirtualLog> MakeVlog(VlogId id, uint32_t replication_factor,
+                                       uint32_t owner_shard);
+
+  /// Shard a data-plane request frame is accounted to (must mirror
+  /// rpc::RouteFrameToShard): the first chunk/entry's streamlet.
+  [[nodiscard]] uint32_t HomeShardOf(const rpc::ProduceRequest& req) const;
+  [[nodiscard]] uint32_t HomeShardOf(const rpc::ConsumeRequest& req) const;
+
+  /// Frame-top bookkeeping for a data-plane request routed to `shard`:
+  /// count the frame and drain the shard's mailbox (admin ops execute
+  /// between frames, never mid-request).
+  void EnterShardFrame(uint32_t shard);
 
   /// A duplicate produce chunk whose original copy may not be durable
   /// yet: the produce paths wait on this position before acking, so the
@@ -263,7 +337,7 @@ class Broker final : public rpc::RpcHandler {
   };
 
   Status AppendOneChunk(StreamEntry& entry, const rpc::ProduceRequest& req,
-                        std::span<const std::byte> frame,
+                        std::span<const std::byte> frame, uint32_t home_shard,
                         std::vector<std::pair<VirtualLog*, ChunkRef>>&
                             appended,
                         std::vector<DuplicateWait>& duplicate_waits,
@@ -276,14 +350,29 @@ class Broker final : public rpc::RpcHandler {
   Status DriveUntilDurable(VirtualLog& vlog, const ChunkRef& ref);
 
   const BrokerConfig config_;
+  const uint32_t shards_;
   rpc::Network& network_;
   MemoryManager memory_;
 
+  /// Per-shard runtime: the cross-core mailbox plus the handled-frame
+  /// counter. Heap-allocated so shards never share a cache line.
+  struct alignas(64) ShardRuntime {
+    ShardMailbox mailbox;
+    std::atomic<uint64_t> frames{0};
+  };
+  std::vector<std::unique_ptr<ShardRuntime>> shard_rt_;
+
   // Guards the structural maps (streams_, vlog ownership). Hot-path state
-  // lives behind per-StreamEntry locks and atomic stats counters; lock
-  // order is mu_ before StreamEntry::mu, never the reverse.
+  // lives behind per-shard StreamEntry locks and atomic stats counters;
+  // lock order is mu_ before ShardState::mu, never the reverse.
   mutable std::mutex mu_;
   std::map<StreamId, std::unique_ptr<StreamEntry>> streams_;
+
+  /// Lock-free stream lookup: slot `id` publishes the entry for stream id
+  /// `id` once AddStream completes. Append-only (streams are never erased
+  /// while the broker lives), so readers need no lock and no reclamation.
+  static constexpr size_t kStreamSlots = 1024;
+  mutable std::array<std::atomic<StreamEntry*>, kStreamSlots> stream_slots_{};
 
   // Shared pool (policy kSharedPerBroker), keyed by replication factor so
   // streams with different R never share a log.
@@ -314,6 +403,7 @@ class Broker final : public rpc::RpcHandler {
     std::atomic<uint64_t> replication_rpcs{0};
     std::atomic<uint64_t> replication_bytes{0};
     std::atomic<uint64_t> checksum_failures{0};
+    std::atomic<uint64_t> cross_shard_ops{0};
   };
   AtomicStats stats_;
 

@@ -34,8 +34,10 @@ constexpr uint64_t kCommitEveryConsumeEvents = 2;
 
 class Harness {
  public:
-  explicit Harness(const Schedule& s)
-      : sched_(s), net_(direct_, s.seed ^ 0x9E3779B97F4A7C15ull) {}
+  Harness(const Schedule& s, const RunOptions& options)
+      : sched_(s),
+        options_(options),
+        net_(direct_, s.seed ^ 0x9E3779B97F4A7C15ull) {}
 
   RunResult Run() {
     trace_ += FormatTraceHeader(sched_);
@@ -104,6 +106,10 @@ class Harness {
     cfg.vlogs_per_broker = 2;
     cfg.replication_window = 2;
     cfg.replication_workers = 0;  // single-threaded: determinism
+    // The mailbox/Execute machinery degenerates to synchronous inline
+    // execution when one thread drives everything, so sharded runs stay
+    // deterministic too.
+    cfg.broker_shards = std::max<uint32_t>(1, options_.broker_shards);
     cfg.external_network = &net_;
     cfg.external_register = [this](NodeId n, rpc::RpcHandler* h) {
       net_.Register(n, h);
@@ -707,6 +713,7 @@ class Harness {
   }
 
   const Schedule& sched_;
+  const RunOptions options_;
   rpc::DirectNetwork direct_;
   ChaosNetwork net_;
   std::unique_ptr<MiniCluster> cluster_;
@@ -735,14 +742,14 @@ class Harness {
 
 }  // namespace
 
-RunResult RunSchedule(const Schedule& schedule) {
-  Harness harness(schedule);
+RunResult RunSchedule(const Schedule& schedule, RunOptions options) {
+  Harness harness(schedule, options);
   return harness.Run();
 }
 
-RunResult RunSeed(uint64_t seed, uint32_t num_events) {
+RunResult RunSeed(uint64_t seed, uint32_t num_events, RunOptions options) {
   Schedule schedule = GenerateSchedule(seed, num_events);
-  return RunSchedule(schedule);
+  return RunSchedule(schedule, options);
 }
 
 }  // namespace kera::chaos

@@ -47,11 +47,24 @@ struct RunResult {
   ChaosNetwork::Stats net;
 };
 
+/// Harness knobs that are NOT part of the schedule (the trace format and
+/// the seed->schedule mapping stay stable across them).
+struct RunOptions {
+  /// Shared-nothing broker shards for the cluster under test (see
+  /// BrokerConfig::shards). 1 reproduces the original single-shard runs
+  /// byte-for-byte; >1 drives the same deterministic schedules through
+  /// the sharded broker (per-shard leadership/dedup/parking state and the
+  /// cross-shard mailboxes), checking the same invariants.
+  uint32_t broker_shards = 1;
+};
+
 /// Runs one schedule to completion (or first violation). The cluster is
 /// built fresh from the schedule's shape; nothing persists across runs.
-[[nodiscard]] RunResult RunSchedule(const Schedule& schedule);
+[[nodiscard]] RunResult RunSchedule(const Schedule& schedule,
+                                    RunOptions options = {});
 
 /// GenerateSchedule + RunSchedule.
-[[nodiscard]] RunResult RunSeed(uint64_t seed, uint32_t num_events);
+[[nodiscard]] RunResult RunSeed(uint64_t seed, uint32_t num_events,
+                                RunOptions options = {});
 
 }  // namespace kera::chaos

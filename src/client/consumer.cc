@@ -407,7 +407,14 @@ void Consumer::BrokerFetchLoop(NodeId broker,
         req.min_bytes = config_.fetch_min_bytes;
       }
       InFlight inf;
-      for (size_t i = rq; i < avail.size(); i += nreq) {
+      // Contiguous block per request (avail is ordered by streamlet):
+      // each pipelined request covers a run of neighboring streamlets
+      // instead of a stride across all of them, so on a sharded broker
+      // the request's entries mostly share a home shard and the frame
+      // router keeps it off the cross-shard slow path.
+      const size_t begin = rq * avail.size() / nreq;
+      const size_t end = (rq + 1) * avail.size() / nreq;
+      for (size_t i = begin; i < end; ++i) {
         req.entries.push_back(avail[i]);
         if (keys[i].second == kProbeGroup) {
           probing.insert(keys[i].first);

@@ -1,8 +1,10 @@
 #include "cluster/mini_cluster.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.h"
+#include "rpc/messages.h"
 
 namespace kera {
 
@@ -21,6 +23,7 @@ BrokerConfig MiniCluster::BrokerConfigFor(NodeId node) const {
   bc.replication_window = config_.replication_window;
   bc.replication_workers = config_.replication_workers;
   bc.max_consume_wait_us = config_.max_consume_wait_us;
+  bc.shards = config_.broker_shards;
   for (NodeId n = 1; n <= config_.nodes; ++n) {
     bc.backup_nodes.push_back(BackupServiceId(n));
   }
@@ -45,7 +48,16 @@ void MiniCluster::RegisterOnNetwork(NodeId service, rpc::RpcHandler* handler) {
   } else if (threaded_ != nullptr) {
     threaded_->Register(service, handler);
   } else if (socket_ != nullptr) {
-    auto port = socket_->Register(service, handler);
+    // Brokers and backups get the shared-nothing reactor shape: one
+    // server shard per broker shard, with data-plane frames routed to the
+    // shard owning their streamlet (produce/consume) or vlog (replicate).
+    // The coordinator is control-plane only and stays single-reactor.
+    rpc::SocketNetwork::NodeOptions opts;
+    if (config_.broker_shards > 1 && service != kCoordinatorNode) {
+      opts.shards = int(config_.broker_shards);
+      opts.router = rpc::RouteFrameToShard;
+    }
+    auto port = socket_->Register(service, handler, std::move(opts));
     if (!port.ok()) {
       KERA_ERROR("socket register failed for node %u: %s", unsigned(service),
                  port.status().message().c_str());
@@ -85,6 +97,13 @@ void MiniCluster::RestoreOnNetwork(NodeId service, rpc::RpcHandler* handler) {
 
 MiniCluster::MiniCluster(MiniClusterConfig config)
     : config_(std::move(config)) {
+  if (config_.broker_shards == 0) {
+    config_.broker_shards = 1;
+    if (const char* env = std::getenv("KERA_BROKER_SHARDS")) {
+      int v = std::atoi(env);
+      if (v > 0) config_.broker_shards = uint32_t(v);
+    }
+  }
   if (config_.external_network != nullptr) {
     network_ = config_.external_network;
   } else {
@@ -212,6 +231,14 @@ Broker::Stats MiniCluster::TotalBrokerStats() const {
     total.replication_rpcs += s.replication_rpcs;
     total.replication_bytes += s.replication_bytes;
     total.checksum_failures += s.checksum_failures;
+    total.shard_mailbox_enqueues += s.shard_mailbox_enqueues;
+    total.cross_shard_ops += s.cross_shard_ops;
+    if (total.shard_frames.size() < s.shard_frames.size()) {
+      total.shard_frames.resize(s.shard_frames.size());
+    }
+    for (size_t i = 0; i < s.shard_frames.size(); ++i) {
+      total.shard_frames[i] += s.shard_frames[i];
+    }
   }
   return total;
 }

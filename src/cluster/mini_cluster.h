@@ -48,6 +48,16 @@ struct MiniClusterConfig {
   uint32_t replication_workers = 0;
   /// Broker-side cap on consume long-poll waits (see BrokerConfig).
   uint64_t max_consume_wait_us = 1'000'000;
+  /// Shared-nothing broker shards (see BrokerConfig::shards). 0 = auto:
+  /// read KERA_BROKER_SHARDS from the environment, defaulting to 1. With
+  /// the socket transport, brokers and backups also register shards
+  /// server reactors with rpc::RouteFrameToShard as the frame router, so
+  /// produce/consume/replicate frames land on the shard that owns their
+  /// streamlet/vlog. Direct/Threaded transports ignore routing (any
+  /// thread handles any frame; the broker's per-shard locks keep it
+  /// correct) — with shards == 1 they reproduce the original behavior
+  /// exactly.
+  uint32_t broker_shards = 0;
   /// Backup flush directory template; empty disables disk flushing. A
   /// "%u" is replaced by the node id.
   std::string backup_dir;
@@ -103,6 +113,12 @@ class MiniCluster {
 
   /// Aggregated broker stats across the cluster.
   [[nodiscard]] Broker::Stats TotalBrokerStats() const;
+
+  /// Resolved shared-nothing shard count per broker (after the
+  /// KERA_BROKER_SHARDS auto default).
+  [[nodiscard]] uint32_t broker_shards() const {
+    return config_.broker_shards;
+  }
 
  private:
   [[nodiscard]] BrokerConfig BrokerConfigFor(NodeId node) const;

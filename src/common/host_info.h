@@ -1,0 +1,45 @@
+// Host identification for benchmark and soak JSON output: online CPU
+// count and the CPU model string. Multicore results are meaningless
+// without knowing the machine, so every JSON-emitting tool stamps these
+// (bench/bench_host_context.h feeds them into the google-benchmark
+// context; tools/chaos_soak.cc and bench_multicore write them directly).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace kera {
+
+/// Number of CPUs available to this process (>= 1).
+[[nodiscard]] inline unsigned HostNproc() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+/// CPU model string from /proc/cpuinfo ("model name" line), or "unknown"
+/// when unreadable (non-Linux, restricted /proc).
+[[nodiscard]] inline std::string HostCpuModel() {
+  std::string model = "unknown";
+  FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return model;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* colon = std::strchr(line, ':');
+    if (colon == nullptr) break;
+    const char* p = colon + 1;
+    while (*p == ' ' || *p == '\t') ++p;
+    model.assign(p);
+    while (!model.empty() &&
+           (model.back() == '\n' || model.back() == '\r')) {
+      model.pop_back();
+    }
+    break;
+  }
+  std::fclose(f);
+  return model;
+}
+
+}  // namespace kera

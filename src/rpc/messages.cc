@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "wire/chunk.h"
+#include "wire/layout.h"
+
 namespace kera::rpc {
 
 std::vector<std::byte> Frame(Opcode op, const Writer& body) {
@@ -35,6 +38,44 @@ Status ParseFrame(std::span<const std::byte> frame, Opcode& op,
   op = Opcode(raw);
   body = frame.subspan(2);
   return OkStatus();
+}
+
+int RouteFrameToShard(std::span<const std::byte> frame, int shards) {
+  if (shards <= 1 || frame.size() < 2) return 0;
+  const std::byte* p = frame.data();
+  switch (Opcode(wire::LoadU16(p))) {
+    case Opcode::kProduce: {
+      // Body: u32 producer, u64 stream, u8 recovery, u32 chunk count, then
+      // per chunk [u32 len][chunk frame]. The first chunk's streamlet id
+      // sits at a fixed offset inside its 56-byte header.
+      constexpr size_t kFirstChunk = 2 + 4 + 8 + 1 + 4 + 4;
+      constexpr size_t kStreamletOff =
+          kFirstChunk + chunk_offsets::kStreamletId;
+      if (frame.size() < kStreamletOff + 4) return 0;
+      if (wire::LoadU32(p + 2 + 4 + 8 + 1) == 0) return 0;  // no chunks
+      return int(wire::LoadU32(p + kStreamletOff) % uint32_t(shards));
+    }
+    case Opcode::kConsume: {
+      // Body: u64 stream, u32 max_bytes, u32 entry count, then per entry
+      // [u32 streamlet, ...]. Route by the first entry's streamlet; a
+      // request spanning shards is still handled correctly, just counted
+      // as cross-shard by the broker.
+      constexpr size_t kFirstEntry = 2 + 8 + 4 + 4;
+      if (frame.size() < kFirstEntry + 4) return 0;
+      if (wire::LoadU32(p + 2 + 8 + 4) == 0) return 0;  // no entries
+      return int(wire::LoadU32(p + kFirstEntry) % uint32_t(shards));
+    }
+    case Opcode::kReplicate: {
+      // Body: u32 primary, u32 vlog, ... — a virtual log is pinned to one
+      // shard on the primary, so routing its replicate stream by vlog id
+      // keeps per-vseg processing shard-affine on the backup too.
+      if (frame.size() < 2 + 4 + 4) return 0;
+      return int(wire::LoadU32(p + 2 + 4) % uint32_t(shards));
+    }
+    default:
+      // Admin/recovery traffic is rare and coordinator-driven: shard 0.
+      return 0;
+  }
 }
 
 

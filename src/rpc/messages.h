@@ -42,6 +42,23 @@ enum class Opcode : uint16_t {
 [[nodiscard]] BytesRefParts FrameAsParts(
     Opcode op, const Writer& body, std::array<std::byte, 2>& opcode_storage);
 
+/// Streamlet-affine shard routing for the shared-nothing broker runtime:
+/// peeks the routing key out of a raw request frame (u16 opcode + body)
+/// WITHOUT decoding it, so the transport's IO loop can pick the target
+/// shard's queue at frame-decode time, before any shared handoff.
+///
+///   kProduce    -> first chunk's streamlet id % shards
+///   kConsume    -> first entry's streamlet id % shards
+///   kReplicate  -> vlog id % shards (a vlog is owned by one shard)
+///   everything else (admin, recovery reads) -> shard 0
+///
+/// Must agree with Broker's shard map (streamlet % shards) or every frame
+/// pays a cross-shard hop; correctness never depends on it — the broker
+/// locks per-shard state by the key actually touched. Truncated or
+/// malformed frames route to shard 0 and fail in the decoder there.
+[[nodiscard]] int RouteFrameToShard(std::span<const std::byte> frame,
+                                    int shards);
+
 // ---------------------------------------------------------------- produce
 
 struct ProduceRequest {

@@ -103,42 +103,68 @@ struct SocketNetwork::ServerConn {
   bool want_write = false;
 };
 
-struct SocketNetwork::ServerNode {
-  NodeId id = 0;
-  std::atomic<RpcHandler*> handler{nullptr};
-  uint16_t port = 0;
-  size_t max_frame_bytes = 0;
-  int listen_fd = -1;
+/// One per-core reactor of a registered node: an epoll IO thread that
+/// owns a slice of the node's accepted connections, plus a worker pool
+/// draining the requests routed to this shard.
+struct SocketNetwork::ServerShard {
+  int index = 0;
   int epoll_fd = -1;
   int wake_fd = -1;
-  std::atomic<bool> stop{false};
+  /// Wake coalescing: set by WakeShard before signalling the eventfd (at
+  /// most one signal per flag set); cleared by the IO thread strictly
+  /// AFTER draining the eventfd — same ordering as the client wake path,
+  /// for the same lost-wakeup reason.
+  std::atomic<bool> wake_pending{false};
 
   struct Work {
     uint64_t conn_id = 0;
+    int conn_shard = 0;  // shard owning the connection (response routing)
     uint64_t request_id = 0;
     std::vector<std::byte> request;
   };
   BlockingQueue<Work> queue;
 
-  // Finished responses staged by workers for the IO thread.
+  // Staged by other threads for this shard's IO thread: finished worker
+  // responses, and connections the acceptor (shard 0) assigned here.
   std::mutex resp_mu;
   std::vector<std::pair<uint64_t, OutFrame>> responses;
+  std::vector<std::unique_ptr<ServerConn>> adopted;
 
-  // Owned exclusively by the IO thread.
+  // Owned exclusively by this shard's IO thread.
   std::unordered_map<uint64_t, std::unique_ptr<ServerConn>> conns;
-  uint64_t next_conn_id = kServerConnIdBase;
 
   std::thread io;
   std::vector<std::thread> workers;
 
-  ~ServerNode() {
+  ~ServerShard() {
     if (io.joinable()) io.join();
     for (auto& w : workers) {
       if (w.joinable()) w.join();
     }
-    if (listen_fd >= 0) close(listen_fd);
     if (wake_fd >= 0) close(wake_fd);
     if (epoll_fd >= 0) close(epoll_fd);
+  }
+};
+
+struct SocketNetwork::ServerNode {
+  NodeId id = 0;
+  std::atomic<RpcHandler*> handler{nullptr};
+  uint16_t port = 0;
+  size_t max_frame_bytes = 0;
+  int listen_fd = -1;  // registered with shard 0's epoll
+  std::atomic<bool> stop{false};
+  /// Registration shape, kept so Restore revives the node as it was.
+  NodeOptions opts;
+  std::vector<std::unique_ptr<ServerShard>> shards;
+  // Owned by the accepting (shard-0) IO thread: round-robin placement
+  // cursor and the node-wide connection id counter (ids are unique across
+  // shards so responses can never route to a reused id).
+  uint64_t next_accept = 0;
+  uint64_t next_conn_id = kServerConnIdBase;
+
+  ~ServerNode() {
+    shards.clear();  // joins IO + workers per shard
+    if (listen_fd >= 0) close(listen_fd);
   }
 };
 
@@ -178,9 +204,8 @@ void SocketNetwork::Shutdown() {
     draining.swap(draining_);
   }
   for (auto& [_, n] : nodes) {
-    n->stop.store(true, std::memory_order_release);
-    SignalEventFd(n->wake_fd);
-    n->queue.Shutdown();
+    SignalServerStop(n.get());
+    for (auto& shard : n->shards) shard->queue.Shutdown();
   }
   nodes.clear();     // joins IO + workers per node
   draining.clear();  // joins leftover workers of crashed nodes
@@ -208,10 +233,20 @@ void SocketNetwork::Shutdown() {
 
 Result<uint16_t> SocketNetwork::Register(NodeId node, RpcHandler* handler,
                                          uint16_t port) {
+  NodeOptions opts;
+  opts.port = port;
+  return Register(node, handler, std::move(opts));
+}
+
+Result<uint16_t> SocketNetwork::Register(NodeId node, RpcHandler* handler,
+                                         NodeOptions node_options) {
   auto n = std::make_unique<ServerNode>();
   n->id = node;
   n->handler.store(handler, std::memory_order_release);
   n->max_frame_bytes = options_.max_frame_bytes;
+  n->opts = std::move(node_options);
+  const int nshards = std::max(1, n->opts.shards);
+  n->opts.shards = nshards;
 
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return Errno("socket");
@@ -220,7 +255,7 @@ Result<uint16_t> SocketNetwork::Register(NodeId node, RpcHandler* handler,
   (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
+  addr.sin_port = htons(n->opts.port);
   if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
     return Status(StatusCode::kInvalidArgument,
                   "bad listen host: " + options_.host);
@@ -235,11 +270,28 @@ Result<uint16_t> SocketNetwork::Register(NodeId node, RpcHandler* handler,
   }
   n->port = ntohs(addr.sin_port);
 
-  n->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
-  n->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (n->epoll_fd < 0 || n->wake_fd < 0) return Errno("epoll/eventfd");
-  AddToEpoll(n->epoll_fd, n->wake_fd, EPOLLIN, kWakeTag);
-  AddToEpoll(n->epoll_fd, n->listen_fd, EPOLLIN, kListenTag);
+  for (int s = 0; s < nshards; ++s) {
+    auto shard = std::make_unique<ServerShard>();
+    shard->index = s;
+    shard->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    shard->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (shard->epoll_fd < 0 || shard->wake_fd < 0) {
+      return Errno("epoll/eventfd");
+    }
+    AddToEpoll(shard->epoll_fd, shard->wake_fd, EPOLLIN, kWakeTag);
+    n->shards.push_back(std::move(shard));
+  }
+  // The listener lives on shard 0's reactor; accepted connections are
+  // dealt round-robin to all shards.
+  AddToEpoll(n->shards[0]->epoll_fd, n->listen_fd, EPOLLIN, kListenTag);
+
+  int workers_per_shard = n->opts.workers_per_shard;
+  if (workers_per_shard <= 0) {
+    workers_per_shard =
+        nshards == 1
+            ? std::max(1, options_.workers_per_node)
+            : std::max(2, options_.workers_per_node / nshards);
+  }
 
   uint16_t bound = n->port;
   ServerNode* raw = n.get();
@@ -253,11 +305,14 @@ Result<uint16_t> SocketNetwork::Register(NodeId node, RpcHandler* handler,
     }
     // Threads spawn under nodes_mu_ so a racing Shutdown either refuses
     // this registration or sees the node (and joins it).
-    raw->io = std::thread([this, raw] { ServerIoLoop(raw); });
-    int workers = std::max(1, options_.workers_per_node);
-    raw->workers.reserve(size_t(workers));
-    for (int i = 0; i < workers; ++i) {
-      raw->workers.emplace_back([this, raw] { ServerWorkerLoop(raw); });
+    for (auto& shard : raw->shards) {
+      ServerShard* sh = shard.get();
+      sh->io = std::thread([this, raw, sh] { ServerIoLoop(raw, sh); });
+      sh->workers.reserve(size_t(workers_per_shard));
+      for (int i = 0; i < workers_per_shard; ++i) {
+        sh->workers.emplace_back(
+            [this, raw, sh] { ServerWorkerLoop(raw, sh); });
+      }
     }
     nodes_[node] = std::move(n);
   }
@@ -277,22 +332,26 @@ void SocketNetwork::Crash(NodeId node) {
     n = std::move(it->second);
     nodes_.erase(it);
   }
-  n->stop.store(true, std::memory_order_release);
-  SignalEventFd(n->wake_fd);
-  // The IO thread never runs handlers, so it exits promptly, closing the
+  SignalServerStop(n.get());
+  // The IO threads never run handlers, so they exit promptly, closing the
   // listener and every accepted connection — clients see the connection
   // die and fail their in-flight requests, like a real machine crash.
-  if (n->io.joinable()) n->io.join();
+  // Every shard's eventfd was signalled above, so no shard loop can stay
+  // parked in epoll_wait — not even one whose mailbox/queue a blocked
+  // worker will never drain.
+  for (auto& shard : n->shards) {
+    if (shard->io.joinable()) shard->io.join();
+  }
   // Workers may be blocked inside a handler (e.g. a produce waiting on
   // replication); don't wait for them here — park the node for the final
   // join at Shutdown. Their responses are dropped.
-  n->queue.Shutdown();
+  for (auto& shard : n->shards) shard->queue.Shutdown();
   std::lock_guard<std::mutex> lock(nodes_mu_);
   draining_.push_back(std::move(n));
 }
 
 Result<uint16_t> SocketNetwork::Restore(NodeId node, RpcHandler* handler) {
-  uint16_t preferred = 0;
+  NodeOptions opts;
   {
     std::lock_guard<std::mutex> lock(nodes_mu_);
     if (shutdown_) {
@@ -304,18 +363,21 @@ Result<uint16_t> SocketNetwork::Restore(NodeId node, RpcHandler* handler) {
       it->second->handler.store(handler, std::memory_order_release);
       return it->second->port;
     }
-    // Prefer the port the node listened on before the crash so remote
-    // peers' routes stay valid.
+    // Revive the node with the shape it had before the crash: the same
+    // port (so remote peers' routes stay valid), shard count and router.
     for (auto d = draining_.rbegin(); d != draining_.rend(); ++d) {
       if ((*d)->id == node) {
-        preferred = (*d)->port;
+        opts = (*d)->opts;
+        opts.port = (*d)->port;
         break;
       }
     }
   }
-  auto bound = Register(node, handler, preferred);
+  uint16_t preferred = opts.port;
+  auto bound = Register(node, handler, opts);
   if (!bound.ok() && preferred != 0) {
-    bound = Register(node, handler, 0);  // port taken meanwhile
+    opts.port = 0;  // port taken meanwhile
+    bound = Register(node, handler, std::move(opts));
   }
   return bound;
 }
@@ -335,8 +397,21 @@ void SocketNetwork::SetPeer(NodeId node, const std::string& host,
   peers_[node] = PeerAddr{host, port};
 }
 
-void SocketNetwork::ServerWorkerLoop(ServerNode* node) {
-  while (auto work = node->queue.Pop()) {
+void SocketNetwork::WakeShard(ServerShard* shard) {
+  if (!shard->wake_pending.exchange(true, std::memory_order_acq_rel)) {
+    SignalEventFd(shard->wake_fd);
+  }
+}
+
+void SocketNetwork::SignalServerStop(ServerNode* node) {
+  node->stop.store(true, std::memory_order_release);
+  // Signal every shard's eventfd directly (not via WakeShard): the stop
+  // must land even when a shard's wake_pending flag is already set.
+  for (auto& shard : node->shards) SignalEventFd(shard->wake_fd);
+}
+
+void SocketNetwork::ServerWorkerLoop(ServerNode* node, ServerShard* shard) {
+  while (auto work = shard->queue.Pop()) {
     if (node->stop.load(std::memory_order_acquire)) continue;
     RpcHandler* handler = node->handler.load(std::memory_order_acquire);
     std::vector<std::byte> response = handler->HandleRpc(work->request);
@@ -347,12 +422,16 @@ void SocketNetwork::ServerWorkerLoop(ServerNode* node) {
     std::memcpy(frame.header.data() + 4, &work->request_id, 8);
     frame.owned = std::move(response);
     frame.total = kHeaderBytes + frame.owned.size();
+    // The response goes back through the reactor owning the connection it
+    // arrived on — possibly not this worker's shard when a router sent
+    // the frame here.
+    ServerShard* home = node->shards[size_t(work->conn_shard)].get();
     {
-      std::lock_guard<std::mutex> lock(node->resp_mu);
+      std::lock_guard<std::mutex> lock(home->resp_mu);
       if (node->stop.load(std::memory_order_acquire)) continue;
-      node->responses.emplace_back(work->conn_id, std::move(frame));
+      home->responses.emplace_back(work->conn_id, std::move(frame));
     }
-    SignalEventFd(node->wake_fd);
+    WakeShard(home);
   }
 }
 
@@ -409,29 +488,30 @@ SocketNetwork::FlushStatus SocketNetwork::FlushFrameQueue(
   return FlushStatus::kDrained;
 }
 
-void SocketNetwork::ServerFlushConn(ServerNode* node, ServerConn* conn) {
+void SocketNetwork::ServerFlushConn(ServerShard* shard, ServerConn* conn) {
   FlushStatus fs = FlushFrameQueue(conn->fd, conn->wq);
   if (fs == FlushStatus::kError) {
     // Peer is gone; drop the connection (the client side fails its
     // pending requests when it observes the close).
-    (void)epoll_ctl(node->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    (void)epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
     close(conn->fd);
-    node->conns.erase(conn->id);
+    shard->conns.erase(conn->id);
     return;
   }
   bool need_write = fs == FlushStatus::kPartial;
   if (need_write != conn->want_write) {
     conn->want_write = need_write;
-    ModEpoll(node->epoll_fd, conn->fd,
+    ModEpoll(shard->epoll_fd, conn->fd,
              need_write ? (EPOLLIN | EPOLLOUT) : EPOLLIN, conn->id);
   }
 }
 
-bool SocketNetwork::ServerReadConn(ServerNode* node, ServerConn* conn) {
+bool SocketNetwork::ServerReadConn(ServerNode* node, ServerShard* shard,
+                                   ServerConn* conn) {
   auto destroy = [&] {
-    (void)epoll_ctl(node->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    (void)epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
     close(conn->fd);
-    node->conns.erase(conn->id);
+    shard->conns.erase(conn->id);
     return false;
   };
   while (true) {
@@ -448,7 +528,12 @@ bool SocketNetwork::ServerReadConn(ServerNode* node, ServerConn* conn) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     return destroy();
   }
-  // Decode complete request frames and hand them to the workers.
+  // Decode complete request frames and hand them to the workers. With a
+  // router and shards > 1 each frame is dispatched to the worker pool of
+  // the shard that owns its data — decided here, at decode time, before
+  // any queue — so a shared-nothing handler sees a streamlet's frames on
+  // one shard regardless of which connection carried them.
+  const int nshards = int(node->shards.size());
   while (conn->rlen - conn->rpos >= 4) {
     uint32_t len;
     std::memcpy(&len, conn->rbuf.data() + conn->rpos, 4);
@@ -456,31 +541,39 @@ bool SocketNetwork::ServerReadConn(ServerNode* node, ServerConn* conn) {
       return destroy();  // corrupt framing
     }
     if (conn->rlen - conn->rpos < 4 + size_t(len)) break;
-    ServerNode::Work work;
+    ServerShard::Work work;
     work.conn_id = conn->id;
+    work.conn_shard = shard->index;
     std::memcpy(&work.request_id, conn->rbuf.data() + conn->rpos + 4, 8);
     const std::byte* payload = conn->rbuf.data() + conn->rpos + kHeaderBytes;
     work.request.assign(payload, payload + (len - kRequestIdBytes));
-    node->queue.Push(std::move(work));
+    int target = shard->index;
+    if (nshards > 1 && node->opts.router) {
+      int routed = node->opts.router(
+          std::span<const std::byte>(work.request), nshards);
+      if (routed >= 0 && routed < nshards) target = routed;
+    }
+    node->shards[size_t(target)]->queue.Push(std::move(work));
     conn->rpos += 4 + size_t(len);
   }
   CompactReadBuffer(conn->rbuf, conn->rpos, conn->rlen);
   return true;
 }
 
-void SocketNetwork::CloseServerConns(ServerNode* node) {
-  for (auto& [_, conn] : node->conns) close(conn->fd);
-  node->conns.clear();
-  if (node->listen_fd >= 0) {
-    close(node->listen_fd);
-    node->listen_fd = -1;
+void SocketNetwork::CloseServerConns(ServerShard* shard) {
+  for (auto& [_, conn] : shard->conns) close(conn->fd);
+  shard->conns.clear();
+  {
+    std::lock_guard<std::mutex> lock(shard->resp_mu);
+    for (auto& conn : shard->adopted) close(conn->fd);
+    shard->adopted.clear();
   }
 }
 
-void SocketNetwork::ServerIoLoop(ServerNode* node) {
+void SocketNetwork::ServerIoLoop(ServerNode* node, ServerShard* shard) {
   epoll_event events[64];
   while (true) {
-    int nev = epoll_wait(node->epoll_fd, events, 64, -1);
+    int nev = epoll_wait(shard->epoll_fd, events, 64, -1);
     if (nev < 0) {
       if (errno == EINTR) continue;
       break;
@@ -491,10 +584,28 @@ void SocketNetwork::ServerIoLoop(ServerNode* node) {
       uint64_t tag = events[i].data.u64;
       uint32_t ev = events[i].events;
       if (tag == kWakeTag) {
-        DrainEventFd(node->wake_fd);
-        // Crash/Shutdown set stop then signal; that token may have raced
-        // into the drain above alongside worker response tokens. Re-check
-        // so a consumed stop token cannot strand this loop in epoll_wait.
+        std::function<void()> before, after;
+        if (server_hooks_armed_.load(std::memory_order_acquire)) {
+          std::lock_guard<std::mutex> lock(server_hook_mu_);
+          before = server_hook_before_drain_;
+          after = server_hook_after_drain_;
+        }
+        if (before) before();
+        // Drain strictly BEFORE clearing the pending flag — the same
+        // ordering as the client wake path, for the same reason: the
+        // eventfd read consumes every accumulated token, so clearing
+        // first would let a concurrent WakeShard's token be eaten while
+        // the flag stays set, and the next worker would skip its signal
+        // with its response staged but unrouted (lost wakeup).
+        DrainEventFd(shard->wake_fd);
+        if (after) after();
+        shard->wake_pending.store(false, std::memory_order_release);
+        // Re-check stop: Crash/Shutdown signal the eventfd directly, and
+        // the drain above may have just consumed that token alongside
+        // worker wake tokens. stop is stored before the signal, so if we
+        // ate the token we must see the flag here; a strand here would
+        // leave this shard's loop (and a Crash joining it) stuck in
+        // epoll_wait forever.
         if (node->stop.load(std::memory_order_acquire)) {
           stopped = true;
           break;
@@ -507,45 +618,71 @@ void SocketNetwork::ServerIoLoop(ServerNode* node) {
           SetNoDelay(fd);
           auto conn = std::make_unique<ServerConn>();
           conn->fd = fd;
+          // Deal connections round-robin across the shards; remote ones
+          // are handed to their reactor through its staging list.
+          ServerShard* target =
+              node->shards[node->next_accept++ % node->shards.size()].get();
           conn->id = node->next_conn_id++;
-          AddToEpoll(node->epoll_fd, fd, EPOLLIN, conn->id);
-          node->conns[conn->id] = std::move(conn);
+          if (target == shard) {
+            AddToEpoll(shard->epoll_fd, fd, EPOLLIN, conn->id);
+            shard->conns[conn->id] = std::move(conn);
+          } else {
+            {
+              std::lock_guard<std::mutex> lock(target->resp_mu);
+              target->adopted.push_back(std::move(conn));
+            }
+            WakeShard(target);
+          }
         }
       } else {
-        auto it = node->conns.find(tag);
-        if (it == node->conns.end()) continue;  // destroyed this batch
+        auto it = shard->conns.find(tag);
+        if (it == shard->conns.end()) continue;  // destroyed this batch
         ServerConn* conn = it->second.get();
         if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
-          (void)epoll_ctl(node->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+          (void)epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
           close(conn->fd);
-          node->conns.erase(it);
+          shard->conns.erase(it);
           continue;
         }
-        if ((ev & EPOLLIN) != 0 && !ServerReadConn(node, conn)) continue;
-        if ((ev & EPOLLOUT) != 0) ServerFlushConn(node, conn);
+        if ((ev & EPOLLIN) != 0 && !ServerReadConn(node, shard, conn)) {
+          continue;
+        }
+        if ((ev & EPOLLOUT) != 0) ServerFlushConn(shard, conn);
       }
     }
     if (stopped) break;
-    // Route staged worker responses to their connections, then flush
-    // everything that has queued frames in one vectored send each.
+    // Adopt connections the acceptor assigned here, route staged worker
+    // responses to their connections, then flush everything that has
+    // queued frames in one vectored send each.
+    std::vector<std::unique_ptr<ServerConn>> adopted;
     std::vector<std::pair<uint64_t, OutFrame>> batch;
     {
-      std::lock_guard<std::mutex> lock(node->resp_mu);
-      batch.swap(node->responses);
+      std::lock_guard<std::mutex> lock(shard->resp_mu);
+      adopted.swap(shard->adopted);
+      batch.swap(shard->responses);
+    }
+    for (auto& conn : adopted) {
+      AddToEpoll(shard->epoll_fd, conn->fd, EPOLLIN, conn->id);
+      uint64_t id = conn->id;
+      shard->conns[id] = std::move(conn);
     }
     for (auto& [conn_id, frame] : batch) {
-      auto it = node->conns.find(conn_id);
-      if (it == node->conns.end()) continue;  // conn died; drop response
+      auto it = shard->conns.find(conn_id);
+      if (it == shard->conns.end()) continue;  // conn died; drop response
       it->second->wq.push_back(std::move(frame));
     }
-    for (auto it = node->conns.begin(); it != node->conns.end();) {
+    for (auto it = shard->conns.begin(); it != shard->conns.end();) {
       ServerConn* conn = (it++)->second.get();  // flush may erase
       if (!conn->wq.empty() && !conn->want_write) {
-        ServerFlushConn(node, conn);
+        ServerFlushConn(shard, conn);
       }
     }
   }
-  CloseServerConns(node);
+  CloseServerConns(shard);
+  if (shard->index == 0 && node->listen_fd >= 0) {
+    close(node->listen_fd);
+    node->listen_fd = -1;
+  }
 }
 
 // ---------------------------------------------------------- client side
@@ -626,6 +763,33 @@ void SocketNetwork::SetClientWakeHooksForTest(
 void SocketNetwork::SignalClientStopForTest() {
   client_stop_.store(true, std::memory_order_release);
   SignalEventFd(client_wake_fd_);
+}
+
+void SocketNetwork::SetServerWakeHooksForTest(
+    std::function<void()> before_drain, std::function<void()> after_drain) {
+  std::lock_guard<std::mutex> lock(server_hook_mu_);
+  server_hook_before_drain_ = std::move(before_drain);
+  server_hook_after_drain_ = std::move(after_drain);
+  server_hooks_armed_.store(
+      server_hook_before_drain_ != nullptr ||
+          server_hook_after_drain_ != nullptr,
+      std::memory_order_release);
+}
+
+void SocketNetwork::InjectServerWakeForTest(NodeId node, int shard) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  auto& shards = it->second->shards;
+  if (shard < 0 || size_t(shard) >= shards.size()) return;
+  WakeShard(shards[size_t(shard)].get());
+}
+
+void SocketNetwork::SignalServerStopForTest(NodeId node) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  SignalServerStop(it->second.get());
 }
 
 void SocketNetwork::DestroyClientConnLocked(NodeId dest, const Status& why) {

@@ -14,15 +14,23 @@
 // per (SocketNetwork instance, destination node) — no connection-per-call.
 // Responses may return in any order; the client demultiplexes by id.
 //
-// Per registered node: one listening socket plus one epoll event-loop
-// thread that only moves bytes (accept/read/write, never runs handlers),
-// and a worker pool draining decoded requests — the RAMCloud-style
-// dispatch/worker split the in-process ThreadedNetwork models. One more
-// epoll thread serves the client side of this instance (all outbound
-// connections). All sockets are TCP_NODELAY; queued frames are flushed
-// with one vectored send (writev-style sendmsg) per flush, so many small
-// frames and the scatter-gather pieces of a parts frame coalesce into one
-// syscall without being materialized into a contiguous buffer.
+// Per registered node: one listening socket plus N per-core *shards*,
+// each a full reactor — an epoll event-loop thread that only moves bytes
+// (accept/read/write, never runs handlers) and a worker pool draining
+// decoded requests — the RAMCloud-style dispatch/worker split the
+// in-process ThreadedNetwork models, multiplied across cores. Accepted
+// connections are spread round-robin over the shards; a registered
+// FrameRouter additionally routes each decoded request frame to the
+// worker pool of the shard that owns the frame's data (by streamlet id),
+// so a shared-nothing handler sees every frame for a streamlet on one
+// shard no matter which connection it arrived on. With shards == 1 (the
+// default) the topology collapses to the original single-reactor node.
+// One more epoll thread serves the client side of this instance (all
+// outbound connections). All sockets are TCP_NODELAY; queued frames are
+// flushed with one vectored send (writev-style sendmsg) per flush, so
+// many small frames and the scatter-gather pieces of a parts frame
+// coalesce into one syscall without being materialized into a contiguous
+// buffer.
 #pragma once
 
 #include <array>
@@ -47,10 +55,17 @@
 
 namespace kera::rpc {
 
+/// Routes a decoded request frame (u16 opcode + body) to one of `shards`
+/// server shards. Runs on a shard IO thread per frame, so it must be
+/// cheap and only peek at fixed offsets (see rpc::RouteFrameToShard).
+/// Out-of-range results fall back to the receiving connection's shard.
+using FrameRouter = std::function<int(std::span<const std::byte>, int)>;
+
 class SocketNetwork final : public Network {
  public:
   struct Options {
-    /// Handler worker threads per registered node.
+    /// Handler worker threads per registered node (split across its
+    /// shards when a node registers with shards > 1).
     int workers_per_node = 4;
     /// Address registered listeners bind (and advertise to in-process
     /// clients).
@@ -58,6 +73,23 @@ class SocketNetwork final : public Network {
     /// Frames larger than this are treated as corruption and kill the
     /// connection.
     size_t max_frame_bytes = size_t(1) << 30;
+  };
+
+  /// Per-node registration knobs (the shared-nothing runtime shape).
+  struct NodeOptions {
+    /// Preferred listening port (0 picks an ephemeral port).
+    uint16_t port = 0;
+    /// Server reactors for this node: each shard runs its own epoll IO
+    /// thread and worker pool. 1 = the original single-reactor node.
+    int shards = 1;
+    /// Worker threads per shard. 0 = derive from Options::workers_per_node
+    /// (all of it for a single shard; split across shards otherwise, with
+    /// a floor of 2 so one parked long-poll handler cannot starve a
+    /// shard's produces).
+    int workers_per_shard = 0;
+    /// Routes request frames to shards at decode time (empty = every
+    /// frame is handled by the shard whose connection it arrived on).
+    FrameRouter router;
   };
 
   SocketNetwork();
@@ -73,6 +105,11 @@ class SocketNetwork final : public Network {
   [[nodiscard]] Result<uint16_t> Register(NodeId node, RpcHandler* handler,
                                           uint16_t port = 0);
 
+  /// Like the above but with the full per-node shape: shard count, worker
+  /// split and frame router.
+  [[nodiscard]] Result<uint16_t> Register(NodeId node, RpcHandler* handler,
+                                          NodeOptions node_options);
+
   /// Fault injection: closes the node's listener and every accepted
   /// connection. Queued and in-flight requests against it fail with
   /// kUnavailable on the caller side (the connection died), like a real
@@ -80,7 +117,8 @@ class SocketNetwork final : public Network {
   void Crash(NodeId node);
 
   /// Serves a crashed (or never-registered) node again, rebinding the
-  /// port it had when possible so remote peers reconnect unchanged.
+  /// port it had when possible so remote peers reconnect unchanged. The
+  /// crashed registration's NodeOptions (shard count, router) are reused.
   [[nodiscard]] Result<uint16_t> Restore(NodeId node, RpcHandler* handler);
 
   /// Routes calls for `node` to another process at host:port. Local
@@ -144,6 +182,24 @@ class SocketNetwork final : public Network {
   /// from the hooks above.
   void SignalClientStopForTest();
 
+  /// Server-shard mirrors of the client hooks: the callbacks run on EVERY
+  /// server shard IO thread around its kWakeTag handling (before the
+  /// eventfd drain / between the drain and the wake-pending clear). They
+  /// must only use the two helpers below. Pass {} to uninstall.
+  void SetServerWakeHooksForTest(std::function<void()> before_drain,
+                                 std::function<void()> after_drain);
+
+  /// Exactly what a worker's response wake does for `node`'s shard
+  /// `shard`: sets the shard's wake-pending flag and signals its eventfd
+  /// at most once. Safe from the server hooks.
+  void InjectServerWakeForTest(NodeId node, int shard);
+
+  /// Exactly what Crash's stop does for `node` — stores the node's stop
+  /// flag and signals every shard's eventfd — without joining or tearing
+  /// anything down (a later Crash/Shutdown still reaps the node). Safe
+  /// from the server hooks.
+  void SignalServerStopForTest(NodeId node);
+
  private:
   // One frame queued for writing: a 12-byte header followed by either an
   // owned contiguous payload or referenced scatter-gather pieces.
@@ -156,6 +212,7 @@ class SocketNetwork final : public Network {
   };
 
   struct ServerConn;
+  struct ServerShard;
   struct ServerNode;
   struct ClientConn;
 
@@ -165,12 +222,18 @@ class SocketNetwork final : public Network {
   /// the socket would block.
   FlushStatus FlushFrameQueue(int fd, std::deque<OutFrame>& wq);
 
-  void ServerIoLoop(ServerNode* node);
-  void ServerWorkerLoop(ServerNode* node);
-  void ServerFlushConn(ServerNode* node, ServerConn* conn);
+  void ServerIoLoop(ServerNode* node, ServerShard* shard);
+  void ServerWorkerLoop(ServerNode* node, ServerShard* shard);
+  void ServerFlushConn(ServerShard* shard, ServerConn* conn);
   // Returns false when the connection died and was destroyed.
-  bool ServerReadConn(ServerNode* node, ServerConn* conn);
-  static void CloseServerConns(ServerNode* node);
+  bool ServerReadConn(ServerNode* node, ServerShard* shard, ServerConn* conn);
+  /// Coalesced shard wake (worker responses, adopted connections): the
+  /// eventfd is signalled at most once per pending flag set; the IO loop
+  /// drains strictly before clearing the flag (the PR 3 ordering).
+  static void WakeShard(ServerShard* shard);
+  static void CloseServerConns(ServerShard* shard);
+  /// Signals stop to every shard of `node` (Crash/Shutdown first half).
+  static void SignalServerStop(ServerNode* node);
 
   void ClientIoLoop();
   // All Client* helpers run under client_mu_.
@@ -213,6 +276,13 @@ class SocketNetwork final : public Network {
   // client_mu_); empty in production.
   std::function<void()> wake_hook_before_drain_;
   std::function<void()> wake_hook_after_drain_;
+
+  // Server-shard wake hooks (run on every shard IO thread). The armed
+  // flag keeps the production wake path free of the hook mutex.
+  std::atomic<bool> server_hooks_armed_{false};
+  mutable std::mutex server_hook_mu_;
+  std::function<void()> server_hook_before_drain_;
+  std::function<void()> server_hook_after_drain_;
 
   struct AtomicStats {
     std::atomic<uint64_t> calls{0};

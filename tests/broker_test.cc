@@ -398,6 +398,179 @@ TEST_F(BackgroundReplicationTest, BackupFailureSurfacesToProducer) {
   EXPECT_GT(broker_->replicator()->GetStats().batch_failures, 0u);
 }
 
+// ----- shared-nothing sharding: routing, counters, migration -----
+
+// A broker with two shards over a DirectNetwork: single-threaded, so the
+// mailbox Execute path degenerates to an inline call and every counter
+// is exactly predictable.
+class ShardedBrokerTest : public ::testing::Test {
+ protected:
+  ShardedBrokerTest() {
+    BrokerConfig bc;
+    bc.node = 1;
+    bc.memory_bytes = 16 << 20;
+    bc.segment_size = 64 << 10;
+    bc.segments_per_group = 2;
+    bc.virtual_segment_capacity = 64 << 10;
+    bc.vlogs_per_broker = 4;
+    bc.shards = 2;
+    broker_ = std::make_unique<Broker>(bc, net_);
+  }
+
+  rpc::StreamInfo MakeStream(const std::string& name, uint32_t streamlets) {
+    rpc::StreamInfo info;
+    info.stream = next_stream_++;
+    info.options.num_streamlets = streamlets;
+    info.options.active_groups_per_streamlet = 1;
+    info.options.replication_factor = 1;
+    info.options.vlog_policy = rpc::VlogPolicy::kSharedPerBroker;
+    info.streamlet_brokers.assign(streamlets, 1);
+    EXPECT_TRUE(broker_->AddStream(name, info).ok());
+    for (StreamletId sl = 0; sl < streamlets; ++sl) {
+      EXPECT_TRUE(broker_->AddStreamlet(info.stream, sl).ok());
+    }
+    return info;
+  }
+
+  rpc::ProduceResponse ProduceOne(const rpc::StreamInfo& info,
+                                  StreamletId streamlet, ChunkSeq seq) {
+    rpc::ProduceRequest req;
+    req.producer = 1;
+    req.stream = info.stream;
+    auto chunk = MakeChunk(info.stream, streamlet, 1, seq);
+    req.chunks = {chunk};
+    return broker_->HandleProduce(req);
+  }
+
+  rpc::ConsumeResponse ConsumeOne(const rpc::StreamInfo& info,
+                                  StreamletId streamlet) {
+    rpc::ConsumeRequest req;
+    req.stream = info.stream;
+    req.entries = {{.streamlet = streamlet, .group = 0, .start_chunk = 0,
+                    .max_chunks = 10}};
+    return broker_->HandleConsume(req);
+  }
+
+  rpc::DirectNetwork net_;
+  std::unique_ptr<Broker> broker_;
+  StreamId next_stream_ = 1;
+};
+
+// Single-streamlet produce and consume requests for streamlet S are
+// accounted to shard(S) = S % shards and never touch the other shard:
+// the per-shard frame counters split exactly by streamlet parity and no
+// cross-shard chunk or op is counted beyond the setup baseline.
+TEST_F(ShardedBrokerTest, FramesForStreamletLandOnItsShard) {
+  auto info = MakeStream("s", 4);
+  const auto base = broker_->GetStats();
+  ASSERT_EQ(base.shard_frames.size(), 2u);
+
+  // 3 produces per streamlet, then one consume per streamlet. Streamlets
+  // 0,2 -> shard 0; 1,3 -> shard 1.
+  for (StreamletId sl = 0; sl < 4; ++sl) {
+    for (ChunkSeq seq = 1; seq <= 3; ++seq) {
+      ASSERT_EQ(ProduceOne(info, sl, seq).status, StatusCode::kOk);
+    }
+  }
+  for (StreamletId sl = 0; sl < 4; ++sl) {
+    auto resp = ConsumeOne(info, sl);
+    ASSERT_EQ(resp.status, StatusCode::kOk);
+    ASSERT_EQ(resp.entries.size(), 1u);
+    EXPECT_EQ(resp.entries[0].chunks.size(), 3u);
+  }
+
+  const auto stats = broker_->GetStats();
+  ASSERT_EQ(stats.shard_frames.size(), 2u);
+  // (3 produces + 1 consume) x 2 streamlets per shard.
+  EXPECT_EQ(stats.shard_frames[0] - base.shard_frames[0], 8u);
+  EXPECT_EQ(stats.shard_frames[1] - base.shard_frames[1], 8u);
+  // Single-streamlet traffic is entirely shard-local.
+  EXPECT_EQ(stats.cross_shard_ops, base.cross_shard_ops);
+  EXPECT_EQ(stats.shard_mailbox_enqueues, base.shard_mailbox_enqueues);
+}
+
+// A produce batching chunks for streamlets on different shards is homed
+// on the first chunk's shard; every chunk for the other shard is counted
+// as one cross-shard op (the append itself stays correct — per-shard
+// locks protect it regardless of which shard's frame carries it).
+TEST_F(ShardedBrokerTest, MixedBatchCountsCrossShardChunks) {
+  auto info = MakeStream("s", 2);
+  const auto base = broker_->GetStats();
+
+  rpc::ProduceRequest req;
+  req.producer = 1;
+  req.stream = info.stream;
+  auto c0 = MakeChunk(info.stream, 0, 1, 1);
+  auto c1 = MakeChunk(info.stream, 1, 1, 1);
+  req.chunks = {c0, c1};
+  auto resp = broker_->HandleProduce(req);
+  ASSERT_EQ(resp.status, StatusCode::kOk);
+  EXPECT_EQ(resp.appended, 2u);
+
+  const auto stats = broker_->GetStats();
+  // Home shard is streamlet 0's shard; the streamlet-1 chunk crossed.
+  EXPECT_EQ(stats.shard_frames[0] - base.shard_frames[0], 1u);
+  EXPECT_EQ(stats.shard_frames[1] - base.shard_frames[1], 0u);
+  EXPECT_EQ(stats.cross_shard_ops - base.cross_shard_ops, 1u);
+
+  // Both chunks are consumable from their own shards.
+  for (StreamletId sl = 0; sl < 2; ++sl) {
+    auto cresp = ConsumeOne(info, sl);
+    ASSERT_EQ(cresp.status, StatusCode::kOk);
+    ASSERT_EQ(cresp.entries.size(), 1u);
+    EXPECT_EQ(cresp.entries[0].chunks.size(), 1u);
+  }
+}
+
+// Leadership migration re-homes through the owning shard's mailbox
+// exactly once per transition: drop posts one op, re-add posts one op,
+// and the leadership change is observable (produce rejected while
+// dropped, accepted after re-add, dedup intact).
+TEST_F(ShardedBrokerTest, LeadershipMigrationRehomesExactlyOnce) {
+  auto info = MakeStream("s", 2);
+  ASSERT_EQ(ProduceOne(info, 1, 1).status, StatusCode::kOk);
+
+  const auto base = broker_->GetStats();
+  ASSERT_TRUE(broker_->DropStreamletLeadership(info.stream, 1).ok());
+  auto after_drop = broker_->GetStats();
+  EXPECT_EQ(after_drop.cross_shard_ops - base.cross_shard_ops, 1u);
+  EXPECT_EQ(after_drop.shard_mailbox_enqueues - base.shard_mailbox_enqueues,
+            1u);
+  EXPECT_EQ(ProduceOne(info, 1, 2).status, StatusCode::kNotLeader);
+
+  ASSERT_TRUE(broker_->AddStreamlet(info.stream, 1).ok());
+  auto after_add = broker_->GetStats();
+  EXPECT_EQ(after_add.cross_shard_ops - after_drop.cross_shard_ops, 1u);
+  EXPECT_EQ(after_add.shard_mailbox_enqueues -
+                after_drop.shard_mailbox_enqueues,
+            1u);
+  ASSERT_EQ(ProduceOne(info, 1, 2).status, StatusCode::kOk);
+  // The dedup record survived the migration: the old seq is a duplicate.
+  auto dup = ProduceOne(info, 1, 1);
+  EXPECT_EQ(dup.status, StatusCode::kOk);
+  EXPECT_EQ(dup.duplicates, 1u);
+}
+
+// With shards == 1 the shared-nothing machinery must be invisible: one
+// frame counter, no mailbox traffic, no cross-shard ops — the exact
+// pre-sharding behavior.
+TEST_F(BrokerTest, SingleShardKeepsLegacyCountersSilent) {
+  auto info = MakeStream("s", 4, 1, 1, rpc::VlogPolicy::kSharedPerBroker);
+  for (StreamletId sl = 0; sl < 4; ++sl) {
+    rpc::ProduceRequest req;
+    req.producer = 1;
+    req.stream = info.stream;
+    auto chunk = MakeChunk(info.stream, sl, 1, 1);
+    req.chunks = {chunk};
+    ASSERT_EQ(broker_->HandleProduce(req).status, StatusCode::kOk);
+  }
+  auto stats = broker_->GetStats();
+  ASSERT_EQ(stats.shard_frames.size(), 1u);
+  EXPECT_EQ(stats.shard_frames[0], 4u);
+  EXPECT_EQ(stats.cross_shard_ops, 0u);
+  EXPECT_EQ(stats.shard_mailbox_enqueues, 0u);
+}
+
 TEST_F(BrokerTest, FramedProduceConsumeDispatch) {
   auto info = MakeStream("s", 1, 1, 2, rpc::VlogPolicy::kSharedPerBroker);
   rpc::ProduceRequest req;

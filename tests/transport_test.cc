@@ -424,6 +424,137 @@ TEST(SocketWakeRaceTest, StopTokenAbsorbedByDrainStillStopsLoop) {
       << "Shutdown did not complete after an absorbed stop token";
 }
 
+// ----- server shard wake machinery: the same races, per-shard -----
+//
+// Every server shard runs the identical eventfd coalescing protocol as
+// the client loop (drain before clearing wake_pending, re-check stop
+// after the drain), so the PR-3 client races exist per shard too. These
+// drive them through the server-side hooks on a 2-shard node, with a
+// router that sends every request to shard 1 while the connection lives
+// on shard 0 — so each call also crosses the response-staging wake path
+// between shards.
+
+TEST(SocketWakeRaceTest, ServerShardWakeInDrainWindowDoesNotStrandFlag) {
+  SocketNetwork net;
+  EchoHandler echo;
+  SocketNetwork::NodeOptions opts;
+  opts.shards = 2;
+  // All requests to shard 1; the (single, shared) client connection is
+  // accepted by shard 0, so every response is staged cross-shard and
+  // delivered through shard 0's wake path.
+  opts.router = [](std::span<const std::byte>, int) { return 1; };
+  auto port = net.Register(1, &echo, std::move(opts));
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  auto warm = net.Call(1, AsBytes("warm"));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  // Inject concurrent wakes into BOTH shards at the point between a
+  // shard's eventfd drain and its pending-flag clear. For the shard
+  // mid-pass this lands in the critical window: with the correct order
+  // the flag is still set, the injected wake elides its signal, and the
+  // clear leaves a clean slate. With the broken order (clear first) the
+  // token is eaten while the flag sticks at true, every later response
+  // wake on that shard is elided, and the call below never completes.
+  std::atomic<bool> injected{false};
+  net.SetServerWakeHooksForTest({}, [&net, &injected] {
+    if (!injected.exchange(true)) {
+      net.InjectServerWakeForTest(1, 0);
+      net.InjectServerWakeForTest(1, 1);
+    }
+  });
+
+  auto f2 = net.CallAsync(1, AsBytes("two"));
+  ASSERT_EQ(std::future_status::ready, f2.wait_for(std::chrono::seconds(10)));
+  for (int i = 0; i < 5000 && !injected.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(injected.load()) << "server wake pass never ran the hook";
+  net.SetServerWakeHooksForTest({}, {});
+
+  auto f3 = net.CallAsync(1, AsBytes("three"));
+  ASSERT_EQ(std::future_status::ready, f3.wait_for(std::chrono::seconds(10)))
+      << "server shard wake-pending flag stranded: a wake injected inside "
+         "the drain-to-clear window was lost and later response wakes "
+         "were elided";
+  auto r3 = f3.get();
+  ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+  EXPECT_EQ(AsString(*r3), "three");
+}
+
+TEST(SocketWakeRaceTest, ServerShardStopAbsorbedByDrainStillStopsLoops) {
+  auto net = std::make_unique<SocketNetwork>();
+  EchoHandler echo;
+  SocketNetwork::NodeOptions opts;
+  opts.shards = 2;
+  auto port = net->Register(1, &echo, std::move(opts));
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  // Fire the node's stop (what Crash/Shutdown do: store the flag, signal
+  // EVERY shard's eventfd) from just before a shard-0 drain, so shard 0
+  // absorbs its stop token together with the wake token that triggered
+  // the pass. The post-drain stop re-check must still notice the flag on
+  // that shard; without it the loop re-parks in epoll_wait with its token
+  // already eaten, and the node can never be torn down.
+  std::atomic<int> fires{0};
+  SocketNetwork* raw = net.get();
+  net->SetServerWakeHooksForTest(
+      [raw, &fires] {
+        if (fires.fetch_add(1) == 0) raw->SignalServerStopForTest(1);
+      },
+      {});
+  net->InjectServerWakeForTest(1, 0);
+  for (int i = 0; i < 5000 && fires.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(fires.load(), 1) << "server wake pass never ran the hook";
+
+  // Teardown joins every shard IO loop; it hangs forever if any shard is
+  // still parked waiting for a token that was already consumed.
+  auto gone = std::async(std::launch::async, [&net] { net.reset(); });
+  ASSERT_EQ(std::future_status::ready, gone.wait_for(std::chrono::seconds(10)))
+      << "Shutdown did not join all shard IO loops after an absorbed "
+         "stop token";
+}
+
+// Crash on a multi-shard node: all shard loops (including ones with no
+// traffic, parked deep in epoll_wait, and workers blocked mid-handler)
+// must be signalled and joined promptly, in-flight calls must complete,
+// and Restore must bring the node back with the SAME shard topology.
+TEST(SocketShardTest, CrashJoinsAllShardLoopsAndRestoreKeepsTopology) {
+  SocketNetwork net;
+  EchoHandler echo;
+  echo.delay_ms = 30;  // keep handlers in flight across the crash
+  SocketNetwork::NodeOptions opts;
+  opts.shards = 3;
+  opts.router = [](std::span<const std::byte> frame, int shards) {
+    return frame.empty() ? 0 : int(frame[0]) % shards;
+  };
+  auto port = net.Register(1, &echo, std::move(opts));
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  std::vector<std::future<Result<std::vector<std::byte>>>> inflight;
+  for (int i = 0; i < 9; ++i) {
+    std::string payload(1, char('a' + i));
+    inflight.push_back(net.CallAsync(1, AsBytes(payload)));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  net.Crash(1);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5))
+      << "Crash blocked on a stranded shard IO loop";
+  for (auto& f : inflight) {
+    ASSERT_EQ(std::future_status::ready, f.wait_for(std::chrono::seconds(10)))
+        << "in-flight call leaked across a multi-shard Crash";
+    (void)f.get();  // completed response or error; both are fine
+  }
+
+  echo.delay_ms = 0;
+  auto rport = net.Restore(1, &echo);
+  ASSERT_TRUE(rport.ok()) << rport.status().ToString();
+  auto r = net.Call(1, AsBytes("back"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(AsString(*r), "back");
+}
+
 // ----- end-to-end over TCP -----
 
 TEST(SocketClusterTest, ProduceConsumeRoundTrip) {

@@ -4,11 +4,17 @@
 // kind, invariant checks performed, workload counters). Any failing seed
 // dumps its replayable trace and fails the process.
 //
-//   chaos_soak [--schedules=N] [--events=N] [--seed_base=N] [--out=PATH]
+//   chaos_soak [--schedules=N] [--events=N] [--seed_base=N] [--shards=N]
+//              [--out=PATH]
+//
+// --shards=N runs every schedule against brokers with N shared-nothing
+// shards (see BrokerConfig::shards). The schedule generator is untouched:
+// seed->schedule mapping and trace format are identical at any shard
+// count, so a failure found at --shards=2 replays from the same trace.
 //
 // Environment overrides (flags win): KERA_CHAOS_SCHEDULES,
-// KERA_CHAOS_EVENTS — the same knobs scripts/check.sh uses to bound the
-// sanitizer stages.
+// KERA_CHAOS_EVENTS, KERA_BROKER_SHARDS — the same knobs
+// scripts/check.sh uses to bound the sanitizer stages.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -19,6 +25,7 @@
 
 #include "chaos/chaos_harness.h"
 #include "chaos/fault_schedule.h"
+#include "common/host_info.h"
 
 namespace {
 
@@ -38,6 +45,7 @@ int main(int argc, char** argv) {
   uint64_t schedules = 1000;
   uint32_t events = 60;
   uint64_t seed_base = 1;
+  uint32_t shards = 1;
   std::string out_path = "BENCH_chaos.json";
 
   if (const char* env = std::getenv("KERA_CHAOS_SCHEDULES")) {
@@ -45,6 +53,10 @@ int main(int argc, char** argv) {
   }
   if (const char* env = std::getenv("KERA_CHAOS_EVENTS")) {
     events = uint32_t(ParseU64(env, "KERA_CHAOS_EVENTS"));
+  }
+  if (const char* env = std::getenv("KERA_BROKER_SHARDS")) {
+    uint64_t v = ParseU64(env, "KERA_BROKER_SHARDS");
+    if (v > 0) shards = uint32_t(v);
   }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -54,15 +66,20 @@ int main(int argc, char** argv) {
       events = uint32_t(ParseU64(arg + 9, "--events"));
     } else if (std::strncmp(arg, "--seed_base=", 12) == 0) {
       seed_base = ParseU64(arg + 12, "--seed_base");
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      shards = uint32_t(ParseU64(arg + 9, "--shards"));
+      if (shards == 0) shards = 1;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--schedules=N] [--events=N] "
-                   "[--seed_base=N] [--out=PATH]\n");
+                   "[--seed_base=N] [--shards=N] [--out=PATH]\n");
       return 2;
     }
   }
+  kera::chaos::RunOptions run_options;
+  run_options.broker_shards = shards;
 
   using Clock = std::chrono::steady_clock;
   auto start = Clock::now();
@@ -76,7 +93,7 @@ int main(int argc, char** argv) {
     for (const auto& ev : schedule.events) {
       ++faults_by_kind[kera::chaos::FaultKindName(ev.kind)];
     }
-    auto r = kera::chaos::RunSchedule(schedule);
+    auto r = kera::chaos::RunSchedule(schedule, run_options);
     if (!r.ok) {
       std::string trace_path = "chaos_failure_" + std::to_string(seed) +
                                ".trace";
@@ -85,10 +102,11 @@ int main(int argc, char** argv) {
         std::fclose(f);
       }
       std::fprintf(stderr,
-                   "chaos_soak: FAILED seed=%" PRIu64 " event=%zu\n  %s\n"
+                   "chaos_soak: FAILED seed=%" PRIu64 " event=%zu shards=%u\n"
+                   "  %s\n"
                    "  trace: %s\n  replay: chaos_test --chaos_seed=%" PRIu64
                    "\n",
-                   seed, r.failed_event, r.failure.c_str(),
+                   seed, r.failed_event, shards, r.failure.c_str(),
                    trace_path.c_str(), seed);
       return 1;
     }
@@ -123,6 +141,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"nproc\": %u,\n", kera::HostNproc());
+  std::fprintf(out, "  \"cpu_model\": \"%s\",\n",
+               kera::HostCpuModel().c_str());
+  std::fprintf(out, "  \"broker_shards\": %u,\n", shards);
   std::fprintf(out, "  \"schedules\": %" PRIu64 ",\n", ran);
   std::fprintf(out, "  \"events_per_schedule\": %u,\n", events);
   std::fprintf(out, "  \"seed_base\": %" PRIu64 ",\n", seed_base);
