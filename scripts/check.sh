@@ -47,9 +47,10 @@ cmake -B "$asan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$asan_build" -j --target \
   wire_test wire_golden_test rpc_test common_test transport_test \
-  consume_protocol_test client_edge_test backup_test
+  consume_protocol_test client_edge_test backup_test backup_store_test
 for t in wire_test wire_golden_test rpc_test common_test transport_test \
-         consume_protocol_test client_edge_test backup_test; do
+         consume_protocol_test client_edge_test backup_test \
+         backup_store_test; do
   echo "-- ASan+UBSan: $t"
   "$asan_build/tests/$t"
 done
@@ -65,6 +66,11 @@ KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$tsan_build/tests/chaos_test"
 echo "-- TSan: chaos_test sharded sweep (bounded)"
 KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$tsan_build/tests/chaos_test" \
   --gtest_filter='ChaosSweep.ShardedBrokersHoldInvariants'
+echo "-- TSan: chaos_test power-loss sweep (bounded)"
+# The power-loss schedules drive the segment log's group-commit flusher,
+# torn-tail truncation and restart scan under real thread interleavings.
+KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$tsan_build/tests/chaos_test" \
+  --gtest_filter='ChaosSweep.PowerLossSchedulesHoldInvariants'
 cmake --build "$asan_build" -j --target chaos_test
 echo "-- ASan+UBSan: chaos_test (bounded)"
 KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$asan_build/tests/chaos_test"
@@ -90,6 +96,14 @@ echo "== consume benchmark (JSON to BENCH_consume.json) =="
 cmake --build "$build" -j --target bench_consume
 "$build/bench/bench_consume" \
   --benchmark_out="$repo/BENCH_consume.json" \
+  --benchmark_out_format=json
+
+echo "== backup store benchmark (JSON to BENCH_backup.json) =="
+# Group-commit flush vs one-file-per-segment baseline (fsyncs_per_mb is
+# the headline counter) and cold-restart scan time vs segment count.
+cmake --build "$build" -j --target bench_backup_store
+"$build/bench/bench_backup_store" \
+  --benchmark_out="$repo/BENCH_backup.json" \
   --benchmark_out_format=json
 
 echo "== multicore scaling benchmark (JSON to BENCH_multicore.json) =="

@@ -1,8 +1,5 @@
 #include "backup/backup.h"
 
-#include <cstdio>
-#include <filesystem>
-
 #include "common/crc32c.h"
 #include "common/logging.h"
 #include "wire/chunk.h"
@@ -17,24 +14,41 @@ constexpr size_t kMaxPendingBatches = 64;
 }  // namespace
 
 Backup::Backup(BackupConfig config) : config_(std::move(config)) {
-  if (!config_.storage_dir.empty()) {
-    std::filesystem::create_directories(config_.storage_dir);
-    flusher_ = std::thread([this] { FlusherLoop(); });
+  if (config_.storage_dir.empty()) return;
+  log_ = std::make_unique<SegmentLog>(config_.storage_dir, config_.log);
+  // Cold start: adopt the copy map the log scan rebuilt. Sealed copies
+  // stay on disk (evicted); unsealed copies reload their payload into
+  // memory — their size is the append point replication continues from.
+  for (const SegmentLog::RecoveredCopy& rc : log_->RecoveredCopies()) {
+    Key key{rc.key.primary, rc.key.vlog, rc.key.vseg};
+    ReplicatedSegment seg;
+    seg.primary = rc.key.primary;
+    seg.vlog = rc.key.vlog;
+    seg.vseg = rc.key.vseg;
+    seg.chunk_count = rc.chunk_count;
+    seg.running_checksum = rc.running_checksum;
+    seg.sealed = rc.sealed;
+    seg.open_logged = true;
+    seg.seal_ticket = 0;  // whatever the scan saw is durable by definition
+    if (rc.sealed) {
+      seg.evicted = true;
+      seg.durable_size = rc.size;
+      ++stats_.segments_sealed;
+    } else if (rc.size > 0) {
+      Status s = log_->ReadSegment(rc.key, seg.data);
+      if (!s.ok()) {
+        KERA_ERROR("backup %u: dropping copy p%u/v%u/s%llu at restart: %s",
+                   unsigned(config_.node), unsigned(rc.key.primary),
+                   unsigned(rc.key.vlog),
+                   (unsigned long long)rc.key.vseg, s.message().c_str());
+        continue;
+      }
+    }
+    segments_.emplace(key, std::move(seg));
   }
 }
 
-Backup::~Backup() {
-  flush_queue_.Shutdown();
-  if (flusher_.joinable()) flusher_.join();
-}
-
-std::string Backup::FilePath(const Key& key) const {
-  char name[96];
-  std::snprintf(name, sizeof(name), "p%u_v%u_s%llu.vseg",
-                unsigned(std::get<0>(key)), unsigned(std::get<1>(key)),
-                (unsigned long long)std::get<2>(key));
-  return config_.storage_dir + "/" + name;
-}
+Backup::~Backup() = default;
 
 rpc::ReplicateResponse Backup::HandleReplicate(
     const rpc::ReplicateRequest& req) {
@@ -66,6 +80,10 @@ rpc::ReplicateResponse Backup::HandleReplicate(
   seg.primary = req.primary;
   seg.vlog = req.vlog;
   seg.vseg = req.vseg;
+  if (log_ != nullptr && !seg.open_logged) {
+    log_->EnqueueOpen(LogKey(key));
+    seg.open_logged = true;
+  }
 
   auto apply_seal = [&](bool seals) {
     if (seals && !seg.sealed) {
@@ -75,15 +93,17 @@ rpc::ReplicateResponse Backup::HandleReplicate(
       // applied already or were disowned by an abort.
       seg.pending.clear();
       ++stats_.segments_sealed;
-      if (!config_.storage_dir.empty()) {
-        flushes_enqueued_.fetch_add(1, std::memory_order_relaxed);
-        flush_queue_.Push(key);
+      if (log_ != nullptr) {
+        seg.seal_ticket = log_->EnqueueSeal(LogKey(key), seg.data.size(),
+                                            seg.chunk_count,
+                                            seg.running_checksum);
       }
     }
   };
 
   // Extends the virtual segment header checksum over the new chunks'
-  // checksums, verifies against the primary's value, and appends.
+  // checksums, verifies against the primary's value, appends, and logs
+  // the applied batch (group-committed by the segment log's flusher).
   auto apply_payload = [&](std::span<const std::byte> payload,
                            uint32_t chunk_count, uint32_t checksum_after,
                            bool seals) -> bool {
@@ -99,9 +119,14 @@ rpc::ReplicateResponse Backup::HandleReplicate(
       ++stats_.checksum_failures;
       return false;
     }
+    uint64_t offset_before = seg.data.size();
     seg.data.insert(seg.data.end(), payload.begin(), payload.end());
     seg.chunk_count += chunk_count;
     seg.running_checksum = crc;
+    if (log_ != nullptr && !payload.empty()) {
+      log_->EnqueueAppend(LogKey(key), offset_before, payload, chunk_count,
+                          crc);
+    }
     apply_seal(seals);
     return true;
   };
@@ -186,6 +211,9 @@ rpc::ReplicateResponse Backup::HandleReplicate(
       seg.chunk_count = chunks;
       seg.running_checksum = crc;
       seg.pending.clear();  // buffered suffixes are part of the disowned tail
+      if (log_ != nullptr) {
+        log_->EnqueueTruncate(LogKey(key), req.start_offset, chunks, crc);
+      }
       ++stats_.replicate_rpcs;
       apply_seal(true);
       resp.status = StatusCode::kOk;
@@ -278,47 +306,6 @@ rpc::ListRecoverySegmentsResponse Backup::HandleList(
   return resp;
 }
 
-Status Backup::LoadFromDisk(ReplicatedSegment& seg, const Key& key,
-                            std::vector<std::byte>& out) const {
-  std::string path = FilePath(key);
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status(StatusCode::kNotFound,
-                  "flushed segment file missing: " + path);
-  }
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
-    return Status(StatusCode::kCorruption, "cannot seek in " + path);
-  }
-  long size = std::ftell(f);
-  // ftell returns -1 on failure; resizing to size_t(-1) would abort. A
-  // size that disagrees with what the flusher wrote means the file was
-  // truncated or replaced behind our back.
-  if (size < 0) {
-    std::fclose(f);
-    return Status(StatusCode::kCorruption, "cannot size " + path);
-  }
-  if (size_t(size) != seg.flushed_bytes) {
-    std::fclose(f);
-    return Status(StatusCode::kCorruption,
-                  "segment file " + path + " has " + std::to_string(size) +
-                      " bytes, expected " +
-                      std::to_string(seg.flushed_bytes));
-  }
-  if (std::fseek(f, 0, SEEK_SET) != 0) {
-    std::fclose(f);
-    return Status(StatusCode::kCorruption, "cannot seek in " + path);
-  }
-  out.resize(size_t(size));
-  size_t read = std::fread(out.data(), 1, out.size(), f);
-  std::fclose(f);
-  if (read != out.size()) {
-    out.clear();
-    return Status(StatusCode::kCorruption, "short read of " + path);
-  }
-  return OkStatus();
-}
-
 rpc::ReadRecoverySegmentResponse Backup::HandleRead(
     const rpc::ReadRecoverySegmentRequest& req,
     std::vector<std::byte>& payload_storage) {
@@ -332,9 +319,14 @@ rpc::ReadRecoverySegmentResponse Backup::HandleRead(
   }
   ReplicatedSegment& seg = it->second;
   if (seg.evicted) {
-    Status s = LoadFromDisk(seg, key, payload_storage);
+    Status s = log_->ReadSegment(LogKey(key), payload_storage);
     if (!s.ok()) {
       resp.status = s.code();
+      return resp;
+    }
+    if (payload_storage.size() != seg.durable_size) {
+      payload_storage.clear();
+      resp.status = StatusCode::kCorruption;
       return resp;
     }
   } else {
@@ -343,6 +335,21 @@ rpc::ReadRecoverySegmentResponse Backup::HandleRead(
   resp.chunk_count = seg.chunk_count;
   resp.payload = payload_storage;
   return resp;
+}
+
+size_t Backup::DropSegmentsForPrimary(NodeId primary) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    if (it->second.primary == primary) {
+      if (log_ != nullptr) log_->EnqueueEvacuate(LogKey(it->first));
+      it = segments_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 std::vector<std::byte> Backup::HandleRpc(std::span<const std::byte> request) {
@@ -391,6 +398,17 @@ std::vector<std::byte> Backup::HandleRpc(std::span<const std::byte> request) {
       }
       break;
     }
+    case rpc::Opcode::kEvacuateBackupSegments: {
+      auto req = rpc::EvacuateBackupSegmentsRequest::Decode(r);
+      rpc::EvacuateBackupSegmentsResponse resp;
+      if (!req.ok()) {
+        resp.status = req.status().code();
+      } else {
+        resp.dropped = uint32_t(DropSegmentsForPrimary(req->primary));
+      }
+      resp.Encode(out);
+      break;
+    }
     default:
       out.U8(uint8_t(StatusCode::kInvalidArgument));
       break;
@@ -398,56 +416,24 @@ std::vector<std::byte> Backup::HandleRpc(std::span<const std::byte> request) {
   return std::move(out).Take();
 }
 
-void Backup::FlusherLoop() {
-  while (auto key = flush_queue_.Pop()) {
-    std::vector<std::byte> data;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = segments_.find(*key);
-      if (it == segments_.end()) {
-        flushes_done_.fetch_add(1, std::memory_order_release);
-        continue;
-      }
-      data = it->second.data;
-    }
-    std::string path = FilePath(*key);
-    FILE* f = std::fopen(path.c_str(), "wb");
-    if (f != nullptr) {
-      size_t written = std::fwrite(data.data(), 1, data.size(), f);
-      std::fclose(f);
-      if (written != data.size()) {
-        // Partial write (disk full?): don't mark flushed, so the segment
-        // is never evicted on the strength of a torn file.
-        KERA_ERROR("backup %u: short write to %s", unsigned(config_.node),
-                   path.c_str());
-        flushes_done_.fetch_add(1, std::memory_order_release);
-        continue;
-      }
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = segments_.find(*key);
-      if (it != segments_.end()) {
-        it->second.flushed = true;
-        it->second.flushed_bytes = written;
-      }
-      ++stats_.segments_flushed;
-    } else {
-      KERA_ERROR("backup %u: cannot open %s", unsigned(config_.node),
-                 path.c_str());
-    }
-    flushes_done_.fetch_add(1, std::memory_order_release);
-  }
-}
-
 void Backup::WaitForFlushes() {
-  uint64_t target = flushes_enqueued_.load(std::memory_order_acquire);
-  while (flushes_done_.load(std::memory_order_acquire) < target) {
-    std::this_thread::yield();
-  }
+  if (log_ != nullptr) (void)log_->Sync();
 }
 
 Backup::Stats Backup::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s = stats_;
+  if (log_ != nullptr) {
+    SegmentLog::Stats ls = log_->GetStats();
+    s.segments_flushed = ls.seals_durable;
+    s.flush_groups = ls.flush_groups;
+    s.fsyncs = ls.fsyncs;
+    s.bytes_flushed = ls.bytes_flushed;
+    s.gc_bytes_reclaimed = ls.gc_bytes_reclaimed;
+    s.restart_scan_ms = ls.restart_scan_ms;
+    s.io_errors = log_->status().ok() ? 0 : 1;
+  }
+  return s;
 }
 
 size_t Backup::SegmentCount() const {
@@ -456,17 +442,39 @@ size_t Backup::SegmentCount() const {
 }
 
 size_t Backup::EvictFlushed() {
+  if (log_ == nullptr) return 0;
+  uint64_t durable = log_->DurableTicket();
   std::lock_guard<std::mutex> lock(mu_);
   size_t evicted = 0;
   for (auto& [_, seg] : segments_) {
-    if (seg.flushed && !seg.evicted) {
-      seg.data.clear();
-      seg.data.shrink_to_fit();
-      seg.evicted = true;
-      ++evicted;
-    }
+    if (!seg.sealed || seg.evicted) continue;
+    if (seg.seal_ticket != 0 && durable < seg.seal_ticket) continue;
+    seg.durable_size = seg.data.size();
+    seg.data.clear();
+    seg.data.shrink_to_fit();
+    seg.evicted = true;
+    ++evicted;
   }
   return evicted;
+}
+
+std::vector<Backup::DebugCopy> Backup::DebugCopies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DebugCopy> out;
+  out.reserve(segments_.size());
+  for (const auto& [key, seg] : segments_) {
+    DebugCopy d;
+    d.primary = seg.primary;
+    d.vlog = seg.vlog;
+    d.vseg = seg.vseg;
+    d.size = seg.evicted ? seg.durable_size : seg.data.size();
+    d.chunk_count = seg.chunk_count;
+    d.running_checksum = seg.running_checksum;
+    d.sealed = seg.sealed;
+    d.evicted = seg.evicted;
+    out.push_back(d);
+  }
+  return out;
 }
 
 }  // namespace kera

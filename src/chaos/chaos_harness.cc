@@ -1,9 +1,12 @@
 #include "chaos/chaos_harness.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <set>
@@ -11,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "backup/segment_log.h"
 #include "chaos/invariant_checker.h"
 #include "cluster/mini_cluster.h"
 #include "common/rng.h"
@@ -38,6 +42,15 @@ class Harness {
       : sched_(s),
         options_(options),
         net_(direct_, s.seed ^ 0x9E3779B97F4A7C15ull) {}
+
+  ~Harness() {
+    // Backups close their log files before the scratch dir goes away.
+    cluster_.reset();
+    if (!pl_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(pl_dir_, ec);
+    }
+  }
 
   RunResult Run() {
     trace_ += FormatTraceHeader(sched_);
@@ -110,6 +123,24 @@ class Harness {
     // execution when one thread drives everything, so sharded runs stay
     // deterministic too.
     cfg.broker_shards = std::max<uint32_t>(1, options_.broker_shards);
+    if (sched_.power_loss) {
+      // Power-loss runs give every backup a real on-disk segment log in a
+      // per-run scratch dir. Tiny log files and eager flushing so a
+      // handful of chunks spans several files and flush groups; GC OFF so
+      // the byte layout on disk is a pure function of the schedule (the
+      // collector's timing would perturb where the cut lands).
+      char dir[128];
+      std::snprintf(dir, sizeof(dir), "/tmp/kera_chaos_pl_%" PRIu64 "_%d",
+                    sched_.seed, int(::getpid()));
+      pl_dir_ = dir;
+      std::error_code ec;
+      std::filesystem::remove_all(pl_dir_, ec);
+      cfg.backup_dir = pl_dir_ + "/n%u";
+      cfg.backup_log_file_bytes = 32u << 10;
+      cfg.backup_flush_interval_us = 500;
+      cfg.backup_flush_batch_bytes = 16u << 10;
+      cfg.backup_gc_live_ratio = 0.0;
+    }
     cfg.external_network = &net_;
     cfg.external_register = [this](NodeId n, rpc::RpcHandler* h) {
       net_.Register(n, h);
@@ -150,6 +181,12 @@ class Harness {
     result_.trace = std::move(trace_);
     result_.net = net_.GetStats();
     result_.dedup_hits = CurrentDedupHits();
+    if (sched_.power_loss && cluster_ != nullptr) {
+      Backup::Stats bs = cluster_->TotalBackupStats();
+      result_.backup_flush_groups = bs.flush_groups;
+      result_.backup_fsyncs = bs.fsyncs;
+      result_.backup_bytes_flushed = bs.bytes_flushed;
+    }
     return std::move(result_);
   }
 
@@ -268,6 +305,8 @@ class Harness {
         return ExecHeal();
       case FaultKind::kConsumerRestart:
         return ExecConsumerRestart(ev.a % sched_.consumers);
+      case FaultKind::kPowerLoss:
+        return ExecPowerLoss(1 + (ev.a - 1) % sched_.nodes, ev.arg);
     }
     return Fail("unknown event kind %u", unsigned(ev.kind));
   }
@@ -668,6 +707,55 @@ class Harness {
     return true;
   }
 
+  bool ExecPowerLoss(NodeId node, uint64_t arg) {
+    // The cut offset must be a pure function of the schedule, so the disk
+    // state it lands in has to be deterministic first: drain in-flight
+    // replication (skip the event if faults keep it undrainable, like
+    // broker crashes do) and force the backup's queued records down. The
+    // byte LAYOUT of the log is deterministic — record placement depends
+    // only on record sizes in ticket order, not on how the flusher grouped
+    // them — even though fsync/group counts are not.
+    if (!Quiesce()) {
+      ++result_.events_skipped;
+      Annotate("power-loss node=%u skipped: replication did not drain",
+               unsigned(node));
+      return true;
+    }
+    net_.DiscardHeld();  // held frames do not survive the backup epoch
+    cluster_->backup(node).WaitForFlushes();
+    std::string dir = cluster_->BackupDirFor(node);
+    uint64_t total = SegmentLog::TotalLogBytes(dir);
+    uint64_t cut = total == 0 ? 0 : arg % (total + 1);
+
+    // Power cut: memory gone, flusher dead, and the log torn at `cut` —
+    // mid-record, mid-group, wherever the selector landed.
+    cluster_->DestroyBackup(node);
+    cluster_->coordinator().NoteBackupDown(node);
+    Status ts = SegmentLog::TruncateLogsAt(dir, cut);
+    if (!ts.ok()) {
+      return Fail("power-loss truncate at %" PRIu64 " failed: %s", cut,
+                  ts.message().c_str());
+    }
+    // Restart scans the torn log and rebuilds the copy map from whatever
+    // prefix survived.
+    cluster_->RestartBackup(node);
+    cluster_->coordinator().NoteBackupUp(node, &cluster_->backup(node));
+    ++result_.power_loss_events;
+    size_t recovered = cluster_->backup(node).SegmentCount();
+    result_.power_loss_recovered += recovered;
+    std::string v =
+        InvariantChecker::CheckBackupDurableCopies(*cluster_, node,
+                                                   &result_.checks);
+    if (!v.empty()) {
+      return Fail("invariant 6 (power-loss durability): %s", v.c_str());
+    }
+    bool drained = DrainAll();
+    Annotate("power-loss node=%u cut=%" PRIu64 "/%" PRIu64
+             " recovered=%zu drained=%d",
+             unsigned(node), cut, total, recovered, int(drained));
+    return true;
+  }
+
   // ----- final phase ------------------------------------------------------
 
   void FinalPhase() {
@@ -734,6 +822,10 @@ class Harness {
   /// Harness-side mirror of the installed edge policies, so net-fault
   /// events compose on an edge instead of replacing each other.
   std::map<NodeId, ChaosNetwork::EdgePolicy> edge_policies_;
+
+  /// Scratch directory holding the per-node backup segment logs of a
+  /// power-loss run; removed by the destructor. Empty in modes A/B.
+  std::string pl_dir_;
 
   std::string trace_;
   size_t event_index_ = size_t(-1);

@@ -44,6 +44,14 @@ struct RunResult {
   uint64_t abandoned_sends = 0;     // chunks never acked within the event
   uint64_t dedup_hits = 0;          // broker exactly-once rejections
   uint64_t recovery_replayed = 0;   // chunks replayed by crash/migration
+  uint64_t power_loss_events = 0;      // executed power-loss faults
+  uint64_t power_loss_recovered = 0;   // copies rebuilt by post-cut scans
+  // Backup segment-log flush totals at run end (power-loss mode only).
+  // Group-commit boundaries depend on flusher wakeup timing, so these are
+  // NOT deterministic across runs — report them, never compare them.
+  uint64_t backup_flush_groups = 0;
+  uint64_t backup_fsyncs = 0;
+  uint64_t backup_bytes_flushed = 0;
   ChaosNetwork::Stats net;
 };
 

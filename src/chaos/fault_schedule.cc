@@ -22,6 +22,7 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kNetFault: return "net-fault";
     case FaultKind::kHealNetwork: return "heal";
     case FaultKind::kConsumerRestart: return "consumer-restart";
+    case FaultKind::kPowerLoss: return "power-loss";
   }
   return "unknown";
 }
@@ -29,7 +30,7 @@ const char* FaultKindName(FaultKind kind) {
 namespace {
 
 bool ParseFaultKind(const char* name, FaultKind& out) {
-  for (uint8_t k = 0; k <= uint8_t(FaultKind::kConsumerRestart); ++k) {
+  for (uint8_t k = 0; k <= uint8_t(FaultKind::kPowerLoss); ++k) {
     if (std::strcmp(name, FaultKindName(FaultKind(k))) == 0) {
       out = FaultKind(k);
       return true;
@@ -55,6 +56,10 @@ Schedule GenerateSchedule(uint64_t seed, uint32_t num_events) {
   s.producers = 2 + uint32_t(rng.NextBounded(2));
   s.consumers = 1 + uint32_t(rng.NextBounded(2));
   s.vlog_per_subpartition = rng.NextBounded(4) == 0;
+  // Power-loss runs are a backup-mode variant: the backup's fault is a
+  // full power cut (memory gone AND the on-disk segment log torn at an
+  // arbitrary byte) instead of memory-only loss.
+  s.power_loss = s.backup_mode && rng.NextBounded(2) == 0;
 
   uint32_t backup_down = 0;  // node whose backup is currently down, or 0
   // Broker mode crashes at most R-1 DISTINCT nodes per schedule (re-crashing
@@ -97,7 +102,15 @@ Schedule GenerateSchedule(uint64_t seed, uint32_t num_events) {
       ev.kind = FaultKind::kHealNetwork;
     } else if (roll < 88) {
       if (s.backup_mode) {
-        if (backup_down == 0) {
+        if (s.power_loss) {
+          // A power loss is crash + disk truncation + restart in one
+          // event, so no down/up pairing is needed. arg seeds the byte
+          // offset selection (taken modulo the live log size at
+          // execution time).
+          ev.kind = FaultKind::kPowerLoss;
+          ev.a = 1 + uint32_t(rng.NextBounded(s.nodes));
+          ev.arg = rng.Next();
+        } else if (backup_down == 0) {
           ev.kind = FaultKind::kBackupCrash;
           ev.a = 1 + uint32_t(rng.NextBounded(s.nodes));
           backup_down = ev.a;
@@ -146,7 +159,8 @@ std::string FormatTraceHeader(const Schedule& s) {
                 "nodes=%u rf=%u streamlets=%u producers=%u consumers=%u "
                 "mode=%c vlogs=%s\n",
                 s.nodes, s.replication_factor, s.streamlets, s.producers,
-                s.consumers, s.backup_mode ? 'B' : 'A',
+                s.consumers,
+                s.backup_mode ? (s.power_loss ? 'P' : 'B') : 'A',
                 s.vlog_per_subpartition ? "per-sub" : "shared");
   out += line;
   std::snprintf(line, sizeof(line), "events=%zu\n", s.events.size());
@@ -209,10 +223,11 @@ Result<Schedule> ParseTrace(std::string_view text) {
                       "consumers=%u mode=%c vlogs=%15s",
                       &s.nodes, &s.replication_factor, &s.streamlets,
                       &s.producers, &s.consumers, &mode, vlogs) != 7 ||
-          (mode != 'A' && mode != 'B')) {
+          (mode != 'A' && mode != 'B' && mode != 'P')) {
         return Status(StatusCode::kInvalidArgument, "bad shape line");
       }
-      s.backup_mode = mode == 'B';
+      s.backup_mode = mode == 'B' || mode == 'P';
+      s.power_loss = mode == 'P';
       s.vlog_per_subpartition = std::strcmp(vlogs, "per-sub") == 0;
       have_shape = true;
       continue;

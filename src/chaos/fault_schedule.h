@@ -34,6 +34,11 @@ enum class FaultKind : uint8_t {
   kNetFault = 6,        // a: service id, b: fault type, arg: parameter
   kHealNetwork = 7,     // clear faults, quiesce, full invariant check
   kConsumerRestart = 8, // a: consumer index; rewind to committed offsets
+  kPowerLoss = 9,       // a: node; arg: selects the log truncation offset.
+                        // Backup loses memory AND its on-disk segment log
+                        // is cut at an arbitrary byte (power loss tears
+                        // the last flush group); the restarted backup
+                        // rebuilds its copy map from the surviving prefix.
 };
 
 /// kNetFault sub-types carried in FaultEvent::b.
@@ -63,6 +68,9 @@ struct Schedule {
   uint32_t consumers = 1;
   /// true: backup-fault mode (B); false: broker-fault mode (A).
   bool backup_mode = false;
+  /// Backup-mode variant (mode P): backup faults are power losses — disk
+  /// truncated at an arbitrary flush boundary, not just memory loss.
+  bool power_loss = false;
   /// true: one vlog per sub-partition; false: shared per-broker pool.
   bool vlog_per_subpartition = false;
   std::vector<FaultEvent> events;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <tuple>
 
+#include "common/crc32c.h"
 #include "wire/chunk.h"
 
 namespace kera::chaos {
@@ -166,6 +167,60 @@ std::string InvariantChecker::CheckChecksumCounters(MiniCluster& cluster,
     }
     if (cluster.backup(node).GetStats().checksum_failures != 0) {
       return Describe("backup %u counted checksum failures", unsigned(node));
+    }
+  }
+  return "";
+}
+
+std::string InvariantChecker::CheckBackupDurableCopies(MiniCluster& cluster,
+                                                       NodeId node,
+                                                       uint64_t* checks) {
+  Backup& backup = cluster.backup(node);
+  for (const Backup::DebugCopy& d : backup.DebugCopies()) {
+    rpc::ReadRecoverySegmentRequest req;
+    req.crashed = d.primary;
+    req.vlog = d.vlog;
+    req.vseg = d.vseg;
+    std::vector<std::byte> storage;
+    auto resp = backup.HandleRead(req, storage);
+    ++*checks;
+    if (resp.status != StatusCode::kOk) {
+      return Describe("backup %u copy p%u/v%u/s%" PRIu64
+                      ": recovered copy does not re-read (status %u)",
+                      unsigned(node), unsigned(d.primary), unsigned(d.vlog),
+                      uint64_t(d.vseg), unsigned(resp.status));
+    }
+    if (resp.payload.size() != d.size) {
+      return Describe("backup %u copy p%u/v%u/s%" PRIu64
+                      ": read %zu bytes, descriptor says %" PRIu64,
+                      unsigned(node), unsigned(d.primary), unsigned(d.vlog),
+                      uint64_t(d.vseg), resp.payload.size(), d.size);
+    }
+    uint32_t chunks = 0;
+    uint32_t crc = 0;
+    std::span<const std::byte> rest = resp.payload;
+    while (!rest.empty()) {
+      ++*checks;
+      auto cv = ChunkView::Parse(rest);
+      if (!cv.ok() || !cv->VerifyChecksum()) {
+        return Describe("backup %u copy p%u/v%u/s%" PRIu64
+                        ": recovered chunk %u corrupt",
+                        unsigned(node), unsigned(d.primary), unsigned(d.vlog),
+                        uint64_t(d.vseg), chunks);
+      }
+      uint32_t chunk_crc = cv->payload_checksum();
+      crc = Crc32c(&chunk_crc, sizeof(chunk_crc), crc);
+      rest = rest.subspan(cv->total_size());
+      ++chunks;
+    }
+    ++*checks;
+    if (chunks != d.chunk_count || crc != d.running_checksum) {
+      return Describe("backup %u copy p%u/v%u/s%" PRIu64
+                      ": rebuilt copy mismatch (chunks %u vs %u, crc %08x "
+                      "vs %08x)",
+                      unsigned(node), unsigned(d.primary), unsigned(d.vlog),
+                      uint64_t(d.vseg), chunks, d.chunk_count, crc,
+                      d.running_checksum);
     }
   }
   return "";

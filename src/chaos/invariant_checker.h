@@ -56,6 +56,16 @@ class InvariantChecker {
   /// any broker or backup.
   [[nodiscard]] static std::string CheckChecksumCounters(
       MiniCluster& cluster, uint64_t* checks);
+
+  /// Invariant 6 (power-loss durability): every copy `node`'s restarted
+  /// backup rebuilt from its torn segment log is internally consistent —
+  /// the payload re-reads from disk, parses into exactly the advertised
+  /// chunk count, every chunk checksum verifies, and the running checksum
+  /// chain recomputes to the advertised value. A torn tail may shorten
+  /// copies (the acked data lives at the primaries), but a recovered copy
+  /// must never be silently corrupt.
+  [[nodiscard]] static std::string CheckBackupDurableCopies(
+      MiniCluster& cluster, NodeId node, uint64_t* checks);
 };
 
 }  // namespace kera::chaos

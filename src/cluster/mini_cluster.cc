@@ -33,13 +33,27 @@ BrokerConfig MiniCluster::BrokerConfigFor(NodeId node) const {
 BackupConfig MiniCluster::BackupConfigFor(NodeId node) const {
   BackupConfig bkc;
   bkc.node = node;
-  if (!config_.backup_dir.empty()) {
-    char dir[256];
-    std::snprintf(dir, sizeof(dir), config_.backup_dir.c_str(),
-                  unsigned(node));
-    bkc.storage_dir = dir;
+  bkc.storage_dir = BackupDirFor(node);
+  if (config_.backup_log_file_bytes != 0) {
+    bkc.log.log_file_bytes = config_.backup_log_file_bytes;
+  }
+  if (config_.backup_flush_batch_bytes != 0) {
+    bkc.log.flush_batch_bytes = config_.backup_flush_batch_bytes;
+  }
+  if (config_.backup_flush_interval_us != 0) {
+    bkc.log.flush_interval_us = config_.backup_flush_interval_us;
+  }
+  if (config_.backup_gc_live_ratio >= 0.0) {
+    bkc.log.gc_live_ratio = config_.backup_gc_live_ratio;
   }
   return bkc;
+}
+
+std::string MiniCluster::BackupDirFor(NodeId node) const {
+  if (config_.backup_dir.empty()) return {};
+  char dir[256];
+  std::snprintf(dir, sizeof(dir), config_.backup_dir.c_str(), unsigned(node));
+  return dir;
 }
 
 void MiniCluster::RegisterOnNetwork(NodeId service, rpc::RpcHandler* handler) {
@@ -210,6 +224,11 @@ void MiniCluster::CrashBackup(NodeId node) {
   CrashOnNetwork(BackupServiceId(node));
 }
 
+void MiniCluster::DestroyBackup(NodeId node) {
+  CrashOnNetwork(BackupServiceId(node));
+  backups_[node - 1].reset();
+}
+
 void MiniCluster::RestartBackup(NodeId node) {
   auto backup = std::make_unique<Backup>(BackupConfigFor(node));
   RestoreOnNetwork(BackupServiceId(node), backup.get());
@@ -239,6 +258,26 @@ Broker::Stats MiniCluster::TotalBrokerStats() const {
     for (size_t i = 0; i < s.shard_frames.size(); ++i) {
       total.shard_frames[i] += s.shard_frames[i];
     }
+  }
+  return total;
+}
+
+Backup::Stats MiniCluster::TotalBackupStats() const {
+  Backup::Stats total;
+  for (const auto& b : backups_) {
+    Backup::Stats s = b->GetStats();
+    total.replicate_rpcs += s.replicate_rpcs;
+    total.bytes_received += s.bytes_received;
+    total.chunks_received += s.chunks_received;
+    total.checksum_failures += s.checksum_failures;
+    total.segments_sealed += s.segments_sealed;
+    total.segments_flushed += s.segments_flushed;
+    total.flush_groups += s.flush_groups;
+    total.fsyncs += s.fsyncs;
+    total.bytes_flushed += s.bytes_flushed;
+    total.gc_bytes_reclaimed += s.gc_bytes_reclaimed;
+    total.restart_scan_ms += s.restart_scan_ms;
+    total.io_errors += s.io_errors;
   }
   return total;
 }

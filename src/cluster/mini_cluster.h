@@ -61,6 +61,14 @@ struct MiniClusterConfig {
   /// Backup flush directory template; empty disables disk flushing. A
   /// "%u" is replaced by the node id.
   std::string backup_dir;
+  /// Backup segment-log knobs (meaningful only with a backup_dir); 0
+  /// keeps the StorageConfig default. gc_live_ratio < 0 keeps the
+  /// default, 0 disables GC (chaos power-loss mode needs deterministic
+  /// disk state).
+  size_t backup_log_file_bytes = 0;
+  size_t backup_flush_batch_bytes = 0;
+  uint64_t backup_flush_interval_us = 0;
+  double backup_gc_live_ratio = -1.0;
 
   /// External network injection (fault-injection harnesses wrap a
   /// DirectNetwork in a decorator): when `external_network` is set the
@@ -111,8 +119,22 @@ class MiniCluster {
   /// Pair with coordinator().NoteBackupUp(node, &backup(node)).
   void RestartBackup(NodeId node);
 
+  /// Power-loss variant of CrashBackup: unregisters AND destroys the
+  /// backup instance (its segment-log flusher thread stops and all file
+  /// handles close), so the caller may truncate the on-disk log before
+  /// RestartBackup rescans it. backup(node) is invalid until then.
+  void DestroyBackup(NodeId node);
+
   /// Aggregated broker stats across the cluster.
   [[nodiscard]] Broker::Stats TotalBrokerStats() const;
+
+  /// Aggregated backup stats across the cluster.
+  [[nodiscard]] Backup::Stats TotalBackupStats() const;
+
+  /// Resolved backup storage directory for `node` (empty when disk
+  /// flushing is disabled). The chaos power-loss fault truncates the log
+  /// files under this directory between CrashBackup and RestartBackup.
+  [[nodiscard]] std::string BackupDirFor(NodeId node) const;
 
   /// Resolved shared-nothing shard count per broker (after the
   /// KERA_BROKER_SHARDS auto default).

@@ -1,0 +1,185 @@
+// RAII POSIX file handle for the durable paths (backup segment log).
+// Every IO failure surfaces as a Status — short writes are completed by
+// retrying the remainder, EINTR is transparent, and fsync errors are
+// reported instead of silently dropped (the caller's durability watermark
+// must never advance past a failed sync).
+#pragma once
+
+#include <fcntl.h>
+#include <limits.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kera {
+
+class PosixFile {
+ public:
+  PosixFile() = default;
+  ~PosixFile() { Close(); }
+
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  PosixFile(PosixFile&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+  PosixFile& operator=(PosixFile&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+      path_ = std::move(other.path_);
+    }
+    return *this;
+  }
+
+  /// Opens `path` with the given open(2) flags (e.g. O_RDWR | O_CREAT).
+  [[nodiscard]] static Result<PosixFile> Open(const std::string& path,
+                                              int flags, mode_t mode = 0644) {
+    int fd;
+    do {
+      fd = ::open(path.c_str(), flags, mode);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      StatusCode code =
+          errno == ENOENT ? StatusCode::kNotFound : StatusCode::kInternal;
+      return Status(code, "open " + path + ": " + std::strerror(errno));
+    }
+    PosixFile f;
+    f.fd_ = fd;
+    f.path_ = path;
+    return f;
+  }
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  /// Writes the whole span at `offset`, retrying short writes.
+  [[nodiscard]] Status WriteAt(uint64_t offset,
+                               std::span<const std::byte> data) const {
+    while (!data.empty()) {
+      ssize_t n = ::pwrite(fd_, data.data(), data.size(), off_t(offset));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status(StatusCode::kInternal,
+                      "pwrite " + path_ + ": " + std::strerror(errno));
+      }
+      data = data.subspan(size_t(n));
+      offset += uint64_t(n);
+    }
+    return OkStatus();
+  }
+
+  /// Vectored write of all iovecs at `offset`; `iov` is consumed (advanced
+  /// in place across partial writes).
+  [[nodiscard]] Status WritevAt(uint64_t offset,
+                                std::vector<struct iovec>& iov) const {
+    size_t next = 0;
+    while (next < iov.size()) {
+      int cnt = int(std::min<size_t>(iov.size() - next, IOV_MAX));
+      ssize_t n = ::pwritev(fd_, iov.data() + next, cnt, off_t(offset));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status(StatusCode::kInternal,
+                      "pwritev " + path_ + ": " + std::strerror(errno));
+      }
+      offset += uint64_t(n);
+      size_t left = size_t(n);
+      while (next < iov.size() && left >= iov[next].iov_len) {
+        left -= iov[next].iov_len;
+        ++next;
+      }
+      if (next < iov.size() && left > 0) {
+        iov[next].iov_base = static_cast<char*>(iov[next].iov_base) + left;
+        iov[next].iov_len -= left;
+      }
+    }
+    return OkStatus();
+  }
+
+  /// Reads exactly `out.size()` bytes at `offset`; EOF short of that is an
+  /// error (kOutOfRange) so a truncated file is never mistaken for data.
+  [[nodiscard]] Status ReadAt(uint64_t offset, std::span<std::byte> out) const {
+    while (!out.empty()) {
+      ssize_t n = ::pread(fd_, out.data(), out.size(), off_t(offset));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status(StatusCode::kInternal,
+                      "pread " + path_ + ": " + std::strerror(errno));
+      }
+      if (n == 0) {
+        return Status(StatusCode::kOutOfRange,
+                      "short read past EOF in " + path_);
+      }
+      out = out.subspan(size_t(n));
+      offset += uint64_t(n);
+    }
+    return OkStatus();
+  }
+
+  [[nodiscard]] Status Sync() const {
+    int r;
+    do {
+      r = ::fsync(fd_);
+    } while (r != 0 && errno == EINTR);
+    if (r != 0) {
+      return Status(StatusCode::kInternal,
+                    "fsync " + path_ + ": " + std::strerror(errno));
+    }
+    return OkStatus();
+  }
+
+  [[nodiscard]] Status Truncate(uint64_t size) const {
+    int r;
+    do {
+      r = ::ftruncate(fd_, off_t(size));
+    } while (r != 0 && errno == EINTR);
+    if (r != 0) {
+      return Status(StatusCode::kInternal,
+                    "ftruncate " + path_ + ": " + std::strerror(errno));
+    }
+    return OkStatus();
+  }
+
+  [[nodiscard]] Result<uint64_t> Size() const {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status(StatusCode::kInternal,
+                    "fstat " + path_ + ": " + std::strerror(errno));
+    }
+    return uint64_t(st.st_size);
+  }
+
+  /// fsyncs a directory so freshly created/renamed/unlinked entries are
+  /// durable (a new log file is not crash-safe until its dirent is).
+  [[nodiscard]] static Status SyncDir(const std::string& dir) {
+    auto d = Open(dir, O_RDONLY | O_DIRECTORY);
+    if (!d.ok()) return d.status();
+    return d->Sync();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace kera

@@ -173,8 +173,46 @@ Result<uint64_t> Coordinator::RecoverNode(NodeId crashed) {
 
   // 2-3. Replay everything the crashed broker led from the surviving
   //       backups into the new leaders.
-  return ReplayFromBackups(crashed,
-                           [](StreamId, StreamletId) { return true; });
+  auto replayed =
+      ReplayFromBackups(crashed, [](StreamId, StreamletId) { return true; });
+  if (!replayed.ok()) return replayed;
+
+  // 4. The replay re-produced (and re-replicated, synchronously on the
+  //    produce path) everything the crashed broker led, so the copies the
+  //    backups still hold for it are garbage: evacuate them. Best-effort —
+  //    a backup that is down keeps its stale copies until its next
+  //    incarnation, which is merely unreclaimed space, never wrong data
+  //    (replay is keyed by primary and the primary is gone for good).
+  EvacuateBackups(crashed);
+  return replayed;
+}
+
+uint64_t Coordinator::EvacuateBackups(NodeId primary) {
+  std::vector<NodeId> backup_services;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [node, live] : alive_) {
+      if (live && backup_down_.count(node) == 0) {
+        backup_services.push_back(BackupServiceId(node));
+      }
+    }
+  }
+  uint64_t dropped = 0;
+  for (NodeId backup : backup_services) {
+    rpc::EvacuateBackupSegmentsRequest req;
+    req.primary = primary;
+    rpc::Writer body;
+    req.Encode(body);
+    auto raw = network_.Call(
+        backup, rpc::Frame(rpc::Opcode::kEvacuateBackupSegments, body));
+    if (!raw.ok()) continue;
+    rpc::Reader r(*raw);
+    auto resp = rpc::EvacuateBackupSegmentsResponse::Decode(r);
+    if (resp.ok() && resp->status == StatusCode::kOk) {
+      dropped += resp->dropped;
+    }
+  }
+  return dropped;
 }
 
 void Coordinator::PushLiveBackups() {

@@ -104,6 +104,14 @@ class Coordinator final : public rpc::RpcHandler {
   /// backup is not independently down) to every live broker.
   void PushLiveBackups();
 
+  /// Tells every live backup service to drop the copies it holds for
+  /// `primary`. Called after RecoverNode's replay: the data now lives at
+  /// the new leaders (re-replicated synchronously on the produce path),
+  /// so the old copies are garbage — evacuating them frees backup memory
+  /// and lets the segment-log GC reclaim their on-disk records. Returns
+  /// copies dropped across the cluster.
+  uint64_t EvacuateBackups(NodeId primary);
+
   rpc::Network& network_;
   mutable std::mutex mu_;
   std::map<NodeId, Broker*> brokers_;

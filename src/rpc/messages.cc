@@ -448,4 +448,30 @@ Result<ReadRecoverySegmentResponse> ReadRecoverySegmentResponse::Decode(
   return resp;
 }
 
+void EvacuateBackupSegmentsRequest::Encode(Writer& w) const {
+  w.U32(primary);
+}
+
+Result<EvacuateBackupSegmentsRequest> EvacuateBackupSegmentsRequest::Decode(
+    Reader& r) {
+  EvacuateBackupSegmentsRequest req;
+  KERA_RETURN_IF_ERROR(r.U32(req.primary));
+  return req;
+}
+
+void EvacuateBackupSegmentsResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  w.U32(dropped);
+}
+
+Result<EvacuateBackupSegmentsResponse> EvacuateBackupSegmentsResponse::Decode(
+    Reader& r) {
+  EvacuateBackupSegmentsResponse resp;
+  uint8_t code = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(r.U32(resp.dropped));
+  return resp;
+}
+
 }  // namespace kera::rpc

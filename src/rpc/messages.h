@@ -25,6 +25,7 @@ enum class Opcode : uint16_t {
   kListRecoverySegments = 6,
   kReadRecoverySegment = 7,
   kSealStream = 8,
+  kEvacuateBackupSegments = 9,
 };
 
 /// Builds a full request frame: u16 opcode then the encoded body.
@@ -275,6 +276,24 @@ struct ReadRecoverySegmentResponse {
 
   void Encode(Writer& w) const;
   [[nodiscard]] static Result<ReadRecoverySegmentResponse> Decode(Reader& r);
+};
+
+/// Coordinator -> backup, after recovery replay re-produced the crashed
+/// primary's data at its new leaders: drop every copy held for `primary`
+/// (their log records become GC-collectable garbage).
+struct EvacuateBackupSegmentsRequest {
+  NodeId primary = 0;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<EvacuateBackupSegmentsRequest> Decode(Reader& r);
+};
+
+struct EvacuateBackupSegmentsResponse {
+  StatusCode status = StatusCode::kOk;
+  uint32_t dropped = 0;  // copies evacuated
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<EvacuateBackupSegmentsResponse> Decode(Reader& r);
 };
 
 }  // namespace kera::rpc

@@ -4,6 +4,8 @@
 // threaded network, and memory bounding via trimming.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include <atomic>
 #include <map>
 #include <set>
@@ -243,6 +245,13 @@ TEST(IntegrationTest, DiskBackedBackupsServeRecovery) {
   // in-memory copies; recovery then reloads from the files. This drives
   // the full disk path end-to-end through a broker crash.
   std::string dir = ::testing::TempDir() + "/kera_disk_recovery_n%u";
+  // Fresh directories: a backup cold-starts by scanning its segment log,
+  // so copies left by a previous run would otherwise be resurrected and
+  // collide with this run's virtual segment ids.
+  for (int n = 1; n <= 4; ++n) {
+    std::filesystem::remove_all(::testing::TempDir() +
+                                "/kera_disk_recovery_n" + std::to_string(n));
+  }
   MiniClusterConfig cfg = FourNodeConfig();
   cfg.workers_per_node = 0;
   cfg.backup_dir = dir;

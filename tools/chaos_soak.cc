@@ -121,6 +121,11 @@ int main(int argc, char** argv) {
     total.abandoned_sends += r.abandoned_sends;
     total.dedup_hits += r.dedup_hits;
     total.recovery_replayed += r.recovery_replayed;
+    total.power_loss_events += r.power_loss_events;
+    total.power_loss_recovered += r.power_loss_recovered;
+    total.backup_flush_groups += r.backup_flush_groups;
+    total.backup_fsyncs += r.backup_fsyncs;
+    total.backup_bytes_flushed += r.backup_bytes_flushed;
     total.net.calls += r.net.calls;
     total.net.dropped_requests += r.net.dropped_requests;
     total.net.dropped_responses += r.net.dropped_responses;
@@ -172,6 +177,16 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"dedup_hits\": %" PRIu64 ",\n", total.dedup_hits);
   std::fprintf(out, "  \"recovery_replayed\": %" PRIu64 ",\n",
                total.recovery_replayed);
+  std::fprintf(out, "  \"power_loss_events\": %" PRIu64 ",\n",
+               total.power_loss_events);
+  std::fprintf(out, "  \"power_loss_recovered\": %" PRIu64 ",\n",
+               total.power_loss_recovered);
+  std::fprintf(out, "  \"backup_flush_groups\": %" PRIu64 ",\n",
+               total.backup_flush_groups);
+  std::fprintf(out, "  \"backup_fsyncs\": %" PRIu64 ",\n",
+               total.backup_fsyncs);
+  std::fprintf(out, "  \"backup_bytes_flushed\": %" PRIu64 ",\n",
+               total.backup_bytes_flushed);
   std::fprintf(out, "  \"net_calls\": %" PRIu64 ",\n", total.net.calls);
   std::fprintf(out, "  \"net_dropped_requests\": %" PRIu64 ",\n",
                total.net.dropped_requests);
