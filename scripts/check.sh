@@ -75,6 +75,34 @@ cmake --build "$asan_build" -j --target chaos_test
 echo "-- ASan+UBSan: chaos_test (bounded)"
 KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$asan_build/tests/chaos_test"
 
+echo "== recovery: parallel crash-recovery suites under TSan =="
+# The recovery engine spawns real lane/read threads on the threaded and
+# socket transports; the recovery + migration suites drive scatter
+# placement, batched backup reads and lane replay under TSan.
+cmake --build "$tsan_build" -j --target \
+  recovery_property_test coordinator_test migration_test
+for t in recovery_property_test coordinator_test migration_test; do
+  echo "-- TSan: $t"
+  "$tsan_build/tests/$t"
+done
+
+echo "== recovery: parallel-recovery chaos sweep under ASan+UBSan =="
+# Bounded band of crash schedules with the recovery fan-out at 8: the
+# scatter/batched-read/lane machinery runs on every crash while ASan
+# watches the payload span lifetimes (spans into the batch response).
+KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$asan_build/tests/chaos_test" \
+  --gtest_filter='ChaosSweep.ParallelRecoverySchedulesHoldInvariants:ChaosSweep.TraceIdenticalAcrossRecoveryParallelism'
+
+echo "== recovery MTTR benchmark (JSON to BENCH_recovery.json) =="
+# Modeled MTTR vs data volume / broker count / fan-out on the
+# deterministic path, the 512-segment paper-scale sweep, and a socket
+# wall-clock run (honest numbers; batched-read RPC reduction is the
+# deterministic claim there).
+cmake --build "$build" -j --target bench_recovery_mttr
+"$build/bench/bench_recovery_mttr" \
+  --benchmark_out="$repo/BENCH_recovery.json" \
+  --benchmark_out_format=json
+
 echo "== chaos soak (JSON to BENCH_chaos.json) =="
 cmake --build "$build" -j --target chaos_soak
 "$build/tools/chaos_soak" --schedules=400 --events=60 \

@@ -337,6 +337,47 @@ rpc::ReadRecoverySegmentResponse Backup::HandleRead(
   return resp;
 }
 
+rpc::ReadRecoverySegmentBatchResponse Backup::HandleReadBatch(
+    const rpc::ReadRecoverySegmentBatchRequest& req,
+    std::vector<std::vector<std::byte>>& payload_storage) {
+  rpc::ReadRecoverySegmentBatchResponse resp;
+  resp.items.resize(req.items.size());
+  // One buffer per item, allocated up front: the response spans reference
+  // this storage, so the vector must never reallocate underneath them.
+  payload_storage.clear();
+  payload_storage.resize(req.items.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < req.items.size(); ++i) {
+    auto& item = resp.items[i];
+    item.vlog = req.items[i].vlog;
+    item.vseg = req.items[i].vseg;
+    Key key{req.crashed, item.vlog, item.vseg};
+    auto it = segments_.find(key);
+    if (it == segments_.end()) {
+      item.status = StatusCode::kNotFound;
+      continue;
+    }
+    ReplicatedSegment& seg = it->second;
+    if (seg.evicted) {
+      Status s = log_->ReadSegment(LogKey(key), payload_storage[i]);
+      if (!s.ok()) {
+        item.status = s.code();
+        continue;
+      }
+      if (payload_storage[i].size() != seg.durable_size) {
+        payload_storage[i].clear();
+        item.status = StatusCode::kCorruption;
+        continue;
+      }
+    } else {
+      payload_storage[i] = seg.data;
+    }
+    item.chunk_count = seg.chunk_count;
+    item.payload = payload_storage[i];
+  }
+  return resp;
+}
+
 size_t Backup::DropSegmentsForPrimary(NodeId primary) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t dropped = 0;
@@ -364,6 +405,7 @@ std::vector<std::byte> Backup::HandleRpc(std::span<const std::byte> request) {
   rpc::Reader r(body);
   // Outlives the switch: responses reference this storage until Take().
   std::vector<std::byte> read_storage;
+  std::vector<std::vector<std::byte>> batch_storage;
   switch (op) {
     case rpc::Opcode::kReplicate: {
       auto req = rpc::ReplicateRequest::Decode(r);
@@ -395,6 +437,17 @@ std::vector<std::byte> Backup::HandleRpc(std::span<const std::byte> request) {
         resp.Encode(out);
       } else {
         HandleRead(*req, read_storage).Encode(out);
+      }
+      break;
+    }
+    case rpc::Opcode::kReadRecoverySegmentBatch: {
+      auto req = rpc::ReadRecoverySegmentBatchRequest::Decode(r);
+      if (!req.ok()) {
+        rpc::ReadRecoverySegmentBatchResponse resp;
+        resp.status = req.status().code();
+        resp.Encode(out);
+      } else {
+        HandleReadBatch(*req, batch_storage).Encode(out);
       }
       break;
     }

@@ -54,6 +54,15 @@ class Backup final : public rpc::RpcHandler {
   rpc::ReadRecoverySegmentResponse HandleRead(
       const rpc::ReadRecoverySegmentRequest& req,
       std::vector<std::byte>& payload_storage);
+  /// Batched recovery read: serves several virtual segments in one round
+  /// trip (parallel recovery pulls `recovery_read_batch` segments per
+  /// RPC). `payload_storage` receives one buffer per requested segment;
+  /// the response spans point into it. Per-segment failures (unknown
+  /// copy, log read error) are reported in the matching item's status —
+  /// the RPC itself still succeeds.
+  rpc::ReadRecoverySegmentBatchResponse HandleReadBatch(
+      const rpc::ReadRecoverySegmentBatchRequest& req,
+      std::vector<std::vector<std::byte>>& payload_storage);
 
   /// Drops every copy whose primary is `primary` (the coordinator calls
   /// this after recovery replay re-produced the crashed broker's data at

@@ -458,6 +458,11 @@ Status Broker::AppendOneChunk(
   ++resp.appended;
   stats_.chunks_appended.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_appended.fetch_add(frame.size(), std::memory_order_relaxed);
+  if (req.recovery) {
+    stats_.recovery_chunks_appended.fetch_add(1, std::memory_order_relaxed);
+    stats_.recovery_bytes_appended.fetch_add(frame.size(),
+                                             std::memory_order_relaxed);
+  }
   return OkStatus();
 }
 
@@ -466,6 +471,9 @@ rpc::ProduceResponse Broker::HandleProduceNoSync(
     std::vector<std::pair<VirtualLog*, ChunkRef>>* appended) {
   rpc::ProduceResponse resp;
   stats_.produce_rpcs.fetch_add(1, std::memory_order_relaxed);
+  if (req.recovery) {
+    stats_.recovery_produce_rpcs.fetch_add(1, std::memory_order_relaxed);
+  }
   StreamEntry* entry = FindStream(req.stream);
   if (entry == nullptr) {
     resp.status = StatusCode::kNotFound;
@@ -495,6 +503,9 @@ rpc::ProduceResponse Broker::HandleProduceNoSync(
 rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
   rpc::ProduceResponse resp;
   stats_.produce_rpcs.fetch_add(1, std::memory_order_relaxed);
+  if (req.recovery) {
+    stats_.recovery_produce_rpcs.fetch_add(1, std::memory_order_relaxed);
+  }
   StreamEntry* entry = FindStream(req.stream);
   if (entry == nullptr) {
     resp.status = StatusCode::kNotFound;
@@ -956,6 +967,12 @@ Broker::Stats Broker::GetStats() const {
   out.checksum_failures =
       stats_.checksum_failures.load(std::memory_order_relaxed);
   out.cross_shard_ops = stats_.cross_shard_ops.load(std::memory_order_relaxed);
+  out.recovery_produce_rpcs =
+      stats_.recovery_produce_rpcs.load(std::memory_order_relaxed);
+  out.recovery_chunks_appended =
+      stats_.recovery_chunks_appended.load(std::memory_order_relaxed);
+  out.recovery_bytes_appended =
+      stats_.recovery_bytes_appended.load(std::memory_order_relaxed);
   out.shard_frames.reserve(shards_);
   for (const auto& rt : shard_rt_) {
     out.shard_mailbox_enqueues += rt->mailbox.enqueues();

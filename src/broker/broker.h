@@ -158,6 +158,11 @@ class Broker final : public rpc::RpcHandler {
     uint64_t replication_rpcs = 0;
     uint64_t replication_bytes = 0;  // bytes * (R-1), i.e. network cost
     uint64_t checksum_failures = 0;
+    /// Crash-recovery re-ingest (ProduceRequest::recovery): requests,
+    /// chunks and frame bytes applied through the recovery-produce path.
+    uint64_t recovery_produce_rpcs = 0;
+    uint64_t recovery_chunks_appended = 0;
+    uint64_t recovery_bytes_appended = 0;
     /// Shared-nothing contention telemetry: ops posted through the
     /// per-shard mailboxes, data-plane items (chunks/consume entries)
     /// that landed on a thread handling a different shard's frame plus
@@ -404,6 +409,9 @@ class Broker final : public rpc::RpcHandler {
     std::atomic<uint64_t> replication_bytes{0};
     std::atomic<uint64_t> checksum_failures{0};
     std::atomic<uint64_t> cross_shard_ops{0};
+    std::atomic<uint64_t> recovery_produce_rpcs{0};
+    std::atomic<uint64_t> recovery_chunks_appended{0};
+    std::atomic<uint64_t> recovery_bytes_appended{0};
   };
   AtomicStats stats_;
 

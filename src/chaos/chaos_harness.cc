@@ -123,6 +123,9 @@ class Harness {
     // execution when one thread drives everything, so sharded runs stay
     // deterministic too.
     cfg.broker_shards = std::max<uint32_t>(1, options_.broker_shards);
+    cfg.recovery_parallelism =
+        std::max<uint32_t>(1, options_.recovery_parallelism);
+    cfg.recovery_read_batch = 4;  // tiny geometry: small batches still batch
     if (sched_.power_loss) {
       // Power-loss runs give every backup a real on-disk segment log in a
       // per-run scratch dir. Tiny log files and eager flushing so a
@@ -181,6 +184,17 @@ class Harness {
     result_.trace = std::move(trace_);
     result_.net = net_.GetStats();
     result_.dedup_hits = CurrentDedupHits();
+    if (cluster_ != nullptr) {
+      Coordinator::RecoveryStats rs =
+          cluster_->coordinator().GetRecoveryStats();
+      result_.recovery_tasks = rs.tasks_issued;
+      result_.recovery_bytes = rs.bytes_replayed;
+      result_.recovery_read_rpcs = rs.read_rpcs;
+      result_.recovery_read_rpcs_saved = rs.read_rpcs_saved;
+      result_.recovery_peak_fanout = rs.peak_fanout;
+      result_.recovery_task_p50_us = rs.task_replay_us.Quantile(0.50);
+      result_.recovery_task_p99_us = rs.task_replay_us.Quantile(0.99);
+    }
     if (sched_.power_loss && cluster_ != nullptr) {
       Backup::Stats bs = cluster_->TotalBackupStats();
       result_.backup_flush_groups = bs.flush_groups;

@@ -44,6 +44,18 @@ struct RunResult {
   uint64_t abandoned_sends = 0;     // chunks never acked within the event
   uint64_t dedup_hits = 0;          // broker exactly-once rejections
   uint64_t recovery_replayed = 0;   // chunks replayed by crash/migration
+  // Parallel-recovery engine totals (Coordinator::RecoveryStats). Task,
+  // RPC and fan-out counts are deterministic (the engine executes
+  // serially under the single-threaded chaos network and only MODELS the
+  // fan-out); the p50/p99 per-task replay times are wall-clock —
+  // report-only, never compare them.
+  uint64_t recovery_tasks = 0;         // one per (vlog, vseg) replayed
+  uint64_t recovery_bytes = 0;         // chunk-frame bytes re-ingested
+  uint64_t recovery_read_rpcs = 0;     // batched backup reads issued
+  uint64_t recovery_read_rpcs_saved = 0;  // vs one read RPC per segment
+  uint64_t recovery_peak_fanout = 0;      // modeled concurrent lanes
+  uint64_t recovery_task_p50_us = 0;      // NOT deterministic
+  uint64_t recovery_task_p99_us = 0;      // NOT deterministic
   uint64_t power_loss_events = 0;      // executed power-loss faults
   uint64_t power_loss_recovered = 0;   // copies rebuilt by post-cut scans
   // Backup segment-log flush totals at run end (power-loss mode only).
@@ -64,6 +76,13 @@ struct RunOptions {
   /// the sharded broker (per-shard leadership/dedup/parking state and the
   /// cross-shard mailboxes), checking the same invariants.
   uint32_t broker_shards = 1;
+  /// Recovery fan-out for the cluster under test (see CoordinatorConfig::
+  /// recovery_parallelism). Under the single-threaded chaos network the
+  /// engine executes serially at ANY setting and models the makespan, so
+  /// the schedule outcome — and the byte-exact trace — is identical at
+  /// every value; >1 still drives the scatter placement, batched reads
+  /// and per-vlog lane partitioning through every crash schedule.
+  uint32_t recovery_parallelism = 1;
 };
 
 /// Runs one schedule to completion (or first violation). The cluster is

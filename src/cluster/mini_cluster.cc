@@ -118,6 +118,19 @@ MiniCluster::MiniCluster(MiniClusterConfig config)
       if (v > 0) config_.broker_shards = uint32_t(v);
     }
   }
+  if (config_.recovery_parallelism == 0) {
+    config_.recovery_parallelism = 4;
+    if (const char* env = std::getenv("KERA_RECOVERY_PARALLELISM")) {
+      int v = std::atoi(env);
+      if (v > 0) config_.recovery_parallelism = uint32_t(v);
+    }
+  }
+  // Real recovery threads only where the whole RPC path tolerates
+  // concurrent callers: the Threaded and Socket transports. Direct and
+  // external networks (the DES / chaos harness decorates a DirectNetwork
+  // with single-threaded virtual-clock machinery) stay serial — recovery
+  // models the parallel makespan there instead.
+  bool recovery_threads = false;
   if (config_.external_network != nullptr) {
     network_ = config_.external_network;
   } else {
@@ -127,6 +140,8 @@ MiniCluster::MiniCluster(MiniClusterConfig config)
                       ? MiniClusterTransport::kThreaded
                       : MiniClusterTransport::kDirect;
     }
+    recovery_threads = transport == MiniClusterTransport::kThreaded ||
+                       transport == MiniClusterTransport::kSocket;
     switch (transport) {
       case MiniClusterTransport::kAuto:  // resolved above
       case MiniClusterTransport::kThreaded:
@@ -149,7 +164,11 @@ MiniCluster::MiniCluster(MiniClusterConfig config)
       }
     }
   }
-  coordinator_ = std::make_unique<Coordinator>(*network_);
+  CoordinatorConfig cc;
+  cc.recovery_parallelism = config_.recovery_parallelism;
+  cc.recovery_read_batch = config_.recovery_read_batch;
+  cc.recovery_use_threads = recovery_threads;
+  coordinator_ = std::make_unique<Coordinator>(*network_, cc);
 
   incarnations_.assign(config_.nodes, 0);
   for (NodeId node = 1; node <= config_.nodes; ++node) {
@@ -250,6 +269,9 @@ Broker::Stats MiniCluster::TotalBrokerStats() const {
     total.replication_rpcs += s.replication_rpcs;
     total.replication_bytes += s.replication_bytes;
     total.checksum_failures += s.checksum_failures;
+    total.recovery_produce_rpcs += s.recovery_produce_rpcs;
+    total.recovery_chunks_appended += s.recovery_chunks_appended;
+    total.recovery_bytes_appended += s.recovery_bytes_appended;
     total.shard_mailbox_enqueues += s.shard_mailbox_enqueues;
     total.cross_shard_ops += s.cross_shard_ops;
     if (total.shard_frames.size() < s.shard_frames.size()) {

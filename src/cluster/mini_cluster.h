@@ -58,6 +58,14 @@ struct MiniClusterConfig {
   /// correct) — with shards == 1 they reproduce the original behavior
   /// exactly.
   uint32_t broker_shards = 0;
+  /// Parallel crash recovery (see CoordinatorConfig). recovery_parallelism
+  /// 0 = auto: read KERA_RECOVERY_PARALLELISM from the environment,
+  /// defaulting to 4. On the Threaded/Socket transports the coordinator
+  /// fans recovery lanes out over real threads; on Direct (and external
+  /// networks — the chaos harness) execution stays serial/deterministic
+  /// and the parallel makespan is modeled from measured per-task costs.
+  uint32_t recovery_parallelism = 0;
+  uint32_t recovery_read_batch = 8;
   /// Backup flush directory template; empty disables disk flushing. A
   /// "%u" is replaced by the node id.
   std::string backup_dir;
@@ -140,6 +148,12 @@ class MiniCluster {
   /// KERA_BROKER_SHARDS auto default).
   [[nodiscard]] uint32_t broker_shards() const {
     return config_.broker_shards;
+  }
+
+  /// Resolved recovery fan-out (after the KERA_RECOVERY_PARALLELISM auto
+  /// default).
+  [[nodiscard]] uint32_t recovery_parallelism() const {
+    return config_.recovery_parallelism;
   }
 
  private:

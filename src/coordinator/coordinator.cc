@@ -1,14 +1,60 @@
 #include "coordinator/coordinator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <numeric>
 #include <set>
+#include <thread>
 
 #include "common/logging.h"
 #include "wire/chunk.h"
 
 namespace kera {
 
-Coordinator::Coordinator(rpc::Network& network) : network_(network) {}
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(Clock::time_point since) {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - since)
+                      .count());
+}
+
+/// Longest-processing-time-first makespan of `jobs` on `workers` identical
+/// workers. Each job is an unbreakable chain (a vlog lane, or one backup's
+/// read queue), so with one worker this is exactly the serial sum — which
+/// makes modeled speedup = LptMakespan(jobs, 1) / LptMakespan(jobs, P).
+uint64_t LptMakespan(std::vector<uint64_t> jobs, uint32_t workers) {
+  if (jobs.empty()) return 0;
+  if (workers <= 1) {
+    return std::accumulate(jobs.begin(), jobs.end(), uint64_t{0});
+  }
+  std::sort(jobs.begin(), jobs.end(), std::greater<uint64_t>());
+  std::vector<uint64_t> load(std::min<size_t>(workers, jobs.size()), 0);
+  for (uint64_t j : jobs) {
+    *std::min_element(load.begin(), load.end()) += j;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace
+
+/// One virtual segment of the crashed primary: the longest contiguous
+/// copy's location, and (after the read phase) its payload.
+struct Coordinator::RecoveryTask {
+  VlogId vlog = 0;
+  VirtualSegmentId vseg = 0;
+  NodeId backup = 0;         // source holding the longest contiguous copy
+  uint32_t chunk_count = 0;  // from the descriptor (diagnostics)
+  std::vector<std::byte> payload;  // concatenated chunk frames
+  uint64_t read_us = 0;    // attributed share of its batched read
+  uint64_t replay_us = 0;  // measured replay wall time
+};
+
+Coordinator::Coordinator(rpc::Network& network, CoordinatorConfig config)
+    : network_(network), config_(config) {}
 
 void Coordinator::RegisterNode(NodeId node, Broker* broker, Backup* backup) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -24,6 +70,11 @@ std::vector<NodeId> Coordinator::LiveBrokers() const {
     if (live) out.push_back(node);
   }
   return out;
+}
+
+Coordinator::RecoveryStats Coordinator::GetRecoveryStats() const {
+  std::lock_guard<std::mutex> lock(recovery_stats_mu_);
+  return recovery_stats_;
 }
 
 Status Coordinator::AnnounceLeadership(const StreamState& state) {
@@ -134,10 +185,18 @@ Status Coordinator::SealStream(const std::string& name) {
 }
 
 Result<uint64_t> Coordinator::RecoverNode(NodeId crashed) {
-  // 1. Mark dead and reassign the crashed broker's streamlets round-robin
-  //    over the survivors.
+  const auto mttr_start = Clock::now();
+  // 1. Mark dead and SCATTER the crashed broker's streamlets across all
+  //    survivors: each lost streamlet goes to the survivor with the
+  //    fewest projected streamlets (ingested bytes, then node id, break
+  //    ties), so the recovered load — and the parallel replay below —
+  //    spreads over the whole cluster instead of piling onto one
+  //    successor. The pass is a pure function of coordinator metadata and
+  //    broker counters, so deterministic workloads scatter destinations
+  //    deterministically (the chaos harness depends on this).
   std::vector<NodeId> survivors;
   std::vector<StreamState*> affected;
+  uint64_t scattered = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = alive_.find(crashed);
@@ -151,14 +210,37 @@ Result<uint64_t> Coordinator::RecoverNode(NodeId crashed) {
     if (survivors.empty()) {
       return Status(StatusCode::kUnavailable, "no survivors");
     }
-    size_t rr = 0;
+    struct Load {
+      uint64_t streamlets = 0;
+      uint64_t bytes = 0;
+    };
+    std::map<NodeId, Load> load;
+    for (NodeId node : survivors) {
+      load[node].bytes = brokers_[node]->GetStats().bytes_appended;
+    }
+    for (const auto& [_, state] : streams_by_name_) {
+      for (NodeId leader : state->info.streamlet_brokers) {
+        auto lit = load.find(leader);
+        if (lit != load.end()) ++lit->second.streamlets;
+      }
+    }
     for (auto& [_, state] : streams_by_name_) {
       bool touched = false;
       for (auto& leader : state->info.streamlet_brokers) {
-        if (leader == crashed) {
-          leader = survivors[rr++ % survivors.size()];
-          touched = true;
+        if (leader != crashed) continue;
+        NodeId best = survivors.front();
+        for (NodeId candidate : survivors) {
+          const Load& c = load[candidate];
+          const Load& b = load[best];
+          if (std::tie(c.streamlets, c.bytes, candidate) <
+              std::tie(b.streamlets, b.bytes, best)) {
+            best = candidate;
+          }
         }
+        leader = best;
+        ++load[best].streamlets;
+        ++scattered;
+        touched = true;
       }
       if (touched) affected.push_back(state.get());
     }
@@ -167,12 +249,17 @@ Result<uint64_t> Coordinator::RecoverNode(NodeId crashed) {
   // stop targeting the dead node for new virtual segments.
   PushLiveBackups();
 
+  // 2. Fast re-point: announcing the new leaderships creates the storage
+  //    objects on the survivors and wakes their parked consume long-polls
+  //    (Broker::AddStreamlet -> NotifyConsumeWaitersAllShards), so
+  //    clients re-resolve and reach the new leaders while the replay
+  //    below is still streaming data in.
   for (StreamState* state : affected) {
     KERA_RETURN_IF_ERROR(AnnounceLeadership(*state));
   }
 
-  // 2-3. Replay everything the crashed broker led from the surviving
-  //       backups into the new leaders.
+  // 3. Replay everything the crashed broker led from the surviving
+  //    backups into the new leaders (parallel scatter-gather engine).
   auto replayed =
       ReplayFromBackups(crashed, [](StreamId, StreamletId) { return true; });
   if (!replayed.ok()) return replayed;
@@ -184,6 +271,12 @@ Result<uint64_t> Coordinator::RecoverNode(NodeId crashed) {
   //    incarnation, which is merely unreclaimed space, never wrong data
   //    (replay is keyed by primary and the primary is gone for good).
   EvacuateBackups(crashed);
+  {
+    std::lock_guard<std::mutex> lock(recovery_stats_mu_);
+    ++recovery_stats_.recoveries;
+    recovery_stats_.streamlets_scattered += scattered;
+    recovery_stats_.last_mttr_us = ElapsedUs(mttr_start);
+  }
   return replayed;
 }
 
@@ -241,7 +334,7 @@ Status Coordinator::RejoinNode(NodeId node, Broker* broker, Backup* backup) {
     if (it->second) {
       return Status(StatusCode::kAlreadyExists, "node is still alive");
     }
-    // RecoverNode reassigned every streamlet away from the dead node; a
+    // RecoverNode scattered every streamlet away from the dead node; a
     // leftover leadership would mean the caller skipped recovery and the
     // fresh (empty) broker would silently lead data it does not hold.
     for (const auto& [_, state] : streams_by_name_) {
@@ -276,6 +369,63 @@ void Coordinator::NoteBackupUp(NodeId node, Backup* backup) {
     backup_down_.erase(node);
   }
   PushLiveBackups();
+}
+
+Status Coordinator::ReplayTask(
+    NodeId primary, RecoveryTask& task,
+    const std::function<bool(StreamId, StreamletId)>& filter,
+    uint64_t* chunks, uint64_t* bytes) {
+  (void)primary;
+  // Partition the segment's chunk frames per (target broker, stream,
+  // streamlet): single-streamlet requests land shard-pure on a sharded
+  // broker (HomeShardOf routes by the first chunk's streamlet, and every
+  // chunk here shares it).
+  std::map<std::tuple<NodeId, StreamId, StreamletId>, rpc::ProduceRequest>
+      pending;
+  std::span<const std::byte> rest = task.payload;
+  while (!rest.empty()) {
+    auto chunk = ChunkView::Parse(rest);
+    if (!chunk.ok()) return chunk.status();
+    StreamId stream = chunk->stream_id();
+    StreamletId streamlet = chunk->streamlet_id();
+    size_t advance = chunk->total_size();
+    if (!filter(stream, streamlet)) {
+      rest = rest.subspan(advance);
+      continue;
+    }
+    NodeId target;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = streams_by_id_.find(stream);
+      if (it == streams_by_id_.end()) {
+        return Status(StatusCode::kCorruption,
+                      "recovered chunk for unknown stream");
+      }
+      target = it->second->info.streamlet_brokers[streamlet];
+    }
+    auto& p = pending[{target, stream, streamlet}];
+    p.stream = stream;
+    p.recovery = true;
+    p.producer = chunk->producer_id();
+    p.chunks.push_back(chunk->raw());
+    rest = rest.subspan(advance);
+    *bytes += chunk->raw().size();
+    ++*chunks;
+  }
+  for (auto& [key, p] : pending) {
+    rpc::Writer pbody;
+    p.Encode(pbody);
+    auto presp_raw =
+        network_.Call(std::get<0>(key), rpc::Frame(rpc::Opcode::kProduce, pbody));
+    if (!presp_raw.ok()) return presp_raw.status();
+    rpc::Reader pr(*presp_raw);
+    auto presp = rpc::ProduceResponse::Decode(pr);
+    if (!presp.ok()) return presp.status();
+    if (presp->status != StatusCode::kOk) {
+      return Status(presp->status, "recovery replay rejected");
+    }
+  }
+  return OkStatus();
 }
 
 Result<uint64_t> Coordinator::ReplayFromBackups(
@@ -325,79 +475,240 @@ Result<uint64_t> Coordinator::ReplayFromBackups(
     }
   }
 
-  // Replay in (vlog, virtual segment) order — this preserves each group's
-  // intra-order, since all chunks of a group flow through one vlog in
-  // append order. Chunks are re-ingested into the current leaders as
-  // normal producer requests with the recovery flag set.
-  uint64_t replayed = 0;
-  for (const auto& [key, source] : sources) {
-    rpc::ReadRecoverySegmentRequest req;
-    req.crashed = primary;
-    req.vlog = key.first;
-    req.vseg = key.second;
-    rpc::Writer body;
-    req.Encode(body);
-    auto raw = network_.Call(source.backup, rpc::Frame(
-        rpc::Opcode::kReadRecoverySegment, body));
-    if (!raw.ok()) return raw.status();
-    rpc::Reader r(*raw);
-    auto resp = rpc::ReadRecoverySegmentResponse::Decode(r);
-    if (!resp.ok()) return resp.status();
-    if (resp->status != StatusCode::kOk) {
-      return Status(resp->status, "recovery segment read failed");
+  // One recovery task per (vlog, virtual segment). Replay order matters
+  // only WITHIN a vlog: all chunks of a group — and
+  // all chunks of a (streamlet, producer) sequence — flow through exactly
+  // one vlog in append order (a streamlet's shared-pool vlog is a pure
+  // function of (stream, streamlet); a sub-partition slot is pinned by
+  // producer % Q). So tasks of one vlog form a serial LANE in ascending
+  // vseg order, and lanes replay concurrently, bounded by
+  // recovery_parallelism.
+  // Rank-major interleave: emit the i-th segment of EVERY vlog before any
+  // vlog's (i+1)-th. A crashed broker's data often concentrates in few
+  // vlogs (a shared-pool vlog is hashed per streamlet), and each wave
+  // below only parallelizes across the lanes it contains — vlog-major
+  // order would fill whole waves from a single lane. Per-vlog ascending
+  // vseg order is preserved (sources is a (vlog, vseg)-ordered map), so
+  // lanes stay serial chains across wave boundaries.
+  std::vector<RecoveryTask> tasks;
+  tasks.reserve(sources.size());
+  {
+    std::map<VlogId, std::vector<const Source*>> by_vlog;
+    for (const auto& [key, source] : sources) {
+      by_vlog[key.first].push_back(&source);
     }
-
-    // Partition the segment's chunk frames per (target broker, stream).
-    struct Pending {
-      rpc::ProduceRequest req;
-    };
-    std::map<std::pair<NodeId, StreamId>, Pending> pending;
-    std::span<const std::byte> rest = resp->payload;
-    while (!rest.empty()) {
-      auto chunk = ChunkView::Parse(rest);
-      if (!chunk.ok()) return chunk.status();
-      StreamId stream = chunk->stream_id();
-      StreamletId streamlet = chunk->streamlet_id();
-      size_t advance = chunk->total_size();
-      if (!filter(stream, streamlet)) {
-        rest = rest.subspan(advance);
-        continue;
-      }
-      NodeId target;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = streams_by_id_.find(stream);
-        if (it == streams_by_id_.end()) {
-          return Status(StatusCode::kCorruption,
-                        "recovered chunk for unknown stream");
-        }
-        target = it->second->info.streamlet_brokers[streamlet];
-      }
-      auto& p = pending[{target, stream}];
-      p.req.stream = stream;
-      p.req.recovery = true;
-      p.req.producer = chunk->producer_id();
-      p.req.chunks.push_back(chunk->raw());
-      rest = rest.subspan(advance);
-      ++replayed;
-    }
-    for (auto& [target_stream, p] : pending) {
-      rpc::Writer pbody;
-      p.req.Encode(pbody);
-      auto presp_raw = network_.Call(
-          target_stream.first, rpc::Frame(rpc::Opcode::kProduce, pbody));
-      if (!presp_raw.ok()) return presp_raw.status();
-      rpc::Reader pr(*presp_raw);
-      auto presp = rpc::ProduceResponse::Decode(pr);
-      if (!presp.ok()) return presp.status();
-      if (presp->status != StatusCode::kOk) {
-        return Status(presp->status, "recovery replay rejected");
+    for (size_t rank = 0; tasks.size() < sources.size(); ++rank) {
+      for (const auto& [vlog, group] : by_vlog) {
+        if (rank >= group.size()) continue;
+        const Source& source = *group[rank];
+        RecoveryTask t;
+        t.vlog = source.desc.vlog;
+        t.vseg = source.desc.vseg;
+        t.backup = source.backup;
+        t.chunk_count = source.desc.chunk_count;
+        tasks.push_back(std::move(t));
       }
     }
   }
 
+  const uint32_t parallelism = std::max<uint32_t>(1, config_.recovery_parallelism);
+  const uint32_t read_batch = std::max<uint32_t>(1, config_.recovery_read_batch);
+  const bool use_threads = config_.recovery_use_threads && parallelism > 1;
+  // Waves bound the payload memory held at once to roughly
+  // parallelism * read_batch segments; the rank-major interleave above
+  // keeps every lane's tasks in order across wave boundaries.
+  const size_t wave_size = size_t(parallelism) * size_t(read_batch);
+
+  const auto replay_start = Clock::now();
+  uint64_t chunks_total = 0;
+  uint64_t bytes_total = 0;
+  uint64_t read_rpcs = 0;
+  uint64_t modeled_mttr = 0;
+  uint64_t modeled_serial = 0;
+  uint64_t peak_fanout = 0;
+  Histogram task_hist;
+
+  for (size_t wave = 0; wave < tasks.size(); wave += wave_size) {
+    const size_t wave_end = std::min(tasks.size(), wave + wave_size);
+
+    // ---- read phase: batched reads, grouped per source backup ----------
+    struct ReadBatch {
+      NodeId backup = 0;
+      std::vector<size_t> task_idx;
+      uint64_t cost_us = 0;
+    };
+    std::vector<ReadBatch> batches;
+    {
+      std::map<NodeId, std::vector<size_t>> by_backup;
+      for (size_t i = wave; i < wave_end; ++i) {
+        by_backup[tasks[i].backup].push_back(i);
+      }
+      for (auto& [backup, idx] : by_backup) {
+        for (size_t off = 0; off < idx.size(); off += read_batch) {
+          ReadBatch b;
+          b.backup = backup;
+          b.task_idx.assign(
+              idx.begin() + off,
+              idx.begin() + std::min(idx.size(), off + read_batch));
+          batches.push_back(std::move(b));
+        }
+      }
+    }
+    auto encode_batch = [&](const ReadBatch& b) {
+      rpc::ReadRecoverySegmentBatchRequest req;
+      req.crashed = primary;
+      for (size_t i : b.task_idx) {
+        req.items.push_back({tasks[i].vlog, tasks[i].vseg});
+      }
+      rpc::Writer body;
+      req.Encode(body);
+      return rpc::Frame(rpc::Opcode::kReadRecoverySegmentBatch, body);
+    };
+    auto apply_batch = [&](const ReadBatch& b,
+                           const std::vector<std::byte>& raw) -> Status {
+      rpc::Reader r(raw);
+      auto resp = rpc::ReadRecoverySegmentBatchResponse::Decode(r);
+      if (!resp.ok()) return resp.status();
+      if (resp->status != StatusCode::kOk || resp->items.size() != b.task_idx.size()) {
+        return Status(resp->status == StatusCode::kOk ? StatusCode::kCorruption
+                                                      : resp->status,
+                      "recovery batch read failed");
+      }
+      for (size_t j = 0; j < b.task_idx.size(); ++j) {
+        const auto& item = resp->items[j];
+        if (item.status != StatusCode::kOk) {
+          return Status(item.status, "recovery segment read failed");
+        }
+        RecoveryTask& t = tasks[b.task_idx[j]];
+        t.payload.assign(item.payload.begin(), item.payload.end());
+      }
+      return OkStatus();
+    };
+    read_rpcs += batches.size();
+    if (use_threads) {
+      // All of a wave's batches in flight at once (they target distinct
+      // round trips; the transport bounds per-node concurrency).
+      std::vector<std::future<Result<std::vector<std::byte>>>> futures;
+      futures.reserve(batches.size());
+      for (const ReadBatch& b : batches) {
+        futures.push_back(network_.CallAsync(b.backup, encode_batch(b)));
+      }
+      for (size_t bi = 0; bi < batches.size(); ++bi) {
+        auto raw = futures[bi].get();
+        if (!raw.ok()) return raw.status();
+        KERA_RETURN_IF_ERROR(apply_batch(batches[bi], *raw));
+      }
+    } else {
+      for (ReadBatch& b : batches) {
+        const auto start = Clock::now();
+        auto raw = network_.Call(b.backup, encode_batch(b));
+        if (!raw.ok()) return raw.status();
+        KERA_RETURN_IF_ERROR(apply_batch(b, *raw));
+        b.cost_us = ElapsedUs(start);
+        for (size_t i : b.task_idx) {
+          tasks[i].read_us = b.cost_us / b.task_idx.size();
+        }
+      }
+    }
+
+    // ---- replay phase: per-vlog lanes, parallel across lanes -----------
+    // Wave order is rank-major, so grouping by vlog VALUE keeps each
+    // lane's tasks in ascending vseg order.
+    std::vector<std::vector<size_t>> lanes;
+    {
+      std::map<VlogId, size_t> lane_of;
+      for (size_t i = wave; i < wave_end; ++i) {
+        auto [it, inserted] = lane_of.try_emplace(tasks[i].vlog, lanes.size());
+        if (inserted) lanes.emplace_back();
+        lanes[it->second].push_back(i);
+      }
+    }
+    peak_fanout = std::max<uint64_t>(
+        peak_fanout, std::min<uint64_t>(parallelism, lanes.size()));
+
+    Status replay_status = OkStatus();
+    if (use_threads && lanes.size() > 1) {
+      std::atomic<size_t> next_lane{0};
+      std::atomic<bool> failed{false};
+      std::mutex result_mu;
+      auto worker = [&] {
+        for (;;) {
+          size_t li = next_lane.fetch_add(1, std::memory_order_relaxed);
+          if (li >= lanes.size() || failed.load(std::memory_order_relaxed)) {
+            return;
+          }
+          for (size_t i : lanes[li]) {
+            uint64_t chunks = 0, bytes = 0;
+            const auto start = Clock::now();
+            Status s = ReplayTask(primary, tasks[i], filter, &chunks, &bytes);
+            tasks[i].replay_us = ElapsedUs(start);
+            std::lock_guard<std::mutex> lock(result_mu);
+            chunks_total += chunks;
+            bytes_total += bytes;
+            if (!s.ok()) {
+              if (replay_status.ok()) replay_status = s;
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+        }
+      };
+      const size_t n_workers = std::min<size_t>(parallelism, lanes.size());
+      std::vector<std::thread> threads;
+      threads.reserve(n_workers);
+      for (size_t w = 0; w < n_workers; ++w) threads.emplace_back(worker);
+      for (auto& t : threads) t.join();
+    } else {
+      for (const auto& lane : lanes) {
+        for (size_t i : lane) {
+          uint64_t chunks = 0, bytes = 0;
+          const auto start = Clock::now();
+          Status s = ReplayTask(primary, tasks[i], filter, &chunks, &bytes);
+          tasks[i].replay_us = ElapsedUs(start);
+          chunks_total += chunks;
+          bytes_total += bytes;
+          if (!s.ok()) {
+            replay_status = s;
+            break;
+          }
+        }
+        if (!replay_status.ok()) break;
+      }
+    }
+    if (!replay_status.ok()) return replay_status;
+
+    // ---- model the wave's parallel makespan (serial path only) ---------
+    if (!use_threads) {
+      // Reads: each backup serves its own batches serially; distinct
+      // backups stream concurrently, bounded by parallelism. Replay:
+      // lanes are unbreakable chains over `parallelism` workers. With
+      // parallelism == 1 both terms collapse to the measured serial sum,
+      // so the serial baseline and the model share one clock.
+      std::map<NodeId, uint64_t> read_per_backup;
+      for (const ReadBatch& b : batches) read_per_backup[b.backup] += b.cost_us;
+      std::vector<uint64_t> read_jobs;
+      for (const auto& [_, us] : read_per_backup) read_jobs.push_back(us);
+      std::vector<uint64_t> lane_jobs;
+      for (const auto& lane : lanes) {
+        uint64_t us = 0;
+        for (size_t i : lane) us += tasks[i].replay_us;
+        lane_jobs.push_back(us);
+      }
+      modeled_mttr += LptMakespan(read_jobs, parallelism) +
+                      LptMakespan(lane_jobs, parallelism);
+      modeled_serial += LptMakespan(std::move(read_jobs), 1) +
+                        LptMakespan(std::move(lane_jobs), 1);
+    }
+    for (size_t i = wave; i < wave_end; ++i) {
+      task_hist.Record(tasks[i].replay_us);
+      tasks[i].payload.clear();
+      tasks[i].payload.shrink_to_fit();
+    }
+  }
+
   // Close the rebuilt recovery groups so consumers advance past them to
-  // any groups created by post-replay appends.
+  // any groups created by post-replay appends (wakes parked long-polls:
+  // the fast re-point's second edge).
   {
     std::vector<Broker*> live_brokers;
     std::vector<StreamId> stream_ids;
@@ -414,7 +725,26 @@ Result<uint64_t> Coordinator::ReplayFromBackups(
       }
     }
   }
-  return replayed;
+
+  {
+    std::lock_guard<std::mutex> lock(recovery_stats_mu_);
+    recovery_stats_.tasks_issued += tasks.size();
+    recovery_stats_.chunks_replayed += chunks_total;
+    recovery_stats_.bytes_replayed += bytes_total;
+    recovery_stats_.read_rpcs += read_rpcs;
+    recovery_stats_.read_rpcs_saved += tasks.size() - read_rpcs;
+    recovery_stats_.peak_fanout =
+        std::max(recovery_stats_.peak_fanout, peak_fanout);
+    if (use_threads) {
+      recovery_stats_.modeled_mttr_us = ElapsedUs(replay_start);
+      recovery_stats_.modeled_serial_us = 0;  // wall clock is authoritative
+    } else {
+      recovery_stats_.modeled_mttr_us = modeled_mttr;
+      recovery_stats_.modeled_serial_us = modeled_serial;
+    }
+    recovery_stats_.task_replay_us.Merge(task_hist);
+  }
+  return chunks_total;
 }
 
 Result<uint64_t> Coordinator::MigrateStreamlet(const std::string& name,

@@ -1,9 +1,12 @@
 // Coordinator: cluster metadata and control plane. Creates streams
 // (placing streamlets across brokers round-robin), serves stream lookups,
-// and orchestrates crash recovery: after a broker failure it reassigns the
-// crashed broker's streamlets and replays every virtual segment replicated
-// on the surviving backups into the new leaders, as normal (recovery)
-// producer requests.
+// and orchestrates crash recovery RAMCloud-style: after a broker failure
+// its streamlets are SCATTERED across all survivors (balancing
+// post-recovery load), and its backup copies are re-ingested by a
+// parallel scatter-gather engine — one recovery task per virtual segment,
+// pulled from the backups with batched reads and replayed into the new
+// leaders as recovery producer requests, fanned out across per-vlog lanes
+// bounded by `recovery_parallelism`.
 //
 // Membership changes and recovery use direct in-process calls to brokers
 // (control plane); stream metadata lookups and all data-path traffic go
@@ -20,6 +23,7 @@
 
 #include "backup/backup.h"
 #include "broker/broker.h"
+#include "common/histogram.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "rpc/messages.h"
@@ -27,9 +31,27 @@
 
 namespace kera {
 
+struct CoordinatorConfig {
+  /// Max concurrent recovery lanes (a lane is all virtual segments of one
+  /// vlog, replayed in order) and concurrent batched backup reads. 1
+  /// reproduces the serial replay exactly.
+  uint32_t recovery_parallelism = 4;
+  /// Virtual segments pulled per batched backup-read RPC (kReadRecovery-
+  /// SegmentBatch): one round trip covers a whole batch instead of one
+  /// RPC per segment.
+  uint32_t recovery_read_batch = 8;
+  /// Fan recovery lanes out over real threads. Only safe when the Network
+  /// tolerates concurrent callers end to end (Threaded/Socket
+  /// transports). When false — DirectNetwork, the DES, the chaos
+  /// harness's single-threaded ChaosNetwork — execution stays serial and
+  /// deterministic, and the parallel makespan is MODELED from measured
+  /// per-task costs instead (RecoveryStats::modeled_mttr_us).
+  bool recovery_use_threads = false;
+};
+
 class Coordinator final : public rpc::RpcHandler {
  public:
-  explicit Coordinator(rpc::Network& network);
+  explicit Coordinator(rpc::Network& network, CoordinatorConfig config = {});
 
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
@@ -48,9 +70,11 @@ class Coordinator final : public rpc::RpcHandler {
   /// leader closes its active groups and rejects further appends.
   Status SealStream(const std::string& name);
 
-  /// Marks `crashed` dead, reassigns its streamlets to the surviving
-  /// brokers, and replays all of its data from the backups into the new
-  /// leaders. Returns the number of chunks replayed.
+  /// Marks `crashed` dead, scatters its streamlets across ALL surviving
+  /// brokers (balancing each survivor's post-recovery streamlet count,
+  /// with ingested bytes as the tiebreak), and replays all of its data
+  /// from the backups into the new leaders through the parallel recovery
+  /// engine. Returns the number of chunks replayed.
   Result<uint64_t> RecoverNode(NodeId crashed);
 
   /// Re-admits a node that was marked dead by RecoverNode, with fresh
@@ -82,6 +106,35 @@ class Coordinator final : public rpc::RpcHandler {
 
   [[nodiscard]] std::vector<NodeId> LiveBrokers() const;
 
+  /// Recovery-engine telemetry. Counts (tasks, segments, chunks, bytes,
+  /// RPCs, fan-out) are deterministic for a deterministic workload; the
+  /// *_us timing fields are wall-clock measurements — report them, never
+  /// compare them across runs.
+  struct RecoveryStats {
+    uint64_t recoveries = 0;             // RecoverNode calls that replayed
+    uint64_t streamlets_scattered = 0;   // leaderships moved by recovery
+    uint64_t tasks_issued = 0;           // one per (vlog, vseg) replayed
+    uint64_t chunks_replayed = 0;
+    uint64_t bytes_replayed = 0;         // chunk-frame bytes re-ingested
+    uint64_t read_rpcs = 0;              // batched read RPCs issued
+    uint64_t read_rpcs_saved = 0;        // vs one read RPC per segment
+    uint64_t peak_fanout = 0;            // max concurrent recovery lanes
+    /// Measured wall time of the last RecoverNode (time-to-full-service:
+    /// placement + re-point + replay + recovery-group close).
+    uint64_t last_mttr_us = 0;
+    /// Modeled makespan of the last replay at recovery_parallelism
+    /// workers (LPT over per-vlog lane costs + per-backup read costs),
+    /// and the same tasks on one worker. On the serial/deterministic
+    /// path these are the headline MTTR numbers; with
+    /// recovery_use_threads the wall clock is authoritative.
+    uint64_t modeled_mttr_us = 0;
+    uint64_t modeled_serial_us = 0;
+    Histogram task_replay_us;            // per-task replay wall time
+  };
+  [[nodiscard]] RecoveryStats GetRecoveryStats() const;
+
+  [[nodiscard]] const CoordinatorConfig& config() const { return config_; }
+
  private:
   struct StreamState {
     std::string name;
@@ -94,8 +147,8 @@ class Coordinator final : public rpc::RpcHandler {
 
   /// Replays every chunk of `primary`'s virtual segments (held by the
   /// surviving backups) that matches `filter` into the current leaders,
-  /// as recovery produce requests. Shared by RecoverNode and
-  /// MigrateStreamlet.
+  /// as recovery produce requests — the parallel scatter-gather engine.
+  /// Shared by RecoverNode and MigrateStreamlet.
   Result<uint64_t> ReplayFromBackups(
       NodeId primary,
       const std::function<bool(StreamId, StreamletId)>& filter);
@@ -109,10 +162,21 @@ class Coordinator final : public rpc::RpcHandler {
   /// the new leaders (re-replicated synchronously on the produce path),
   /// so the old copies are garbage — evacuating them frees backup memory
   /// and lets the segment-log GC reclaim their on-disk records. Returns
-  /// copies dropped across the cluster.
+  /// copies dropped.
   uint64_t EvacuateBackups(NodeId primary);
 
+  /// One (vlog, vseg) of the crashed primary: where to read it from and,
+  /// after the read phase, its payload.
+  struct RecoveryTask;
+  /// Replays one task's chunk frames into the current leaders. Recovery
+  /// produce requests are partitioned per (target, stream, streamlet) so
+  /// each lands shard-pure on a sharded broker.
+  Status ReplayTask(NodeId primary, RecoveryTask& task,
+                    const std::function<bool(StreamId, StreamletId)>& filter,
+                    uint64_t* chunks, uint64_t* bytes);
+
   rpc::Network& network_;
+  const CoordinatorConfig config_;
   mutable std::mutex mu_;
   std::map<NodeId, Broker*> brokers_;
   std::map<NodeId, Backup*> backups_;
@@ -123,6 +187,9 @@ class Coordinator final : public rpc::RpcHandler {
   std::map<StreamId, StreamState*> streams_by_id_;
   StreamId next_stream_id_ = 1;
   size_t placement_cursor_ = 0;  // rotates streamlet placement
+
+  mutable std::mutex recovery_stats_mu_;
+  RecoveryStats recovery_stats_;
 };
 
 }  // namespace kera

@@ -448,6 +448,64 @@ Result<ReadRecoverySegmentResponse> ReadRecoverySegmentResponse::Decode(
   return resp;
 }
 
+void ReadRecoverySegmentBatchRequest::Encode(Writer& w) const {
+  w.U32(crashed);
+  w.U32(uint32_t(items.size()));
+  for (const auto& it : items) {
+    w.U32(it.vlog);
+    w.U64(it.vseg);
+  }
+}
+
+Result<ReadRecoverySegmentBatchRequest> ReadRecoverySegmentBatchRequest::Decode(
+    Reader& r) {
+  ReadRecoverySegmentBatchRequest req;
+  uint32_t n = 0;
+  KERA_RETURN_IF_ERROR(r.U32(req.crashed));
+  KERA_RETURN_IF_ERROR(r.U32(n));
+  KERA_RETURN_IF_ERROR(CheckCount(r, n, 12));
+  req.items.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KERA_RETURN_IF_ERROR(r.U32(req.items[i].vlog));
+    KERA_RETURN_IF_ERROR(r.U64(req.items[i].vseg));
+  }
+  return req;
+}
+
+void ReadRecoverySegmentBatchResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  w.U32(uint32_t(items.size()));
+  for (const auto& it : items) {
+    w.U8(uint8_t(it.status));
+    w.U32(it.vlog);
+    w.U64(it.vseg);
+    w.U32(it.chunk_count);
+    w.BytesRef(it.payload);
+  }
+}
+
+Result<ReadRecoverySegmentBatchResponse>
+ReadRecoverySegmentBatchResponse::Decode(Reader& r) {
+  ReadRecoverySegmentBatchResponse resp;
+  uint8_t code = 0;
+  uint32_t n = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(r.U32(n));
+  KERA_RETURN_IF_ERROR(CheckCount(r, n, 21));
+  resp.items.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto& it = resp.items[i];
+    KERA_RETURN_IF_ERROR(r.U8(code));
+    it.status = StatusCode(code);
+    KERA_RETURN_IF_ERROR(r.U32(it.vlog));
+    KERA_RETURN_IF_ERROR(r.U64(it.vseg));
+    KERA_RETURN_IF_ERROR(r.U32(it.chunk_count));
+    KERA_RETURN_IF_ERROR(r.Bytes(it.payload));
+  }
+  return resp;
+}
+
 void EvacuateBackupSegmentsRequest::Encode(Writer& w) const {
   w.U32(primary);
 }

@@ -26,6 +26,7 @@ enum class Opcode : uint16_t {
   kReadRecoverySegment = 7,
   kSealStream = 8,
   kEvacuateBackupSegments = 9,
+  kReadRecoverySegmentBatch = 10,
 };
 
 /// Builds a full request frame: u16 opcode then the encoded body.
@@ -276,6 +277,39 @@ struct ReadRecoverySegmentResponse {
 
   void Encode(Writer& w) const;
   [[nodiscard]] static Result<ReadRecoverySegmentResponse> Decode(Reader& r);
+};
+
+/// Coordinator -> backup: read several of a crashed primary's virtual
+/// segments in ONE round trip (parallel recovery pulls whole batches per
+/// source backup instead of one RPC per segment — the round-trip count
+/// drops by the batch factor).
+struct ReadRecoverySegmentBatchRequest {
+  NodeId crashed = 0;
+  struct Item {
+    VlogId vlog = 0;
+    VirtualSegmentId vseg = 0;
+  };
+  std::vector<Item> items;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ReadRecoverySegmentBatchRequest> Decode(
+      Reader& r);
+};
+
+struct ReadRecoverySegmentBatchResponse {
+  StatusCode status = StatusCode::kOk;  // framing-level status
+  struct Item {
+    StatusCode status = StatusCode::kOk;  // per-segment read status
+    VlogId vlog = 0;
+    VirtualSegmentId vseg = 0;
+    uint32_t chunk_count = 0;
+    std::span<const std::byte> payload;  // concatenated chunk frames
+  };
+  std::vector<Item> items;  // same order as the request
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<ReadRecoverySegmentBatchResponse> Decode(
+      Reader& r);
 };
 
 /// Coordinator -> backup, after recovery replay re-produced the crashed

@@ -287,6 +287,126 @@ TEST_F(RecoveryTest, RecoveredDataIsReReplicated) {
   EXPECT_EQ(ReadAll(*info, 0).size(), 5u);
 }
 
+// Scatter placement: a dead broker's streamlets spread across ALL
+// survivors (balancing per-survivor streamlet counts), not onto a single
+// round-robin successor. With 6 streamlets lost and 5 survivors, every
+// survivor must pick up at least one.
+TEST(RecoveryScatterTest, LostStreamletsSpreadAcrossAllSurvivors) {
+  MiniClusterConfig cfg;
+  cfg.nodes = 6;
+  cfg.workers_per_node = 0;
+  cfg.segment_size = 64 << 10;
+  cfg.virtual_segment_capacity = 64 << 10;
+  MiniCluster cluster(cfg);
+
+  // 36 streamlets -> round-robin gives every broker exactly 6.
+  rpc::StreamOptions opts;
+  opts.num_streamlets = 36;
+  opts.replication_factor = 3;
+  auto info = cluster.coordinator().CreateStream("sc", opts);
+  ASSERT_TRUE(info.ok());
+
+  NodeId victim = 3;
+  std::vector<StreamletId> lost;
+  for (StreamletId sl = 0; sl < 36; ++sl) {
+    if (info->streamlet_brokers[sl] == victim) lost.push_back(sl);
+  }
+  ASSERT_EQ(lost.size(), 6u);
+
+  cluster.CrashNode(victim);
+  ASSERT_TRUE(cluster.coordinator().RecoverNode(victim).ok());
+
+  auto fresh = cluster.coordinator().GetStreamInfo("sc");
+  ASSERT_TRUE(fresh.ok());
+  std::map<NodeId, int> gained;
+  for (StreamletId sl : lost) {
+    NodeId now = fresh->streamlet_brokers[sl];
+    EXPECT_NE(now, victim);
+    ++gained[now];
+  }
+  // All 5 survivors participate, and the load is balanced: with 6 lost
+  // streamlets over 5 survivors nobody picks up more than 2.
+  EXPECT_EQ(gained.size(), 5u) << "recovery load not scattered";
+  for (const auto& [node, n] : gained) {
+    EXPECT_LE(n, 2) << "survivor " << node << " took " << n;
+  }
+  // Overall leadership stays balanced post-recovery: 36 streamlets over
+  // 5 survivors -> 7 or 8 each.
+  std::map<NodeId, int> leads;
+  for (NodeId n : fresh->streamlet_brokers) ++leads[n];
+  for (const auto& [node, n] : leads) {
+    EXPECT_GE(n, 7) << "survivor " << node;
+    EXPECT_LE(n, 8) << "survivor " << node;
+  }
+}
+
+// Recovery counters: the engine reports its task fan-out, batched-read
+// savings and modeled makespan, and the brokers count recovery-path
+// produce traffic separately from client traffic.
+TEST(RecoveryScatterTest, RecoveryStatsExposed) {
+  MiniClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.workers_per_node = 0;
+  cfg.segment_size = 32 << 10;
+  cfg.virtual_segment_capacity = 8 << 10;  // several vsegs per vlog
+  cfg.vlogs_per_broker = 4;
+  cfg.recovery_parallelism = 4;
+  cfg.recovery_read_batch = 4;
+  MiniCluster cluster(cfg);
+  EXPECT_EQ(cluster.recovery_parallelism(), 4u);
+
+  rpc::StreamOptions opts;
+  opts.num_streamlets = 8;
+  opts.replication_factor = 2;
+  auto info = cluster.coordinator().CreateStream("st", opts);
+  ASSERT_TRUE(info.ok());
+  for (StreamletId sl = 0; sl < 8; ++sl) {
+    NodeId leader = info->streamlet_brokers[sl];
+    for (int i = 1; i <= 12; ++i) {
+      rpc::ProduceRequest req;
+      req.producer = 1;
+      req.stream = info->stream;
+      std::string v(500, char('a' + int(sl)));
+      auto chunk = MakeChunk(info->stream, sl, 1, ChunkSeq(i), v);
+      req.chunks = {chunk};
+      ASSERT_EQ(cluster.broker(leader).HandleProduce(req).status,
+                StatusCode::kOk);
+    }
+  }
+
+  auto before = cluster.coordinator().GetRecoveryStats();
+  EXPECT_EQ(before.recoveries, 0u);
+  EXPECT_EQ(before.tasks_issued, 0u);
+
+  cluster.CrashNode(1);
+  ASSERT_TRUE(cluster.coordinator().RecoverNode(1).ok());
+
+  auto rs = cluster.coordinator().GetRecoveryStats();
+  EXPECT_EQ(rs.recoveries, 1u);
+  EXPECT_GT(rs.streamlets_scattered, 0u);
+  EXPECT_GT(rs.tasks_issued, 1u);
+  EXPECT_GT(rs.chunks_replayed, 0u);
+  EXPECT_GT(rs.bytes_replayed, 0u);
+  // Batched reads: strictly fewer read RPCs than segments read.
+  EXPECT_GE(rs.tasks_issued, rs.read_rpcs);
+  EXPECT_GT(rs.read_rpcs, 0u);
+  EXPECT_EQ(rs.read_rpcs_saved, rs.tasks_issued - rs.read_rpcs);
+  EXPECT_GE(rs.peak_fanout, 1u);
+  EXPECT_LE(rs.peak_fanout, 4u);
+  // Serial/Direct path: the engine models the parallel makespan; the
+  // modeled serial time can never beat the modeled parallel time.
+  EXPECT_GT(rs.modeled_serial_us, 0u);
+  EXPECT_GE(rs.modeled_serial_us, rs.modeled_mttr_us);
+  EXPECT_GT(rs.last_mttr_us, 0u);
+  EXPECT_EQ(rs.task_replay_us.count(), rs.tasks_issued);
+
+  // Broker-side recovery counters surface in the cluster totals.
+  auto totals = cluster.TotalBrokerStats();
+  EXPECT_GT(totals.recovery_produce_rpcs, 0u);
+  EXPECT_EQ(totals.recovery_chunks_appended, rs.chunks_replayed);
+  EXPECT_GT(totals.recovery_bytes_appended, 0u);
+}
+
 TEST_F(RecoveryTest, UnknownNodeRejected) {
   auto r = cluster_.coordinator().RecoverNode(77);
   EXPECT_FALSE(r.ok());

@@ -160,6 +160,214 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(name);
     });
 
+// Scattered-equals-serial oracle: the recovered state must be a pure
+// function of the workload — never of the recovery fan-out. Runs one
+// fixed workload per parallelism setting on the deterministic
+// DirectNetwork, crashes the same victim, and compares a canonical dump
+// of the full post-recovery cluster state (leader placement AND every
+// recovered chunk's bytes, in consume order). Any ordering bug in the
+// scatter/lane engine (e.g. replaying a producer's chunks out of seq
+// order into the dedup filter) shows up as a dump mismatch.
+TEST(RecoveryScatterOracleTest, ScatteredEqualsSerial) {
+  auto run_and_dump = [](uint32_t parallelism) {
+    MiniClusterConfig cfg;
+    cfg.nodes = 5;
+    cfg.workers_per_node = 0;  // deterministic DirectNetwork
+    cfg.segment_size = 32 << 10;
+    cfg.virtual_segment_capacity = 4 << 10;  // many segments -> many tasks
+    cfg.vlogs_per_broker = 4;
+    cfg.recovery_parallelism = parallelism;
+    cfg.recovery_read_batch = 3;  // exercise multi-wave batching
+    MiniCluster cluster(cfg);
+
+    std::vector<rpc::StreamInfo> infos;
+    for (uint32_t s = 0; s < 3; ++s) {
+      rpc::StreamOptions opts;
+      opts.num_streamlets = 4;
+      opts.replication_factor = 3;
+      auto info = cluster.coordinator().CreateStream(
+          "o" + std::to_string(s), opts);
+      EXPECT_TRUE(info.ok());
+      infos.push_back(*info);
+    }
+    for (int round = 1; round <= 12; ++round) {
+      for (uint32_t s = 0; s < 3; ++s) {
+        for (StreamletId sl = 0; sl < 4; ++sl) {
+          for (ProducerId p = 1; p <= 2; ++p) {
+            ChunkBuilder b(2048);
+            b.Start(infos[s].stream, sl, p);
+            std::string v(600, char('a' + int(s)));
+            v += "/" + std::to_string(sl) + "/" + std::to_string(p) +
+                 "/" + std::to_string(round);
+            EXPECT_TRUE(b.AppendValue(AsBytes(v)));
+            auto chunk = b.Seal(ChunkSeq(round));
+            rpc::ProduceRequest req;
+            req.producer = p;
+            req.stream = infos[s].stream;
+            req.chunks = {chunk};
+            NodeId leader = infos[s].streamlet_brokers[sl];
+            EXPECT_EQ(cluster.broker(leader).HandleProduce(req).status,
+                      StatusCode::kOk);
+          }
+        }
+      }
+    }
+
+    cluster.CrashNode(2);
+    auto replayed = cluster.coordinator().RecoverNode(2);
+    EXPECT_TRUE(replayed.ok());
+
+    // Canonical dump: placement, then every chunk's payload in consume
+    // order per (stream, streamlet, group).
+    std::string dump;
+    for (uint32_t s = 0; s < 3; ++s) {
+      auto fresh =
+          cluster.coordinator().GetStreamInfo("o" + std::to_string(s));
+      EXPECT_TRUE(fresh.ok());
+      for (StreamletId sl = 0; sl < 4; ++sl) {
+        dump += "lead " + std::to_string(s) + "." + std::to_string(sl) +
+                "=" + std::to_string(fresh->streamlet_brokers[sl]) + "\n";
+        GroupId group = 0;
+        uint64_t cursor = 0;
+        int idle = 0;
+        while (idle < 3) {
+          rpc::ConsumeRequest creq;
+          creq.stream = fresh->stream;
+          creq.entries = {{.streamlet = sl, .group = group,
+                           .start_chunk = cursor, .max_chunks = 64}};
+          auto resp = cluster.broker(fresh->streamlet_brokers[sl])
+                          .HandleConsume(creq);
+          EXPECT_EQ(resp.status, StatusCode::kOk);
+          const auto& e = resp.entries[0];
+          for (const auto& cb : e.chunks) {
+            auto view = ChunkView::Parse(cb);
+            EXPECT_TRUE(view.ok());
+            dump += std::to_string(view->producer_id()) + ":" +
+                    std::to_string(view->chunk_seq()) + ":";
+            dump.append(reinterpret_cast<const char*>(cb.data()),
+                        cb.size());
+            dump += "\n";
+          }
+          cursor = e.next_chunk;
+          if (e.group_closed) {
+            ++group;
+            cursor = 0;
+            idle = 0;
+          } else if (e.chunks.empty()) {
+            ++idle;
+          }
+        }
+      }
+    }
+    // The oracle only holds if the engine actually split the recovery
+    // into many tasks (multi-wave, multi-lane).
+    auto rs = cluster.coordinator().GetRecoveryStats();
+    EXPECT_GT(rs.tasks_issued, 8u);
+    EXPECT_GT(rs.read_rpcs_saved, 0u);
+    return dump;
+  };
+
+  const std::string serial = run_and_dump(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run_and_dump(3));
+  EXPECT_EQ(serial, run_and_dump(8));
+}
+
+// Readmission after a scattered recovery: the restarted broker must come
+// back leading NOTHING (its old streamlets now live scattered across the
+// survivors), with a bumped incarnation so its new virtual segment ids
+// never collide with stale backup copies from its previous life. New
+// placements may then use it, and a second crash of the same node must
+// recover cleanly — the end-to-end pin against segment-id reuse.
+TEST(RecoveryScatterOracleTest, ReadmitAfterScatterStartsEmpty) {
+  MiniClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.workers_per_node = 0;
+  cfg.segment_size = 32 << 10;
+  cfg.virtual_segment_capacity = 8 << 10;
+  cfg.recovery_parallelism = 4;
+  MiniCluster cluster(cfg);
+
+  rpc::StreamOptions opts;
+  opts.num_streamlets = 6;
+  opts.replication_factor = 2;
+  auto info = cluster.coordinator().CreateStream("r", opts);
+  ASSERT_TRUE(info.ok());
+  for (StreamletId sl = 0; sl < 6; ++sl) {
+    for (int i = 1; i <= 6; ++i) {
+      ChunkBuilder b(512);
+      b.Start(info->stream, sl, 1);
+      ASSERT_TRUE(b.AppendValue(AsBytes("r" + std::to_string(i))));
+      auto chunk = b.Seal(ChunkSeq(i));
+      rpc::ProduceRequest req;
+      req.producer = 1;
+      req.stream = info->stream;
+      req.chunks = {chunk};
+      ASSERT_EQ(cluster.broker(info->streamlet_brokers[sl])
+                    .HandleProduce(req)
+                    .status,
+                StatusCode::kOk);
+    }
+  }
+
+  cluster.CrashNode(1);
+  ASSERT_TRUE(cluster.coordinator().RecoverNode(1).ok());
+  ASSERT_TRUE(cluster.RestartNode(1).ok());
+
+  // The readmitted broker leads no streamlet of the pre-crash stream.
+  auto fresh = cluster.coordinator().GetStreamInfo("r");
+  ASSERT_TRUE(fresh.ok());
+  for (StreamletId sl = 0; sl < 6; ++sl) {
+    EXPECT_NE(fresh->streamlet_brokers[sl], 1u) << "sl" << sl;
+  }
+
+  // New streams may place on it again, and writes through it succeed —
+  // proving its fresh incarnation's segment ids coexist with whatever
+  // stale copies of its first life still sit on the backups.
+  rpc::StreamOptions opts2;
+  opts2.num_streamlets = 8;
+  opts2.replication_factor = 2;
+  auto info2 = cluster.coordinator().CreateStream("r2", opts2);
+  ASSERT_TRUE(info2.ok());
+  bool leads_any = false;
+  for (StreamletId sl = 0; sl < 8; ++sl) {
+    leads_any = leads_any || info2->streamlet_brokers[sl] == 1u;
+  }
+  EXPECT_TRUE(leads_any);
+  for (StreamletId sl = 0; sl < 8; ++sl) {
+    ChunkBuilder b(512);
+    b.Start(info2->stream, sl, 7);
+    ASSERT_TRUE(b.AppendValue(AsBytes("second-life")));
+    auto chunk = b.Seal(1);
+    rpc::ProduceRequest req;
+    req.producer = 7;
+    req.stream = info2->stream;
+    req.chunks = {chunk};
+    ASSERT_EQ(cluster.broker(info2->streamlet_brokers[sl])
+                  .HandleProduce(req)
+                  .status,
+              StatusCode::kOk);
+  }
+
+  // Crash the readmitted node again: both generations of backup state
+  // are in play, and recovery must still restore exactly the acked data.
+  cluster.CrashNode(1);
+  ASSERT_TRUE(cluster.coordinator().RecoverNode(1).ok());
+  auto fresh2 = cluster.coordinator().GetStreamInfo("r2");
+  ASSERT_TRUE(fresh2.ok());
+  uint64_t total = 0;
+  for (StreamletId sl = 0; sl < 8; ++sl) {
+    NodeId leader = fresh2->streamlet_brokers[sl];
+    ASSERT_NE(leader, 1u);
+    Stream* stream = cluster.broker(leader).GetStream(info2->stream);
+    ASSERT_NE(stream, nullptr);
+    Streamlet* streamlet = stream->GetStreamlet(sl);
+    ASSERT_NE(streamlet, nullptr);
+    total += streamlet->total_chunks();
+  }
+  EXPECT_EQ(total, 8u);
+}
+
 // Double failure: crash a second node after recovering the first. A
 // 5-node cluster keeps >= 3 live nodes, so R3 placement remains possible
 // and both recoveries must succeed. (On a 4-node cluster the second

@@ -5,16 +5,21 @@
 // dumps its replayable trace and fails the process.
 //
 //   chaos_soak [--schedules=N] [--events=N] [--seed_base=N] [--shards=N]
-//              [--out=PATH]
+//              [--recovery_parallelism=N] [--out=PATH]
 //
 // --shards=N runs every schedule against brokers with N shared-nothing
 // shards (see BrokerConfig::shards). The schedule generator is untouched:
 // seed->schedule mapping and trace format are identical at any shard
 // count, so a failure found at --shards=2 replays from the same trace.
+// --recovery_parallelism=N sets the coordinator's recovery fan-out (see
+// CoordinatorConfig): under the single-threaded chaos network the engine
+// runs serially and models the fan-out, so traces stay identical at any
+// value while the scatter/batched-read/lane machinery is exercised.
 //
 // Environment overrides (flags win): KERA_CHAOS_SCHEDULES,
 // KERA_CHAOS_EVENTS, KERA_BROKER_SHARDS — the same knobs
 // scripts/check.sh uses to bound the sanitizer stages.
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
   uint32_t events = 60;
   uint64_t seed_base = 1;
   uint32_t shards = 1;
+  uint32_t recovery_parallelism = 1;
   std::string out_path = "BENCH_chaos.json";
 
   if (const char* env = std::getenv("KERA_CHAOS_SCHEDULES")) {
@@ -69,17 +75,23 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--shards=", 9) == 0) {
       shards = uint32_t(ParseU64(arg + 9, "--shards"));
       if (shards == 0) shards = 1;
+    } else if (std::strncmp(arg, "--recovery_parallelism=", 23) == 0) {
+      recovery_parallelism = uint32_t(ParseU64(arg + 23,
+                                               "--recovery_parallelism"));
+      if (recovery_parallelism == 0) recovery_parallelism = 1;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--schedules=N] [--events=N] "
-                   "[--seed_base=N] [--shards=N] [--out=PATH]\n");
+                   "[--seed_base=N] [--shards=N] "
+                   "[--recovery_parallelism=N] [--out=PATH]\n");
       return 2;
     }
   }
   kera::chaos::RunOptions run_options;
   run_options.broker_shards = shards;
+  run_options.recovery_parallelism = recovery_parallelism;
 
   using Clock = std::chrono::steady_clock;
   auto start = Clock::now();
@@ -121,6 +133,16 @@ int main(int argc, char** argv) {
     total.abandoned_sends += r.abandoned_sends;
     total.dedup_hits += r.dedup_hits;
     total.recovery_replayed += r.recovery_replayed;
+    total.recovery_tasks += r.recovery_tasks;
+    total.recovery_bytes += r.recovery_bytes;
+    total.recovery_read_rpcs += r.recovery_read_rpcs;
+    total.recovery_read_rpcs_saved += r.recovery_read_rpcs_saved;
+    total.recovery_peak_fanout =
+        std::max(total.recovery_peak_fanout, r.recovery_peak_fanout);
+    total.recovery_task_p50_us =
+        std::max(total.recovery_task_p50_us, r.recovery_task_p50_us);
+    total.recovery_task_p99_us =
+        std::max(total.recovery_task_p99_us, r.recovery_task_p99_us);
     total.power_loss_events += r.power_loss_events;
     total.power_loss_recovered += r.power_loss_recovered;
     total.backup_flush_groups += r.backup_flush_groups;
@@ -150,6 +172,8 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"cpu_model\": \"%s\",\n",
                kera::HostCpuModel().c_str());
   std::fprintf(out, "  \"broker_shards\": %u,\n", shards);
+  std::fprintf(out, "  \"recovery_parallelism\": %u,\n",
+               recovery_parallelism);
   std::fprintf(out, "  \"schedules\": %" PRIu64 ",\n", ran);
   std::fprintf(out, "  \"events_per_schedule\": %u,\n", events);
   std::fprintf(out, "  \"seed_base\": %" PRIu64 ",\n", seed_base);
@@ -177,6 +201,20 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"dedup_hits\": %" PRIu64 ",\n", total.dedup_hits);
   std::fprintf(out, "  \"recovery_replayed\": %" PRIu64 ",\n",
                total.recovery_replayed);
+  std::fprintf(out, "  \"recovery_tasks\": %" PRIu64 ",\n",
+               total.recovery_tasks);
+  std::fprintf(out, "  \"recovery_bytes\": %" PRIu64 ",\n",
+               total.recovery_bytes);
+  std::fprintf(out, "  \"recovery_read_rpcs\": %" PRIu64 ",\n",
+               total.recovery_read_rpcs);
+  std::fprintf(out, "  \"recovery_read_rpcs_saved\": %" PRIu64 ",\n",
+               total.recovery_read_rpcs_saved);
+  std::fprintf(out, "  \"recovery_peak_fanout\": %" PRIu64 ",\n",
+               total.recovery_peak_fanout);
+  std::fprintf(out, "  \"recovery_task_p50_us_max\": %" PRIu64 ",\n",
+               total.recovery_task_p50_us);
+  std::fprintf(out, "  \"recovery_task_p99_us_max\": %" PRIu64 ",\n",
+               total.recovery_task_p99_us);
   std::fprintf(out, "  \"power_loss_events\": %" PRIu64 ",\n",
                total.power_loss_events);
   std::fprintf(out, "  \"power_loss_recovered\": %" PRIu64 ",\n",
