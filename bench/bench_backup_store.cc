@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "backup/backup.h"
-#include "backup/segment_log.h"
+#include "storage/segment_log.h"
 #include "bench_host_context.h"
 #include "common/crc32c.h"
 #include "common/file.h"

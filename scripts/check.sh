@@ -93,6 +93,26 @@ echo "== recovery: parallel-recovery chaos sweep under ASan+UBSan =="
 KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$asan_build/tests/chaos_test" \
   --gtest_filter='ChaosSweep.ParallelRecoverySchedulesHoldInvariants:ChaosSweep.TraceIdenticalAcrossRecoveryParallelism'
 
+echo "== tiered memory: cold-read suite under both sanitizers =="
+# The cold-read suite drives eviction against in-flight zero-copy
+# consumes (segment pins, cold-cache holds, spill-log reload): ASan turns
+# any buffer-lifetime slip into a hard fault, and TSan watches the
+# evictor/reader pin handshake plus the async readahead worker. A bounded
+# tiered chaos band runs under both as well (--memory_budget=1024 in
+# chaos_soak replays any failure).
+cmake --build "$tsan_build" -j --target coldread_test
+echo "-- TSan: coldread_test"
+"$tsan_build/tests/coldread_test"
+cmake --build "$asan_build" -j --target coldread_test
+echo "-- ASan+UBSan: coldread_test"
+"$asan_build/tests/coldread_test"
+echo "-- TSan: chaos_test tiered sweep (bounded)"
+KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$tsan_build/tests/chaos_test" \
+  --gtest_filter='ChaosSweep.TieredMemorySchedulesHoldInvariants'
+echo "-- ASan+UBSan: chaos_test tiered sweep (bounded)"
+KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$asan_build/tests/chaos_test" \
+  --gtest_filter='ChaosSweep.TieredMemorySchedulesHoldInvariants:ChaosDeterminism.TieredTraceIdenticalToUnbounded'
+
 echo "== recovery MTTR benchmark (JSON to BENCH_recovery.json) =="
 # Modeled MTTR vs data volume / broker count / fan-out on the
 # deterministic path, the 512-segment paper-scale sweep, and a socket
@@ -132,6 +152,15 @@ echo "== backup store benchmark (JSON to BENCH_backup.json) =="
 cmake --build "$build" -j --target bench_backup_store
 "$build/bench/bench_backup_store" \
   --benchmark_out="$repo/BENCH_backup.json" \
+  --benchmark_out_format=json
+
+echo "== tiered memory benchmark (JSON to BENCH_coldread.json) =="
+# Catch-up throughput + resident-vs-ingested ledger at a ~25% budget, and
+# hot-tail produce percentiles with/without a concurrent cold scanner
+# (scan resistance: the scanner runs out of the cold cache's own pool).
+cmake --build "$build" -j --target bench_coldread
+"$build/bench/bench_coldread" \
+  --benchmark_out="$repo/BENCH_coldread.json" \
   --benchmark_out_format=json
 
 echo "== multicore scaling benchmark (JSON to BENCH_multicore.json) =="

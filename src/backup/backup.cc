@@ -20,9 +20,9 @@ Backup::Backup(BackupConfig config) : config_(std::move(config)) {
   // stay on disk (evicted); unsealed copies reload their payload into
   // memory — their size is the append point replication continues from.
   for (const SegmentLog::RecoveredCopy& rc : log_->RecoveredCopies()) {
-    Key key{rc.key.primary, rc.key.vlog, rc.key.vseg};
+    Key key{NodeId(rc.key.primary), rc.key.vlog, rc.key.vseg};
     ReplicatedSegment seg;
-    seg.primary = rc.key.primary;
+    seg.primary = NodeId(rc.key.primary);
     seg.vlog = rc.key.vlog;
     seg.vseg = rc.key.vseg;
     seg.chunk_count = rc.chunk_count;

@@ -18,7 +18,7 @@
 #include <tuple>
 #include <vector>
 
-#include "backup/segment_log.h"
+#include "storage/segment_log.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "rpc/messages.h"

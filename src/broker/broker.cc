@@ -20,6 +20,17 @@ Broker::Broker(BrokerConfig config, rpc::Network& network)
   for (uint32_t s = 0; s < shards_; ++s) {
     shard_rt_.push_back(std::make_unique<ShardRuntime>());
   }
+  if (config_.memory_budget_bytes > 0 && !config_.spill_dir.empty()) {
+    TieredStoreOptions to;
+    to.memory_budget_bytes = config_.memory_budget_bytes;
+    to.spill_dir = config_.spill_dir;
+    to.segment_size = config_.segment_size;
+    to.cold_cache_bytes = config_.cold_cache_bytes;
+    to.readahead_segments = config_.readahead_segments;
+    to.shards = shards_;
+    to.async_readahead = config_.async_readahead;
+    tiered_ = std::make_unique<TieredStore>(to, memory_);
+  }
   if (config_.replication_workers > 0) {
     replicator_ = std::make_unique<Replicator>(
         *this, config_.replication_workers, shards_ > 1);
@@ -159,6 +170,9 @@ Status Broker::AddStreamlet(StreamId stream, StreamletId streamlet) {
     }
     entry = it->second.get();
     entry->storage->AddStreamlet(streamlet);
+  }
+  if (tiered_ != nullptr) {
+    tiered_->TrackStreamlet(stream, entry->storage->GetStreamlet(streamlet));
   }
   // Leadership lands through the owning shard's mailbox: the insert is
   // serialized between that shard's frames, never mid-produce-batch.
@@ -497,6 +511,19 @@ rpc::ProduceResponse Broker::HandleProduceNoSync(
   if (appended != nullptr) {
     appended->insert(appended->end(), positions.begin(), positions.end());
   }
+  // Deterministic tiered-memory pump point: sealed-segment discovery (and
+  // any eviction the budget allows) happens at request boundaries, as a
+  // pure function of the append/durability schedule.
+  if (tiered_ != nullptr) {
+    uint32_t last_shard = UINT32_MAX;
+    for (auto& [vlog, ref] : positions) {
+      (void)vlog;
+      uint32_t s = ShardOf(ref.streamlet);
+      if (s == last_shard) continue;
+      last_shard = s;
+      tiered_->Pump(s);
+    }
+  }
   return resp;
 }
 
@@ -588,6 +615,9 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
     // parked long-polls of every shard this request touched. (Redundant
     // with the batch wakeup for R>1; waiters re-check their predicate.)
     for (uint32_t s : touched_shards) NotifyConsumeWaiters(*entry, s);
+    if (tiered_ != nullptr) {
+      for (uint32_t s : touched_shards) tiered_->Pump(s);
+    }
     return resp;
   }
 
@@ -632,6 +662,11 @@ rpc::ProduceResponse Broker::HandleProduce(const rpc::ProduceRequest& req) {
     }
   }
   for (uint32_t s : touched_shards) NotifyConsumeWaiters(*entry, s);
+  // Tiered-memory pump: the request's chunks are durable by now, so this
+  // point both discovers freshly sealed segments and can evict at once.
+  if (tiered_ != nullptr) {
+    for (uint32_t s : touched_shards) tiered_->Pump(s);
+  }
   return resp;
 }
 
@@ -755,6 +790,19 @@ Status Broker::ShipBatch(VirtualLog& vlog, const ReplicationBatch& batch) {
       // The durable prefix of every group in the batch just advanced:
       // complete parked long-poll consume requests.
       NotifyConsumeWaitersForBatch(batch);
+      // Durability advanced, so sealed segments of these shards may have
+      // just become evictable (the DES drives replication through here,
+      // making this the pump point that keeps chaos schedules and tiered
+      // eviction on one deterministic clock).
+      if (tiered_ != nullptr) {
+        uint32_t last_shard = UINT32_MAX;
+        for (const ChunkRef& ref : batch.refs) {
+          uint32_t s = ShardOf(ref.streamlet);
+          if (s == last_shard) continue;
+          last_shard = s;
+          tiered_->Pump(s);
+        }
+      }
       return OkStatus();
     }
   }
@@ -805,11 +853,65 @@ rpc::ConsumeResponse Broker::GatherConsume(StreamEntry& entry,
     auto locators = group->GetDurableChunks(e.start_chunk, e.max_chunks,
                                             budget);
     uint64_t served = 0;
-    for (const ChunkLocator& loc : locators) {
-      out.chunks.push_back(loc.segment->Bytes(loc.offset, loc.length));
-      budget = budget > loc.length ? budget - loc.length : 0;
-      *payload_bytes += loc.length;
-      ++served;
+    if (tiered_ == nullptr) {
+      // Unbounded memory: every segment is resident, spans alias it
+      // directly (the original zero-copy gather, byte for byte).
+      for (const ChunkLocator& loc : locators) {
+        out.chunks.push_back(loc.segment->Bytes(loc.offset, loc.length));
+        budget = budget > loc.length ? budget - loc.length : 0;
+        *payload_bytes += loc.length;
+        ++served;
+      }
+    } else {
+      // Tiered gather: pin each distinct hot segment for the life of the
+      // response (so the evictor cannot pull the buffer out from under
+      // the in-flight spans); chunks of an evicted segment are served
+      // from the cold-read cache, still zero-copy into cache memory.
+      struct SegSource {
+        bool hot = false;
+        bool failed = false;
+        std::span<const std::byte> cold;  // whole spilled payload
+      };
+      std::map<Segment*, SegSource> sources;
+      uint64_t cold_chunks = 0;
+      for (const ChunkLocator& loc : locators) {
+        Segment* seg = loc.segment;
+        auto it = sources.find(seg);
+        if (it == sources.end()) {
+          SegSource src;
+          if (seg->TryPinRead()) {
+            src.hot = true;
+            resp.holds.emplace_back(
+                nullptr, [seg](const void*) { seg->UnpinRead(); });
+          } else {
+            auto cs = tiered_->ReadCold(entry.info.stream, e.streamlet,
+                                        e.group, loc.segment_id);
+            if (cs.ok()) {
+              src.cold = {(*cs)->buf.data(), (*cs)->size};
+              resp.holds.push_back(std::shared_ptr<const void>(std::move(*cs)));
+            } else {
+              // Raced a trim (the spilled copies were evacuated): stop
+              // this entry's gather; the consumer re-requests and sees
+              // the group's terminal state.
+              src.failed = true;
+            }
+          }
+          it = sources.emplace(seg, src).first;
+        }
+        if (it->second.failed) break;
+        std::span<const std::byte> bytes;
+        if (it->second.hot) {
+          bytes = seg->Bytes(loc.offset, loc.length);
+        } else {
+          bytes = it->second.cold.subspan(loc.offset, loc.length);
+          ++cold_chunks;
+        }
+        out.chunks.push_back(bytes);
+        budget = budget > loc.length ? budget - loc.length : 0;
+        *payload_bytes += loc.length;
+        ++served;
+      }
+      if (cold_chunks > 0) tiered_->NoteColdChunksServed(cold_chunks);
     }
     out.next_chunk = e.start_chunk + served;
     // "No more data will ever appear at or beyond next_chunk."
@@ -930,14 +1032,19 @@ std::vector<std::byte> Broker::HandleRpc(std::span<const std::byte> request) {
     }
     case rpc::Opcode::kConsume: {
       auto req = rpc::ConsumeRequest::Decode(r);
+      rpc::ConsumeResponse resp;
       if (!req.ok()) {
-        rpc::ConsumeResponse resp;
         resp.status = req.status().code();
-        resp.Encode(out);
       } else {
-        HandleConsume(*req).Encode(out);
+        resp = HandleConsume(*req);
       }
-      break;
+      // The Writer holds the chunk spans BY REFERENCE until Take()
+      // materializes the frame, so the response — whose `holds` pin the
+      // hot segments and cold-cache entries those spans alias — must
+      // outlive the splice. Encoding a temporary here would release the
+      // pins first and let the evictor recycle the buffers mid-encode.
+      resp.Encode(out);
+      return std::move(out).Take();
     }
     default:
       out.U8(uint8_t(StatusCode::kInvalidArgument));
@@ -977,6 +1084,20 @@ Broker::Stats Broker::GetStats() const {
   for (const auto& rt : shard_rt_) {
     out.shard_mailbox_enqueues += rt->mailbox.enqueues();
     out.shard_frames.push_back(rt->frames.load(std::memory_order_relaxed));
+  }
+  MemoryManager::Stats ms = memory_.GetStats();
+  out.memory_buffers_outstanding = ms.buffers_outstanding;
+  out.memory_peak_buffers = ms.peak_outstanding;
+  out.memory_bytes_resident = ms.bytes_resident;
+  if (tiered_ != nullptr) {
+    TieredStore::Stats ts = tiered_->GetStats();
+    out.segments_spilled = ts.segments_spilled;
+    out.segments_evicted = ts.segments_evicted;
+    out.spill_bytes = ts.spill_bytes;
+    out.cold_reads = ts.cold_reads;
+    out.cold_cache_hits = ts.cold_cache_hits;
+    out.cold_cache_misses = ts.cold_cache_misses;
+    out.readahead_hits = ts.readahead_hits;
   }
   return out;
 }
@@ -1058,14 +1179,27 @@ size_t Broker::TrimDurable() {
   }
   size_t trimmed = 0;
   for (Stream* stream : streams) {
+    const StreamId stream_id = stream->id();
     for (StreamletId id : stream->StreamletIds()) {
       Streamlet* sl = stream->GetStreamlet(id);
-      trimmed += sl->TrimBefore(sl->next_group_id());
+      if (tiered_ != nullptr) {
+        // The pre-trim hook runs while the group's Segment objects are
+        // still alive: the tiered store drops its spill candidates and
+        // evacuates the group's on-disk copies.
+        trimmed += sl->TrimBefore(sl->next_group_id(), [&](Group* g) {
+          tiered_->OnGroupTrim(stream_id, id, g);
+        });
+      } else {
+        trimmed += sl->TrimBefore(sl->next_group_id());
+      }
     }
   }
   for (VirtualLog* vlog : VirtualLogs()) {
     vlog->TrimReplicatedSegments();
   }
+  // Trim is also a deterministic pump point: seals discovered here keep
+  // maintenance-only workloads within budget too.
+  if (tiered_ != nullptr) tiered_->PumpAll();
   return trimmed;
 }
 

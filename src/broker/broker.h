@@ -19,6 +19,7 @@
 
 #include "broker/replicator.h"
 #include "broker/shard_mailbox.h"
+#include "broker/tiered_store.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "rpc/messages.h"
@@ -75,6 +76,29 @@ struct BrokerConfig {
   /// any frame — but a shard-affine transport (SocketNetwork with a
   /// router) makes the per-shard locks effectively uncontended.
   uint32_t shards = 1;
+  /// Tiered broker memory. 0 (the default) keeps every segment resident —
+  /// exactly the pre-tiering behavior. A non-zero budget caps the bytes of
+  /// SEALED segments kept in DRAM: once a sealed segment's chunks are all
+  /// covered by the vlog durable head, its payload is spilled to the
+  /// broker-local spill log and the buffer is evicted (returned to the
+  /// MemoryManager) whenever the per-shard budget is exceeded, oldest
+  /// seal first. Open segments are never evicted, so the true resident
+  /// ceiling is budget + (active groups * segment_size) of open-segment
+  /// slack. Requires `spill_dir`.
+  size_t memory_budget_bytes = 0;
+  /// Directory for the broker-local spill log (scratch: deleted on crash,
+  /// recovery comes from backups). Tiering is off while empty.
+  std::string spill_dir;
+  /// Cold-read cache pool for catch-up consumers hitting evicted
+  /// segments; its buffers are a partition separate from the hot segment
+  /// pool, so a lagging scan can never evict the hot tail. 0 defaults to
+  /// 4 segment buffers.
+  size_t cold_cache_bytes = 0;
+  /// Segments of a group prefetched sequentially past a cold-cache miss.
+  uint32_t readahead_segments = 2;
+  /// Prefetch on a background thread (only sensible on transports that
+  /// are already nondeterministic; the chaos/DES paths keep it inline).
+  bool async_readahead = false;
 };
 
 class Broker final : public rpc::RpcHandler {
@@ -172,6 +196,19 @@ class Broker final : public rpc::RpcHandler {
     uint64_t shard_mailbox_enqueues = 0;
     uint64_t cross_shard_ops = 0;
     std::vector<uint64_t> shard_frames;
+    /// Tiered broker memory: spill/eviction activity and the cold-read
+    /// path (all zero while memory_budget_bytes == 0).
+    uint64_t segments_spilled = 0;
+    uint64_t segments_evicted = 0;
+    uint64_t spill_bytes = 0;
+    uint64_t cold_reads = 0;
+    uint64_t cold_cache_hits = 0;
+    uint64_t cold_cache_misses = 0;
+    uint64_t readahead_hits = 0;
+    /// Segment-pool observability (from MemoryManager::GetStats).
+    uint64_t memory_buffers_outstanding = 0;
+    uint64_t memory_peak_buffers = 0;
+    uint64_t memory_bytes_resident = 0;
   };
   [[nodiscard]] Stats GetStats() const;
 
@@ -225,6 +262,10 @@ class Broker final : public rpc::RpcHandler {
 
   /// The background replicator, or nullptr when replication_workers == 0.
   [[nodiscard]] Replicator* replicator() const { return replicator_.get(); }
+
+  /// The tiered segment store, or nullptr when memory_budget_bytes == 0
+  /// (unbounded: every segment stays resident).
+  [[nodiscard]] TieredStore* tiered() const { return tiered_.get(); }
 
  private:
   struct StreamEntry {
@@ -418,6 +459,11 @@ class Broker final : public rpc::RpcHandler {
   /// Set by StopConsumeWaits: long-poll parking is disabled and parked
   /// handlers return on their next wake.
   std::atomic<bool> consume_waits_stopped_{false};
+
+  /// Tiered segment store (nullptr when memory_budget_bytes == 0).
+  /// Declared after streams_ so it is destroyed first — it references
+  /// Streamlet/Group/Segment objects the streams own.
+  std::unique_ptr<TieredStore> tiered_;
 
   // Declared last: destroyed first, so worker threads stop while the
   // vlogs/streams they reference are still alive.

@@ -14,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "backup/segment_log.h"
+#include "storage/segment_log.h"
 #include "chaos/invariant_checker.h"
 #include "cluster/mini_cluster.h"
 #include "common/rng.h"
@@ -49,6 +49,10 @@ class Harness {
     if (!pl_dir_.empty()) {
       std::error_code ec;
       std::filesystem::remove_all(pl_dir_, ec);
+    }
+    if (!spill_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(spill_dir_, ec);
     }
   }
 
@@ -144,6 +148,25 @@ class Harness {
       cfg.backup_flush_batch_bytes = 16u << 10;
       cfg.backup_gc_live_ratio = 0.0;
     }
+    if (options_.memory_budget_bytes > 0) {
+      // Tiered broker memory under chaos: a per-run scratch tree holds
+      // every broker's spill log. Budget small enough (callers pass a few
+      // segments' worth) that schedules evict mid-run and catch-up
+      // consumers exercise the cold-read path; readahead stays inline
+      // (async_readahead is off for external networks), so the cache
+      // state — like everything else here — is a function of the
+      // schedule alone.
+      char dir[128];
+      std::snprintf(dir, sizeof(dir), "/tmp/kera_chaos_spill_%" PRIu64 "_%d",
+                    sched_.seed, int(::getpid()));
+      spill_dir_ = dir;
+      std::error_code ec;
+      std::filesystem::remove_all(spill_dir_, ec);
+      cfg.broker_memory_budget_bytes = options_.memory_budget_bytes;
+      cfg.broker_spill_dir = spill_dir_ + "/n%u";
+      cfg.broker_cold_cache_bytes = 4 * cfg.segment_size;
+      cfg.broker_readahead_segments = 2;
+    }
     cfg.external_network = &net_;
     cfg.external_register = [this](NodeId n, rpc::RpcHandler* h) {
       net_.Register(n, h);
@@ -200,6 +223,14 @@ class Harness {
       result_.backup_flush_groups = bs.flush_groups;
       result_.backup_fsyncs = bs.fsyncs;
       result_.backup_bytes_flushed = bs.bytes_flushed;
+    }
+    if (options_.memory_budget_bytes > 0 && cluster_ != nullptr) {
+      Broker::Stats ts = cluster_->TotalBrokerStats();
+      result_.segments_spilled = ts.segments_spilled;
+      result_.segments_evicted = ts.segments_evicted;
+      result_.cold_reads = ts.cold_reads;
+      result_.cold_cache_hits = ts.cold_cache_hits;
+      result_.cold_cache_misses = ts.cold_cache_misses;
     }
     return std::move(result_);
   }
@@ -840,6 +871,9 @@ class Harness {
   /// Scratch directory holding the per-node backup segment logs of a
   /// power-loss run; removed by the destructor. Empty in modes A/B.
   std::string pl_dir_;
+  /// Scratch tree for the brokers' spill logs when the run has a tiered
+  /// memory budget; removed by the destructor. Empty otherwise.
+  std::string spill_dir_;
 
   std::string trace_;
   size_t event_index_ = size_t(-1);

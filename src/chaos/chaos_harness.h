@@ -64,6 +64,16 @@ struct RunResult {
   uint64_t backup_flush_groups = 0;
   uint64_t backup_fsyncs = 0;
   uint64_t backup_bytes_flushed = 0;
+  // Tiered broker memory totals (RunOptions::memory_budget_bytes > 0
+  // only). Spill/evict/cold-read counts are deterministic — eviction is a
+  // pure function of the schedule (the evictor forces the spill record
+  // durable rather than racing the flusher) — but they are reported, not
+  // traced, so trace comparison stays byte-stable across modes.
+  uint64_t segments_spilled = 0;
+  uint64_t segments_evicted = 0;
+  uint64_t cold_reads = 0;
+  uint64_t cold_cache_hits = 0;
+  uint64_t cold_cache_misses = 0;
   ChaosNetwork::Stats net;
 };
 
@@ -83,6 +93,15 @@ struct RunOptions {
   /// every value; >1 still drives the scatter placement, batched reads
   /// and per-vlog lane partitioning through every crash schedule.
   uint32_t recovery_parallelism = 1;
+  /// Tiered broker memory budget for the cluster under test (see
+  /// BrokerConfig::memory_budget_bytes). 0 (default) keeps every segment
+  /// resident — byte-identical to the pre-tiering runs. A small non-zero
+  /// budget (e.g. a few segments' worth against the harness's 2 KiB
+  /// segments) forces mid-schedule spill/eviction and routes lagging
+  /// consumers through the cold-read cache, all under the same schedules
+  /// and invariants; the spill logs live in a per-run scratch dir and a
+  /// broker crash deletes its node's spill tree.
+  size_t memory_budget_bytes = 0;
 };
 
 /// Runs one schedule to completion (or first violation). The cluster is

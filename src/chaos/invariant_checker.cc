@@ -3,8 +3,11 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <memory>
 #include <tuple>
+#include <utility>
 
+#include "broker/tiered_store.h"
 #include "common/crc32c.h"
 #include "wire/chunk.h"
 
@@ -106,8 +109,38 @@ std::string InvariantChecker::CheckAckedDurable(MiniCluster& cluster,
       for (uint64_t i = 0; i < durable_count; ++i) {
         ++*checks;
         ChunkLocator loc = group->GetChunk(i);
-        auto chunk = ChunkView::Parse(loc.segment->Bytes(loc.offset,
-                                                         loc.length));
+        // Tiered brokers may have evicted this segment's DRAM copy; pin it
+        // for the parse, or re-read it from the broker's spill tier (which
+        // also re-verifies the spill log's CRC framing).
+        std::shared_ptr<const TieredStore::ColdSegment> cold;
+        const bool pinned = loc.segment->TryPinRead();
+        if (!pinned) {
+          TieredStore* tiered = cluster.broker(leader).tiered();
+          if (tiered == nullptr) {
+            return Describe(
+                "leader %u streamlet %u group %u chunk %" PRIu64
+                ": segment evicted without a tiered store",
+                unsigned(leader), unsigned(sl), unsigned(gid), i);
+          }
+          auto cs = tiered->ReadCold(info->stream, sl, gid, loc.segment_id);
+          if (!cs.ok()) {
+            return Describe(
+                "leader %u streamlet %u group %u chunk %" PRIu64
+                ": cold read of evicted durable chunk failed: %s",
+                unsigned(leader), unsigned(sl), unsigned(gid), i,
+                cs.status().ToString().c_str());
+          }
+          cold = std::move(*cs);
+        }
+        struct Unpin {
+          Segment* seg;
+          ~Unpin() {
+            if (seg != nullptr) seg->UnpinRead();
+          }
+        } unpin{pinned ? loc.segment : nullptr};
+        auto bytes = pinned ? loc.segment->Bytes(loc.offset, loc.length)
+                            : cold->bytes(loc.offset, loc.length);
+        auto chunk = ChunkView::Parse(bytes);
         if (!chunk.ok()) {
           return Describe(
               "leader %u streamlet %u group %u chunk %" PRIu64

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 #include "common/logging.h"
 #include "rpc/messages.h"
@@ -24,6 +26,15 @@ BrokerConfig MiniCluster::BrokerConfigFor(NodeId node) const {
   bc.replication_workers = config_.replication_workers;
   bc.max_consume_wait_us = config_.max_consume_wait_us;
   bc.shards = config_.broker_shards;
+  bc.memory_budget_bytes = config_.broker_memory_budget_bytes;
+  bc.spill_dir = SpillDirFor(node);
+  bc.cold_cache_bytes = config_.broker_cold_cache_bytes;
+  bc.readahead_segments = config_.broker_readahead_segments;
+  // Prefetch threads only where the transport is already nondeterministic;
+  // Direct and external (DES/chaos) networks keep readahead inline so the
+  // cold-cache state is a pure function of the schedule.
+  bc.async_readahead =
+      threaded_ != nullptr || socket_ != nullptr;
   for (NodeId n = 1; n <= config_.nodes; ++n) {
     bc.backup_nodes.push_back(BackupServiceId(n));
   }
@@ -54,6 +65,23 @@ std::string MiniCluster::BackupDirFor(NodeId node) const {
   char dir[256];
   std::snprintf(dir, sizeof(dir), config_.backup_dir.c_str(), unsigned(node));
   return dir;
+}
+
+std::string MiniCluster::SpillDirFor(NodeId node) const {
+  if (config_.broker_spill_dir.empty() ||
+      config_.broker_memory_budget_bytes == 0) {
+    return {};
+  }
+  char dir[256];
+  std::snprintf(dir, sizeof(dir), config_.broker_spill_dir.c_str(),
+                unsigned(node));
+  // Per-incarnation subdirectory: a restarted broker never scans (or
+  // collides with) its previous life's spill records.
+  uint64_t inc = node <= incarnations_.size() ? incarnations_[node - 1] : 0;
+  char sub[320];
+  std::snprintf(sub, sizeof(sub), "%s/inc%llu", dir,
+                (unsigned long long)inc);
+  return sub;
 }
 
 void MiniCluster::RegisterOnNetwork(NodeId service, rpc::RpcHandler* handler) {
@@ -211,6 +239,20 @@ void MiniCluster::CrashNode(NodeId node) {
   // otherwise sleep until their poll deadline (and a later restart swaps
   // in a fresh broker whose parking works again).
   brokers_[node - 1]->StopConsumeWaits();
+  // A real crash loses the process-local spill log with the process; the
+  // broker's durable data lives on the backups. Delete the node's whole
+  // spill tree (all incarnations) so recovery provably never reads it.
+  // The dead broker object may still hold open fds — unlinking is safe,
+  // and its per-incarnation subdirectory is never reused (RestartNode
+  // bumps the incarnation).
+  if (!config_.broker_spill_dir.empty() &&
+      config_.broker_memory_budget_bytes != 0) {
+    char dir[256];
+    std::snprintf(dir, sizeof(dir), config_.broker_spill_dir.c_str(),
+                  unsigned(node));
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
 }
 
 Status MiniCluster::RestartNode(NodeId node) {
@@ -274,6 +316,16 @@ Broker::Stats MiniCluster::TotalBrokerStats() const {
     total.recovery_bytes_appended += s.recovery_bytes_appended;
     total.shard_mailbox_enqueues += s.shard_mailbox_enqueues;
     total.cross_shard_ops += s.cross_shard_ops;
+    total.segments_spilled += s.segments_spilled;
+    total.segments_evicted += s.segments_evicted;
+    total.spill_bytes += s.spill_bytes;
+    total.cold_reads += s.cold_reads;
+    total.cold_cache_hits += s.cold_cache_hits;
+    total.cold_cache_misses += s.cold_cache_misses;
+    total.readahead_hits += s.readahead_hits;
+    total.memory_buffers_outstanding += s.memory_buffers_outstanding;
+    total.memory_peak_buffers += s.memory_peak_buffers;
+    total.memory_bytes_resident += s.memory_bytes_resident;
     if (total.shard_frames.size() < s.shard_frames.size()) {
       total.shard_frames.resize(s.shard_frames.size());
     }

@@ -78,6 +78,17 @@ struct MiniClusterConfig {
   uint64_t backup_flush_interval_us = 0;
   double backup_gc_live_ratio = -1.0;
 
+  /// Tiered broker memory (see BrokerConfig::memory_budget_bytes): 0
+  /// keeps every segment resident (the pre-tiering behavior, exactly).
+  /// With a budget, `broker_spill_dir` must be set — a directory template
+  /// with "%u" for the node id; each broker incarnation spills under its
+  /// own subdirectory and CrashNode deletes the node's spill tree (the
+  /// spill log is process-local scratch; recovery uses the backups).
+  size_t broker_memory_budget_bytes = 0;
+  std::string broker_spill_dir;
+  size_t broker_cold_cache_bytes = 0;
+  uint32_t broker_readahead_segments = 2;
+
   /// External network injection (fault-injection harnesses wrap a
   /// DirectNetwork in a decorator): when `external_network` is set the
   /// cluster uses it instead of constructing a transport, and the three
@@ -143,6 +154,11 @@ class MiniCluster {
   /// flushing is disabled). The chaos power-loss fault truncates the log
   /// files under this directory between CrashBackup and RestartBackup.
   [[nodiscard]] std::string BackupDirFor(NodeId node) const;
+
+  /// Resolved spill-log directory for `node`'s CURRENT broker incarnation
+  /// (empty when tiering is off). CrashNode removes the node's whole
+  /// spill tree — a crashed process's spill log is garbage by definition.
+  [[nodiscard]] std::string SpillDirFor(NodeId node) const;
 
   /// Resolved shared-nothing shard count per broker (after the
   /// KERA_BROKER_SHARDS auto default).

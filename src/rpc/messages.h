@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -128,6 +129,10 @@ struct ConsumeEntryResponse {
 struct ConsumeResponse {
   StatusCode status = StatusCode::kOk;
   std::vector<ConsumeEntryResponse> entries;
+  /// Keep-alives for the zero-copy `chunks` spans: segment read pins and
+  /// cold-cache entries stay valid for the life of the response object.
+  /// Not serialized — a decoded response owns its bytes already.
+  std::vector<std::shared_ptr<const void>> holds;
 
   void Encode(Writer& w) const;
   [[nodiscard]] static Result<ConsumeResponse> Decode(Reader& r);

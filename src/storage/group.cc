@@ -140,6 +140,11 @@ size_t Group::segment_count() const {
   return segments_.size();
 }
 
+Segment* Group::GetSegment(SegmentId id) const {
+  std::lock_guard<SpinLock> lock(mu_);
+  return id < segments_.size() ? segments_[id].get() : nullptr;
+}
+
 uint64_t Group::durable_record_count() const {
   std::lock_guard<SpinLock> lock(mu_);
   uint64_t durable = durable_chunks_.load(std::memory_order_acquire);
@@ -185,7 +190,10 @@ Status Group::Trim() {
                   "trim of group with unreplicated chunks");
   }
   for (auto& seg : segments_) {
-    memory_.Release(std::move(*seg).TakeBuffer());
+    Buffer buf = std::move(*seg).TakeBuffer();
+    // An evicted segment's payload lives in the spill log; its buffer went
+    // back to the pool at eviction time and this one is a detached husk.
+    if (buf.capacity() > 0) memory_.Release(std::move(buf));
   }
   segments_.clear();
   index_.clear();
@@ -196,7 +204,9 @@ Status Group::Trim() {
 size_t Group::bytes_in_use() const {
   std::lock_guard<SpinLock> lock(mu_);
   size_t total = 0;
-  for (const auto& seg : segments_) total += seg->head();
+  for (const auto& seg : segments_) {
+    if (!seg->evicted()) total += seg->head();
+  }
   return total;
 }
 

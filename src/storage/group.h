@@ -76,6 +76,12 @@ class Group {
   /// Number of live segments.
   [[nodiscard]] size_t segment_count() const;
 
+  /// Segment by id (0-based creation order); nullptr when out of range or
+  /// the group was trimmed. Segment objects live until Trim, so the tiered
+  /// store may hold the pointer across pump passes (it drops candidates in
+  /// the pre-trim hook).
+  [[nodiscard]] Segment* GetSegment(SegmentId id) const;
+
   /// Releases all segment buffers back to the memory manager. Only valid
   /// on a closed group whose chunks are all durable; afterwards locators
   /// into this group are invalid.

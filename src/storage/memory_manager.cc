@@ -1,5 +1,7 @@
 #include "storage/memory_manager.h"
 
+#include <algorithm>
+
 namespace kera {
 
 MemoryManager::MemoryManager(size_t total_bytes, size_t segment_size)
@@ -13,6 +15,7 @@ Result<Buffer> MemoryManager::Acquire() {
     free_list_.pop_back();
     buf.Clear();
     ++outstanding_;
+    peak_outstanding_ = std::max(peak_outstanding_, outstanding_);
     return buf;
   }
   if (created_ >= max_segments_) {
@@ -20,6 +23,7 @@ Result<Buffer> MemoryManager::Acquire() {
   }
   ++created_;
   ++outstanding_;
+  peak_outstanding_ = std::max(peak_outstanding_, outstanding_);
   return Buffer(segment_size_);
 }
 
@@ -38,6 +42,17 @@ size_t MemoryManager::in_use() const {
 size_t MemoryManager::pooled() const {
   std::lock_guard<std::mutex> lock(mu_);
   return free_list_.size();
+}
+
+MemoryManager::Stats MemoryManager::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.buffers_outstanding = outstanding_;
+  s.buffers_pooled = free_list_.size();
+  s.buffers_created = created_;
+  s.peak_outstanding = peak_outstanding_;
+  s.bytes_resident = uint64_t(outstanding_) * segment_size_;
+  return s;
 }
 
 }  // namespace kera

@@ -32,6 +32,18 @@ class MemoryManager {
   [[nodiscard]] size_t in_use() const;
   [[nodiscard]] size_t pooled() const;
 
+  /// Memory observability: what the pool has handed out, its high-water
+  /// mark, and the resident footprint (outstanding buffers; pooled ones
+  /// are reusable slack counted separately).
+  struct Stats {
+    uint64_t buffers_outstanding = 0;
+    uint64_t buffers_pooled = 0;
+    uint64_t buffers_created = 0;
+    uint64_t peak_outstanding = 0;
+    uint64_t bytes_resident = 0;  // outstanding * segment_size
+  };
+  [[nodiscard]] Stats GetStats() const;
+
  private:
   const size_t segment_size_;
   const size_t max_segments_;
@@ -39,6 +51,7 @@ class MemoryManager {
   std::vector<Buffer> free_list_;
   size_t outstanding_ = 0;  // buffers handed out and not yet released
   size_t created_ = 0;      // total buffers ever created (lazily, on demand)
+  size_t peak_outstanding_ = 0;
 };
 
 }  // namespace kera

@@ -86,7 +86,54 @@ class Segment {
   }
 
   /// Releases the underlying buffer back to the caller (for trimming).
+  /// Empty (capacity 0) if the payload was evicted to the spill tier.
   Buffer TakeBuffer() && { return std::move(buf_); }
+
+  // ----- tiered-memory eviction handshake --------------------------------
+  //
+  // Readers that hand out spans aliasing buf_ (zero-copy consume) pin the
+  // segment for the life of the response; the evictor detaches buf_ only
+  // when no pins are held. Both sides use seq_cst so the two flag/counter
+  // pairs order like Dekker's algorithm: a reader either sees `evicted`
+  // and takes the cold path, or its pin is visible to the evictor, which
+  // then rolls back. Spilling the payload to disk BEFORE TryEvict makes
+  // the race benign — a reader losing it re-reads from the spill log.
+
+  /// Pins the segment against eviction. False if already evicted (caller
+  /// falls back to the cold-read cache).
+  [[nodiscard]] bool TryPinRead() {
+    read_pins_.fetch_add(1, std::memory_order_seq_cst);
+    if (evicted_.load(std::memory_order_seq_cst)) {
+      read_pins_.fetch_sub(1, std::memory_order_seq_cst);
+      return false;
+    }
+    return true;
+  }
+  void UnpinRead() { read_pins_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  /// Marks the segment evicted unless a reader holds a pin; on success the
+  /// caller owns the transition and must DetachBuffer(). Only sealed,
+  /// fully durable segments are eligible (the caller checks).
+  [[nodiscard]] bool TryEvict() {
+    evicted_.store(true, std::memory_order_seq_cst);
+    if (read_pins_.load(std::memory_order_seq_cst) != 0) {
+      evicted_.store(false, std::memory_order_seq_cst);
+      return false;
+    }
+    return true;
+  }
+
+  /// After a successful TryEvict: releases the payload buffer to the
+  /// caller (for return to the MemoryManager). head/durable_head/metadata
+  /// stay valid so chunk locators keep describing the spilled layout.
+  Buffer DetachBuffer() { return std::move(buf_); }
+
+  [[nodiscard]] bool evicted() const {
+    return evicted_.load(std::memory_order_seq_cst);
+  }
+  [[nodiscard]] uint32_t read_pins() const {
+    return read_pins_.load(std::memory_order_seq_cst);
+  }
 
  private:
   Buffer buf_;
@@ -97,6 +144,8 @@ class Segment {
   std::atomic<uint32_t> head_{kSegmentHeaderSize};
   std::atomic<uint32_t> durable_head_{kSegmentHeaderSize};
   std::atomic<bool> closed_{false};
+  std::atomic<bool> evicted_{false};
+  std::atomic<uint32_t> read_pins_{0};
 };
 
 }  // namespace kera

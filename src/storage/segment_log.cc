@@ -1,4 +1,4 @@
-#include "backup/segment_log.h"
+#include "storage/segment_log.h"
 
 #include <algorithm>
 #include <array>
@@ -65,15 +65,15 @@ void SegmentLog::EncodeRecordHeader(const RecordHeader& h,
   out[5] = std::byte(0);  // flags
   out[6] = std::byte(0);  // reserved
   out[7] = std::byte(0);
-  put32(8, h.primary);
-  put32(12, h.vlog);
-  put64(16, h.vseg);
-  put64(24, h.offset);
-  put32(32, h.chunk_count);
-  put32(36, h.crc_after);
-  put32(40, h.payload_len);
-  put32(44, h.payload_crc);
-  put32(48, Crc32c(out, 48));
+  put64(8, h.primary);
+  put32(16, h.vlog);
+  put32(20, h.chunk_count);
+  put64(24, h.vseg);
+  put64(32, h.offset);
+  put32(40, h.crc_after);
+  put32(44, h.payload_len);
+  put32(48, h.payload_crc);
+  put32(52, Crc32c(out, 52));
 }
 
 bool SegmentLog::DecodeRecordHeader(std::span<const std::byte> in,
@@ -90,21 +90,21 @@ bool SegmentLog::DecodeRecordHeader(std::span<const std::byte> in,
     return v;
   };
   if (get32(0) != kRecordMagic) return false;
-  if (get32(48) != Crc32c(in.data(), 48)) return false;
+  if (get32(52) != Crc32c(in.data(), 52)) return false;
   uint8_t type = uint8_t(in[4]);
   if (type < uint8_t(RecordType::kOpen) ||
       type > uint8_t(RecordType::kEvacuate)) {
     return false;
   }
   out.type = RecordType(type);
-  out.primary = get32(8);
-  out.vlog = get32(12);
-  out.vseg = get64(16);
-  out.offset = get64(24);
-  out.chunk_count = get32(32);
-  out.crc_after = get32(36);
-  out.payload_len = get32(40);
-  out.payload_crc = get32(44);
+  out.primary = get64(8);
+  out.vlog = get32(16);
+  out.chunk_count = get32(20);
+  out.vseg = get64(24);
+  out.offset = get64(32);
+  out.crc_after = get32(40);
+  out.payload_len = get32(44);
+  out.payload_crc = get32(48);
   return true;
 }
 
@@ -258,6 +258,29 @@ Status SegmentLog::ReadSegment(const CopyKey& key,
   ContiguousPrefix(c, size, chunks, crc);
   out.clear();
   out.resize(size_t(size));
+  Status s = ReadExtentsLocked(c, {out.data(), out.size()}, size);
+  if (!s.ok()) out.clear();
+  return s;
+}
+
+Status SegmentLog::ReadSegmentInto(const CopyKey& key, std::span<std::byte> out,
+                                   uint64_t& size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size = 0;
+  auto it = copies_.find(key);
+  if (it == copies_.end()) {
+    return Status(StatusCode::kNotFound, "no such copy in segment log");
+  }
+  uint32_t chunks = 0, crc = 0;
+  ContiguousPrefix(it->second, size, chunks, crc);
+  if (size > out.size()) {
+    return Status(StatusCode::kNoSpace, "copy larger than caller buffer");
+  }
+  return ReadExtentsLocked(it->second, out.first(size_t(size)), size);
+}
+
+Status SegmentLog::ReadExtentsLocked(const Copy& c, std::span<std::byte> out,
+                                     uint64_t size) const {
   std::map<uint32_t, PosixFile> handles;
   std::vector<std::byte> scratch;
   uint64_t covered = 0;
@@ -267,10 +290,7 @@ Status SegmentLog::ReadSegment(const CopyKey& key,
     auto hit = handles.find(e.file);
     if (hit == handles.end()) {
       auto opened = PosixFile::Open(FilePathFor(e.file), O_RDONLY);
-      if (!opened.ok()) {
-        out.clear();
-        return opened.status();
-      }
+      if (!opened.ok()) return opened.status();
       hit = handles.emplace(e.file, std::move(*opened)).first;
     }
     // The recorded CRC covers the whole extent; read it in full even when
@@ -278,12 +298,10 @@ Status SegmentLog::ReadSegment(const CopyKey& key,
     scratch.resize(e.len);
     Status s = hit->second.ReadAt(e.pos, scratch);
     if (!s.ok()) {
-      out.clear();
       return Status(StatusCode::kCorruption,
                     "extent unreadable: " + s.message());
     }
     if (Crc32c(scratch.data(), scratch.size()) != e.payload_crc) {
-      out.clear();
       return Status(StatusCode::kCorruption,
                     "extent CRC mismatch in " + FilePathFor(e.file));
     }
@@ -292,7 +310,6 @@ Status SegmentLog::ReadSegment(const CopyKey& key,
     covered += take;
   }
   if (covered != size) {
-    out.clear();
     return Status(StatusCode::kCorruption, "copy prefix has a hole");
   }
   return OkStatus();

@@ -64,9 +64,13 @@ struct SegmentLogOptions {
 
 class SegmentLog {
  public:
-  /// Identity of one replicated virtual-segment copy.
+  /// Identity of one stored segment copy. The log is shared by two tiers:
+  /// backups key replicated virtual-segment copies as (primary NodeId,
+  /// vlog, virtual segment id); brokers key spilled physical segments as
+  /// (StreamId, streamlet, group<<32 | segment id). `primary` is 64-bit so
+  /// both namespaces fit without truncation.
   struct CopyKey {
-    NodeId primary = 0;
+    uint64_t primary = 0;
     VlogId vlog = 0;
     VirtualSegmentId vseg = 0;
     auto operator<=>(const CopyKey&) const = default;
@@ -83,11 +87,11 @@ class SegmentLog {
   };
 
   static constexpr uint32_t kRecordMagic = 0x474F4C4Bu;  // "KLOG"
-  static constexpr size_t kRecordHeaderSize = 52;
+  static constexpr size_t kRecordHeaderSize = 56;
 
   struct RecordHeader {
     RecordType type = RecordType::kOpen;
-    NodeId primary = 0;
+    uint64_t primary = 0;
     VlogId vlog = 0;
     VirtualSegmentId vseg = 0;
     /// kAppend: segment offset of the payload; kSeal/kTruncate: the copy's
@@ -145,6 +149,13 @@ class SegmentLog {
   /// vanished; kCorruption: extent bytes fail their recorded CRC.
   [[nodiscard]] Status ReadSegment(const CopyKey& key,
                                    std::vector<std::byte>& out) const;
+
+  /// Variant for callers with pooled buffers (the broker's cold-read
+  /// cache): assembles the durable prefix into `out`, setting `size` to
+  /// the bytes produced. kNoSpace if the copy exceeds out.size().
+  [[nodiscard]] Status ReadSegmentInto(const CopyKey& key,
+                                       std::span<std::byte> out,
+                                       uint64_t& size) const;
 
   /// Copy map as rebuilt from the log (what a cold-started Backup adopts).
   struct RecoveredCopy {
@@ -240,6 +251,11 @@ class SegmentLog {
   /// Contiguous durable prefix of a copy: size, chunks, crc. Locked.
   void ContiguousPrefix(const Copy& c, uint64_t& size, uint32_t& chunks,
                         uint32_t& crc) const;
+  /// Assembles [0, size) of a copy into `out`, verifying extent CRCs.
+  /// Caller holds mu_ and has bounded `size` via ContiguousPrefix.
+  [[nodiscard]] Status ReadExtentsLocked(const Copy& c,
+                                         std::span<std::byte> out,
+                                         uint64_t size) const;
   void NoteIoError(const Status& s);
   uint64_t GcLocked(std::unique_lock<std::mutex>& lock);
 

@@ -124,7 +124,8 @@ void Streamlet::SealActiveGroups() {
   }
 }
 
-size_t Streamlet::TrimBefore(GroupId before_group) {
+size_t Streamlet::TrimBefore(GroupId before_group,
+                             const std::function<void(Group*)>& on_trim) {
   std::vector<Group*> candidates;
   {
     std::lock_guard<SpinLock> lock(groups_mu_);
@@ -138,6 +139,7 @@ size_t Streamlet::TrimBefore(GroupId before_group) {
   }
   size_t trimmed = 0;
   for (Group* g : candidates) {
+    if (on_trim) on_trim(g);
     if (g->Trim().ok()) ++trimmed;
   }
   return trimmed;

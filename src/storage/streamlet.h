@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -74,8 +75,12 @@ class Streamlet {
   void SealActiveGroups();
 
   /// Trims every closed, fully durable group with id < `before_group`,
-  /// releasing memory. Returns how many groups were trimmed.
-  size_t TrimBefore(GroupId before_group);
+  /// releasing memory. Returns how many groups were trimmed. `on_trim`
+  /// (optional) runs immediately before each group's Trim — the tiered
+  /// store uses it to drop spill candidates and evacuate spilled copies
+  /// while the group's Segment objects are still alive.
+  size_t TrimBefore(GroupId before_group,
+                    const std::function<void(Group*)>& on_trim = nullptr);
 
   [[nodiscard]] size_t bytes_in_use() const;
   [[nodiscard]] uint64_t total_chunks() const;

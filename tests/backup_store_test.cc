@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "backup/backup.h"
-#include "backup/segment_log.h"
+#include "storage/segment_log.h"
 #include "common/crc32c.h"
 #include "wire/chunk.h"
 

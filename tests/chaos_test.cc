@@ -230,6 +230,139 @@ TEST(ChaosSweep, TraceIdenticalAcrossRecoveryParallelism) {
   }
 }
 
+// ------------------------------------------------- tiered-memory sweep
+
+// The same deterministic schedules with a broker memory budget small
+// enough (4 segments' worth against the harness's 2 KiB segments) that
+// sealed groups are spilled to the per-run scratch spill log and evicted
+// mid-schedule, so lagging consumers and recovery-era re-reads go
+// through the cold-read cache. The seed->schedule mapping and the
+// oracles are untouched: tiering must be invisible to all six
+// invariants, and the band must actually evict (not vacuously pass).
+TEST(ChaosSweep, TieredMemorySchedulesHoldInvariants) {
+  RunOptions options;
+  options.memory_budget_bytes = 1024;
+  const uint32_t n =
+      g_single_seed ? 1 : std::max<uint32_t>(1, g_schedules / 4);
+  uint64_t total_checks = 0;
+  uint64_t total_acked = 0;
+  uint64_t total_consumed = 0;
+  uint64_t total_spilled = 0;
+  uint64_t total_evicted = 0;
+  uint64_t total_cold_reads = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t seed = g_single_seed ? g_seed : kSweepSeedBase + i;
+    RunResult r = RunSeed(seed, g_events, options);
+    total_checks += r.checks;
+    total_acked += r.acked_chunks;
+    total_consumed += r.consumed_chunks;
+    total_spilled += r.segments_spilled;
+    total_evicted += r.segments_evicted;
+    total_cold_reads += r.cold_reads;
+    if (!r.ok) {
+      std::string path = DumpFailureTrace(seed, r);
+      FAIL() << "chaos schedule violated an invariant with "
+                "memory_budget_bytes=1024\n"
+             << "  seed:   " << seed << "\n"
+             << "  event:  " << (r.failed_event == size_t(-1)
+                                     ? std::string("setup/final-phase")
+                                     : std::to_string(r.failed_event))
+             << "\n"
+             << "  what:   " << r.failure << "\n"
+             << "  trace:  " << path << "\n"
+             << "  replay: chaos_soak --memory_budget=1024 --seed_base="
+             << seed << " --schedules=1 --events=" << g_events;
+    }
+  }
+  EXPECT_GT(total_checks, 0u);
+  EXPECT_GT(total_acked, 0u);
+  EXPECT_GT(total_consumed, 0u);
+  if (!g_single_seed) {
+    // The band must force the tiered path, not leave every segment hot.
+    EXPECT_GT(total_spilled, 0u);
+    EXPECT_GT(total_evicted, 0u);
+  }
+  std::fprintf(stderr,
+               "[chaos] tiered schedules=%u spilled=%llu evicted=%llu "
+               "cold_reads=%llu\n",
+               n, (unsigned long long)total_spilled,
+               (unsigned long long)total_evicted,
+               (unsigned long long)total_cold_reads);
+}
+
+// Determinism pin for the tiered path, in both directions. (a) The
+// memory budget is a pure performance knob: spill/evict decisions are a
+// function of seal order and budget (the evictor forces the spill
+// record durable instead of racing the flusher), cold reads return the
+// same bytes the segment held, and tiered counters live outside the
+// trace — so the annotated trace at a tiny budget must be byte-identical
+// to the unbounded run of the same seed. (b) The same tiered seed run
+// twice agrees with itself, deterministic counters included.
+TEST(ChaosDeterminism, TieredTraceIdenticalToUnbounded) {
+  const uint32_t n =
+      g_single_seed ? 1 : std::max<uint32_t>(1, g_schedules / 8);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t seed = g_single_seed ? g_seed : kSweepSeedBase + i;
+    RunOptions tiered;
+    tiered.memory_budget_bytes = 1024;
+    RunResult unbounded = RunSeed(seed, g_events);
+    RunResult a = RunSeed(seed, g_events, tiered);
+    RunResult b = RunSeed(seed, g_events, tiered);
+    ASSERT_EQ(unbounded.ok, a.ok) << "seed " << seed;
+    ASSERT_EQ(unbounded.trace, a.trace)
+        << "seed " << seed
+        << ": trace diverged between unbounded and tiered memory";
+    EXPECT_EQ(unbounded.segments_evicted, 0u) << "seed " << seed;
+    ASSERT_EQ(a.trace, b.trace)
+        << "seed " << seed << ": tiered trace diverged across reruns";
+    EXPECT_EQ(a.segments_spilled, b.segments_spilled) << "seed " << seed;
+    EXPECT_EQ(a.segments_evicted, b.segments_evicted) << "seed " << seed;
+    EXPECT_EQ(a.cold_reads, b.cold_reads) << "seed " << seed;
+    EXPECT_EQ(a.cold_cache_hits, b.cold_cache_hits) << "seed " << seed;
+    EXPECT_EQ(a.cold_cache_misses, b.cold_cache_misses) << "seed " << seed;
+    EXPECT_EQ(CounterSummary(a), CounterSummary(b));
+  }
+}
+
+// Broker crashes with tiering on: CrashNode deletes the node's whole
+// spill tree (a dead process's spill log is garbage by definition), and
+// recovery must still rebuild everything from the backups — the spill
+// log is never a durability dependency. Scan seeds until the band has
+// executed a few broker crashes under a tiny budget.
+TEST(ChaosSweep, TieredBrokerCrashRecoversFromBackups) {
+  RunOptions options;
+  options.memory_budget_bytes = 1024;
+  uint32_t crashes = 0;
+  uint64_t replayed = 0;
+  const uint32_t want = g_single_seed ? 1 : 3;
+  uint64_t seed = g_single_seed ? g_seed : kSweepSeedBase;
+  for (uint32_t guard = 0; crashes < want && guard < 64; ++seed, ++guard) {
+    Schedule s = GenerateSchedule(seed, g_events);
+    bool has_crash = false;
+    for (const FaultEvent& e : s.events) {
+      if (e.kind == FaultKind::kBrokerCrash) has_crash = true;
+    }
+    if (!has_crash && !g_single_seed) continue;
+    RunResult r = RunSchedule(s, options);
+    replayed += r.recovery_replayed;
+    if (r.recovery_tasks > 0) ++crashes;
+    if (!r.ok) {
+      std::string path = DumpFailureTrace(s.seed, r);
+      FAIL() << "tiered broker-crash schedule violated an invariant\n"
+             << "  seed:   " << s.seed << "\n"
+             << "  what:   " << r.failure << "\n"
+             << "  trace:  " << path;
+    }
+  }
+  if (!g_single_seed) {
+    EXPECT_GT(crashes, 0u)
+        << "seed scan found no schedule that executed a broker crash";
+  }
+  std::fprintf(stderr,
+               "[chaos] tiered crash schedules=%u replayed=%llu\n", crashes,
+               (unsigned long long)replayed);
+}
+
 // ------------------------------------------------- power-loss sweep
 
 // Mode-P schedules: every backup fault is a full power cut — the backup

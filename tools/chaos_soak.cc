@@ -5,7 +5,8 @@
 // dumps its replayable trace and fails the process.
 //
 //   chaos_soak [--schedules=N] [--events=N] [--seed_base=N] [--shards=N]
-//              [--recovery_parallelism=N] [--out=PATH]
+//              [--recovery_parallelism=N] [--memory_budget=BYTES]
+//              [--out=PATH]
 //
 // --shards=N runs every schedule against brokers with N shared-nothing
 // shards (see BrokerConfig::shards). The schedule generator is untouched:
@@ -15,6 +16,10 @@
 // CoordinatorConfig): under the single-threaded chaos network the engine
 // runs serially and models the fan-out, so traces stay identical at any
 // value while the scatter/batched-read/lane machinery is exercised.
+// --memory_budget=BYTES caps each broker's sealed-segment DRAM (see
+// BrokerConfig::memory_budget_bytes), forcing mid-schedule spill/evict/
+// cold-read cycles. Spill decisions are a pure function of seal order
+// and budget, so traces stay byte-identical to --memory_budget=0.
 //
 // Environment overrides (flags win): KERA_CHAOS_SCHEDULES,
 // KERA_CHAOS_EVENTS, KERA_BROKER_SHARDS — the same knobs
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
   uint64_t seed_base = 1;
   uint32_t shards = 1;
   uint32_t recovery_parallelism = 1;
+  uint64_t memory_budget = 0;
   std::string out_path = "BENCH_chaos.json";
 
   if (const char* env = std::getenv("KERA_CHAOS_SCHEDULES")) {
@@ -79,19 +85,23 @@ int main(int argc, char** argv) {
       recovery_parallelism = uint32_t(ParseU64(arg + 23,
                                                "--recovery_parallelism"));
       if (recovery_parallelism == 0) recovery_parallelism = 1;
+    } else if (std::strncmp(arg, "--memory_budget=", 16) == 0) {
+      memory_budget = ParseU64(arg + 16, "--memory_budget");
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--schedules=N] [--events=N] "
                    "[--seed_base=N] [--shards=N] "
-                   "[--recovery_parallelism=N] [--out=PATH]\n");
+                   "[--recovery_parallelism=N] [--memory_budget=BYTES] "
+                   "[--out=PATH]\n");
       return 2;
     }
   }
   kera::chaos::RunOptions run_options;
   run_options.broker_shards = shards;
   run_options.recovery_parallelism = recovery_parallelism;
+  run_options.memory_budget_bytes = memory_budget;
 
   using Clock = std::chrono::steady_clock;
   auto start = Clock::now();
@@ -154,6 +164,11 @@ int main(int argc, char** argv) {
     total.net.duplicated_requests += r.net.duplicated_requests;
     total.net.partitioned_calls += r.net.partitioned_calls;
     total.net.delays_injected += r.net.delays_injected;
+    total.segments_spilled += r.segments_spilled;
+    total.segments_evicted += r.segments_evicted;
+    total.cold_reads += r.cold_reads;
+    total.cold_cache_hits += r.cold_cache_hits;
+    total.cold_cache_misses += r.cold_cache_misses;
     if (ran % 100 == 0) {
       std::fprintf(stderr, "chaos_soak: %" PRIu64 "/%" PRIu64 " schedules\n",
                    ran, schedules);
@@ -174,6 +189,8 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"broker_shards\": %u,\n", shards);
   std::fprintf(out, "  \"recovery_parallelism\": %u,\n",
                recovery_parallelism);
+  std::fprintf(out, "  \"memory_budget_bytes\": %" PRIu64 ",\n",
+               memory_budget);
   std::fprintf(out, "  \"schedules\": %" PRIu64 ",\n", ran);
   std::fprintf(out, "  \"events_per_schedule\": %u,\n", events);
   std::fprintf(out, "  \"seed_base\": %" PRIu64 ",\n", seed_base);
@@ -234,8 +251,17 @@ int main(int argc, char** argv) {
                total.net.duplicated_requests);
   std::fprintf(out, "  \"net_partitioned_calls\": %" PRIu64 ",\n",
                total.net.partitioned_calls);
-  std::fprintf(out, "  \"net_delays_injected\": %" PRIu64 "\n",
+  std::fprintf(out, "  \"net_delays_injected\": %" PRIu64 ",\n",
                total.net.delays_injected);
+  std::fprintf(out, "  \"segments_spilled\": %" PRIu64 ",\n",
+               total.segments_spilled);
+  std::fprintf(out, "  \"segments_evicted\": %" PRIu64 ",\n",
+               total.segments_evicted);
+  std::fprintf(out, "  \"cold_reads\": %" PRIu64 ",\n", total.cold_reads);
+  std::fprintf(out, "  \"cold_cache_hits\": %" PRIu64 ",\n",
+               total.cold_cache_hits);
+  std::fprintf(out, "  \"cold_cache_misses\": %" PRIu64 "\n",
+               total.cold_cache_misses);
   std::fprintf(out, "}\n");
   std::fclose(out);
 
