@@ -25,9 +25,10 @@ cmake -B "$tsan_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$tsan_build" -j --target \
   vlog_test vlog_property_test broker_test client_test client_edge_test \
-  consume_protocol_test transport_test
+  consume_protocol_test transport_test exactly_once_test
 for t in vlog_test vlog_property_test broker_test client_test \
-         client_edge_test consume_protocol_test transport_test; do
+         client_edge_test consume_protocol_test transport_test \
+         exactly_once_test; do
   echo "-- TSan: $t"
   "$tsan_build/tests/$t"
 done
@@ -74,6 +75,22 @@ KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$tsan_build/tests/chaos_test" \
 cmake --build "$asan_build" -j --target chaos_test
 echo "-- ASan+UBSan: chaos_test (bounded)"
 KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$asan_build/tests/chaos_test"
+
+echo "== exactly-once: tightened chaos band under both sanitizers =="
+# Exactly-once mode commits consumer cursors as system chunks on every
+# consume event and tightens the redelivery invariant to ZERO; the band
+# runs the same crash/partition/power-loss schedules with that oracle
+# under both instrumented builds. The TSan property suite above already
+# covers the client Commit()/resume threading.
+echo "-- TSan: chaos_test exactly-once sweep (bounded)"
+KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$tsan_build/tests/chaos_test" \
+  --gtest_filter='ChaosSweep.ExactlyOnceSchedulesHoldInvariants:ChaosSweep.ExactlyOnceOffIsInert'
+echo "-- ASan+UBSan: chaos_test exactly-once sweep (bounded)"
+KERA_CHAOS_SCHEDULES=40 KERA_CHAOS_EVENTS=40 "$asan_build/tests/chaos_test" \
+  --gtest_filter='ChaosSweep.ExactlyOnceSchedulesHoldInvariants:ChaosDeterminism.ExactlyOnceSameSeedTwiceIsByteIdentical'
+echo "-- ASan+UBSan: exactly_once_test"
+cmake --build "$asan_build" -j --target exactly_once_test
+"$asan_build/tests/exactly_once_test"
 
 echo "== recovery: parallel crash-recovery suites under TSan =="
 # The recovery engine spawns real lane/read threads on the threaded and
@@ -127,6 +144,13 @@ echo "== chaos soak (JSON to BENCH_chaos.json) =="
 cmake --build "$build" -j --target chaos_soak
 "$build/tools/chaos_soak" --schedules=400 --events=60 \
   --out="$repo/BENCH_chaos.json"
+
+echo "== exactly-once chaos soak (JSON to BENCH_chaos_eo.json) =="
+# Same seed band with end-to-end exactly-once on: the JSON adds the
+# dedup-hit / fence / offset-commit counters and the redelivery total
+# (which the tightened invariant holds at zero).
+"$build/tools/chaos_soak" --schedules=400 --events=60 --exactly_once \
+  --out="$repo/BENCH_chaos_eo.json"
 
 echo "== micro-benchmark (JSON to BENCH_micro_core.json) =="
 cmake --build "$build" -j --target bench_micro_core

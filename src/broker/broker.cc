@@ -7,8 +7,27 @@
 
 #include "common/logging.h"
 #include "wire/chunk.h"
+#include "wire/layout.h"
 
 namespace kera {
+
+namespace {
+/// Offset-commit record value: the persisted form of one consumer-cursor
+/// entry, carried as an ordinary record inside a kChunkFlagOffsetCommit
+/// chunk (fixed 28-byte little-endian layout):
+///   u32 consumer, u64 commit_seq, u32 streamlet, u32 group, u64 next_chunk
+constexpr size_t kOffsetRecordBytes = 28;
+
+void EncodeOffsetValue(std::byte* p, uint32_t consumer, uint64_t commit_seq,
+                       StreamletId streamlet, GroupId group,
+                       uint64_t next_chunk) {
+  wire::StoreU32(p + 0, consumer);
+  wire::StoreU64(p + 4, commit_seq);
+  wire::StoreU32(p + 12, streamlet);
+  wire::StoreU32(p + 16, group);
+  wire::StoreU64(p + 20, next_chunk);
+}
+}  // namespace
 
 Broker::Broker(BrokerConfig config, rpc::Network& network)
     : config_(std::move(config)),
@@ -392,21 +411,38 @@ Status Broker::AppendOneChunk(
     stats_.cross_shard_ops.fetch_add(1, std::memory_order_relaxed);
   }
   auto key = std::make_pair(streamlet_id, chunk->producer_id());
+  const uint32_t epoch = chunk->producer_epoch();
   StreamEntry::DedupEntry prev;  // state before this chunk reserved its seq
   {
     // One per-shard critical section covers the seal/leadership gates
     // and the exactly-once dedup update (drop chunks at or below the
-    // last accepted sequence).
+    // last accepted sequence of the same producer session).
     std::lock_guard<std::mutex> lock(ss.mu);
-    if (entry.sealed.load(std::memory_order_acquire) && !req.recovery) {
+    // The seal bounds the stream's USER data. Offset-commit system chunks
+    // stay appendable: a bounded stream's consumer drains it and then
+    // durably records its final position — rejecting that would reopen a
+    // redelivery window on restart. HandleCommitOffsets re-seals any
+    // group such a post-seal append rolls open.
+    if (entry.sealed.load(std::memory_order_acquire) && !req.recovery &&
+        (chunk->flags() & kChunkFlagOffsetCommit) == 0) {
       return Status(StatusCode::kSegmentClosed, "stream is sealed");
     }
     if (ss.led.count(streamlet_id) == 0) {
       return Status(StatusCode::kNotLeader, "streamlet not led here");
     }
     auto [it, inserted] = ss.dedup.try_emplace(key);
-    if (!inserted && chunk->chunk_seq() <= it->second.seq) {
+    if (!inserted && epoch < it->second.epoch) {
+      // Zombie fencing: the coordinator re-allocated this producer id
+      // under a newer epoch (the epoch rides in every accepted chunk's
+      // header, so replication and recovery carry it to any new leader).
+      // An instance still stamping the old epoch must not append.
+      stats_.chunks_fenced.fetch_add(1, std::memory_order_relaxed);
+      return Status(StatusCode::kFenced, "producer epoch fenced");
+    }
+    if (!inserted && epoch == it->second.epoch &&
+        chunk->chunk_seq() <= it->second.seq) {
       ++resp.duplicates;
+      ++ss.dedup_hits[key];
       stats_.chunks_duplicate.fetch_add(1, std::memory_order_relaxed);
       // A retry of the LATEST sequence must not be acked before the
       // original copy is durable (the producer is retrying because it
@@ -422,15 +458,18 @@ Status Broker::AppendOneChunk(
     // Reserve the sequence now (so a concurrent same-seq retry classifies
     // as a duplicate and waits); the landing position is recorded after
     // the appends, and the reservation is rolled back if they fail —
-    // otherwise a retry of a never-appended chunk would be swallowed.
+    // otherwise a retry of a never-appended chunk would be swallowed. A
+    // HIGHER epoch lands here even with a low sequence: a new producer
+    // session restarts its numbering, so the window resets with it.
     prev = it->second;
-    it->second = StreamEntry::DedupEntry{chunk->chunk_seq(), nullptr, 0, 0};
+    it->second =
+        StreamEntry::DedupEntry{chunk->chunk_seq(), nullptr, 0, 0, epoch};
   }
   auto rollback = [&] {
     std::lock_guard<std::mutex> lock(ss.mu);
     auto it = ss.dedup.find(key);
     if (it != ss.dedup.end() && it->second.seq == chunk->chunk_seq() &&
-        it->second.vlog == nullptr) {
+        it->second.epoch == epoch && it->second.vlog == nullptr) {
       it->second = prev;
     }
   };
@@ -462,10 +501,18 @@ Status Broker::AppendOneChunk(
   {
     std::lock_guard<std::mutex> lock(ss.mu);
     auto it = ss.dedup.find(key);
-    if (it != ss.dedup.end() && it->second.seq == chunk->chunk_seq()) {
+    if (it != ss.dedup.end() && it->second.seq == chunk->chunk_seq() &&
+        it->second.epoch == epoch) {
       it->second.vlog = vlog;
       it->second.group = ref.loc.group;
       it->second.group_chunk_index = ref.loc.group_chunk_index;
+    }
+    if ((chunk->flags() & kChunkFlagOffsetCommit) != 0) {
+      // Offset-commit system chunk: fold its records into the in-memory
+      // cursor table. Appends include recovery replays, so the table
+      // rebuilds from the log on the new leader with no extra machinery.
+      ApplyOffsetChunk(ss, streamlet_id, *chunk);
+      stats_.offset_commits.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -1008,6 +1055,107 @@ rpc::ConsumeResponse Broker::HandleConsume(const rpc::ConsumeRequest& req) {
   }
 }
 
+void Broker::ApplyOffsetChunk(StreamEntry::ShardState& ss,
+                              StreamletId streamlet, const ChunkView& chunk) {
+  for (auto it = chunk.records(); !it.Done(); it.Next()) {
+    std::span<const std::byte> v = it.record().value();
+    if (v.size() < kOffsetRecordBytes) continue;
+    const std::byte* p = v.data();
+    uint32_t consumer = wire::LoadU32(p + 0);
+    StreamletId rec_streamlet = wire::LoadU32(p + 12);
+    GroupId group = wire::LoadU32(p + 16);
+    uint64_t next_chunk = wire::LoadU64(p + 20);
+    // A commit chunk only ever carries entries for its own streamlet (the
+    // broker builds them that way); anything else would need another
+    // shard's lock, so it is dropped rather than applied unsafely.
+    if (rec_streamlet != streamlet) continue;
+    StreamEntry::OffsetEntry& slot = ss.offsets[{streamlet, consumer}];
+    // Monotonic (group, next_chunk) advance: replays and out-of-order
+    // recovery re-ingest can only push the cursor forward.
+    if (group > slot.group ||
+        (group == slot.group && next_chunk > slot.next_chunk)) {
+      slot.group = group;
+      slot.next_chunk = next_chunk;
+    }
+  }
+}
+
+rpc::CommitOffsetsResponse Broker::HandleCommitOffsets(
+    const rpc::CommitOffsetsRequest& req) {
+  rpc::CommitOffsetsResponse resp;
+  if (req.entries.empty()) return resp;
+  StreamEntry* entry = FindStream(req.stream);
+  if (entry == nullptr) {
+    resp.status = StatusCode::kNotFound;
+    return resp;
+  }
+  // Commits persist as system chunks under the consumer's system producer
+  // id, disjoint from data producers by the top bit. One chunk per entry
+  // (entries already arrive one per streamlet), sequenced by the client's
+  // commit_seq so retries of a lost ack dedup — and, like any duplicate of
+  // the latest sequence, wait for the original's durability before acking.
+  const ProducerId pid = 0x80000000u | req.consumer;
+  std::vector<std::unique_ptr<ChunkBuilder>> builders;
+  rpc::ProduceRequest preq;
+  preq.stream = req.stream;
+  preq.producer = pid;
+  for (const auto& e : req.entries) {
+    auto b = std::make_unique<ChunkBuilder>(kChunkHeaderSizeWithEpoch + 128);
+    b->Start(req.stream, e.streamlet, pid, req.epoch, kChunkFlagOffsetCommit);
+    std::byte value[kOffsetRecordBytes];
+    EncodeOffsetValue(value, req.consumer, req.commit_seq, e.streamlet,
+                      e.group, e.next_chunk);
+    if (!b->AppendValue(value)) {
+      resp.status = StatusCode::kInternal;
+      return resp;
+    }
+    preq.chunks.push_back(b->Seal(req.commit_seq));
+    builders.push_back(std::move(b));
+  }
+  rpc::ProduceResponse presp = HandleProduce(preq);
+  resp.status = presp.status;
+  if (presp.status == StatusCode::kOk) {
+    resp.committed = presp.appended + presp.duplicates;
+    if (entry->sealed.load(std::memory_order_acquire)) {
+      // A post-seal commit chunk rolls a fresh group open (the seal had
+      // closed the active ones). Re-seal so consumers still drain to a
+      // definite end — all_terminal needs every group of a sealed stream
+      // closed — and wake parked long-pollers to observe it.
+      for (const auto& e : req.entries) {
+        Streamlet* sl = entry->storage->GetStreamlet(e.streamlet);
+        if (sl != nullptr) sl->SealActiveGroups();
+      }
+      NotifyConsumeWaitersAllShards(*entry);
+    }
+  }
+  return resp;
+}
+
+rpc::FetchOffsetsResponse Broker::HandleFetchOffsets(
+    const rpc::FetchOffsetsRequest& req) {
+  rpc::FetchOffsetsResponse resp;
+  StreamEntry* entry = FindStream(req.stream);
+  if (entry == nullptr) {
+    resp.status = StatusCode::kNotFound;
+    return resp;
+  }
+  resp.entries.reserve(req.streamlets.size());
+  for (StreamletId sl : req.streamlets) {
+    rpc::FetchOffsetsResponse::Entry out;
+    out.streamlet = sl;
+    StreamEntry::ShardState& ss = entry->ShardFor(sl);
+    std::lock_guard<std::mutex> lock(ss.mu);
+    auto it = ss.offsets.find({sl, req.consumer});
+    if (it != ss.offsets.end()) {
+      out.found = true;
+      out.group = it->second.group;
+      out.next_chunk = it->second.next_chunk;
+    }
+    resp.entries.push_back(out);
+  }
+  return resp;
+}
+
 std::vector<std::byte> Broker::HandleRpc(std::span<const std::byte> request) {
   rpc::Opcode op;
   std::span<const std::byte> body;
@@ -1046,11 +1194,46 @@ std::vector<std::byte> Broker::HandleRpc(std::span<const std::byte> request) {
       resp.Encode(out);
       return std::move(out).Take();
     }
+    case rpc::Opcode::kCommitOffsets: {
+      auto req = rpc::CommitOffsetsRequest::Decode(r);
+      rpc::CommitOffsetsResponse resp;
+      if (!req.ok()) {
+        resp.status = req.status().code();
+      } else {
+        resp = HandleCommitOffsets(*req);
+      }
+      resp.Encode(out);
+      break;
+    }
+    case rpc::Opcode::kFetchOffsets: {
+      auto req = rpc::FetchOffsetsRequest::Decode(r);
+      rpc::FetchOffsetsResponse resp;
+      if (!req.ok()) {
+        resp.status = req.status().code();
+      } else {
+        resp = HandleFetchOffsets(*req);
+      }
+      resp.Encode(out);
+      break;
+    }
     default:
       out.U8(uint8_t(StatusCode::kInvalidArgument));
       break;
   }
   return std::move(out).Take();
+}
+
+std::map<std::pair<StreamletId, ProducerId>, uint64_t> Broker::DedupHitsByKey(
+    StreamId stream) const {
+  std::map<std::pair<StreamletId, ProducerId>, uint64_t> out;
+  StreamEntry* entry = FindStream(stream);
+  if (entry == nullptr) return out;
+  for (uint32_t s = 0; s < entry->nshards; ++s) {
+    StreamEntry::ShardState& ss = entry->shard[s];
+    std::lock_guard<std::mutex> lock(ss.mu);
+    for (const auto& [key, hits] : ss.dedup_hits) out[key] += hits;
+  }
+  return out;
 }
 
 Broker::Stats Broker::GetStats() const {
@@ -1060,6 +1243,8 @@ Broker::Stats Broker::GetStats() const {
       stats_.chunks_appended.load(std::memory_order_relaxed);
   out.chunks_duplicate =
       stats_.chunks_duplicate.load(std::memory_order_relaxed);
+  out.chunks_fenced = stats_.chunks_fenced.load(std::memory_order_relaxed);
+  out.offset_commits = stats_.offset_commits.load(std::memory_order_relaxed);
   out.bytes_appended = stats_.bytes_appended.load(std::memory_order_relaxed);
   out.consume_rpcs = stats_.consume_rpcs.load(std::memory_order_relaxed);
   out.chunks_served = stats_.chunks_served.load(std::memory_order_relaxed);

@@ -27,6 +27,7 @@
 #include "storage/memory_manager.h"
 #include "storage/stream.h"
 #include "vlog/virtual_log.h"
+#include "wire/chunk.h"
 
 namespace kera {
 
@@ -156,6 +157,21 @@ class Broker final : public rpc::RpcHandler {
 
   rpc::ConsumeResponse HandleConsume(const rpc::ConsumeRequest& req);
 
+  /// Durably commits a consumer's cursor positions: each entry is encoded
+  /// into a kChunkFlagOffsetCommit system chunk for its streamlet (under
+  /// the consumer's system producer id, 0x80000000 | consumer) and driven
+  /// through the ordinary produce path — so commits replicate, dedup,
+  /// spill under tiered memory and rebuild on crash recovery exactly like
+  /// data chunks.
+  rpc::CommitOffsetsResponse HandleCommitOffsets(
+      const rpc::CommitOffsetsRequest& req);
+
+  /// Reads back the last committed cursor per requested streamlet (the
+  /// in-memory table maintained by AppendOneChunk from offset chunks,
+  /// including recovery replays).
+  rpc::FetchOffsetsResponse HandleFetchOffsets(
+      const rpc::FetchOffsetsRequest& req);
+
   // ----- replication plumbing -----
 
   /// Ships one batch to its backup set (parallel RPCs) and completes or
@@ -174,6 +190,13 @@ class Broker final : public rpc::RpcHandler {
     uint64_t produce_rpcs = 0;
     uint64_t chunks_appended = 0;
     uint64_t chunks_duplicate = 0;
+    /// Chunks rejected because their producer epoch is older than the
+    /// broker's known epoch for that (streamlet, producer) — a fenced
+    /// zombie from before a coordinator re-allocation.
+    uint64_t chunks_fenced = 0;
+    /// Consumer offset-commit system chunks appended (dedup hits on commit
+    /// retries count under chunks_duplicate like any other chunk).
+    uint64_t offset_commits = 0;
     uint64_t bytes_appended = 0;
     uint64_t consume_rpcs = 0;
     uint64_t chunks_served = 0;
@@ -211,6 +234,13 @@ class Broker final : public rpc::RpcHandler {
     uint64_t memory_bytes_resident = 0;
   };
   [[nodiscard]] Stats GetStats() const;
+
+  /// Per-(streamlet, producer) dedup-hit counts for a stream, merged
+  /// across shards. The chaos harness checks the duplication bound per
+  /// key with this (a global sum would smear one producer's dedup bug
+  /// across every key in the schedule).
+  [[nodiscard]] std::map<std::pair<StreamletId, ProducerId>, uint64_t>
+  DedupHitsByKey(StreamId stream) const;
 
   /// Shard of a streamlet in the shared-nothing runtime (identity map to
   /// 0 when shards == 1). The transport's frame router must agree.
@@ -296,6 +326,20 @@ class Broker final : public rpc::RpcHandler {
       VirtualLog* vlog = nullptr;
       GroupId group = 0;
       uint64_t group_chunk_index = 0;
+      /// Producer session epoch of the last accepted chunk (0 for
+      /// classic epoch-less producers). A chunk with a LOWER epoch is a
+      /// fenced zombie (kFenced); a HIGHER epoch starts a new session and
+      /// resets the sequence window. Epoch bytes ride in the chunk header
+      /// itself, so replication and recovery replay rebuild this field
+      /// with no separate dedup record type.
+      uint32_t epoch = 0;
+    };
+    /// Committed consumer cursor per (streamlet, consumer id), applied
+    /// monotonically from kChunkFlagOffsetCommit chunks at append time
+    /// (including recovery replays — the table rebuilds from the log).
+    struct OffsetEntry {
+      GroupId group = 0;
+      uint64_t next_chunk = 0;
     };
     /// The shared-nothing unit: every mutable hot-path field is owned by
     /// one shard (streamlet % shards) and guarded by that shard's `mu`
@@ -314,6 +358,12 @@ class Broker final : public rpc::RpcHandler {
       std::condition_variable consume_cv;
       uint64_t consume_epoch = 0;
       std::map<std::pair<StreamletId, ProducerId>, DedupEntry> dedup;
+      /// Dedup hits per key, kept OUTSIDE DedupEntry: the append path's
+      /// sequence reservation rolls DedupEntry back on failure, which
+      /// must not erase observed hit counts.
+      std::map<std::pair<StreamletId, ProducerId>, uint64_t> dedup_hits;
+      /// Committed consumer offsets for this shard's streamlets.
+      std::map<std::pair<StreamletId, uint32_t>, OffsetEntry> offsets;
       // Resolved vlog cache (ownership stays in the broker-level maps);
       // avoids taking mu_ per chunk once a mapping is established. The
       // shared-pool slice holds only this shard's vlogs.
@@ -382,6 +432,13 @@ class Broker final : public rpc::RpcHandler {
     uint64_t group_chunk_index = 0;
   };
 
+  /// Folds an offset-commit chunk's records into `ss.offsets` (caller
+  /// holds ss.mu). Application is monotonic per (streamlet, consumer) —
+  /// (group, next_chunk) only ever advances — so replays and recovery
+  /// re-ingest are idempotent in any order.
+  static void ApplyOffsetChunk(StreamEntry::ShardState& ss,
+                               StreamletId streamlet, const ChunkView& chunk);
+
   Status AppendOneChunk(StreamEntry& entry, const rpc::ProduceRequest& req,
                         std::span<const std::byte> frame, uint32_t home_shard,
                         std::vector<std::pair<VirtualLog*, ChunkRef>>&
@@ -441,6 +498,8 @@ class Broker final : public rpc::RpcHandler {
     std::atomic<uint64_t> produce_rpcs{0};
     std::atomic<uint64_t> chunks_appended{0};
     std::atomic<uint64_t> chunks_duplicate{0};
+    std::atomic<uint64_t> chunks_fenced{0};
+    std::atomic<uint64_t> offset_commits{0};
     std::atomic<uint64_t> bytes_appended{0};
     std::atomic<uint64_t> consume_rpcs{0};
     std::atomic<uint64_t> chunks_served{0};

@@ -91,6 +91,9 @@ class Harness {
     /// every attempt beyond the first is a resend that may legitimately
     /// turn into a broker dedup hit, so it feeds the duplication budget.
     std::map<StreamletId, uint64_t> attempts;
+    /// Coordinator-assigned session epoch (exactly-once mode only; 0
+    /// keeps the classic epoch-less chunk format).
+    uint32_t epoch = 0;
   };
   struct Consumer {
     std::map<StreamletId, Cursor> cur;
@@ -104,6 +107,11 @@ class Harness {
     uint64_t redelivered = 0;
     uint64_t allowance = 0;
     uint64_t consume_events = 0;
+    /// Exactly-once mode: session epoch under the consumer's system
+    /// producer id, and the monotonic sequence its durable offset commits
+    /// are deduplicated by.
+    uint32_t epoch = 0;
+    uint64_t commit_seq = 0;
   };
 
   // ----- plumbing ---------------------------------------------------------
@@ -193,6 +201,24 @@ class Harness {
                   created.status().ToString().c_str());
     }
     info_ = *created;
+    if (options_.exactly_once) {
+      // Idempotent-producer sessions for every client (control-plane
+      // direct calls, so setup stays off the faulty network). Consumers
+      // allocate under their system producer id so restarted commits
+      // would fence stale ones.
+      for (uint32_t pidx = 0; pidx < sched_.producers; ++pidx) {
+        producers_[pidx].epoch =
+            cluster_->coordinator()
+                .AllocateProducer(kProducerBase + pidx)
+                .second;
+      }
+      for (uint32_t cidx = 0; cidx < sched_.consumers; ++cidx) {
+        consumers_[cidx].epoch =
+            cluster_->coordinator()
+                .AllocateProducer(ProducerId(0x80000000u | cidx))
+                .second;
+      }
+    }
     return true;
   }
 
@@ -231,6 +257,11 @@ class Harness {
       result_.cold_reads = ts.cold_reads;
       result_.cold_cache_hits = ts.cold_cache_hits;
       result_.cold_cache_misses = ts.cold_cache_misses;
+    }
+    if (options_.exactly_once && cluster_ != nullptr) {
+      Broker::Stats ts = cluster_->TotalBrokerStats();
+      result_.fenced_rejections = ts.chunks_fenced;
+      result_.offset_commits = ts.offset_commits;
     }
     return std::move(result_);
   }
@@ -296,6 +327,18 @@ class Harness {
     return total;
   }
 
+  std::map<std::pair<StreamletId, ProducerId>, uint64_t>
+  CurrentDedupHitsByKey() const {
+    std::map<std::pair<StreamletId, ProducerId>, uint64_t> hits;
+    for (NodeId n : cluster_->BrokerNodes()) {
+      for (const auto& [key, count] :
+           cluster_->broker(n).DedupHitsByKey(info_.stream)) {
+        hits[key] += count;
+      }
+    }
+    return hits;
+  }
+
   // ----- invariants -------------------------------------------------------
 
   bool CheckStructural() {
@@ -311,15 +354,19 @@ class Harness {
   }
 
   bool CheckDuplicateBound() {
-    // Every broker dedup hit must be explained by a producer resend, an
-    // injected duplicate delivery (immediate or late-replayed), or
-    // recovery/migration replay traffic. The sum is a strict upper bound:
-    // each of those re-presents at most one already-accepted chunk.
+    // Every broker dedup hit must be explained by a resend of that same
+    // dedup key, an injected duplicate delivery (immediate or
+    // late-replayed), or recovery/migration replay traffic. The bound is
+    // charged PER (streamlet, producer) key — a key's own resends plus
+    // the schedule-wide injected/replayed slack (each such event can
+    // re-present at most one already-accepted chunk per key) — so a hot
+    // key's unexplained duplicates cannot hide under another key's
+    // unused budget.
     ChaosNetwork::Stats ns = net_.GetStats();
-    uint64_t budget = result_.retried_sends + ns.duplicated_requests +
-                      ns.replayed_frames + result_.recovery_replayed;
+    uint64_t slack = ns.duplicated_requests + ns.replayed_frames +
+                     result_.recovery_replayed;
     std::string v = InvariantChecker::CheckDuplicateBound(
-        CurrentDedupHits(), budget, &result_.checks);
+        CurrentDedupHitsByKey(), retried_by_key_, slack, &result_.checks);
     if (!v.empty()) {
       return Fail("invariant 4 (bounded duplication): %s", v.c_str());
     }
@@ -365,7 +412,7 @@ class Harness {
     // seq): a cross-event retry rebuilds the byte-identical frame, so the
     // broker's dedup sees a true retransmission.
     ChunkBuilder builder(768);
-    builder.Start(info_.stream, sl, pid);
+    builder.Start(info_.stream, sl, pid, p.epoch);
     Xoshiro256 payload_rng(sched_.seed ^ (uint64_t(pid) << 40) ^
                            (uint64_t(sl) << 32) ^ seq);
     int records = 1 + int(payload_rng.NextBounded(3));
@@ -395,7 +442,10 @@ class Harness {
     bool acked = false;
     uint32_t duplicates = 0;
     for (int t = 0; t < kMaxAttemptsPerEvent && !acked; ++t) {
-      if (attempts > 0) ++result_.retried_sends;
+      if (attempts > 0) {
+        ++result_.retried_sends;
+        ++retried_by_key_[{sl, pid}];
+      }
       ++attempts;
       RefreshInfo();
       NodeId leader = info_.streamlet_brokers[sl];
@@ -475,6 +525,16 @@ class Harness {
                       unsigned(cv->streamlet_id()), unsigned(cv->group_id()),
                       cv->group_chunk_index());
         }
+        if ((cv->flags() & kChunkFlagOffsetCommit) != 0) {
+          // Offset-commit system chunk: cursor metadata the consumers'
+          // own durable commits appended to the stream. It advances the
+          // cursor like any chunk but never reaches the application, so
+          // it stays out of the delivery oracle (re-reading one after a
+          // restart is not a user-visible redelivery).
+          ++idx;
+          *progress = true;
+          continue;
+        }
         auto key = std::make_tuple(sl, cv->producer_id(), cv->chunk_seq());
         if (c.consumed.count(key) != 0) {
           ++c.redelivered;
@@ -528,7 +588,14 @@ class Harness {
       }
       if (!progress) break;
     }
-    if (++c.consume_events % kCommitEveryConsumeEvents == 0) {
+    if (options_.exactly_once) {
+      // Exactly-once: every consume event ends by durably committing the
+      // consumer's cursors, so the delivered frontier and the committed
+      // frontier never diverge across a restart.
+      if (!CommitDurably(cidx)) return false;
+      c.committed = c.cur;
+      c.read_since_commit = 0;
+    } else if (++c.consume_events % kCommitEveryConsumeEvents == 0) {
       c.committed = c.cur;
       c.read_since_commit = 0;
     }
@@ -537,8 +604,124 @@ class Harness {
     return true;
   }
 
+  /// Durably persists consumer `cidx`'s cursors at the leaders (one
+  /// CommitOffsets RPC per leader, deduplicated under (system pid,
+  /// commit_seq)). A real exactly-once consumer BLOCKS until its commit
+  /// lands, so after kMaxAttemptsPerEvent failed rounds the harness
+  /// fast-forwards the healing (Quiesce) and keeps trying; a commit that
+  /// still cannot land then is an infrastructure failure, not a skipped
+  /// event — skipping would silently reintroduce a redelivery window.
+  bool CommitDurably(uint32_t cidx) {
+    Consumer& c = consumers_[cidx];
+    if (c.cur.empty()) return true;
+    const ProducerId syspid = ProducerId(0x80000000u | cidx);
+    ++c.commit_seq;
+    std::map<StreamletId, Cursor> pending(c.cur.begin(), c.cur.end());
+    std::set<StreamletId> sent_once;
+    for (int t = 0; t < 2 * kMaxAttemptsPerEvent && !pending.empty(); ++t) {
+      if (t == kMaxAttemptsPerEvent) Quiesce();
+      RefreshInfo();
+      std::map<NodeId, rpc::CommitOffsetsRequest> per_broker;
+      for (const auto& [sl, cur] : pending) {
+        auto& req = per_broker[info_.streamlet_brokers[sl]];
+        req.stream = info_.stream;
+        req.consumer = cidx;
+        req.commit_seq = c.commit_seq;
+        req.epoch = c.epoch;
+        rpc::CommitOffsetsRequest::Entry e;
+        e.streamlet = sl;
+        e.group = cur.group;
+        e.next_chunk = cur.next_chunk;
+        req.entries.push_back(e);
+      }
+      for (auto& [broker, req] : per_broker) {
+        for (const auto& e : req.entries) {
+          // A resent commit chunk may legitimately dedup at the broker
+          // (the earlier attempt landed but its response was lost), so
+          // resends feed the duplication budget like producer retries.
+          if (!sent_once.insert(e.streamlet).second) {
+            ++result_.retried_sends;
+            ++retried_by_key_[{e.streamlet, syspid}];
+          }
+        }
+        rpc::Writer body;
+        req.Encode(body);
+        auto raw =
+            net_.Call(broker, rpc::Frame(rpc::Opcode::kCommitOffsets, body));
+        if (!raw.ok()) continue;
+        rpc::Reader r(*raw);
+        auto resp = rpc::CommitOffsetsResponse::Decode(r);
+        if (!resp.ok()) return Fail("commit response did not decode");
+        if (resp->status != StatusCode::kOk) continue;
+        for (const auto& e : req.entries) pending.erase(e.streamlet);
+      }
+    }
+    if (!pending.empty()) {
+      return Fail("commit c=%u seq=%" PRIu64 " did not land after healing",
+                  cidx, c.commit_seq);
+    }
+    Annotate("commit c=%u seq=%" PRIu64 " streamlets=%zu", cidx,
+             c.commit_seq, c.cur.size());
+    return true;
+  }
+
   bool ExecConsumerRestart(uint32_t cidx) {
     Consumer& c = consumers_[cidx];
+    if (options_.exactly_once) {
+      // The restarted consumer has no local state: it resumes from the
+      // offsets fetched back from the brokers. Every cursor was durably
+      // committed at the end of its consume event, so the fetched
+      // position must equal the delivered frontier — the tightened
+      // invariant 4 (allowance stays 0) fails on ANY user-record
+      // redelivery, proving commit persistence end to end through
+      // replication, recovery and tiering.
+      std::map<StreamletId, Cursor> fetched;
+      std::set<StreamletId> pending;
+      for (StreamletId sl = 0; sl < StreamletId(sched_.streamlets); ++sl) {
+        pending.insert(sl);
+      }
+      for (int t = 0; t < 2 * kMaxAttemptsPerEvent && !pending.empty();
+           ++t) {
+        if (t == kMaxAttemptsPerEvent) Quiesce();
+        RefreshInfo();
+        std::map<NodeId, rpc::FetchOffsetsRequest> per_broker;
+        for (StreamletId sl : pending) {
+          auto& req = per_broker[info_.streamlet_brokers[sl]];
+          req.stream = info_.stream;
+          req.consumer = cidx;
+          req.streamlets.push_back(sl);
+        }
+        for (auto& [broker, req] : per_broker) {
+          rpc::Writer body;
+          req.Encode(body);
+          auto raw = net_.Call(broker,
+                               rpc::Frame(rpc::Opcode::kFetchOffsets, body));
+          if (!raw.ok()) continue;
+          rpc::Reader r(*raw);
+          auto resp = rpc::FetchOffsetsResponse::Decode(r);
+          if (!resp.ok()) return Fail("fetch-offsets did not decode");
+          if (resp->status != StatusCode::kOk) continue;
+          for (const auto& e : resp->entries) {
+            if (e.found) fetched[e.streamlet] = Cursor{e.group, e.next_chunk};
+            pending.erase(e.streamlet);
+          }
+        }
+      }
+      if (!pending.empty()) {
+        return Fail("consumer-restart c=%u: offsets did not fetch after "
+                    "healing", cidx);
+      }
+      c.cur.clear();
+      for (StreamletId sl = 0; sl < StreamletId(sched_.streamlets); ++sl) {
+        auto it = fetched.find(sl);
+        c.cur[sl] = it == fetched.end() ? Cursor{} : it->second;
+      }
+      c.committed = c.cur;
+      c.read_since_commit = 0;
+      Annotate("consumer-restart c=%u resumed from committed offsets "
+               "(allowance stays %" PRIu64 ")", cidx, c.allowance);
+      return true;
+    }
     c.cur = c.committed;
     c.allowance += c.read_since_commit;
     Annotate("consumer-restart c=%u redelivery_allowance=%" PRIu64, cidx,
@@ -855,6 +1038,9 @@ class Harness {
   std::vector<Producer> producers_;
   std::vector<Consumer> consumers_;
   AckedMap acked_;
+  /// Resends per dedup key ((streamlet, producer) — system producer ids
+  /// included): the per-key side of the invariant-4 duplication budget.
+  std::map<std::pair<StreamletId, ProducerId>, uint64_t> retried_by_key_;
   /// Per streamlet: nodes holding stale storage from an earlier
   /// leadership tenure (set by migration; cleared when the node crashes,
   /// which wipes its memory).

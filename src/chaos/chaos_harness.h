@@ -43,6 +43,11 @@ struct RunResult {
   uint64_t retried_sends = 0;       // producer resends of a chunk frame
   uint64_t abandoned_sends = 0;     // chunks never acked within the event
   uint64_t dedup_hits = 0;          // broker exactly-once rejections
+  // Exactly-once mode (RunOptions::exactly_once) totals: epoch-fence
+  // rejections and offset-commit system chunks applied, summed over the
+  // brokers alive at run end. Both stay 0 when the mode is off.
+  uint64_t fenced_rejections = 0;
+  uint64_t offset_commits = 0;
   uint64_t recovery_replayed = 0;   // chunks replayed by crash/migration
   // Parallel-recovery engine totals (Coordinator::RecoveryStats). Task,
   // RPC and fan-out counts are deterministic (the engine executes
@@ -102,6 +107,17 @@ struct RunOptions {
   /// and invariants; the spill logs live in a per-run scratch dir and a
   /// broker crash deletes its node's spill tree.
   size_t memory_budget_bytes = 0;
+  /// End-to-end exactly-once for the cluster under test. Producers are
+  /// allocated coordinator epochs at setup and stamp them into every
+  /// chunk; each consume event durably commits the consumer's cursors as
+  /// offset system chunks (retrying — and, as a last resort, healing the
+  /// network — until the commit lands, like a real consumer blocking on
+  /// Commit); a consumer restart resumes from the offsets fetched back
+  /// from the brokers instead of the harness's local snapshot. Invariant
+  /// 4 tightens from "bounded redelivery" to ZERO redelivery of user
+  /// records across restarts. Off (default) leaves every schedule's
+  /// trace byte-identical to the pre-exactly-once harness.
+  bool exactly_once = false;
 };
 
 /// Runs one schedule to completion (or first violation). The cluster is

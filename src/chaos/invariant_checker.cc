@@ -179,14 +179,20 @@ std::string InvariantChecker::CheckAckedDurable(MiniCluster& cluster,
   return "";
 }
 
-std::string InvariantChecker::CheckDuplicateBound(uint64_t chunks_duplicate,
-                                                  uint64_t budget,
-                                                  uint64_t* checks) {
+std::string InvariantChecker::CheckDuplicateBound(
+    const std::map<std::pair<StreamletId, ProducerId>, uint64_t>& hits,
+    const std::map<std::pair<StreamletId, ProducerId>, uint64_t>& resends,
+    uint64_t slack, uint64_t* checks) {
   ++*checks;
-  if (chunks_duplicate > budget) {
-    return Describe("dedup hits (%" PRIu64
-                    ") exceed the accounted duplication budget (%" PRIu64 ")",
-                    chunks_duplicate, budget);
+  for (const auto& [key, n] : hits) {
+    auto it = resends.find(key);
+    uint64_t budget = (it == resends.end() ? 0 : it->second) + slack;
+    if (n > budget) {
+      return Describe(
+          "dedup hits for (streamlet %u, producer %u) (%" PRIu64
+          ") exceed that key's duplication budget (%" PRIu64 ")",
+          unsigned(key.first), unsigned(key.second), n, budget);
+    }
   }
   return "";
 }

@@ -10,8 +10,11 @@
 //   2. No acknowledged record lost across any crash/recovery.
 //   3. Per-(streamlet, group) chunk order preserved at consumers
 //      (checked consumer-side by the harness during consumption).
-//   4. At-least-once with bounded duplication, accounted against retry
-//      and injected-fault counters.
+//   4. At-least-once with bounded duplication, accounted per dedup key
+//      ((streamlet, producer)) against that key's own resends plus the
+//      schedule-wide injected-fault slack. In exactly-once mode the
+//      harness tightens the consumer side of this invariant to zero
+//      redelivery after a consumer restart.
 //   5. Checksum integrity end to end (chunk payload CRCs verify
 //      everywhere; no transport or backup checksum failure counters).
 #pragma once
@@ -46,11 +49,19 @@ class InvariantChecker {
       MiniCluster& cluster, const std::string& stream_name,
       const AckedMap& acked, uint64_t* checks);
 
-  /// Invariant 4 (broker side): dedup hits never exceed the duplication
-  /// the harness can account for (producer retries, injected duplicate
-  /// deliveries, recovery replay overlap).
+  /// Invariant 4 (broker side), per dedup key: for every (streamlet,
+  /// producer), the broker-counted dedup hits never exceed that key's own
+  /// resends plus `slack` — the schedule-wide count of injected duplicate
+  /// deliveries, late-replayed frames and recovery replay, each of which
+  /// can re-present at most one already-accepted chunk per key. The old
+  /// schedule-wide sum let a hot key's unexplained duplicates hide under
+  /// another key's unused budget; keying the bound closes that hole.
+  /// Charges ONE check per call (the granularity the aggregate bound
+  /// charged), so existing traces stay byte-stable.
   [[nodiscard]] static std::string CheckDuplicateBound(
-      uint64_t chunks_duplicate, uint64_t budget, uint64_t* checks);
+      const std::map<std::pair<StreamletId, ProducerId>, uint64_t>& hits,
+      const std::map<std::pair<StreamletId, ProducerId>, uint64_t>& resends,
+      uint64_t slack, uint64_t* checks);
 
   /// Invariant 5 (counter side): no checksum failure was ever counted by
   /// any broker or backup.

@@ -30,6 +30,14 @@ struct ProducerConfig {
   size_t chunk_pool_size = 256;
   /// Request retries on transport errors (dedup makes retries safe).
   int request_retries = 3;
+  /// End-to-end exactly-once: Connect() performs an AllocateProducer
+  /// handshake with the coordinator and stamps the returned session epoch
+  /// into every chunk header (the 64-byte extended format). After a
+  /// re-allocation of the same producer id, brokers fence the old
+  /// instance's chunks with kFenced — a zombie can never duplicate data
+  /// behind its successor's back. Off by default: chunks keep the classic
+  /// 56-byte epoch-less header, byte for byte.
+  bool exactly_once = false;
 };
 
 struct ConsumerConfig {
@@ -69,6 +77,18 @@ struct ConsumerConfig {
   /// Minimum bytes a long-polled fetch waits for before returning (the
   /// broker returns earlier on group rollover, seal, or timeout).
   uint32_t fetch_min_bytes = 1;
+  /// Stable consumer identity for durable offset commits; combined with
+  /// the top bit into a system producer id (0x80000000 | consumer_id)
+  /// under which commit chunks are sequenced and deduplicated.
+  uint32_t consumer_id = 0;
+  /// End-to-end exactly-once: Connect() allocates a session epoch from
+  /// the coordinator (so a restarted consumer's commits fence its
+  /// predecessor's) and resumes every assigned streamlet from its last
+  /// durably committed cursor instead of the beginning; Commit() durably
+  /// persists the position of everything Poll has handed out. Requires
+  /// share_count == 1 and a stream with one active group per streamlet
+  /// (the committed cursor is a single per-streamlet position).
+  bool exactly_once = false;
 };
 
 }  // namespace kera

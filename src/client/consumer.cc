@@ -107,6 +107,12 @@ Status Consumer::Connect() {
     return Status(StatusCode::kInvalidArgument,
                   "fetch_pipeline_depth must be >= 1");
   }
+  if (config_.exactly_once && config_.share_count > 1) {
+    // The committed cursor is a single per-streamlet position; group
+    // sharing would interleave multiple members' frontiers into it.
+    return Status(StatusCode::kInvalidArgument,
+                  "exactly_once requires share_count == 1");
+  }
   rpc::GetStreamInfoRequest req;
   req.name = config_.stream;
   rpc::Writer body;
@@ -121,6 +127,30 @@ Status Consumer::Connect() {
     return Status(resp->status, "GetStreamInfo failed");
   }
   info_ = resp->info;
+  if (config_.exactly_once) {
+    if (info_.options.active_groups_per_streamlet != 1) {
+      // Q > 1 interleaves groups, so "everything before (group,
+      // next_chunk)" is no longer a contiguous prefix of the streamlet.
+      return Status(StatusCode::kInvalidArgument,
+                    "exactly_once requires one active group per streamlet");
+    }
+    // Session-epoch handshake under the consumer's system producer id:
+    // a restarted consumer's commits fence its predecessor's.
+    rpc::AllocateProducerRequest areq;
+    areq.producer = ProducerId(0x80000000u | config_.consumer_id);
+    rpc::Writer abody;
+    areq.Encode(abody);
+    auto araw = network_.Call(
+        kCoordinatorNode, rpc::Frame(rpc::Opcode::kAllocateProducer, abody));
+    if (!araw.ok()) return araw.status();
+    rpc::Reader ar(*araw);
+    auto aresp = rpc::AllocateProducerResponse::Decode(ar);
+    if (!aresp.ok()) return aresp.status();
+    if (aresp->status != StatusCode::kOk) {
+      return Status(aresp->status, "AllocateProducer failed");
+    }
+    epoch_ = aresp->epoch;
+  }
 
   assigned_ = config_.streamlets;
   if (assigned_.empty()) {
@@ -138,6 +168,43 @@ Status Consumer::Connect() {
     StreamletState state;
     state.next_unstarted = FirstOwnedGroupAtOrAfter(0);
     states_[sl] = state;
+  }
+
+  if (config_.exactly_once) {
+    // Resume each streamlet from its last durably committed cursor: open
+    // the committed group at the committed chunk index instead of the
+    // beginning. Streamlets with no commit on record start from scratch.
+    std::map<NodeId, std::vector<StreamletId>> fetch_by_broker;
+    for (StreamletId sl : assigned_) {
+      fetch_by_broker[info_.streamlet_brokers[sl]].push_back(sl);
+    }
+    for (auto& [broker, sls] : fetch_by_broker) {
+      rpc::FetchOffsetsRequest freq;
+      freq.stream = info_.stream;
+      freq.consumer = config_.consumer_id;
+      freq.streamlets = sls;
+      rpc::Writer fbody;
+      freq.Encode(fbody);
+      auto fraw = network_.Call(
+          broker, rpc::Frame(rpc::Opcode::kFetchOffsets, fbody));
+      if (!fraw.ok()) return fraw.status();
+      rpc::Reader fr(*fraw);
+      auto fresp = rpc::FetchOffsetsResponse::Decode(fr);
+      if (!fresp.ok()) return fresp.status();
+      if (fresp->status != StatusCode::kOk) {
+        return Status(fresp->status, "FetchOffsets failed");
+      }
+      for (const auto& e : fresp->entries) {
+        if (!e.found) continue;
+        auto sit = states_.find(e.streamlet);
+        if (sit == states_.end()) continue;
+        StreamletState& st = sit->second;
+        st.active.clear();
+        st.active.emplace(e.group, e.next_chunk);
+        st.next_unstarted = FirstOwnedGroupAtOrAfter(e.group + 1);
+        delivered_[e.streamlet] = DeliveredPos{e.group, e.next_chunk};
+      }
+    }
   }
 
   running_.store(true, std::memory_order_release);
@@ -476,14 +543,78 @@ void Consumer::BrokerFetchLoop(NodeId broker,
   }
 }
 
+void Consumer::IngestChunk(StreamletId streamlet, const ChunkView& chunk) {
+  // The delivered frontier does NOT move here: Commit() must persist the
+  // position of what Poll HANDED OUT, and ingest runs ahead of that —
+  // committing the ingest frontier would skip every buffered-but-unpolled
+  // record after a restart. Poll advances the frontier as it completes
+  // each chunk. System chunks carry no user records, so their positions
+  // are covered only once a later data chunk is handed out; re-reading a
+  // trailing system chunk after a restart is harmless (it is skipped
+  // again, never delivered).
+  if ((chunk.flags() & kChunkFlagOffsetCommit) != 0) {
+    // Cursor metadata, not user data.
+    system_chunks_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  for (auto it = chunk.records(); !it.Done(); it.Next()) {
+    const RecordView& rec = it.record();
+    ConsumedRecord cr;
+    cr.streamlet = streamlet;
+    cr.group = chunk.group_id();
+    cr.chunk_index = chunk.group_chunk_index();
+    cr.producer = chunk.producer_id();
+    cr.value.assign(rec.value().begin(), rec.value().end());
+    buffered_.push_back(std::move(cr));
+  }
+  records_consumed_.fetch_add(chunk.record_count(),
+                              std::memory_order_relaxed);
+}
+
+namespace {
+bool SameChunk(const ConsumedRecord& a, const ConsumedRecord& b) {
+  return a.streamlet == b.streamlet && a.group == b.group &&
+         a.chunk_index == b.chunk_index;
+}
+}  // namespace
+
+void Consumer::AdvanceDelivered(const ConsumedRecord& rec) {
+  DeliveredPos& pos = delivered_[rec.streamlet];
+  const uint64_t next = rec.chunk_index + 1;
+  if (rec.group > pos.group) {
+    pos.group = rec.group;
+    pos.next_chunk = next;
+  } else if (rec.group == pos.group && next > pos.next_chunk) {
+    pos.next_chunk = next;
+  }
+}
+
 std::vector<ConsumedRecord> Consumer::Poll(size_t max_records) {
   std::vector<ConsumedRecord> out;
-  while (out.size() < max_records) {
+  for (;;) {
     if (!buffered_.empty()) {
+      if (out.size() >= max_records) {
+        // Exactly-once: never leave a chunk half-delivered. The committed
+        // cursor is chunk-granular, so splitting a chunk across Polls
+        // would make a commit between them either redeliver or skip the
+        // chunk's remainder after a restart; round up to the boundary.
+        if (!config_.exactly_once || out.empty() ||
+            !SameChunk(out.back(), buffered_.front())) {
+          break;
+        }
+      }
       out.push_back(std::move(buffered_.front()));
       buffered_.pop_front();
+      if (config_.exactly_once &&
+          (buffered_.empty() || !SameChunk(out.back(), buffered_.front()))) {
+        // Chunk fully handed out (ingest buffers whole chunks, so an
+        // empty deque means no more of its records exist): this is the
+        // frontier Commit() persists.
+        AdvanceDelivered(out.back());
+      }
       continue;
     }
+    if (out.size() >= max_records) break;
     auto fetched = fetched_.TryPop();
     if (!fetched) break;
     auto chunk = ChunkView::Parse(fetched->bytes);
@@ -491,18 +622,7 @@ std::vector<ConsumedRecord> Consumer::Poll(size_t max_records) {
       checksum_failures_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    for (auto it = chunk->records(); !it.Done(); it.Next()) {
-      const RecordView& rec = it.record();
-      ConsumedRecord cr;
-      cr.streamlet = fetched->streamlet;
-      cr.group = chunk->group_id();
-      cr.chunk_index = chunk->group_chunk_index();
-      cr.producer = chunk->producer_id();
-      cr.value.assign(rec.value().begin(), rec.value().end());
-      buffered_.push_back(std::move(cr));
-    }
-    records_consumed_.fetch_add(chunk->record_count(),
-                                std::memory_order_relaxed);
+    IngestChunk(fetched->streamlet, *chunk);
   }
   return out;
 }
@@ -515,21 +635,59 @@ std::vector<ConsumedRecord> Consumer::PollBlocking(size_t max_records) {
     if (!fetched) break;
     auto chunk = ChunkView::Parse(fetched->bytes);
     if (chunk.ok() && chunk->VerifyChecksum()) {
-      for (auto it = chunk->records(); !it.Done(); it.Next()) {
-        ConsumedRecord cr;
-        cr.streamlet = fetched->streamlet;
-        cr.group = chunk->group_id();
-        cr.chunk_index = chunk->group_chunk_index();
-        cr.producer = chunk->producer_id();
-        cr.value.assign(it.record().value().begin(),
-                        it.record().value().end());
-        buffered_.push_back(std::move(cr));
-      }
-      records_consumed_.fetch_add(chunk->record_count(),
-                                  std::memory_order_relaxed);
+      IngestChunk(fetched->streamlet, *chunk);
     }
   }
   return Poll(max_records);
+}
+
+Status Consumer::Commit() {
+  if (!config_.exactly_once) {
+    return Status(StatusCode::kInvalidArgument,
+                  "Commit requires exactly_once");
+  }
+  if (delivered_.empty()) return OkStatus();
+  ++commit_seq_;
+  std::map<NodeId, rpc::CommitOffsetsRequest> per_broker;
+  for (const auto& [sl, pos] : delivered_) {
+    auto& req = per_broker[info_.streamlet_brokers[sl]];
+    req.stream = info_.stream;
+    req.consumer = config_.consumer_id;
+    req.commit_seq = commit_seq_;
+    req.epoch = epoch_;
+    rpc::CommitOffsetsRequest::Entry e;
+    e.streamlet = sl;
+    e.group = pos.group;
+    e.next_chunk = pos.next_chunk;
+    req.entries.push_back(e);
+  }
+  // One attempt per leader; callers treat a failed Commit as "position
+  // not saved" and simply retry the next round (re-committing the same
+  // frontier is idempotent broker-side).
+  Status first = OkStatus();
+  for (auto& [broker, req] : per_broker) {
+    rpc::Writer body;
+    req.Encode(body);
+    auto raw = network_.Call(
+        broker, rpc::Frame(rpc::Opcode::kCommitOffsets, body));
+    if (!raw.ok()) {
+      if (first.ok()) first = raw.status();
+      continue;
+    }
+    rpc::Reader r(*raw);
+    auto resp = rpc::CommitOffsetsResponse::Decode(r);
+    if (!resp.ok()) {
+      if (first.ok()) first = resp.status();
+      continue;
+    }
+    if (resp->status != StatusCode::kOk && first.ok()) {
+      first = Status(resp->status, "CommitOffsets failed");
+    }
+  }
+  if (first.ok()) {
+    offset_commits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return first;
 }
 
 bool Consumer::Finished() const {
@@ -556,6 +714,9 @@ Consumer::Stats Consumer::GetStats() const {
   out.checksum_failures =
       checksum_failures_.load(std::memory_order_relaxed);
   out.flow_control_pauses = fetched_.pauses();
+  out.offset_commits = offset_commits_.load(std::memory_order_relaxed);
+  out.system_chunks_skipped =
+      system_chunks_skipped_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -56,12 +56,22 @@ class Consumer {
   Status Connect();
 
   /// Returns up to `max_records` records, in order per group.
-  /// Non-blocking: returns what is buffered (possibly nothing).
+  /// Non-blocking: returns what is buffered (possibly nothing). In
+  /// exactly_once mode the count rounds UP to a chunk boundary — the
+  /// committed cursor is chunk-granular, so Poll never leaves a chunk
+  /// half-delivered across a Commit().
   std::vector<ConsumedRecord> Poll(size_t max_records);
 
   /// Blocking variant: waits until at least one record arrives or the
   /// consumer is closed.
   std::vector<ConsumedRecord> PollBlocking(size_t max_records);
+
+  /// Durably commits the position of everything Poll has handed out so
+  /// far (exactly_once only): one CommitOffsets RPC per leader broker,
+  /// persisted as a flagged system chunk in the virtual log. A consumer
+  /// restarted with the same consumer_id resumes from here instead of
+  /// redelivering. Call from the polling thread.
+  Status Commit();
 
   void Close();
 
@@ -78,10 +88,18 @@ class Consumer {
     uint64_t checksum_failures = 0;
     /// Times a broker's prefetch blocked on the fetch_buffer_bytes budget.
     uint64_t flow_control_pauses = 0;
+    /// Successful Commit() rounds (exactly_once only).
+    uint64_t offset_commits = 0;
+    /// Offset-commit system chunks skipped (their records are cursor
+    /// metadata, never handed to the application).
+    uint64_t system_chunks_skipped = 0;
   };
   [[nodiscard]] Stats GetStats() const;
 
   [[nodiscard]] const rpc::StreamInfo& stream_info() const { return info_; }
+
+  /// Coordinator-assigned session epoch (0 unless exactly_once).
+  [[nodiscard]] uint32_t session_epoch() const { return epoch_; }
 
  private:
   /// Per-streamlet fetch state: the groups currently being read (several
@@ -144,6 +162,15 @@ class Consumer {
                    const std::shared_ptr<const std::vector<std::byte>>& buf,
                    bool* got_data);
   void MarkStreamletDone(StreamletState& state);
+  /// Ingests one verified chunk on the polling thread: buffers the
+  /// records of data chunks for Poll (offset-commit system chunks carry
+  /// cursor metadata, not user data, and are skipped). Does NOT move the
+  /// delivered frontier — Commit() persists what Poll handed out, not
+  /// what was prefetched; Poll advances the frontier per completed chunk.
+  void IngestChunk(StreamletId streamlet, const ChunkView& chunk);
+  /// Monotonically advances the delivered frontier past `rec`'s chunk.
+  /// Called by Poll when the chunk's last buffered record is handed out.
+  void AdvanceDelivered(const ConsumedRecord& rec);
   [[nodiscard]] GroupId FirstOwnedGroupAtOrAfter(GroupId g) const;
   /// Opens owned groups below groups_created into the active set, up to
   /// the parallelism cap.
@@ -169,6 +196,17 @@ class Consumer {
   // Source-side state: partially consumed chunk queue.
   std::deque<ConsumedRecord> buffered_;
 
+  // Exactly-once state. epoch_ is immutable after Connect; the delivered
+  // frontier and commit sequence are touched only by the application
+  // thread (Poll/PollBlocking/Commit), so no locks.
+  struct DeliveredPos {
+    GroupId group = 0;
+    uint64_t next_chunk = 0;
+  };
+  uint32_t epoch_ = 0;
+  uint64_t commit_seq_ = 0;
+  std::map<StreamletId, DeliveredPos> delivered_;
+
   // Hot-path counters are relaxed atomics (touched per chunk / per poll).
   std::atomic<uint64_t> records_consumed_{0};
   std::atomic<uint64_t> chunks_received_{0};
@@ -176,6 +214,8 @@ class Consumer {
   std::atomic<uint64_t> requests_sent_{0};
   std::atomic<uint64_t> empty_responses_{0};
   std::atomic<uint64_t> checksum_failures_{0};
+  std::atomic<uint64_t> offset_commits_{0};
+  std::atomic<uint64_t> system_chunks_skipped_{0};
 };
 
 }  // namespace kera

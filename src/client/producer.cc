@@ -45,6 +45,24 @@ Status Producer::Connect() {
     return Status(resp->status, "GetStreamInfo failed");
   }
   info_ = resp->info;
+  if (config_.exactly_once) {
+    // Idempotent-producer handshake: the coordinator bumps this producer
+    // id's epoch, fencing any prior instance still in flight.
+    rpc::AllocateProducerRequest areq;
+    areq.producer = config_.producer_id;
+    rpc::Writer abody;
+    areq.Encode(abody);
+    auto araw = network_.Call(
+        kCoordinatorNode, rpc::Frame(rpc::Opcode::kAllocateProducer, abody));
+    if (!araw.ok()) return araw.status();
+    rpc::Reader ar(*araw);
+    auto aresp = rpc::AllocateProducerResponse::Decode(ar);
+    if (!aresp.ok()) return aresp.status();
+    if (aresp->status != StatusCode::kOk) {
+      return Status(aresp->status, "AllocateProducer failed");
+    }
+    epoch_ = aresp->epoch;
+  }
   running_.store(true, std::memory_order_release);
   requests_thread_ = std::thread([this] { RequestsLoop(); });
   return OkStatus();
@@ -90,7 +108,7 @@ Status Producer::SendRecord(std::span<const std::byte> key,
     if (builder == nullptr) {
       return Status(StatusCode::kUnavailable, "producer shut down");
     }
-    builder->Start(info_.stream, streamlet, config_.producer_id);
+    builder->Start(info_.stream, streamlet, config_.producer_id, epoch_);
     OpenChunk open;
     open.builder = std::move(builder);
     it = open_chunks_.emplace(streamlet, std::move(open)).first;
@@ -114,7 +132,7 @@ Status Producer::SendRecord(std::span<const std::byte> key,
     if (builder == nullptr) {
       return Status(StatusCode::kUnavailable, "producer shut down");
     }
-    builder->Start(info_.stream, streamlet, config_.producer_id);
+    builder->Start(info_.stream, streamlet, config_.producer_id, epoch_);
     open.builder = std::move(builder);
     open.first_record_at = std::chrono::steady_clock::now();
     if (!(key.empty() ? open.builder->AppendValue(value) : [&] {
@@ -157,7 +175,8 @@ void Producer::MaybeLingerFlush() {
       (void)SealAndEnqueue(streamlet, open);
       open.builder = AcquireBuilder();
       if (open.builder != nullptr) {
-        open.builder->Start(info_.stream, streamlet, config_.producer_id);
+        open.builder->Start(info_.stream, streamlet, config_.producer_id,
+                            epoch_);
       }
     }
   }
@@ -225,6 +244,59 @@ void Producer::RequestsLoop() {
     for (size_t i = 0; i < requests.size(); ++i) pending[i] = i;
     for (int attempt = 0;
          attempt <= config_.request_retries && !pending.empty(); ++attempt) {
+      if (attempt > 0) {
+        // The broker a chunk was sealed against may no longer lead its
+        // streamlet (crash recovery or migration mid-flight). Re-resolve
+        // leaders and, if any moved, re-partition the pending sealed
+        // chunks to the current leaders — the sealed frames are reused
+        // byte for byte, so the retry carries the same (pid, seq, epoch)
+        // and the new leader's dedup state (rebuilt from the backups)
+        // recognizes anything the old leader already accepted.
+        std::vector<NodeId> leaders;
+        if (FetchLeaders(&leaders)) {
+          bool moved = false;
+          for (size_t i : pending) {
+            for (const SealedChunk& c : requests[i].chunks) {
+              if (c.streamlet < leaders.size() &&
+                  leaders[c.streamlet] != requests[i].broker) {
+                moved = true;
+                break;
+              }
+            }
+            if (moved) break;
+          }
+          if (moved) {
+            retry_repartitions_.fetch_add(1, std::memory_order_relaxed);
+            std::map<NodeId, std::vector<SealedChunk>> regrouped;
+            for (size_t i : pending) {
+              for (auto& c : requests[i].chunks) {
+                if (c.streamlet < leaders.size()) {
+                  c.broker = leaders[c.streamlet];
+                }
+                regrouped[c.broker].push_back(std::move(c));
+              }
+              requests[i].chunks.clear();
+            }
+            std::vector<size_t> repointed;
+            for (auto& [broker, chunks] : regrouped) {
+              rpc::ProduceRequest req;
+              req.producer = config_.producer_id;
+              req.stream = info_.stream;
+              for (auto& c : chunks) {
+                req.chunks.push_back(c.builder->SealedView());
+              }
+              InFlight inflight;
+              inflight.broker = broker;
+              inflight.body = rpc::Writer(64);
+              req.Encode(inflight.body);
+              inflight.chunks = std::move(chunks);
+              repointed.push_back(requests.size());
+              requests.push_back(std::move(inflight));
+            }
+            pending = std::move(repointed);
+          }
+        }
+      }
       std::vector<std::future<Result<std::vector<std::byte>>>> futures;
       futures.reserve(pending.size());
       for (size_t i : pending) {
@@ -245,9 +317,15 @@ void Producer::RequestsLoop() {
           }
         }();
         bool ok = false;
+        bool fenced = false;
         if (raw.ok()) {
           rpc::Reader r(*raw);
           auto resp = rpc::ProduceResponse::Decode(r);
+          if (resp.ok() && resp->status == StatusCode::kFenced) {
+            // A newer instance of this producer id exists; no retry can
+            // ever succeed. Fail permanently instead of burning retries.
+            fenced = true;
+          }
           if (resp.ok() && resp->status == StatusCode::kOk) {
             requests_sent_.fetch_add(1, std::memory_order_relaxed);
             duplicates_reported_.fetch_add(resp->duplicates,
@@ -267,6 +345,11 @@ void Producer::RequestsLoop() {
         }
         if (ok) {
           AckChunks(inflight.chunks);
+        } else if (fenced) {
+          fenced_rejections_.fetch_add(1, std::memory_order_relaxed);
+          request_failures_.fetch_add(1, std::memory_order_relaxed);
+          failed_.store(true, std::memory_order_release);
+          AckChunks(inflight.chunks);
         } else {
           still_pending.push_back(pending[f]);
         }
@@ -281,6 +364,21 @@ void Producer::RequestsLoop() {
       AckChunks(requests[i].chunks);
     }
   }
+}
+
+bool Producer::FetchLeaders(std::vector<NodeId>* leaders) {
+  rpc::GetStreamInfoRequest req;
+  req.name = config_.stream;
+  rpc::Writer body;
+  req.Encode(body);
+  auto raw = network_.Call(
+      kCoordinatorNode, rpc::Frame(rpc::Opcode::kGetStreamInfo, body));
+  if (!raw.ok()) return false;
+  rpc::Reader r(*raw);
+  auto resp = rpc::GetStreamInfoResponse::Decode(r);
+  if (!resp.ok() || resp->status != StatusCode::kOk) return false;
+  *leaders = resp->info.streamlet_brokers;
+  return true;
 }
 
 void Producer::AckChunks(std::vector<SealedChunk>& chunks) {
@@ -332,7 +430,10 @@ Producer::Stats Producer::GetStats() const {
       duplicates_reported_.load(std::memory_order_relaxed);
   out.requests_sent = requests_sent_.load(std::memory_order_relaxed);
   out.request_failures = request_failures_.load(std::memory_order_relaxed);
+  out.fenced_rejections = fenced_rejections_.load(std::memory_order_relaxed);
   out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  out.retry_repartitions =
+      retry_repartitions_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(latency_mu_);
     out.request_latency_us = request_latency_us_;

@@ -58,12 +58,21 @@ class Producer {
     uint64_t duplicates_reported = 0;
     uint64_t requests_sent = 0;
     uint64_t request_failures = 0;
+    /// Requests rejected with kFenced: a newer instance of this producer
+    /// id was allocated, so this one stopped permanently (no retries).
+    uint64_t fenced_rejections = 0;
     uint64_t bytes_sent = 0;
+    /// Retry rounds that re-partitioned pending sealed chunks to moved
+    /// streamlet leaders (crash recovery / migration while in flight).
+    uint64_t retry_repartitions = 0;
     Histogram request_latency_us;
   };
   [[nodiscard]] Stats GetStats() const;
 
   [[nodiscard]] const rpc::StreamInfo& stream_info() const { return info_; }
+
+  /// Coordinator-assigned session epoch (0 unless exactly_once).
+  [[nodiscard]] uint32_t session_epoch() const { return epoch_; }
 
  private:
   struct SealedChunk {
@@ -80,6 +89,10 @@ class Producer {
 
   Status SendRecord(std::span<const std::byte> key,
                     std::span<const std::byte> value, StreamletId streamlet);
+  /// Re-resolves the stream's current streamlet leaders from the
+  /// coordinator into `leaders` (requests-thread only; info_ itself stays
+  /// immutable after Connect so the source thread reads it without locks).
+  bool FetchLeaders(std::vector<NodeId>* leaders);
   Status SealAndEnqueue(StreamletId streamlet, OpenChunk& open);
   void MaybeLingerFlush();
   std::unique_ptr<ChunkBuilder> AcquireBuilder();
@@ -91,6 +104,10 @@ class Producer {
   const ProducerConfig config_;
   rpc::Network& network_;
   rpc::StreamInfo info_;
+  /// Session epoch from the Connect() handshake (0 = exactly_once off;
+  /// chunks then keep the classic 56-byte header). Immutable after
+  /// Connect, so both threads read it freely.
+  uint32_t epoch_ = 0;
 
   // Source-thread state (single caller thread by contract).
   std::map<StreamletId, OpenChunk> open_chunks_;
@@ -121,7 +138,9 @@ class Producer {
   std::atomic<uint64_t> duplicates_reported_{0};
   std::atomic<uint64_t> requests_sent_{0};
   std::atomic<uint64_t> request_failures_{0};
+  std::atomic<uint64_t> fenced_rejections_{0};
   std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> retry_repartitions_{0};
   mutable std::mutex latency_mu_;
   Histogram request_latency_us_;
 };

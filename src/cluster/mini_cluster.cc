@@ -303,6 +303,8 @@ Broker::Stats MiniCluster::TotalBrokerStats() const {
     total.produce_rpcs += s.produce_rpcs;
     total.chunks_appended += s.chunks_appended;
     total.chunks_duplicate += s.chunks_duplicate;
+    total.chunks_fenced += s.chunks_fenced;
+    total.offset_commits += s.offset_commits;
     total.bytes_appended += s.bytes_appended;
     total.consume_rpcs += s.consume_rpcs;
     total.chunks_served += s.chunks_served;

@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kTimeout,
   kOutOfRange,      // consume offset beyond durable head
   kInternal,
+  kFenced,          // producer epoch older than the broker's known epoch
 };
 
 [[nodiscard]] constexpr std::string_view StatusCodeName(StatusCode c) {
@@ -41,6 +42,7 @@ enum class StatusCode : uint8_t {
     case StatusCode::kTimeout: return "Timeout";
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kFenced: return "Fenced";
   }
   return "Unknown";
 }

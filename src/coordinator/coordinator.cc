@@ -803,6 +803,14 @@ Result<uint64_t> Coordinator::MigrateStreamlet(const std::string& name,
 }
 
 
+std::pair<ProducerId, uint32_t> Coordinator::AllocateProducer(
+    ProducerId producer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t& epoch = producer_epochs_[producer];
+  ++epoch;
+  return {producer, epoch};
+}
+
 std::vector<std::byte> Coordinator::HandleRpc(
     std::span<const std::byte> request) {
   rpc::Opcode op;
@@ -855,6 +863,19 @@ std::vector<std::byte> Coordinator::HandleRpc(
         } else {
           resp.status = info.status().code();
         }
+      }
+      resp.Encode(out);
+      break;
+    }
+    case rpc::Opcode::kAllocateProducer: {
+      auto req = rpc::AllocateProducerRequest::Decode(r);
+      rpc::AllocateProducerResponse resp;
+      if (!req.ok()) {
+        resp.status = req.status().code();
+      } else {
+        auto [pid, epoch] = AllocateProducer(req->producer);
+        resp.producer = pid;
+        resp.epoch = epoch;
       }
       resp.Encode(out);
       break;

@@ -70,6 +70,16 @@ class Coordinator final : public rpc::RpcHandler {
   /// leader closes its active groups and rejects further appends.
   Status SealStream(const std::string& name);
 
+  /// Allocates (or re-allocates) an idempotent-producer session: every
+  /// call for the same producer id bumps its epoch, fencing any previous
+  /// instance that still stamps chunks with the old epoch (brokers reject
+  /// those with kFenced). Epochs start at 1 — 0 is the "no epoch"
+  /// sentinel of the classic chunk format. Consumers use the same
+  /// allocator under their system producer id (0x80000000 | consumer) so
+  /// a restarted consumer's offset commits fence its predecessor's.
+  [[nodiscard]] std::pair<ProducerId, uint32_t> AllocateProducer(
+      ProducerId producer);
+
   /// Marks `crashed` dead, scatters its streamlets across ALL surviving
   /// brokers (balancing each survivor's post-recovery streamlet count,
   /// with ingested bytes as the tiebreak), and replays all of its data
@@ -187,6 +197,8 @@ class Coordinator final : public rpc::RpcHandler {
   std::map<StreamId, StreamState*> streams_by_id_;
   StreamId next_stream_id_ = 1;
   size_t placement_cursor_ = 0;  // rotates streamlet placement
+  /// Last allocated epoch per producer id (0 = never allocated).
+  std::map<ProducerId, uint32_t> producer_epochs_;
 
   mutable std::mutex recovery_stats_mu_;
   RecoveryStats recovery_stats_;

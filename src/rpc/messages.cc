@@ -72,6 +72,24 @@ int RouteFrameToShard(std::span<const std::byte> frame, int shards) {
       if (frame.size() < 2 + 4 + 4) return 0;
       return int(wire::LoadU32(p + 2 + 4) % uint32_t(shards));
     }
+    case Opcode::kCommitOffsets: {
+      // Body: u64 stream, u32 consumer, u64 commit_seq, u32 epoch,
+      // u32 entry count, then per entry [u32 streamlet, ...]. Route by the
+      // first entry's streamlet (the commit chunk appends through that
+      // streamlet's produce path); multi-streamlet commits are handled
+      // correctly either way — the broker locks per-entry shard state.
+      constexpr size_t kFirstEntry = 2 + 8 + 4 + 8 + 4 + 4;
+      if (frame.size() < kFirstEntry + 4) return 0;
+      if (wire::LoadU32(p + 2 + 8 + 4 + 8 + 4) == 0) return 0;  // no entries
+      return int(wire::LoadU32(p + kFirstEntry) % uint32_t(shards));
+    }
+    case Opcode::kFetchOffsets: {
+      // Body: u64 stream, u32 consumer, u32 count, then u32 streamlets[].
+      constexpr size_t kFirstStreamlet = 2 + 8 + 4 + 4;
+      if (frame.size() < kFirstStreamlet + 4) return 0;
+      if (wire::LoadU32(p + 2 + 8 + 4) == 0) return 0;  // no streamlets
+      return int(wire::LoadU32(p + kFirstStreamlet) % uint32_t(shards));
+    }
     default:
       // Admin/recovery traffic is rare and coordinator-driven: shard 0.
       return 0;
@@ -529,6 +547,129 @@ Result<EvacuateBackupSegmentsResponse> EvacuateBackupSegmentsResponse::Decode(
   KERA_RETURN_IF_ERROR(r.U8(code));
   resp.status = StatusCode(code);
   KERA_RETURN_IF_ERROR(r.U32(resp.dropped));
+  return resp;
+}
+
+// ------------------------------------------------------------ exactly-once
+
+void AllocateProducerRequest::Encode(Writer& w) const { w.U32(producer); }
+
+Result<AllocateProducerRequest> AllocateProducerRequest::Decode(Reader& r) {
+  AllocateProducerRequest req;
+  KERA_RETURN_IF_ERROR(r.U32(req.producer));
+  return req;
+}
+
+void AllocateProducerResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  w.U32(producer);
+  w.U32(epoch);
+}
+
+Result<AllocateProducerResponse> AllocateProducerResponse::Decode(Reader& r) {
+  AllocateProducerResponse resp;
+  uint8_t code = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(r.U32(resp.producer));
+  KERA_RETURN_IF_ERROR(r.U32(resp.epoch));
+  return resp;
+}
+
+void CommitOffsetsRequest::Encode(Writer& w) const {
+  w.U64(stream);
+  w.U32(consumer);
+  w.U64(commit_seq);
+  w.U32(epoch);
+  w.U32(uint32_t(entries.size()));
+  for (const auto& e : entries) {
+    w.U32(e.streamlet);
+    w.U32(e.group);
+    w.U64(e.next_chunk);
+  }
+}
+
+Result<CommitOffsetsRequest> CommitOffsetsRequest::Decode(Reader& r) {
+  CommitOffsetsRequest req;
+  uint32_t n = 0;
+  KERA_RETURN_IF_ERROR(r.U64(req.stream));
+  KERA_RETURN_IF_ERROR(r.U32(req.consumer));
+  KERA_RETURN_IF_ERROR(r.U64(req.commit_seq));
+  KERA_RETURN_IF_ERROR(r.U32(req.epoch));
+  KERA_RETURN_IF_ERROR(r.U32(n));
+  KERA_RETURN_IF_ERROR(CheckCount(r, n, 16));  // fixed entry size
+  req.entries.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto& e = req.entries[i];
+    KERA_RETURN_IF_ERROR(r.U32(e.streamlet));
+    KERA_RETURN_IF_ERROR(r.U32(e.group));
+    KERA_RETURN_IF_ERROR(r.U64(e.next_chunk));
+  }
+  return req;
+}
+
+void CommitOffsetsResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  w.U32(committed);
+}
+
+Result<CommitOffsetsResponse> CommitOffsetsResponse::Decode(Reader& r) {
+  CommitOffsetsResponse resp;
+  uint8_t code = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(r.U32(resp.committed));
+  return resp;
+}
+
+void FetchOffsetsRequest::Encode(Writer& w) const {
+  w.U64(stream);
+  w.U32(consumer);
+  w.U32(uint32_t(streamlets.size()));
+  for (StreamletId sl : streamlets) w.U32(sl);
+}
+
+Result<FetchOffsetsRequest> FetchOffsetsRequest::Decode(Reader& r) {
+  FetchOffsetsRequest req;
+  uint32_t n = 0;
+  KERA_RETURN_IF_ERROR(r.U64(req.stream));
+  KERA_RETURN_IF_ERROR(r.U32(req.consumer));
+  KERA_RETURN_IF_ERROR(r.U32(n));
+  KERA_RETURN_IF_ERROR(CheckCount(r, n, 4));
+  req.streamlets.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KERA_RETURN_IF_ERROR(r.U32(req.streamlets[i]));
+  }
+  return req;
+}
+
+void FetchOffsetsResponse::Encode(Writer& w) const {
+  w.U8(uint8_t(status));
+  w.U32(uint32_t(entries.size()));
+  for (const auto& e : entries) {
+    w.U32(e.streamlet);
+    w.Bool(e.found);
+    w.U32(e.group);
+    w.U64(e.next_chunk);
+  }
+}
+
+Result<FetchOffsetsResponse> FetchOffsetsResponse::Decode(Reader& r) {
+  FetchOffsetsResponse resp;
+  uint8_t code = 0;
+  uint32_t n = 0;
+  KERA_RETURN_IF_ERROR(r.U8(code));
+  resp.status = StatusCode(code);
+  KERA_RETURN_IF_ERROR(r.U32(n));
+  KERA_RETURN_IF_ERROR(CheckCount(r, n, 17));
+  resp.entries.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto& e = resp.entries[i];
+    KERA_RETURN_IF_ERROR(r.U32(e.streamlet));
+    KERA_RETURN_IF_ERROR(r.Bool(e.found));
+    KERA_RETURN_IF_ERROR(r.U32(e.group));
+    KERA_RETURN_IF_ERROR(r.U64(e.next_chunk));
+  }
   return resp;
 }
 

@@ -28,6 +28,9 @@ enum class Opcode : uint16_t {
   kSealStream = 8,
   kEvacuateBackupSegments = 9,
   kReadRecoverySegmentBatch = 10,
+  kAllocateProducer = 11,
+  kCommitOffsets = 12,
+  kFetchOffsets = 13,
 };
 
 /// Builds a full request frame: u16 opcode then the encoded body.
@@ -71,8 +74,9 @@ struct ProduceRequest {
   /// attributes and must be re-ingested into their respective groups so
   /// the partition structure is reconstructed consistently (§IV.B).
   bool recovery = false;
-  /// Full chunk frames (56-byte chunk header + payload) — the broker
-  /// appends these bytes to group segments without re-encoding.
+  /// Full chunk frames (chunk header + payload; 56 bytes classic, 64 with
+  /// the exactly-once epoch tail) — the broker appends these bytes to
+  /// group segments without re-encoding.
   std::vector<std::span<const std::byte>> chunks;
 
   void Encode(Writer& w) const;
@@ -333,6 +337,86 @@ struct EvacuateBackupSegmentsResponse {
 
   void Encode(Writer& w) const;
   [[nodiscard]] static Result<EvacuateBackupSegmentsResponse> Decode(Reader& r);
+};
+
+// ------------------------------------------------------------ exactly-once
+
+/// Client -> coordinator: allocate (or re-allocate) an idempotent-producer
+/// session. Re-allocating an existing producer id bumps its epoch, fencing
+/// any zombie still stamping chunks with the previous epoch.
+struct AllocateProducerRequest {
+  ProducerId producer = 0;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<AllocateProducerRequest> Decode(Reader& r);
+};
+
+struct AllocateProducerResponse {
+  StatusCode status = StatusCode::kOk;
+  ProducerId producer = 0;
+  uint32_t epoch = 0;  // >= 1 on success
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<AllocateProducerResponse> Decode(Reader& r);
+};
+
+/// Client -> broker: durably commit a consumer's cursor positions. The
+/// broker persists each entry as a flagged system chunk appended through
+/// the ordinary produce path of the entry's streamlet (so commits
+/// replicate, spill and recover exactly like data). `commit_seq` must be
+/// monotonically increasing per consumer: retries of a lost ack carry the
+/// same value and dedup server-side.
+struct CommitOffsetsRequest {
+  StreamId stream = 0;
+  uint32_t consumer = 0;
+  uint64_t commit_seq = 0;
+  /// Consumer session epoch from AllocateProducer (under the consumer's
+  /// system producer id). A restarted consumer's commit_seq restarts at 1;
+  /// the epoch bump keeps those commits from classifying as duplicates of
+  /// the previous session's. 0 = no epoch (single-session consumers).
+  uint32_t epoch = 0;
+  struct Entry {
+    StreamletId streamlet = 0;
+    GroupId group = 0;       // cursor: next group to read...
+    uint64_t next_chunk = 0; // ...and next chunk index within it
+  };
+  std::vector<Entry> entries;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<CommitOffsetsRequest> Decode(Reader& r);
+};
+
+struct CommitOffsetsResponse {
+  StatusCode status = StatusCode::kOk;
+  uint32_t committed = 0;  // entries now durable (appended or deduped)
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<CommitOffsetsResponse> Decode(Reader& r);
+};
+
+/// Client -> broker: read back the last durably committed cursor for each
+/// requested streamlet of a consumer (restart resume point).
+struct FetchOffsetsRequest {
+  StreamId stream = 0;
+  uint32_t consumer = 0;
+  std::vector<StreamletId> streamlets;
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<FetchOffsetsRequest> Decode(Reader& r);
+};
+
+struct FetchOffsetsResponse {
+  StatusCode status = StatusCode::kOk;
+  struct Entry {
+    StreamletId streamlet = 0;
+    bool found = false;  // false: no commit recorded for this streamlet
+    GroupId group = 0;
+    uint64_t next_chunk = 0;
+  };
+  std::vector<Entry> entries;  // same order as the request
+
+  void Encode(Writer& w) const;
+  [[nodiscard]] static Result<FetchOffsetsResponse> Decode(Reader& r);
 };
 
 }  // namespace kera::rpc

@@ -15,9 +15,14 @@ ChunkBuilder::ChunkBuilder(size_t chunk_size) : buf_(chunk_size) {
 }
 
 void ChunkBuilder::Start(StreamId stream, StreamletId streamlet,
-                         ProducerId producer) {
+                         ProducerId producer, uint32_t epoch,
+                         uint32_t flags) {
   buf_.Clear();
-  size_t off = buf_.Reserve(kChunkHeaderSize);
+  epoch_ = epoch;
+  start_flags_ = flags;
+  if (epoch != 0) start_flags_ |= kChunkFlagHasEpoch;
+  header_size_ = ChunkHeaderSizeFor(start_flags_);
+  size_t off = buf_.Reserve(header_size_);
   (void)off;
   assert(off == 0);
   stream_ = stream;
@@ -68,7 +73,7 @@ bool ChunkBuilder::AppendSerialized(std::span<const std::byte> entry) {
 
 std::span<const std::byte> ChunkBuilder::Seal(ChunkSeq seq) {
   std::byte* p = buf_.data();
-  const size_t payload_len = buf_.size() - kChunkHeaderSize;
+  const size_t payload_len = buf_.size() - header_size_;
   wire::StoreU32(p + co::kPayloadLength, uint32_t(payload_len));
   wire::StoreU64(p + co::kStreamId, stream_);
   wire::StoreU32(p + co::kStreamletId, streamlet_);
@@ -77,9 +82,13 @@ std::span<const std::byte> ChunkBuilder::Seal(ChunkSeq seq) {
   wire::StoreU32(p + co::kRecordCount, record_count_);
   wire::StoreU32(p + co::kGroupId, 0);
   wire::StoreU32(p + co::kSegmentId, 0);
-  wire::StoreU32(p + co::kFlags, 0);
+  wire::StoreU32(p + co::kFlags, start_flags_);
   wire::StoreU64(p + co::kGroupChunkIndex, 0);
-  assert(payload_crc_ == Crc32c(p + kChunkHeaderSize, payload_len));
+  if (header_size_ == kChunkHeaderSizeWithEpoch) {
+    wire::StoreU32(p + co::kProducerEpoch, epoch_);
+    wire::StoreU32(p + co::kEpochReserved, 0);
+  }
+  assert(payload_crc_ == Crc32c(p + header_size_, payload_len));
   wire::StoreU32(p + co::kChecksum, payload_crc_);
   return buf_.view();
 }
@@ -88,8 +97,15 @@ Result<ChunkView> ChunkView::Parse(std::span<const std::byte> data) {
   if (data.size() < kChunkHeaderSize) {
     return Status(StatusCode::kCorruption, "chunk: short header");
   }
+  // The flags word lives inside the fixed 56-byte prefix, so the header
+  // size (56, or 64 with the epoch tail) is known before bounds-checking.
+  const size_t header =
+      ChunkHeaderSizeFor(wire::LoadU32(data.data() + co::kFlags));
+  if (data.size() < header) {
+    return Status(StatusCode::kCorruption, "chunk: short epoch header");
+  }
   uint32_t payload_len = wire::LoadU32(data.data() + co::kPayloadLength);
-  size_t total = kChunkHeaderSize + size_t(payload_len);
+  size_t total = header + size_t(payload_len);
   if (total > data.size()) {
     return Status(StatusCode::kCorruption, "chunk: truncated payload");
   }
@@ -130,6 +146,10 @@ uint32_t ChunkView::flags() const {
 }
 uint64_t ChunkView::group_chunk_index() const {
   return wire::LoadU64(raw_.data() + co::kGroupChunkIndex);
+}
+uint32_t ChunkView::producer_epoch() const {
+  if ((flags() & kChunkFlagHasEpoch) == 0) return 0;
+  return wire::LoadU32(raw_.data() + co::kProducerEpoch);
 }
 
 bool ChunkView::VerifyChecksum() const {

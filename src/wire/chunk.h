@@ -20,6 +20,12 @@
 //   u32 segment_id           } broker-assigned attributes (recovery)
 //   u32 flags              -+
 //   u64 group_chunk_index  -- order of this chunk within its group
+//
+// When kChunkFlagHasEpoch is set in flags, the header is extended to 64
+// bytes with an exactly-once tail (old parsers that predate the flag never
+// see it set, so the 56-byte format is unchanged):
+//   u32 producer_epoch     -- coordinator-assigned session epoch (>= 1)
+//   u32 reserved           -- zero
 #pragma once
 
 #include <cstdint>
@@ -33,8 +39,17 @@
 namespace kera {
 
 inline constexpr size_t kChunkHeaderSize = 56;
+/// Header size when the exactly-once epoch tail is present (flags carry
+/// kChunkFlagHasEpoch). Epoch 0 is reserved as "no epoch": the coordinator
+/// allocates epochs starting at 1, so a zero epoch never needs the tail.
+inline constexpr size_t kChunkHeaderSizeWithEpoch = 64;
 
 inline constexpr uint32_t kChunkFlagAttrsAssigned = 1u << 0;
+/// The header carries the 8-byte epoch tail (64-byte header).
+inline constexpr uint32_t kChunkFlagHasEpoch = 1u << 1;
+/// System chunk holding a consumer offset commit, not stream data.
+/// Consumers skip it (but still advance their cursor past it).
+inline constexpr uint32_t kChunkFlagOffsetCommit = 1u << 2;
 
 /// Offsets of header fields (shared by builder/view/in-place updates).
 namespace chunk_offsets {
@@ -49,7 +64,16 @@ inline constexpr size_t kGroupId = 36;
 inline constexpr size_t kSegmentId = 40;
 inline constexpr size_t kFlags = 44;
 inline constexpr size_t kGroupChunkIndex = 48;
+// Epoch-tail fields, present only with kChunkFlagHasEpoch.
+inline constexpr size_t kProducerEpoch = 56;
+inline constexpr size_t kEpochReserved = 60;
 }  // namespace chunk_offsets
+
+/// Header size implied by a chunk's flags word.
+[[nodiscard]] inline constexpr size_t ChunkHeaderSizeFor(uint32_t flags) {
+  return (flags & kChunkFlagHasEpoch) != 0 ? kChunkHeaderSizeWithEpoch
+                                           : kChunkHeaderSize;
+}
 
 /// Builds a chunk in a fixed-size buffer. Reusable: producers keep a pool
 /// of builders and recycle them after acknowledgment (the paper's
@@ -58,8 +82,12 @@ class ChunkBuilder {
  public:
   explicit ChunkBuilder(size_t chunk_size);
 
-  /// Begins a new chunk; discards any previous content.
-  void Start(StreamId stream, StreamletId streamlet, ProducerId producer);
+  /// Begins a new chunk; discards any previous content. An epoch >= 1
+  /// switches the chunk to the extended 64-byte header (kChunkFlagHasEpoch);
+  /// epoch 0 keeps the classic 56-byte format byte for byte. `flags` is
+  /// OR-ed into the sealed flags word (e.g. kChunkFlagOffsetCommit).
+  void Start(StreamId stream, StreamletId streamlet, ProducerId producer,
+             uint32_t epoch = 0, uint32_t flags = 0);
 
   /// Appends a non-keyed record with the given value. Returns false if the
   /// record does not fit (the chunk is then ready to seal).
@@ -86,7 +114,7 @@ class ChunkBuilder {
 
   [[nodiscard]] uint32_t record_count() const { return record_count_; }
   [[nodiscard]] size_t payload_size() const {
-    return buf_.size() - kChunkHeaderSize;
+    return buf_.size() - header_size_;
   }
   [[nodiscard]] bool empty() const { return record_count_ == 0; }
   [[nodiscard]] size_t capacity() const { return buf_.capacity(); }
@@ -98,6 +126,9 @@ class ChunkBuilder {
   StreamId stream_ = 0;
   StreamletId streamlet_ = 0;
   ProducerId producer_ = 0;
+  uint32_t epoch_ = 0;
+  uint32_t start_flags_ = 0;
+  size_t header_size_ = kChunkHeaderSize;
   uint32_t record_count_ = 0;
   // Running CRC32C over the payload built so far, maintained by the append
   // paths (combined from the per-record CRCs already computed by
@@ -109,7 +140,8 @@ class ChunkBuilder {
 class ChunkView {
  public:
   /// Parses a chunk starting at data[0]; the view covers exactly
-  /// kChunkHeaderSize + payload_length bytes. Bounds-validated.
+  /// header_size + payload_length bytes, where header_size is derived
+  /// from the flags word (56, or 64 with the epoch tail). Bounds-validated.
   static Result<ChunkView> Parse(std::span<const std::byte> data);
 
   [[nodiscard]] uint32_t payload_checksum() const;
@@ -123,11 +155,16 @@ class ChunkView {
   [[nodiscard]] SegmentId segment_id() const;
   [[nodiscard]] uint32_t flags() const;
   [[nodiscard]] uint64_t group_chunk_index() const;
+  /// Coordinator-assigned producer epoch; 0 for classic 56-byte chunks.
+  [[nodiscard]] uint32_t producer_epoch() const;
 
+  [[nodiscard]] size_t header_size() const {
+    return ChunkHeaderSizeFor(flags());
+  }
   [[nodiscard]] size_t total_size() const { return raw_.size(); }
   [[nodiscard]] std::span<const std::byte> raw() const { return raw_; }
   [[nodiscard]] std::span<const std::byte> payload() const {
-    return raw_.subspan(kChunkHeaderSize);
+    return raw_.subspan(header_size());
   }
 
   /// Recomputes the payload checksum and compares with the stored one.

@@ -513,6 +513,100 @@ TEST(ChaosDeterminism, ParseTraceRejectsCorruptInput) {
   EXPECT_FALSE(ParseTrace(mangled).ok());
 }
 
+// ----------------------------------------------------------- exactly-once
+
+// The headline exactly-once sweep: the same seed->schedule mapping —
+// crashes, migrations, partitions, drops/dups/delays, consumer restarts,
+// and (on the seeds that draw it) power-loss log tearing — driven with
+// RunOptions::exactly_once. Producers stamp coordinator epochs, every
+// consume event durably commits cursors as offset system chunks, and a
+// consumer restart resumes from offsets fetched back from the brokers.
+// Invariant 4 is tightened: ZERO user-record redelivery across restarts
+// (the per-key duplication bound and the completeness oracle still run),
+// so any lost, stale or misapplied offset — through replication,
+// recovery replay or tiering — fails the sweep.
+TEST(ChaosSweep, ExactlyOnceSchedulesHoldInvariants) {
+  RunOptions options;
+  options.exactly_once = true;
+  const uint32_t n = g_single_seed ? 1 : g_schedules;
+  uint64_t total_acked = 0;
+  uint64_t total_consumed = 0;
+  uint64_t total_redelivered = 0;
+  uint64_t total_commits = 0;
+  uint64_t total_fenced = 0;
+  uint64_t pl_events = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t seed = g_single_seed ? g_seed : kSweepSeedBase + i;
+    RunResult r = RunSeed(seed, g_events, options);
+    total_acked += r.acked_chunks;
+    total_consumed += r.consumed_chunks;
+    total_redelivered += r.redelivered_chunks;
+    total_commits += r.offset_commits;
+    total_fenced += r.fenced_rejections;
+    pl_events += r.power_loss_events;
+    if (!r.ok) {
+      std::string path = DumpFailureTrace(seed, r);
+      FAIL() << "exactly-once schedule violated an invariant\n"
+             << "  seed:   " << seed << "\n"
+             << "  event:  " << (r.failed_event == size_t(-1)
+                                     ? std::string("setup/final-phase")
+                                     : std::to_string(r.failed_event))
+             << "\n"
+             << "  what:   " << r.failure << "\n"
+             << "  trace:  " << path << "\n"
+             << "  replay: chaos_test --chaos_seed=" << seed
+             << " --chaos_events=" << g_events;
+    }
+    EXPECT_EQ(r.redelivered_chunks, 0u)
+        << "user-record redelivery under exactly-once, seed " << seed;
+  }
+  // The sweep must exercise the exactly-once machinery, not vacuously
+  // pass: data flowed, commits landed, and nothing was ever redelivered.
+  EXPECT_GT(total_acked, 0u);
+  EXPECT_GT(total_consumed, 0u);
+  EXPECT_GT(total_commits, 0u);
+  EXPECT_EQ(total_redelivered, 0u);
+  std::fprintf(stderr,
+               "[chaos] exactly-once schedules=%u acked=%llu consumed=%llu "
+               "redelivered=%llu commits=%llu fenced=%llu power-loss=%llu\n",
+               n, (unsigned long long)total_acked,
+               (unsigned long long)total_consumed,
+               (unsigned long long)total_redelivered,
+               (unsigned long long)total_commits,
+               (unsigned long long)total_fenced,
+               (unsigned long long)pl_events);
+}
+
+// Exactly-once runs are as deterministic as every other mode: commits,
+// offset fetches and the Quiesce-assisted retry ladder are all driven by
+// the same single-threaded virtual-clock network.
+TEST(ChaosDeterminism, ExactlyOnceSameSeedTwiceIsByteIdentical) {
+  RunOptions options;
+  options.exactly_once = true;
+  const uint64_t seed = g_single_seed ? g_seed : kSweepSeedBase + 5;
+  RunResult a = RunSeed(seed, g_events, options);
+  RunResult b = RunSeed(seed, g_events, options);
+  EXPECT_EQ(a.trace, b.trace)
+      << "exactly-once annotated traces diverged for seed " << seed;
+  EXPECT_EQ(CounterSummary(a), CounterSummary(b));
+  EXPECT_EQ(a.failure, b.failure);
+}
+
+// With the mode off (the default), the exactly-once machinery must be
+// completely inert: no commit traffic, no offset chunks, no epoch
+// stamping, no fence rejections — the schedules run exactly as before.
+TEST(ChaosSweep, ExactlyOnceOffIsInert) {
+  const uint32_t n = g_single_seed ? 1 : 4;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t seed = g_single_seed ? g_seed : kSweepSeedBase + i;
+    RunResult r = RunSeed(seed, g_events);
+    EXPECT_EQ(r.offset_commits, 0u) << "seed " << seed;
+    EXPECT_EQ(r.fenced_rejections, 0u) << "seed " << seed;
+    EXPECT_EQ(r.trace.find("# commit c="), std::string::npos)
+        << "commit annotation in an exactly-once-off trace, seed " << seed;
+  }
+}
+
 // ----------------------------------------------------------- regressions
 
 std::span<const std::byte> AsBytes(const std::string& s) {

@@ -130,6 +130,86 @@ TEST(WireFuzzTest, RandomBytesNeverParseAsValidChunks) {
   EXPECT_EQ(accepted, 0);
 }
 
+// ------------------------------------------ exactly-once epoch tail
+
+std::vector<std::byte> BuildEpochChunk(uint64_t seed, size_t chunk_size,
+                                       uint32_t epoch) {
+  Xoshiro256 rng(seed);
+  ChunkBuilder b(chunk_size);
+  b.Start(/*stream=*/rng.Next() % 100 + 1, /*streamlet=*/3, /*producer=*/7,
+          epoch);
+  std::vector<std::byte> value(rng.NextBounded(200) + 1);
+  for (auto& byte : value) byte = std::byte(rng.Next());
+  EXPECT_TRUE(b.AppendValue(value));
+  auto bytes = b.Seal(rng.Next());
+  return {bytes.begin(), bytes.end()};
+}
+
+TEST(WireFuzzTest, EpochTailRoundTripsAndClassicDefaultsToZero) {
+  auto with = BuildEpochChunk(41, 1024, 9);
+  ASSERT_TRUE(ChunkFullyAccepted(with));
+  auto view = ChunkView::Parse(with);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->header_size(), kChunkHeaderSizeWithEpoch);
+  EXPECT_NE(view->flags() & kChunkFlagHasEpoch, 0u);
+  EXPECT_EQ(view->producer_epoch(), 9u);
+
+  // Epoch 0 keeps the classic 56-byte format byte for byte, and a classic
+  // chunk reads back as epoch 0 (the "no epoch" sentinel).
+  auto classic = BuildEpochChunk(41, 1024, 0);
+  ASSERT_TRUE(ChunkFullyAccepted(classic));
+  auto cview = ChunkView::Parse(classic);
+  ASSERT_TRUE(cview.ok());
+  EXPECT_EQ(cview->header_size(), kChunkHeaderSize);
+  EXPECT_EQ(cview->flags() & kChunkFlagHasEpoch, 0u);
+  EXPECT_EQ(cview->producer_epoch(), 0u);
+}
+
+TEST(WireFuzzTest, EpochChunkTruncationSweepAcceptsOnlyFullLength) {
+  // Every byte-prefix of old- and new-format chunks: the full frame is
+  // the ONLY accepted length on either side of the format boundary.
+  for (uint32_t epoch : {0u, 17u}) {
+    auto chunk = BuildEpochChunk(43, 1024, epoch);
+    for (size_t keep = 0; keep <= chunk.size(); ++keep) {
+      bool accepted = ChunkFullyAccepted(std::span(chunk).first(keep));
+      EXPECT_EQ(accepted, keep == chunk.size())
+          << "epoch " << epoch << " truncated to " << keep;
+    }
+  }
+}
+
+TEST(WireFuzzTest, EpochFlagFlipIsRejected) {
+  // Flipping kChunkFlagHasEpoch shifts where the payload starts (56 vs
+  // 64), so a flipped frame must never be accepted in either direction.
+  auto classic = BuildEpochChunk(47, 1024, 0);
+  uint32_t flags;
+  std::memcpy(&flags, classic.data() + chunk_offsets::kFlags, 4);
+  flags |= kChunkFlagHasEpoch;
+  std::memcpy(classic.data() + chunk_offsets::kFlags, &flags, 4);
+  EXPECT_FALSE(ChunkFullyAccepted(classic));
+
+  auto with = BuildEpochChunk(47, 1024, 23);
+  std::memcpy(&flags, with.data() + chunk_offsets::kFlags, 4);
+  flags &= ~kChunkFlagHasEpoch;
+  std::memcpy(with.data() + chunk_offsets::kFlags, &flags, 4);
+  EXPECT_FALSE(ChunkFullyAccepted(with));
+}
+
+TEST(WireFuzzTest, EpochChunkPayloadFlipsStillDetected) {
+  // The payload CRC must cover the payload at its SHIFTED position: every
+  // payload byte flip of a 64-byte-header chunk is still caught.
+  auto chunk = BuildEpochChunk(53, 2048, 5);
+  ASSERT_TRUE(ChunkFullyAccepted(chunk));
+  for (size_t pos = kChunkHeaderSizeWithEpoch; pos < chunk.size(); ++pos) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      auto corrupted = chunk;
+      corrupted[pos] ^= std::byte(1 << bit);
+      EXPECT_FALSE(ChunkFullyAccepted(corrupted))
+          << "undetected flip at " << pos << " bit " << bit;
+    }
+  }
+}
+
 TEST(RpcFuzzTest, TruncatedMessagesRejectedCleanly) {
   // Encode a representative message of every type, then feed every prefix
   // to the decoder: all must fail without crashing.

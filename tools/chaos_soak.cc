@@ -6,7 +6,7 @@
 //
 //   chaos_soak [--schedules=N] [--events=N] [--seed_base=N] [--shards=N]
 //              [--recovery_parallelism=N] [--memory_budget=BYTES]
-//              [--out=PATH]
+//              [--exactly_once] [--out=PATH]
 //
 // --shards=N runs every schedule against brokers with N shared-nothing
 // shards (see BrokerConfig::shards). The schedule generator is untouched:
@@ -20,6 +20,11 @@
 // BrokerConfig::memory_budget_bytes), forcing mid-schedule spill/evict/
 // cold-read cycles. Spill decisions are a pure function of seal order
 // and budget, so traces stay byte-identical to --memory_budget=0.
+// --exactly_once turns on end-to-end exactly-once (RunOptions::
+// exactly_once): producers get coordinator epochs, every consume event
+// durably commits consumer cursors, restarts resume from broker offsets,
+// and the redelivery invariant tightens to zero. The soak JSON then
+// carries the dedup-hit / fence / offset-commit counters.
 //
 // Environment overrides (flags win): KERA_CHAOS_SCHEDULES,
 // KERA_CHAOS_EVENTS, KERA_BROKER_SHARDS — the same knobs
@@ -58,6 +63,7 @@ int main(int argc, char** argv) {
   uint32_t shards = 1;
   uint32_t recovery_parallelism = 1;
   uint64_t memory_budget = 0;
+  bool exactly_once = false;
   std::string out_path = "BENCH_chaos.json";
 
   if (const char* env = std::getenv("KERA_CHAOS_SCHEDULES")) {
@@ -87,6 +93,8 @@ int main(int argc, char** argv) {
       if (recovery_parallelism == 0) recovery_parallelism = 1;
     } else if (std::strncmp(arg, "--memory_budget=", 16) == 0) {
       memory_budget = ParseU64(arg + 16, "--memory_budget");
+    } else if (std::strcmp(arg, "--exactly_once") == 0) {
+      exactly_once = true;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
     } else {
@@ -94,7 +102,7 @@ int main(int argc, char** argv) {
                    "usage: chaos_soak [--schedules=N] [--events=N] "
                    "[--seed_base=N] [--shards=N] "
                    "[--recovery_parallelism=N] [--memory_budget=BYTES] "
-                   "[--out=PATH]\n");
+                   "[--exactly_once] [--out=PATH]\n");
       return 2;
     }
   }
@@ -102,6 +110,7 @@ int main(int argc, char** argv) {
   run_options.broker_shards = shards;
   run_options.recovery_parallelism = recovery_parallelism;
   run_options.memory_budget_bytes = memory_budget;
+  run_options.exactly_once = exactly_once;
 
   using Clock = std::chrono::steady_clock;
   auto start = Clock::now();
@@ -142,6 +151,8 @@ int main(int argc, char** argv) {
     total.retried_sends += r.retried_sends;
     total.abandoned_sends += r.abandoned_sends;
     total.dedup_hits += r.dedup_hits;
+    total.fenced_rejections += r.fenced_rejections;
+    total.offset_commits += r.offset_commits;
     total.recovery_replayed += r.recovery_replayed;
     total.recovery_tasks += r.recovery_tasks;
     total.recovery_bytes += r.recovery_bytes;
@@ -191,6 +202,8 @@ int main(int argc, char** argv) {
                recovery_parallelism);
   std::fprintf(out, "  \"memory_budget_bytes\": %" PRIu64 ",\n",
                memory_budget);
+  std::fprintf(out, "  \"exactly_once\": %s,\n",
+               exactly_once ? "true" : "false");
   std::fprintf(out, "  \"schedules\": %" PRIu64 ",\n", ran);
   std::fprintf(out, "  \"events_per_schedule\": %u,\n", events);
   std::fprintf(out, "  \"seed_base\": %" PRIu64 ",\n", seed_base);
@@ -216,6 +229,10 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"abandoned_sends\": %" PRIu64 ",\n",
                total.abandoned_sends);
   std::fprintf(out, "  \"dedup_hits\": %" PRIu64 ",\n", total.dedup_hits);
+  std::fprintf(out, "  \"fenced_rejections\": %" PRIu64 ",\n",
+               total.fenced_rejections);
+  std::fprintf(out, "  \"offset_commits\": %" PRIu64 ",\n",
+               total.offset_commits);
   std::fprintf(out, "  \"recovery_replayed\": %" PRIu64 ",\n",
                total.recovery_replayed);
   std::fprintf(out, "  \"recovery_tasks\": %" PRIu64 ",\n",
